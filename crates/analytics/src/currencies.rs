@@ -1,0 +1,89 @@
+//! Figure 4: the most-used currencies, ranked by payment count.
+
+use std::collections::HashMap;
+
+use ripple_ledger::{Currency, PaymentRecord};
+
+/// Ranks currencies by number of payments, descending (ties broken by
+/// code for determinism).
+///
+/// # Examples
+///
+/// ```
+/// let usage = ripple_analytics::currency_usage(std::iter::empty());
+/// assert!(usage.is_empty());
+/// ```
+pub fn currency_usage<'a>(
+    payments: impl Iterator<Item = &'a PaymentRecord>,
+) -> Vec<(Currency, u64)> {
+    let mut counts: HashMap<Currency, u64> = HashMap::new();
+    for p in payments {
+        *counts.entry(p.currency).or_insert(0) += 1;
+    }
+    let mut out: Vec<(Currency, u64)> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+/// Renders the ranking as an aligned table (the textual Figure 4).
+pub fn usage_table(usage: &[(Currency, u64)]) -> String {
+    let mut out = String::from("rank currency     payments\n");
+    for (i, (currency, count)) in usage.iter().enumerate() {
+        out.push_str(&format!("{:>4} {:<12} {:>9}\n", i + 1, currency, count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_crypto::{sha512_half, AccountId};
+    use ripple_ledger::{PathSummary, RippleTime};
+
+    fn rec(currency: Currency) -> PaymentRecord {
+        PaymentRecord {
+            tx_hash: sha512_half(currency.as_bytes()),
+            sender: AccountId::from_bytes([1; 20]),
+            destination: AccountId::from_bytes([2; 20]),
+            currency,
+            issuer: None,
+            amount: "1".parse().unwrap(),
+            timestamp: RippleTime::EPOCH,
+            ledger_seq: 1,
+            paths: PathSummary::direct(),
+            cross_currency: false,
+            source_currency: None,
+        }
+    }
+
+    #[test]
+    fn ranks_by_count_descending() {
+        let mut records = Vec::new();
+        for _ in 0..5 {
+            records.push(rec(Currency::XRP));
+        }
+        for _ in 0..3 {
+            records.push(rec(Currency::BTC));
+        }
+        records.push(rec(Currency::EUR));
+        let usage = currency_usage(records.iter());
+        assert_eq!(usage[0], (Currency::XRP, 5));
+        assert_eq!(usage[1], (Currency::BTC, 3));
+        assert_eq!(usage[2], (Currency::EUR, 1));
+    }
+
+    #[test]
+    fn ties_break_by_code() {
+        let records = [rec(Currency::USD), rec(Currency::BTC)];
+        let usage = currency_usage(records.iter());
+        assert_eq!(usage[0].0, Currency::BTC, "BTC < USD lexicographically");
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let records = [rec(Currency::XRP), rec(Currency::BTC)];
+        let table = usage_table(&currency_usage(records.iter()));
+        assert!(table.contains("XRP"));
+        assert!(table.contains("BTC"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Ledger mining: the paper's appendix analyses and the Table II
+//! Market-Maker-removal experiment.
+//!
+//! Every function here consumes the plain data model (payment records,
+//! history events, ledger state) — this crate does not know how the history
+//! was produced, so it mines a synthetic archive exactly as the authors'
+//! tooling mined the real 500 GB one.
+//!
+//! * [`currencies`] — Figure 4: ranked per-currency payment counts.
+//! * [`survival`] — Figure 5: survival functions of payment amounts.
+//! * [`paths`] — Figure 6: intermediate-hop and parallel-path histograms.
+//! * [`hubs`] — Figure 7: the top-50 intermediaries, their trust and their
+//!   EUR-aggregated balances.
+//! * [`offers`] — the offer-concentration statistic (top-10 Market Makers
+//!   place 50% of offers…).
+//! * [`mm_removal`] — Table II: replay a payment window on a snapshot with
+//!   all Market Makers severed and all offers stripped.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod currencies;
+pub mod hubs;
+pub mod mm_removal;
+pub mod offers;
+pub mod paths;
+pub mod survival;
+pub mod timeline;
+
+pub use currencies::currency_usage;
+pub use hubs::{HubReport, HubRow};
+pub use mm_removal::{mm_removal_replay, MmRemovalReport};
+pub use offers::{offer_concentration, OfferConcentration};
+pub use paths::{parallel_path_histogram, path_hop_histogram};
+pub use survival::SurvivalCurve;
+pub use timeline::{monthly_timeline, user_stats, MonthRow, UserStats};

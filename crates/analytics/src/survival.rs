@@ -1,0 +1,140 @@
+//! Figure 5: survival functions of payment amounts.
+//!
+//! "The survival function for a given currency is defined as the percentage
+//! of payments in that currency exchanging an amount larger than a certain
+//! value."
+
+use ripple_ledger::{Currency, PaymentRecord, Value};
+
+/// An empirical survival function built from a set of amounts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivalCurve {
+    /// Sorted amounts (ascending).
+    amounts: Vec<Value>,
+}
+
+impl SurvivalCurve {
+    /// Builds the curve for one currency's payments (or all payments when
+    /// `currency` is `None` — the paper's "Global" series).
+    pub fn build<'a>(
+        payments: impl Iterator<Item = &'a PaymentRecord>,
+        currency: Option<Currency>,
+    ) -> SurvivalCurve {
+        let mut amounts: Vec<Value> = payments
+            .filter(|p| currency.is_none_or(|c| p.currency == c))
+            .map(|p| p.amount)
+            .collect();
+        amounts.sort_unstable();
+        SurvivalCurve { amounts }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.amounts.len()
+    }
+
+    /// Whether the curve is empty.
+    pub fn is_empty(&self) -> bool {
+        self.amounts.is_empty()
+    }
+
+    /// `P(X > threshold)`: the fraction of payments strictly above the
+    /// threshold.
+    pub fn survival(&self, threshold: Value) -> f64 {
+        if self.amounts.is_empty() {
+            return 0.0;
+        }
+        let above = self.amounts.len() - self.amounts.partition_point(|&a| a <= threshold);
+        above as f64 / self.amounts.len() as f64
+    }
+
+    /// The curve evaluated on a log-spaced grid from 10⁻⁴ to 10¹², matching
+    /// the paper's x-axis. Returns `(threshold, probability)` pairs.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        (-4..=12)
+            .map(|exp| {
+                let threshold = 10f64.powi(exp);
+                (threshold, self.survival(Value::from_f64(threshold)))
+            })
+            .collect()
+    }
+
+    /// The empirical median, if any samples exist.
+    pub fn median(&self) -> Option<Value> {
+        if self.amounts.is_empty() {
+            None
+        } else {
+            Some(self.amounts[self.amounts.len() / 2])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_crypto::{sha512_half, AccountId};
+    use ripple_ledger::{PathSummary, RippleTime};
+
+    fn rec(amount: &str, currency: Currency) -> PaymentRecord {
+        PaymentRecord {
+            tx_hash: sha512_half(amount.as_bytes()),
+            sender: AccountId::from_bytes([1; 20]),
+            destination: AccountId::from_bytes([2; 20]),
+            currency,
+            issuer: None,
+            amount: amount.parse().unwrap(),
+            timestamp: RippleTime::EPOCH,
+            ledger_seq: 1,
+            paths: PathSummary::direct(),
+            cross_currency: false,
+            source_currency: None,
+        }
+    }
+
+    #[test]
+    fn survival_is_monotone_decreasing() {
+        let records: Vec<PaymentRecord> =
+            (1..=100).map(|i| rec(&i.to_string(), Currency::USD)).collect();
+        let curve = SurvivalCurve::build(records.iter(), Some(Currency::USD));
+        let mut prev = 1.1;
+        for (_, p) in curve.series() {
+            assert!(p <= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn survival_at_median_is_half() {
+        let records: Vec<PaymentRecord> =
+            (1..=100).map(|i| rec(&i.to_string(), Currency::USD)).collect();
+        let curve = SurvivalCurve::build(records.iter(), Some(Currency::USD));
+        let p = curve.survival("50".parse().unwrap());
+        assert!((p - 0.5).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn currency_filter_applies() {
+        let records = [rec("1", Currency::USD), rec("1000", Currency::BTC)];
+        let usd = SurvivalCurve::build(records.iter(), Some(Currency::USD));
+        assert_eq!(usd.len(), 1);
+        let global = SurvivalCurve::build(records.iter(), None);
+        assert_eq!(global.len(), 2);
+        assert_eq!(global.survival("10".parse().unwrap()), 0.5);
+    }
+
+    #[test]
+    fn empty_curve_is_zero() {
+        let curve = SurvivalCurve::build(std::iter::empty(), None);
+        assert!(curve.is_empty());
+        assert_eq!(curve.survival(Value::ZERO), 0.0);
+        assert!(curve.median().is_none());
+    }
+
+    #[test]
+    fn strictly_above_semantics() {
+        let records = [rec("5", Currency::USD), rec("5", Currency::USD)];
+        let curve = SurvivalCurve::build(records.iter(), None);
+        assert_eq!(curve.survival("5".parse().unwrap()), 0.0);
+        assert_eq!(curve.survival("4".parse().unwrap()), 1.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Activity over time: monthly payment trends and user-population counts.
+//!
+//! The paper: "we uncovered the trends of its payments" and "As of August
+//! 2015, Ripple counted more than 165K users, +55K of which were actively
+//! participating (i.e. by submitting transactions, creating offers,
+//! etc.)".
+
+use std::collections::{BTreeMap, HashSet};
+
+use ripple_crypto::AccountId;
+use ripple_ledger::PaymentRecord;
+use ripple_store::HistoryEvent;
+
+/// One calendar month of activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonthRow {
+    /// Calendar year.
+    pub year: i64,
+    /// Calendar month (1–12).
+    pub month: u32,
+    /// Payments delivered in the month.
+    pub payments: u64,
+    /// Distinct senders active in the month.
+    pub active_senders: u64,
+}
+
+/// Monthly activity across the history, in chronological order.
+pub fn monthly_timeline<'a>(
+    payments: impl Iterator<Item = &'a PaymentRecord>,
+) -> Vec<MonthRow> {
+    let mut months: BTreeMap<(i64, u32), (u64, HashSet<AccountId>)> = BTreeMap::new();
+    for p in payments {
+        let (year, month, ..) = p.timestamp.to_civil();
+        let entry = months.entry((year, month)).or_default();
+        entry.0 += 1;
+        entry.1.insert(p.sender);
+    }
+    months
+        .into_iter()
+        .map(|((year, month), (payments, senders))| MonthRow {
+            year,
+            month,
+            payments,
+            active_senders: senders.len() as u64,
+        })
+        .collect()
+}
+
+/// Population counts: everyone the ledger has seen vs. everyone who acted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserStats {
+    /// Accounts created in the history.
+    pub total_accounts: u64,
+    /// Accounts that actively participated: sent a payment, declared
+    /// trust, or placed an offer (the paper's "actively participating").
+    pub active_accounts: u64,
+    /// Accounts that sent at least one payment.
+    pub senders: u64,
+    /// Accounts that received at least one payment.
+    pub receivers: u64,
+}
+
+impl UserStats {
+    /// Active fraction of the population (the paper: 55K/165K ≈ 1/3).
+    pub fn active_fraction(&self) -> f64 {
+        if self.total_accounts == 0 {
+            0.0
+        } else {
+            self.active_accounts as f64 / self.total_accounts as f64
+        }
+    }
+}
+
+/// Computes population statistics from a full event history.
+pub fn user_stats<'a>(events: impl Iterator<Item = &'a HistoryEvent>) -> UserStats {
+    let mut total: HashSet<AccountId> = HashSet::new();
+    let mut active: HashSet<AccountId> = HashSet::new();
+    let mut senders: HashSet<AccountId> = HashSet::new();
+    let mut receivers: HashSet<AccountId> = HashSet::new();
+    for event in events {
+        match event {
+            HistoryEvent::AccountCreated { account, .. } => {
+                total.insert(*account);
+            }
+            HistoryEvent::Payment(p) => {
+                active.insert(p.sender);
+                senders.insert(p.sender);
+                receivers.insert(p.destination);
+            }
+            HistoryEvent::TrustSet { truster, .. } => {
+                active.insert(*truster);
+            }
+            HistoryEvent::OfferPlaced { owner, .. } => {
+                active.insert(*owner);
+            }
+        }
+    }
+    UserStats {
+        total_accounts: total.len() as u64,
+        active_accounts: active.len() as u64,
+        senders: senders.len() as u64,
+        receivers: receivers.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_crypto::sha512_half;
+    use ripple_ledger::{Currency, PathSummary, RippleTime, Value};
+
+    fn acct(n: u8) -> AccountId {
+        AccountId::from_bytes([n; 20])
+    }
+
+    fn payment(sender: u8, year: i64, month: u32) -> PaymentRecord {
+        PaymentRecord {
+            tx_hash: sha512_half(&[sender, month as u8]),
+            sender: acct(sender),
+            destination: acct(200),
+            currency: Currency::XRP,
+            issuer: None,
+            amount: Value::from_int(1),
+            timestamp: RippleTime::from_ymd_hms(year, month, 15, 12, 0, 0),
+            ledger_seq: 1,
+            paths: PathSummary::direct(),
+            cross_currency: false,
+            source_currency: None,
+        }
+    }
+
+    #[test]
+    fn timeline_groups_by_month_in_order() {
+        let records = [payment(1, 2014, 3),
+            payment(2, 2014, 3),
+            payment(1, 2014, 3),
+            payment(1, 2013, 12),
+            payment(3, 2015, 1)];
+        let rows = monthly_timeline(records.iter());
+        assert_eq!(rows.len(), 3);
+        assert_eq!((rows[0].year, rows[0].month, rows[0].payments), (2013, 12, 1));
+        assert_eq!((rows[1].year, rows[1].month, rows[1].payments), (2014, 3, 3));
+        assert_eq!(rows[1].active_senders, 2, "two distinct senders in March");
+        assert_eq!((rows[2].year, rows[2].month), (2015, 1));
+    }
+
+    #[test]
+    fn user_stats_distinguish_active_from_created() {
+        let t = RippleTime::EPOCH;
+        let events = [HistoryEvent::AccountCreated { account: acct(1), timestamp: t },
+            HistoryEvent::AccountCreated { account: acct(2), timestamp: t },
+            HistoryEvent::AccountCreated { account: acct(3), timestamp: t },
+            HistoryEvent::Payment(payment(1, 2014, 1)),
+            HistoryEvent::TrustSet {
+                truster: acct(2),
+                trustee: acct(1),
+                currency: Currency::USD,
+                limit: Value::from_int(10),
+                timestamp: t,
+            }];
+        let stats = user_stats(events.iter());
+        assert_eq!(stats.total_accounts, 3);
+        assert_eq!(stats.active_accounts, 2, "payer and truster");
+        assert_eq!(stats.senders, 1);
+        assert_eq!(stats.receivers, 1);
+        assert!((stats.active_fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_history_is_empty() {
+        assert!(monthly_timeline(std::iter::empty()).is_empty());
+        let stats = user_stats(std::iter::empty());
+        assert_eq!(stats.total_accounts, 0);
+        assert_eq!(stats.active_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! E1 — Figure 2: throughput of the validation-campaign engine across the
+//! three collection periods, plus one message-level RPCA round.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ripple_core::consensus::rounds::RoundEngine;
+use ripple_core::consensus::validator::{Validator, ValidatorProfile};
+use ripple_core::consensus::CollectionPeriod;
+
+fn campaign_periods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_campaign");
+    group.sample_size(10);
+    for period in CollectionPeriod::all() {
+        group.bench_function(period.name(), |b| {
+            b.iter(|| period.run(2_000, 42));
+        });
+    }
+    group.finish();
+}
+
+fn message_level_round(c: &mut Criterion) {
+    let validators: Vec<Validator> = (0..20)
+        .map(|i| {
+            Validator::new(
+                i,
+                format!("v{i}"),
+                ValidatorProfile::Reliable { availability: 1.0 },
+            )
+        })
+        .collect();
+    let positions: Vec<BTreeSet<u64>> = vec![(0..50u64).collect(); 20];
+    c.bench_function("fig2_rpca_round_20_validators", |b| {
+        b.iter_batched(
+            || RoundEngine::new(validators.clone()),
+            |mut engine| engine.run_round(&positions, 7),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, campaign_periods, message_level_round);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E3/E12 — Figure 3: fingerprint-index construction and information-gain
+//! computation over a generated history.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripple_core::deanon::{information_gain, DeanonIndex, Observation, ResolutionSpec};
+use ripple_core::{Study, SynthConfig};
+
+fn history() -> Study {
+    Study::generate(SynthConfig {
+        seed: 31,
+        ..SynthConfig::small(20_000)
+    })
+}
+
+fn information_gain_rows(c: &mut Criterion) {
+    let study = history();
+    let payments = study.payments();
+    let mut group = c.benchmark_group("fig3_information_gain");
+    group.sample_size(10);
+    group.bench_function("full_resolution_20k", |b| {
+        b.iter(|| information_gain(payments.iter().copied(), ResolutionSpec::full()));
+    });
+    group.bench_function("all_10_rows_20k", |b| {
+        b.iter(|| ripple_core::deanon::ig::figure3(&payments));
+    });
+    group.finish();
+}
+
+fn attack_queries(c: &mut Criterion) {
+    let study = history();
+    let index = study.attack_index(ResolutionSpec::full());
+    let payments = study.payments();
+    let observations: Vec<Observation> = payments
+        .iter()
+        .step_by(97)
+        .map(|p| Observation::of(p))
+        .collect();
+    let mut group = c.benchmark_group("fig3_attack");
+    group.sample_size(10);
+    group.bench_function("index_build_20k", |b| {
+        b.iter(|| DeanonIndex::build(payments.iter().copied(), ResolutionSpec::full()));
+    });
+    group.bench_function("query_batch", |b| {
+        b.iter(|| {
+            observations
+                .iter()
+                .map(|o| index.query(o).len())
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, information_gain_rows, attack_queries);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E4/E5 — Figures 4 and 5: currency ranking and survival-curve
+//! construction over a generated history.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripple_core::analytics::SurvivalCurve;
+use ripple_core::{Currency, Study, SynthConfig};
+
+fn benches(c: &mut Criterion) {
+    let study = Study::generate(SynthConfig {
+        seed: 41,
+        ..SynthConfig::small(20_000)
+    });
+    let mut group = c.benchmark_group("fig4_fig5");
+    group.sample_size(10);
+    group.bench_function("fig4_currency_ranking_20k", |b| {
+        b.iter(|| study.figure4());
+    });
+    group.bench_function("fig5_survival_curves_20k", |b| {
+        b.iter(|| study.figure5());
+    });
+    group.bench_function("fig5_single_curve_eval", |b| {
+        let curve = SurvivalCurve::build(study.output().payments(), Some(Currency::USD));
+        b.iter(|| curve.series());
+    });
+    group.finish();
+}
+
+criterion_group!(all, benches);
+criterion_main!(all);

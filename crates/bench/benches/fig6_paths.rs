@@ -1,0 +1,43 @@
+//! E6/E7 — Figure 6: path-structure histograms, plus the underlying
+//! trust-graph path search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripple_core::paths::{find_payment_paths, PathLimits};
+use ripple_core::{Study, SynthConfig};
+
+fn benches(c: &mut Criterion) {
+    let study = Study::generate(SynthConfig {
+        seed: 61,
+        ..SynthConfig::small(20_000)
+    });
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("fig6a_hop_histogram_20k", |b| {
+        b.iter(|| study.figure6a());
+    });
+    group.bench_function("fig6b_parallel_histogram_20k", |b| {
+        b.iter(|| study.figure6b());
+    });
+    // The routing primitive behind every executed path.
+    let state = &study.output().final_state;
+    let cast = &study.output().cast;
+    let sender = cast.users[0].0;
+    let dest = cast.users[cast.users.len() / 2].0;
+    let currency = cast.community_currency[cast.users[cast.users.len() / 2].1];
+    group.bench_function("trust_graph_pathfind", |b| {
+        b.iter(|| {
+            find_payment_paths(
+                state,
+                sender,
+                dest,
+                currency,
+                "1".parse().unwrap(),
+                PathLimits::default(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(all, benches);
+criterion_main!(all);

@@ -1,0 +1,24 @@
+//! E9–E11 — Figure 7: hub ranking, trust aggregation, EUR balances; plus
+//! E14, the offer-concentration statistic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripple_core::{Study, SynthConfig};
+
+fn benches(c: &mut Criterion) {
+    let study = Study::generate(SynthConfig {
+        seed: 71,
+        ..SynthConfig::small(20_000)
+    });
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("fig7_hub_report_top50", |b| {
+        b.iter(|| study.figure7(50));
+    });
+    group.bench_function("offer_concentration", |b| {
+        b.iter(|| study.offer_concentration());
+    });
+    group.finish();
+}
+
+criterion_group!(all, benches);
+criterion_main!(all);

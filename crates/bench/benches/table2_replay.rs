@@ -1,0 +1,34 @@
+//! E8 — Table II: the Market-Maker-removal replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripple_core::analytics::mm_removal::mm_removal_replay;
+use ripple_core::{Currency, Study, SynthConfig};
+
+fn benches(c: &mut Criterion) {
+    let study = Study::generate(SynthConfig {
+        seed: 82,
+        ..SynthConfig::small(20_000)
+    });
+    let (at, snapshot) = study.output().snapshot.as_ref().expect("snapshot");
+    let window: Vec<_> = study
+        .output()
+        .payments()
+        .filter(|p| {
+            p.timestamp >= *at
+                && !p.currency.is_xrp()
+                && p.currency != Currency::MTL
+                && p.currency != Currency::CCK
+        })
+        .cloned()
+        .collect();
+    let makers = &study.output().cast.market_makers;
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("mm_removal_replay", |b| {
+        b.iter(|| mm_removal_replay(snapshot, makers, window.iter()));
+    });
+    group.finish();
+}
+
+criterion_group!(all, benches);
+criterion_main!(all);

@@ -1,0 +1,423 @@
+//! Regenerates every table and figure of the paper as text output.
+//!
+//! ```text
+//! experiments [EXPERIMENT] [--payments N] [--seed S] [--rounds R]
+//! ```
+//!
+//! `EXPERIMENT` is one of `fig2`, `table1`, `fig3`, `fig4`, `fig5`,
+//! `fig6a`, `fig6b`, `table2`, `fig7`, `offers`, or `all` (default) — plus
+//! the extension studies `rewards` (§IV's proposed validator-reward
+//! system), `countermeasure` (§V's wallet-splitting discussion), `unl`
+//! (UNL-overlap fork analysis) and `archive` (raw parse throughput).
+
+use std::collections::HashMap;
+
+use ripple_core::consensus::metrics::{persistent_actives, total_observed};
+use ripple_core::deanon::{AmountResolution, CurrencyStrength};
+use ripple_core::ledger::Value;
+use ripple_core::{CollectionPeriod, Currency, Study, SynthConfig};
+
+struct Args {
+    experiment: String,
+    payments: usize,
+    seed: u64,
+    rounds: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiment: "all".to_string(),
+        payments: 100_000,
+        seed: 20130101,
+        rounds: 5_000,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--payments" => {
+                args.payments = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--payments needs a number");
+            }
+            "--seed" => {
+                args.seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--rounds" => {
+                args.rounds = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--rounds needs a number");
+            }
+            other if !other.starts_with('-') => args.experiment = other.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let wants = |name: &str| args.experiment == "all" || args.experiment == name;
+
+    // Fig. 2 needs no history, only the consensus simulator.
+    if wants("fig2") {
+        fig2(args.rounds, args.seed);
+    }
+    if wants("table1") {
+        table1();
+    }
+    if wants("rewards") || args.experiment == "rewards" {
+        rewards();
+    }
+    if args.experiment == "unl" {
+        unl();
+    }
+
+    let history_needed = [
+        "fig3", "fig4", "fig5", "fig6a", "fig6b", "table2", "fig7", "offers",
+        "countermeasure", "archive", "timeline", "all",
+    ]
+    .contains(&args.experiment.as_str());
+    if !history_needed {
+        return;
+    }
+
+    eprintln!(
+        "generating history: {} payments, seed {} ...",
+        args.payments, args.seed
+    );
+    let config = SynthConfig {
+        payments: args.payments,
+        seed: args.seed,
+        ..SynthConfig::default()
+    };
+    let study = Study::generate(config);
+    eprintln!("history ready: {} events", study.output().events.len());
+
+    if wants("fig3") {
+        fig3(&study);
+    }
+    if wants("fig4") {
+        fig4(&study);
+    }
+    if wants("fig5") {
+        fig5(&study);
+    }
+    if wants("fig6a") {
+        fig6a(&study);
+    }
+    if wants("fig6b") {
+        fig6b(&study);
+    }
+    if wants("table2") {
+        table2(&study);
+    }
+    if wants("fig7") {
+        fig7(&study);
+    }
+    if wants("offers") {
+        offers(&study);
+    }
+    if wants("countermeasure") {
+        countermeasure(&study);
+    }
+    if args.experiment == "archive" {
+        archive(&study);
+    }
+    if wants("timeline") {
+        timeline(&study);
+    }
+}
+
+fn fig2(rounds: u64, seed: u64) {
+    println!("== Figure 2: pages signed by validators (total vs valid) ==");
+    println!("   ({rounds} consensus rounds per period; the paper's captures span ~250k)\n");
+    let mut reports = Vec::new();
+    for period in CollectionPeriod::all() {
+        let outcome = period.run(rounds, seed);
+        let report = outcome.report();
+        println!("-- {} --", period.name());
+        print!("{}", report.to_table());
+        let active = report.active(0.5).len();
+        println!(
+            "observed validators: {} | active (>=50% of best): {} | never-valid: {}\n",
+            report.observed(),
+            active,
+            report.never_valid().len()
+        );
+        reports.push(report);
+    }
+    let refs: Vec<&ripple_core::ValidatorReport> = reports.iter().collect();
+    println!(
+        "persistent active contributors across all periods: {} (paper: 9)",
+        persistent_actives(&refs, 0.0).len()
+    );
+    println!(
+        "distinct validators seen across periods: {} (paper: 70)\n",
+        total_observed(&refs)
+    );
+}
+
+fn table1() {
+    println!("== Table I: rounding grid per currency-strength group ==\n");
+    println!(
+        "{:<10} {:<24} {:>8} {:>12} {:>8}",
+        "Strength", "Currency", "Max (m)", "Average (a)", "Low (l)"
+    );
+    let groups: [(&str, &str, Currency); 3] = [
+        ("Powerful", "BTC, XAG, XAU, XPT", Currency::BTC),
+        ("Medium", "CNY, EUR, USD, AUD, GBP, JPY", Currency::USD),
+        ("Weak", "XRP, CCK, STR, KRW, MTL", Currency::XRP),
+    ];
+    for (name, codes, representative) in groups {
+        let exp = |r: AmountResolution| format!("10^{}", r.exponent(representative));
+        println!(
+            "{:<10} {:<24} {:>8} {:>12} {:>8}",
+            name,
+            codes,
+            exp(AmountResolution::Maximum),
+            exp(AmountResolution::Average),
+            exp(AmountResolution::Low)
+        );
+        let _ = CurrencyStrength::of(representative);
+    }
+    println!();
+}
+
+fn fig3(study: &Study) {
+    println!("== Figure 3: information gain per feature/resolution list ==\n");
+    let paper: HashMap<&str, f64> = [
+        ("<Am; Tsc; C; D>", 99.83),
+        ("<Am; Tsc; -; D>", 99.83),
+        ("<Am; Tsc; C; ->", 93.78),
+        ("<- ; Tsc; C; D>", 89.86),
+        ("<Am; - ; C; D>", 48.84),
+        ("<Al; Tdy; -; ->", 1.28),
+    ]
+    .into_iter()
+    .collect();
+    println!("{:<18} {:>10} {:>12}", "features", "IG (ours)", "IG (paper)");
+    for (label, ig) in study.figure3() {
+        let reference = paper
+            .get(label)
+            .map(|p| format!("{p:.2}%"))
+            .unwrap_or_else(|| "-".to_string());
+        println!("{label:<18} {:>9.2}% {reference:>12}", ig.percent());
+    }
+    println!();
+}
+
+fn fig4(study: &Study) {
+    println!("== Figure 4: most-used currencies ==\n");
+    let usage = study.figure4();
+    print!("{}", ripple_core::analytics::currencies::usage_table(&usage));
+    println!();
+}
+
+fn fig5(study: &Study) {
+    println!("== Figure 5: survival function of amounts ==\n");
+    let curves = study.figure5();
+    print!("{:>12}", "amount >");
+    for (currency, _) in &curves {
+        match currency {
+            None => print!(" {:>8}", "Global"),
+            Some(c) => print!(" {c:>8}"),
+        }
+    }
+    println!();
+    for exp in -4..=12 {
+        let threshold = 10f64.powi(exp);
+        print!("{threshold:>12.0e}");
+        for (_, curve) in &curves {
+            print!(" {:>8.4}", curve.survival(Value::from_f64(threshold)));
+        }
+        println!();
+    }
+    println!();
+}
+
+fn fig6a(study: &Study) {
+    println!("== Figure 6(a): payment paths per intermediate-hop count ==\n");
+    print!(
+        "{}",
+        ripple_core::analytics::paths::histogram_table(&study.figure6a(), "hops")
+    );
+    println!();
+}
+
+fn fig6b(study: &Study) {
+    println!("== Figure 6(b): payments per parallel-path count ==\n");
+    print!(
+        "{}",
+        ripple_core::analytics::paths::histogram_table(&study.figure6b(), "paths")
+    );
+    println!();
+}
+
+fn table2(study: &Study) {
+    println!("== Table II: delivery without Market Makers ==\n");
+    match study.table2() {
+        Some(report) => {
+            println!(
+                "(snapshot taken; {} offers stripped, {} makers severed)\n",
+                report.offers_stripped, report.makers_severed
+            );
+            print!("{}", report.stats.to_table());
+            println!("\npaper: cross 0%, single 36.1%, total 11.2%\n");
+        }
+        None => println!("no snapshot inside the generated window\n"),
+    }
+}
+
+fn fig7(study: &Study) {
+    println!("== Figure 7: the 50 most frequent intermediate hops ==\n");
+    let report = study.figure7(50);
+    print!("{}", ripple_core::analytics::hubs::hub_table(&report));
+    println!(
+        "\nmulti-hop payments: {}; top-1 coverage ~{:.0}%\n",
+        report.multi_hop_payments,
+        report.coverage * 100.0
+    );
+}
+
+fn offers(study: &Study) {
+    println!("== Offer concentration across Market Makers ==\n");
+    let conc = study.offer_concentration();
+    println!("total offers: {}", conc.total);
+    for k in [10, 50, 100] {
+        println!(
+            "top-{k:<3} makers place {:>5.1}% of offers",
+            conc.top_share(k) * 100.0
+        );
+    }
+    println!("(paper: top-10 = 50%, top-50 = 75%, top-100 = 87%)\n");
+}
+
+fn rewards() {
+    use ripple_core::consensus::{simulate_reward_economy, EconomyConfig, RewardPolicy};
+    println!("== Extension: the Section IV validator-reward proposal ==\n");
+    println!(
+        "{:>8} {:>12} {:>14} {:>20}",
+        "tax bps", "validators", "revenue/round", "P(quorum failure)"
+    );
+    let config = EconomyConfig::default();
+    for tax_bps in [0u32, 20, 50, 100, 200, 400] {
+        let outcome = simulate_reward_economy(
+            RewardPolicy {
+                tax_bps,
+                operating_cost_per_round: 0.01,
+            },
+            config,
+            7,
+        );
+        println!(
+            "{:>8} {:>12} {:>14.4} {:>20.3e}",
+            tax_bps,
+            outcome.equilibrium_validators(),
+            outcome.revenue_per_round.last().unwrap(),
+            outcome.final_failure_prob()
+        );
+    }
+    println!("\n=> a per-transaction tax grows the validator set and collapses");
+    println!("   the quorum-failure probability, as Section IV conjectures.\n");
+}
+
+fn unl() {
+    use ripple_core::consensus::fork_sweep;
+    println!("== Extension: UNL-overlap fork analysis ==\n");
+    println!("two 5-validator cliques with conflicting transactions:");
+    println!("{:>10} {:>8}", "overlap", "forks?");
+    for (overlap, forked) in fork_sweep(10) {
+        println!("{:>10} {:>8}", overlap, if forked { "YES" } else { "no" });
+    }
+    println!("\n=> without enough UNL overlap two cliques seal different pages;");
+    println!("   the paper's 'noticeable disagreement' needs straddling validators.\n");
+}
+
+fn countermeasure(study: &Study) {
+    use ripple_core::deanon::countermeasure::{ground_truth, link_wallets_by_habit, split_wallets};
+    use ripple_core::deanon::ResolutionSpec;
+    use ripple_core::ledger::FeeSchedule;
+    println!("== Extension: the Section V wallet-splitting countermeasure ==\n");
+    let records: Vec<ripple_core::PaymentRecord> =
+        study.payments().into_iter().cloned().collect();
+    let fees = FeeSchedule::mainnet();
+    println!(
+        "{:>3} {:>10} {:>10} {:>10} {:>12} {:>12} {:>8} {:>8}",
+        "k", "IG before", "IG after", "exposure", "trustlines", "reserve XRP", "relink", "prec"
+    );
+    for k in [1usize, 2, 4, 8] {
+        let (split, report) = split_wallets(&records, k, ResolutionSpec::full(), &fees);
+        let truth = ground_truth(&records, k);
+        let link = link_wallets_by_habit(&split, &truth, k);
+        println!(
+            "{:>3} {:>9.2}% {:>9.2}% {:>10.3} {:>12} {:>12} {:>7.1}% {:>7.1}%",
+            k,
+            report.ig_before.percent(),
+            report.ig_after.percent(),
+            report.profile_exposure,
+            report.extra_trust_lines,
+            report.reserve_cost_xrp,
+            link.recall * 100.0,
+            link.precision * 100.0,
+        );
+    }
+    println!("\n=> splitting fragments profiles (exposure ~1/k) but costs reserves and");
+    println!("   trust lines, and leaves single payments identifiable; exact habit");
+    println!("   repeats re-link a slice of the wallets — the paper's objections,");
+    println!("   quantified on organic traffic.\n");
+}
+
+fn archive(study: &Study) {
+    use std::time::Instant;
+    println!("== Extension: archive write/scan throughput ==\n");
+    let mut buf = Vec::new();
+    let t0 = Instant::now();
+    let written = study.output().write_archive(&mut buf).expect("write");
+    let write_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let events = ripple_core::store::Reader::new(buf.as_slice())
+        .expect("magic")
+        .read_all()
+        .expect("scan")
+        .len();
+    let scan_secs = t1.elapsed().as_secs_f64();
+    let mb = buf.len() as f64 / 1e6;
+    println!("records: {written} | size: {mb:.1} MB");
+    println!(
+        "write: {:.2} MB/s | scan: {:.2} MB/s ({events} events)",
+        mb / write_secs,
+        mb / scan_secs
+    );
+    println!(
+        "=> at scan speed, the paper's 500 GB dump parses in ~{:.1} h on one core\n",
+        500_000.0 / (mb / scan_secs) / 3_600.0
+    );
+}
+
+fn timeline(study: &Study) {
+    println!("== Payment trends and population ==\n");
+    let rows = study.timeline();
+    println!("{:>8} {:>10} {:>14}", "month", "payments", "active senders");
+    // Quarterly sampling keeps the table readable.
+    for row in rows.iter().step_by(3) {
+        println!(
+            "{:>4}-{:02} {:>11} {:>14}",
+            row.year, row.month, row.payments, row.active_senders
+        );
+    }
+    let stats = study.user_stats();
+    println!(
+        "\naccounts: {} total, {} active ({:.0}%) | senders: {} | receivers: {}",
+        stats.total_accounts,
+        stats.active_accounts,
+        stats.active_fraction() * 100.0,
+        stats.senders,
+        stats.receivers
+    );
+    println!("(paper, Aug 2015: 165K users, 55K active ~ 33%)\n");
+}

@@ -1,0 +1,262 @@
+//! The ledger closer: seals consensus outcomes into the ledger-page chain.
+//!
+//! "When agreement is reached, the transactions in the agreement are
+//! permanently added to the distributed ledger as a new page." (§III.B)
+//!
+//! [`LedgerCloser`] owns the chain tip and a transaction pool; each call to
+//! [`LedgerCloser::close_round`] runs one message-level RPCA round over the
+//! pool (every validator initially sees a random subset, modelling gossip
+//! lag), commits the agreed set into a new [`LedgerPage`], applies it to
+//! the ledger state, and leaves the stragglers pooled for the next round.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ripple_ledger::{LedgerPage, LedgerState, RippleTime, Transaction};
+
+use crate::rounds::{RoundEngine, RoundOutcome};
+use crate::validator::Validator;
+
+/// Seals transactions into the page chain through real consensus rounds.
+pub struct LedgerCloser {
+    engine: RoundEngine,
+    tip: LedgerPage,
+    pool: BTreeMap<u64, Transaction>,
+    next_tx_id: u64,
+    /// Probability that a validator has seen a pooled transaction when the
+    /// round starts (gossip coverage).
+    gossip_coverage: f64,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for LedgerCloser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LedgerCloser")
+            .field("tip_seq", &self.tip.header.sequence)
+            .field("pool", &self.pool.len())
+            .finish()
+    }
+}
+
+/// What one close produced.
+#[derive(Debug)]
+pub struct CloseOutcome {
+    /// The sealed page (empty if consensus failed or stripped everything).
+    pub page: LedgerPage,
+    /// The raw consensus outcome.
+    pub round: RoundOutcome,
+    /// Transactions applied to the state.
+    pub applied: usize,
+    /// Transactions rejected by the ledger during application (consensus
+    /// can agree on a transaction that later fails validation — it is
+    /// still consumed, like the real network's failure results).
+    pub rejected: usize,
+}
+
+impl LedgerCloser {
+    /// Creates a closer over `validators` starting from `genesis`.
+    pub fn new(validators: Vec<Validator>, genesis: LedgerPage, seed: u64) -> LedgerCloser {
+        LedgerCloser {
+            engine: RoundEngine::new(validators),
+            tip: genesis,
+            pool: BTreeMap::new(),
+            next_tx_id: 1,
+            gossip_coverage: 0.9,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Overrides the gossip coverage (1.0 = every validator sees every
+    /// pooled transaction).
+    pub fn with_gossip_coverage(mut self, coverage: f64) -> LedgerCloser {
+        self.gossip_coverage = coverage.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The current chain tip.
+    pub fn tip(&self) -> &LedgerPage {
+        &self.tip
+    }
+
+    /// Transactions awaiting consensus.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Submits a transaction to the pool.
+    pub fn submit(&mut self, tx: Transaction) {
+        let id = self.next_tx_id;
+        self.next_tx_id += 1;
+        self.pool.insert(id, tx);
+    }
+
+    /// Runs one consensus round over the pool and seals the agreed
+    /// transactions into the next page, applying them to `state`.
+    pub fn close_round(&mut self, state: &mut LedgerState, close_time: RippleTime) -> CloseOutcome {
+        let n = self.engine.validator_count();
+        // Each validator's candidate set: a gossip-coverage sample of the
+        // pool.
+        let mut positions: Vec<BTreeSet<u64>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let position: BTreeSet<u64> = self
+                .pool
+                .keys()
+                .copied()
+                .filter(|_| self.rng.gen_bool(self.gossip_coverage))
+                .collect();
+            positions.push(position);
+        }
+        let seed = self.rng.gen();
+        let round = self.engine.run_round(&positions, seed);
+
+        let committed_ids: BTreeSet<u64> = round
+            .committed
+            .as_ref()
+            .map(|(_, set)| set.clone())
+            .unwrap_or_default();
+
+        let mut txs: Vec<Transaction> = Vec::with_capacity(committed_ids.len());
+        let mut applied = 0;
+        let mut rejected = 0;
+        for id in &committed_ids {
+            if let Some(tx) = self.pool.remove(id) {
+                match state.apply(&tx) {
+                    Ok(_) => applied += 1,
+                    Err(_) => rejected += 1,
+                }
+                txs.push(tx);
+            }
+        }
+        let page = LedgerPage::next(&self.tip, txs, close_time);
+        self.tip = page.clone();
+        CloseOutcome {
+            page,
+            round,
+            applied,
+            rejected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validator::{Validator, ValidatorProfile};
+    use ripple_crypto::{AccountId, SimKeypair};
+    use ripple_ledger::{Drops, TxKind};
+
+    fn validators(n: usize) -> Vec<Validator> {
+        (0..n)
+            .map(|i| {
+                Validator::new(
+                    i,
+                    format!("v{i}"),
+                    ValidatorProfile::Reliable { availability: 1.0 },
+                )
+            })
+            .collect()
+    }
+
+    fn setup() -> (LedgerCloser, LedgerState, SimKeypair, AccountId) {
+        let genesis = LedgerPage::genesis(RippleTime::EPOCH, 100_000_000_000_000);
+        let closer = LedgerCloser::new(validators(5), genesis, 7).with_gossip_coverage(1.0);
+        let mut state = LedgerState::new();
+        let keys = SimKeypair::from_seed(b"closer-payer");
+        let payer = AccountId::from_public_key(&keys.public_key());
+        state.create_account(payer, Drops::from_xrp(1_000));
+        state.create_account(AccountId::from_bytes([9; 20]), Drops::from_xrp(1_000));
+        (closer, state, keys, payer)
+    }
+
+    fn payment(keys: &SimKeypair, payer: AccountId, seq: u32, xrp: u64) -> Transaction {
+        Transaction::build(
+            payer,
+            seq,
+            Drops::new(10),
+            TxKind::Payment {
+                destination: AccountId::from_bytes([9; 20]),
+                amount: Drops::from_xrp(xrp).into(),
+                send_max: None,
+                paths: Vec::new(),
+            },
+        )
+        .signed(keys)
+    }
+
+    #[test]
+    fn close_seals_and_applies_transactions() {
+        let (mut closer, mut state, keys, payer) = setup();
+        closer.submit(payment(&keys, payer, 1, 5));
+        closer.submit(payment(&keys, payer, 2, 7));
+        let outcome = closer.close_round(&mut state, RippleTime::from_seconds(5));
+        assert_eq!(outcome.applied, 2);
+        assert_eq!(outcome.rejected, 0);
+        assert_eq!(outcome.page.header.sequence, 2);
+        assert_eq!(outcome.page.txs.len(), 2);
+        assert_eq!(closer.pool_len(), 0);
+        // Fees burned shrink total_drops.
+        assert_eq!(
+            outcome.page.header.total_drops,
+            100_000_000_000_000 - 20
+        );
+        // Balance moved.
+        assert_eq!(
+            state
+                .account(&AccountId::from_bytes([9; 20]))
+                .unwrap()
+                .balance,
+            Drops::from_xrp(1_012)
+        );
+    }
+
+    #[test]
+    fn chain_links_across_closes() {
+        let (mut closer, mut state, keys, payer) = setup();
+        closer.submit(payment(&keys, payer, 1, 1));
+        let first = closer.close_round(&mut state, RippleTime::from_seconds(5));
+        closer.submit(payment(&keys, payer, 2, 1));
+        let second = closer.close_round(&mut state, RippleTime::from_seconds(10));
+        assert_eq!(second.page.header.parent_hash, first.page.hash());
+        assert_eq!(second.page.header.sequence, 3);
+    }
+
+    #[test]
+    fn consensus_rejected_txs_stay_pooled() {
+        let (mut closer, mut state, keys, payer) = setup();
+        // Low gossip coverage: some validators miss the transaction, and
+        // the thresholds may strip it; it then stays pooled for the next
+        // round rather than being lost.
+        let mut closer = {
+            closer.submit(payment(&keys, payer, 1, 1));
+            closer.with_gossip_coverage(0.3)
+        };
+        let before = closer.pool_len();
+        let outcome = closer.close_round(&mut state, RippleTime::from_seconds(5));
+        let consumed = outcome.applied + outcome.rejected;
+        assert_eq!(closer.pool_len(), before - consumed);
+        // Raise coverage; eventually the transaction commits.
+        let mut closer = closer.with_gossip_coverage(1.0);
+        let mut total_applied = consumed;
+        let mut t = 10;
+        while total_applied == 0 && t < 100 {
+            let outcome = closer.close_round(&mut state, RippleTime::from_seconds(t));
+            total_applied += outcome.applied;
+            t += 5;
+        }
+        assert!(total_applied > 0, "the transaction eventually seals");
+    }
+
+    #[test]
+    fn ledger_invalid_txs_are_consumed_but_rejected() {
+        let (mut closer, mut state, keys, payer) = setup();
+        // Wrong sequence number: consensus can still agree on it, but the
+        // ledger rejects it at application time.
+        closer.submit(payment(&keys, payer, 99, 1));
+        let outcome = closer.close_round(&mut state, RippleTime::from_seconds(5));
+        assert_eq!(outcome.applied, 0);
+        assert_eq!(outcome.rejected, 1);
+        assert_eq!(closer.pool_len(), 0, "consumed either way");
+    }
+}

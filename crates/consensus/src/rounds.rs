@@ -1,0 +1,445 @@
+//! Message-level RPCA: one consensus round executed over the simulated
+//! network.
+//!
+//! The protocol follows Schwartz, Youngs and Britto's white paper (the
+//! paper's reference [6]): validators start from their own candidate
+//! transaction sets and run proposal iterations with escalating agreement
+//! thresholds (50% → 55% → 60% → 80% of the UNL); a transaction survives an
+//! iteration only if enough trusted peers propose it. After the final
+//! iteration each validator seals its position into a page and broadcasts a
+//! signed validation; the page is committed if at least 80% of the UNL
+//! validated the same hash.
+//!
+//! The engine supports the failure modes the paper worries about: byzantine
+//! validators (equivocating positions), crashed validators, partitions, and
+//! validators whose latency pushes their proposals past the iteration
+//! deadline.
+
+use std::collections::{BTreeSet, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ripple_crypto::{sha512_half, Digest256};
+use ripple_netsim::{Delivery, LatencyModel, Network, NodeId, SimTime};
+
+use crate::validator::{Validator, ValidatorProfile};
+
+/// The escalating agreement thresholds of RPCA.
+pub const RPCA_THRESHOLDS: [f64; 4] = [0.50, 0.55, 0.60, 0.80];
+
+/// Messages exchanged during a round.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// A position broadcast during a proposal iteration.
+    Proposal {
+        /// Which RPCA iteration the proposal belongs to.
+        iteration: usize,
+        /// The proposed transaction set.
+        position: BTreeSet<u64>,
+    },
+    /// A signed page announcement after the final iteration.
+    Validation {
+        /// The sealed page hash.
+        page: Digest256,
+    },
+}
+
+/// Outcome of a single consensus round.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    /// The committed page hash and transaction set, if quorum was reached.
+    pub committed: Option<(Digest256, BTreeSet<u64>)>,
+    /// Each validator's signed page hash.
+    pub validations: HashMap<usize, Digest256>,
+    /// Fraction of the UNL that validated the winning page (0.0 if none).
+    pub agreement: f64,
+}
+
+/// A message-level RPCA engine over a simulated network.
+pub struct RoundEngine {
+    validators: Vec<Validator>,
+    network: Network<Msg>,
+    iteration_timeout: SimTime,
+    quorum: f64,
+}
+
+impl std::fmt::Debug for RoundEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundEngine")
+            .field("validators", &self.validators.len())
+            .field("iteration_timeout", &self.iteration_timeout)
+            .field("quorum", &self.quorum)
+            .finish()
+    }
+}
+
+impl RoundEngine {
+    /// Creates an engine for the given validator population. Every validator
+    /// trusts every other (a single shared UNL, as in the study period's
+    /// default configuration).
+    pub fn new(validators: Vec<Validator>) -> RoundEngine {
+        let mut network = Network::new(validators.len());
+        network.set_default_latency(LatencyModel::Jittered {
+            base: SimTime::from_millis(20),
+            jitter: SimTime::from_millis(30),
+        });
+        RoundEngine {
+            validators,
+            network,
+            iteration_timeout: SimTime::from_millis(500),
+            quorum: 0.8,
+        }
+    }
+
+    /// Access to the underlying network for failure injection (partitions,
+    /// crashes, per-node latency).
+    pub fn network_mut(&mut self) -> &mut Network<Msg> {
+        &mut self.network
+    }
+
+    /// Overrides the per-iteration proposal deadline.
+    pub fn with_iteration_timeout(mut self, timeout: SimTime) -> RoundEngine {
+        self.iteration_timeout = timeout;
+        self
+    }
+
+    /// Number of validators.
+    pub fn validator_count(&self) -> usize {
+        self.validators.len()
+    }
+
+    fn required(&self, threshold: f64) -> usize {
+        (threshold * self.validators.len() as f64).ceil() as usize
+    }
+
+    /// Runs one full round from the given initial positions (one candidate
+    /// transaction set per validator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_positions.len()` differs from the validator count.
+    pub fn run_round(&mut self, initial_positions: &[BTreeSet<u64>], seed: u64) -> RoundOutcome {
+        assert_eq!(
+            initial_positions.len(),
+            self.validators.len(),
+            "one initial position per validator"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.validators.len();
+        let mut positions: Vec<BTreeSet<u64>> = initial_positions.to_vec();
+
+        for (iteration, &threshold) in RPCA_THRESHOLDS.iter().enumerate() {
+            // Broadcast proposals. (Index-driven loops: `v` is a node id
+            // used against several parallel arrays.)
+            #[allow(clippy::needless_range_loop)]
+            for v in 0..n {
+                if self.network.is_crashed(NodeId(v)) {
+                    continue;
+                }
+                match self.validators[v].profile {
+                    ValidatorProfile::Byzantine { .. } => {
+                        // Equivocate: send a different random subset to each
+                        // peer.
+                        for to in 0..n {
+                            if to == v {
+                                continue;
+                            }
+                            let lie: BTreeSet<u64> = positions[v]
+                                .iter()
+                                .copied()
+                                .filter(|_| rng.gen_bool(0.5))
+                                .collect();
+                            self.network.send(
+                                NodeId(v),
+                                NodeId(to),
+                                Msg::Proposal {
+                                    iteration,
+                                    position: lie,
+                                },
+                                &mut rng,
+                            );
+                        }
+                    }
+                    _ => {
+                        self.network.broadcast(
+                            NodeId(v),
+                            Msg::Proposal {
+                                iteration,
+                                position: positions[v].clone(),
+                            },
+                            &mut rng,
+                        );
+                    }
+                }
+            }
+
+            // Collect proposals until the iteration deadline.
+            let deadline = self.network.now() + self.iteration_timeout;
+            let mut received: Vec<HashMap<usize, BTreeSet<u64>>> = vec![HashMap::new(); n];
+            while let Some((_, Delivery { from, to, msg })) = self.network.step_until(deadline) {
+                if let Msg::Proposal {
+                    iteration: it,
+                    position,
+                } = msg
+                {
+                    if it == iteration {
+                        received[to.0].insert(from.0, position);
+                    }
+                }
+            }
+
+            // Update positions: keep a transaction iff enough of the UNL
+            // (peers + self) proposed it.
+            let required = self.required(threshold);
+            let mut next_positions = positions.clone();
+            #[allow(clippy::needless_range_loop)]
+            for v in 0..n {
+                if self.network.is_crashed(NodeId(v)) {
+                    continue;
+                }
+                if matches!(self.validators[v].profile, ValidatorProfile::Byzantine { .. }) {
+                    continue; // byzantine nodes keep their own plans
+                }
+                let mut support: HashMap<u64, usize> = HashMap::new();
+                for tx in &positions[v] {
+                    *support.entry(*tx).or_insert(0) += 1;
+                }
+                for peer_position in received[v].values() {
+                    for tx in peer_position {
+                        *support.entry(*tx).or_insert(0) += 1;
+                    }
+                }
+                next_positions[v] = support
+                    .into_iter()
+                    .filter(|&(_, count)| count >= required)
+                    .map(|(tx, _)| tx)
+                    .collect();
+            }
+            positions = next_positions;
+        }
+
+        // Validation phase: everyone seals its final position and broadcasts
+        // a validation; collect with a generous deadline.
+        let mut validations: HashMap<usize, Digest256> = HashMap::new();
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..n {
+            if self.network.is_crashed(NodeId(v)) {
+                continue;
+            }
+            let page = page_hash(&positions[v]);
+            validations.insert(v, page);
+            self.network
+                .broadcast(NodeId(v), Msg::Validation { page }, &mut rng);
+        }
+        // Drain the validation traffic (content is already tallied above;
+        // draining keeps the virtual clock moving like the real system).
+        let deadline = self.network.now() + self.iteration_timeout;
+        let mut validation_messages_seen = 0usize;
+        while let Some((_, delivery)) = self.network.step_until(deadline) {
+            if let Msg::Validation { page: _ } = delivery.msg {
+                validation_messages_seen += 1;
+            }
+        }
+        let _ = validation_messages_seen;
+
+        // Tally.
+        let mut tally: HashMap<Digest256, usize> = HashMap::new();
+        for page in validations.values() {
+            *tally.entry(*page).or_insert(0) += 1;
+        }
+        let quorum_needed = (self.quorum * n as f64).ceil() as usize;
+        let winner = tally
+            .iter()
+            .max_by_key(|&(_, count)| *count)
+            .map(|(&page, &count)| (page, count));
+        let (committed, agreement) = match winner {
+            Some((page, count)) if count >= quorum_needed => {
+                let set = positions
+                    .iter()
+                    .find(|p| page_hash(p) == page)
+                    .cloned()
+                    .unwrap_or_default();
+                (Some((page, set)), count as f64 / n as f64)
+            }
+            Some((_, count)) => (None, count as f64 / n as f64),
+            None => (None, 0.0),
+        };
+
+        RoundOutcome {
+            committed,
+            validations,
+            agreement,
+        }
+    }
+}
+
+/// Hash of a sealed transaction set.
+pub fn page_hash(txs: &BTreeSet<u64>) -> Digest256 {
+    let mut bytes = Vec::with_capacity(8 + txs.len() * 8);
+    bytes.extend_from_slice(b"RNDPAGE!");
+    for tx in txs {
+        bytes.extend_from_slice(&tx.to_be_bytes());
+    }
+    sha512_half(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn honest(n: usize) -> Vec<Validator> {
+        (0..n)
+            .map(|i| {
+                Validator::new(
+                    i,
+                    format!("v{i}"),
+                    ValidatorProfile::Reliable { availability: 1.0 },
+                )
+            })
+            .collect()
+    }
+
+    fn positions(n: usize, txs: &[u64]) -> Vec<BTreeSet<u64>> {
+        vec![txs.iter().copied().collect(); n]
+    }
+
+    #[test]
+    fn unanimous_positions_commit() {
+        let mut engine = RoundEngine::new(honest(5));
+        let outcome = engine.run_round(&positions(5, &[1, 2, 3]), 1);
+        let (_, set) = outcome.committed.expect("should commit");
+        assert_eq!(set, [1, 2, 3].into_iter().collect());
+        assert_eq!(outcome.agreement, 1.0);
+    }
+
+    #[test]
+    fn minority_transaction_is_dropped() {
+        // Tx 99 appears in only 2 of 5 initial positions (40% < 50%).
+        let mut init = positions(5, &[1, 2]);
+        init[0].insert(99);
+        init[1].insert(99);
+        let mut engine = RoundEngine::new(honest(5));
+        let outcome = engine.run_round(&init, 2);
+        let (_, set) = outcome.committed.expect("should commit");
+        assert!(!set.contains(&99), "disputed tx should be dropped");
+        assert!(set.contains(&1) && set.contains(&2));
+    }
+
+    #[test]
+    fn strong_majority_transaction_survives() {
+        // Tx 7 appears in 4 of 5 positions (80%).
+        let mut init = positions(5, &[1]);
+        for p in init.iter_mut().take(4) {
+            p.insert(7);
+        }
+        let mut engine = RoundEngine::new(honest(5));
+        let outcome = engine.run_round(&init, 3);
+        let (_, set) = outcome.committed.expect("should commit");
+        assert!(set.contains(&7));
+    }
+
+    #[test]
+    fn one_byzantine_of_five_is_tolerated() {
+        let mut vals = honest(5);
+        vals[4] = Validator::new(4, "byz", ValidatorProfile::Byzantine { availability: 1.0 });
+        let mut engine = RoundEngine::new(vals);
+        let outcome = engine.run_round(&positions(5, &[1, 2, 3]), 4);
+        // 4 honest validators (80%) agree: exactly at quorum.
+        assert!(outcome.committed.is_some(), "agreement = {}", outcome.agreement);
+    }
+
+    #[test]
+    fn two_byzantine_of_five_block_quorum() {
+        let mut vals = honest(5);
+        for i in [3, 4] {
+            vals[i] = Validator::new(i, format!("byz{i}"), ValidatorProfile::Byzantine {
+                availability: 1.0,
+            });
+        }
+        let mut engine = RoundEngine::new(vals);
+        let outcome = engine.run_round(&positions(5, &[1, 2, 3]), 5);
+        assert!(outcome.committed.is_none(), "3/5 honest cannot reach 80%");
+        assert!(outcome.agreement <= 0.6 + f64::EPSILON);
+    }
+
+    #[test]
+    fn partition_halts_consensus() {
+        let mut engine = RoundEngine::new(honest(5));
+        engine.network_mut().partition_groups(
+            &[NodeId(0), NodeId(1), NodeId(2)],
+            &[NodeId(3), NodeId(4)],
+        );
+        // Groups start from different positions; neither can reach 80%.
+        let mut init = positions(5, &[1]);
+        init[3] = [2u64].into_iter().collect();
+        init[4] = [2u64].into_iter().collect();
+        let outcome = engine.run_round(&init, 6);
+        // Neither side can gather 80% support for its transactions, so the
+        // escalating thresholds strip them all: consensus either fails or
+        // (as on the real network) closes an *empty* ledger — no disputed
+        // transaction goes through.
+        match outcome.committed {
+            None => {}
+            Some((_, set)) => assert!(set.is_empty(), "partition must not commit txs: {set:?}"),
+        }
+    }
+
+    #[test]
+    fn crashed_minority_does_not_block() {
+        let mut engine = RoundEngine::new(honest(5));
+        engine.network_mut().crash(NodeId(4));
+        let outcome = engine.run_round(&positions(5, &[1, 2]), 7);
+        assert!(outcome.committed.is_some());
+        assert!(!outcome.validations.contains_key(&4));
+    }
+
+    #[test]
+    fn crashed_majority_blocks() {
+        let mut engine = RoundEngine::new(honest(5));
+        engine.network_mut().crash(NodeId(2));
+        engine.network_mut().crash(NodeId(3));
+        engine.network_mut().crash(NodeId(4));
+        let outcome = engine.run_round(&positions(5, &[1]), 8);
+        assert!(outcome.committed.is_none());
+    }
+
+    #[test]
+    fn slow_validator_misses_iterations_but_quorum_holds() {
+        let mut engine = RoundEngine::new(honest(5)).with_iteration_timeout(SimTime::from_millis(200));
+        engine
+            .network_mut()
+            .set_node_uplink_latency(NodeId(4), LatencyModel::Fixed(SimTime::from_millis(5_000)));
+        // The slow node's proposals never arrive; tx 9 proposed only by it
+        // is dropped, but the shared txs commit with 4+1 validations (its
+        // validation still counts since tallying is direct).
+        let mut init = positions(5, &[1, 2]);
+        init[4].insert(9);
+        let outcome = engine.run_round(&init, 9);
+        let (_, set) = outcome.committed.expect("should commit");
+        assert!(!set.contains(&9));
+    }
+
+    #[test]
+    fn different_tx_sets_converge_to_common_subset() {
+        // Each validator sees a core set plus a unique tx; the core commits.
+        let core = [10u64, 20, 30];
+        let mut init = positions(5, &core);
+        for (i, p) in init.iter_mut().enumerate() {
+            p.insert(1_000 + i as u64);
+        }
+        let mut engine = RoundEngine::new(honest(5));
+        let outcome = engine.run_round(&init, 10);
+        let (_, set) = outcome.committed.expect("should commit");
+        assert_eq!(set, core.into_iter().collect());
+    }
+
+    #[test]
+    fn page_hash_is_order_insensitive_but_content_sensitive() {
+        let a: BTreeSet<u64> = [1, 2, 3].into_iter().collect();
+        let b: BTreeSet<u64> = [3, 2, 1].into_iter().collect();
+        let c: BTreeSet<u64> = [1, 2].into_iter().collect();
+        assert_eq!(page_hash(&a), page_hash(&b));
+        assert_ne!(page_hash(&a), page_hash(&c));
+    }
+}

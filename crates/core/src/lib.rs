@@ -1,0 +1,207 @@
+//! Ripple Observatory — a full reproduction of *"Consensus Robustness and
+//! Transaction De-Anonymization in the Ripple Currency Exchange System"*
+//! (ICDCS 2017) as a Rust workspace.
+//!
+//! This facade crate re-exports every subsystem and provides [`Study`], the
+//! one-stop pipeline that generates a calibrated history and reproduces all
+//! of the paper's tables and figures:
+//!
+//! | Experiment | Paper artifact | Accessor |
+//! |---|---|---|
+//! | E1 | Fig. 2 (validator pages, 3 periods) | [`Study::figure2`] |
+//! | E2 | Table I (rounding grid) | [`ripple_deanon::AmountResolution`] |
+//! | E3/E12 | Fig. 3 (information gain) | [`Study::figure3`] |
+//! | E4 | Fig. 4 (currency ranking) | [`Study::figure4`] |
+//! | E5 | Fig. 5 (amount survival) | [`Study::figure5`] |
+//! | E6/E7 | Fig. 6 (hops, parallel paths) | [`Study::figure6a`], [`Study::figure6b`] |
+//! | E8 | Table II (Market-Maker removal) | [`Study::table2`] |
+//! | E9–E11 | Fig. 7 (hubs, trust, balances) | [`Study::figure7`] |
+//! | E14 | Offer concentration | [`Study::offer_concentration`] |
+//!
+//! # Examples
+//!
+//! ```
+//! use ripple_core::{Study, SynthConfig};
+//!
+//! let study = Study::generate(SynthConfig::small(2_000));
+//! let fig3 = study.figure3();
+//! // The strongest attacker de-anonymizes nearly everything.
+//! assert!(fig3[0].1.fraction() > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use ripple_analytics as analytics;
+pub use ripple_consensus as consensus;
+pub use ripple_crypto as crypto;
+pub use ripple_deanon as deanon;
+pub use ripple_ledger as ledger;
+pub use ripple_netsim as netsim;
+pub use ripple_orderbook as orderbook;
+pub use ripple_paths as paths;
+pub use ripple_store as store;
+pub use ripple_synth as synth;
+
+pub use ripple_analytics::{MmRemovalReport, OfferConcentration};
+pub use ripple_consensus::{CollectionPeriod, ValidatorReport};
+pub use ripple_crypto::AccountId;
+pub use ripple_deanon::{DeanonIndex, IgResult, Observation, ResolutionSpec};
+pub use ripple_ledger::{Currency, PaymentRecord, Value};
+pub use ripple_orderbook::RateTable;
+pub use ripple_synth::{Generator, SynthConfig, SynthOutput};
+
+/// The end-to-end study: a generated history plus every analysis the paper
+/// runs over it.
+#[derive(Debug)]
+pub struct Study {
+    output: SynthOutput,
+}
+
+impl Study {
+    /// Generates a history with the given configuration.
+    pub fn generate(config: SynthConfig) -> Study {
+        Study {
+            output: Generator::new(config).run(),
+        }
+    }
+
+    /// Wraps an existing generation run.
+    pub fn from_output(output: SynthOutput) -> Study {
+        Study { output }
+    }
+
+    /// The underlying generation run.
+    pub fn output(&self) -> &SynthOutput {
+        &self.output
+    }
+
+    /// The payment records, in time order.
+    pub fn payments(&self) -> Vec<&PaymentRecord> {
+        self.output.payments().collect()
+    }
+
+    /// E1 — Figure 2: runs the three collection periods for `rounds`
+    /// consensus rounds each, returning `(period, report)` pairs.
+    pub fn figure2(&self, rounds: u64, seed: u64) -> Vec<(CollectionPeriod, ValidatorReport)> {
+        CollectionPeriod::all()
+            .into_iter()
+            .map(|period| {
+                let outcome = period.run(rounds, seed);
+                (period, outcome.report())
+            })
+            .collect()
+    }
+
+    /// E3/E12 — Figure 3: information gain of every feature/resolution row.
+    pub fn figure3(&self) -> Vec<(&'static str, IgResult)> {
+        let records = self.payments();
+        ripple_deanon::ig::figure3(&records)
+    }
+
+    /// E4 — Figure 4: ranked currency usage.
+    pub fn figure4(&self) -> Vec<(Currency, u64)> {
+        ripple_analytics::currency_usage(self.output.payments())
+    }
+
+    /// E5 — Figure 5: survival curves for the paper's leading currencies
+    /// plus the currency-unaware "Global" series (`None` key).
+    pub fn figure5(&self) -> Vec<(Option<Currency>, ripple_analytics::SurvivalCurve)> {
+        let mut out = vec![(
+            None,
+            ripple_analytics::SurvivalCurve::build(self.output.payments(), None),
+        )];
+        for currency in [
+            Currency::BTC,
+            Currency::CCK,
+            Currency::CNY,
+            Currency::EUR,
+            Currency::MTL,
+            Currency::USD,
+            Currency::XRP,
+        ] {
+            out.push((
+                Some(currency),
+                ripple_analytics::SurvivalCurve::build(self.output.payments(), Some(currency)),
+            ));
+        }
+        out
+    }
+
+    /// E6 — Figure 6(a): payment paths per intermediate-hop count.
+    pub fn figure6a(&self) -> BTreeMap<usize, u64> {
+        ripple_analytics::path_hop_histogram(self.output.payments())
+    }
+
+    /// E7 — Figure 6(b): payments per parallel-path count.
+    pub fn figure6b(&self) -> BTreeMap<usize, u64> {
+        ripple_analytics::parallel_path_histogram(self.output.payments())
+    }
+
+    /// E8 — Table II: the Market-Maker-removal replay over the post-snapshot
+    /// payment window. Returns `None` if the run produced no snapshot.
+    pub fn table2(&self) -> Option<MmRemovalReport> {
+        let (at, snapshot) = self.output.snapshot.as_ref()?;
+        let window: Vec<&PaymentRecord> = self
+            .output
+            .payments()
+            .filter(|p| {
+                // The replay window covers the organic IOU traffic; the
+                // spam campaigns (MTL, CCK) ride dedicated chains rather
+                // than the Market-Maker fabric the experiment probes.
+                p.timestamp >= *at
+                    && !p.currency.is_xrp()
+                    && p.currency != Currency::MTL
+                    && p.currency != Currency::CCK
+            })
+            .collect();
+        Some(ripple_analytics::mm_removal_replay(
+            snapshot,
+            &self.output.cast.market_makers,
+            window.into_iter(),
+        ))
+    }
+
+    /// E9–E11 — Figure 7: the top-`n` intermediaries with trust and
+    /// EUR-aggregated balance profiles.
+    pub fn figure7(&self, n: usize) -> ripple_analytics::HubReport {
+        let names: HashMap<AccountId, String> = self
+            .output
+            .cast
+            .gateways
+            .iter()
+            .map(|g| (g.account, g.name.clone()))
+            .collect();
+        ripple_analytics::hubs::hub_report(
+            self.output.payments(),
+            &self.output.final_state,
+            &names,
+            &RateTable::eur_2015(),
+            n,
+        )
+    }
+
+    /// E14 — offer-placement concentration across Market Makers.
+    pub fn offer_concentration(&self) -> OfferConcentration {
+        ripple_analytics::offer_concentration(self.output.events.iter())
+    }
+
+    /// Monthly payment/sender trends (the appendix's "trends of its
+    /// payments").
+    pub fn timeline(&self) -> Vec<ripple_analytics::MonthRow> {
+        ripple_analytics::monthly_timeline(self.output.payments())
+    }
+
+    /// Population statistics (the paper: 165K users, 55K active as of
+    /// August 2015).
+    pub fn user_stats(&self) -> ripple_analytics::UserStats {
+        ripple_analytics::user_stats(self.output.events.iter())
+    }
+
+    /// Builds the de-anonymization attack index at the given resolution.
+    pub fn attack_index(&self, spec: ResolutionSpec) -> DeanonIndex {
+        DeanonIndex::build(self.output.payments(), spec)
+    }
+}

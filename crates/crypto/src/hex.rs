@@ -1,0 +1,83 @@
+//! Minimal hexadecimal encoding/decoding helpers used across the workspace.
+
+use crate::DecodeError;
+
+const HEX_CHARS: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes bytes as lowercase hexadecimal.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ripple_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX_CHARS[(b >> 4) as usize] as char);
+        out.push(HEX_CHARS[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hexadecimal string (upper- or lowercase) into bytes.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::InvalidHex`] if the input has odd length or contains
+/// a non-hex character.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), ripple_crypto::DecodeError> {
+/// assert_eq!(ripple_crypto::hex::decode("DEad")?, vec![0xde, 0xad]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(DecodeError::InvalidHex);
+    }
+    let nibble = |c: u8| -> Result<u8, DecodeError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(DecodeError::InvalidHex),
+        }
+    };
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_odd_length() {
+        assert_eq!(decode("abc"), Err(DecodeError::InvalidHex));
+    }
+
+    #[test]
+    fn rejects_non_hex() {
+        assert_eq!(decode("zz"), Err(DecodeError::InvalidHex));
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+}

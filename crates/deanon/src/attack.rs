@@ -1,0 +1,344 @@
+//! The end-to-end attacker API: index, query, profile.
+//!
+//! This is §V's "Alice in the coffee line" made executable: Alice observes
+//! the bar's address, the price, the currency and the time; the index maps
+//! that observation to candidate senders; if a single candidate remains,
+//! [`DeanonIndex::profile`] unrolls "the entire financial life of the
+//! user": balance flows, previous payments, monthly income, the places
+//! they shop, the people they trust.
+
+use std::collections::HashMap;
+
+use ripple_crypto::AccountId;
+use ripple_ledger::{Currency, PaymentRecord, RippleTime, Value};
+
+use crate::fingerprint::{Fingerprint, ResolutionSpec};
+
+/// What the attacker observed about one payment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// Observed amount (pre-rounding; the index rounds it).
+    pub amount: Option<Value>,
+    /// Observed time (pre-coarsening).
+    pub time: Option<RippleTime>,
+    /// Observed currency.
+    pub currency: Option<Currency>,
+    /// Observed destination (the bar's address).
+    pub destination: Option<AccountId>,
+}
+
+impl Observation {
+    /// The observation corresponding to a full view of `record` — useful
+    /// in tests and examples.
+    pub fn of(record: &PaymentRecord) -> Observation {
+        Observation {
+            amount: Some(record.amount),
+            time: Some(record.timestamp),
+            currency: Some(record.currency),
+            destination: Some(record.destination),
+        }
+    }
+
+    fn fingerprint(&self, spec: ResolutionSpec, currency_hint: Currency) -> Fingerprint {
+        Fingerprint {
+            amount: match (spec.amount, self.amount) {
+                (Some(res), Some(v)) => Some(res.round(currency_hint, v).raw()),
+                _ => None,
+            },
+            time: match (spec.time, self.time) {
+                (Some(res), Some(t)) => Some(res.coarsen(t).seconds()),
+                _ => None,
+            },
+            currency: if spec.currency { self.currency } else { None },
+            destination: if spec.destination {
+                self.destination
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Everything the ledger reveals about one account once de-anonymized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinancialProfile {
+    /// The account.
+    pub account: AccountId,
+    /// Number of payments sent.
+    pub payments_sent: u64,
+    /// Number of payments received.
+    pub payments_received: u64,
+    /// Total sent per currency.
+    pub sent_by_currency: Vec<(Currency, Value)>,
+    /// The account's favourite destinations ("the places where we shop"),
+    /// most frequent first.
+    pub top_destinations: Vec<(AccountId, u64)>,
+    /// First payment seen.
+    pub first_seen: Option<RippleTime>,
+    /// Last payment seen.
+    pub last_seen: Option<RippleTime>,
+    /// Mean sent volume per 30-day window, in the account's most-used
+    /// currency ("our monthly income" mirror-image).
+    pub monthly_outflow: Option<(Currency, Value)>,
+}
+
+/// The attack index: fingerprints of an entire payment history under one
+/// resolution spec.
+#[derive(Debug)]
+pub struct DeanonIndex {
+    spec: ResolutionSpec,
+    by_fingerprint: HashMap<Fingerprint, Vec<usize>>,
+    records: Vec<PaymentRecord>,
+}
+
+impl DeanonIndex {
+    /// Builds the index over a history.
+    pub fn build<'a>(
+        records: impl Iterator<Item = &'a PaymentRecord>,
+        spec: ResolutionSpec,
+    ) -> DeanonIndex {
+        let records: Vec<PaymentRecord> = records.cloned().collect();
+        let mut by_fingerprint: HashMap<Fingerprint, Vec<usize>> = HashMap::new();
+        for (i, record) in records.iter().enumerate() {
+            by_fingerprint
+                .entry(Fingerprint::of(record, spec))
+                .or_default()
+                .push(i);
+        }
+        DeanonIndex {
+            spec,
+            by_fingerprint,
+            records,
+        }
+    }
+
+    /// The resolution spec the index was built with.
+    pub fn spec(&self) -> ResolutionSpec {
+        self.spec
+    }
+
+    /// Number of indexed payments.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The candidate senders matching an observation (deduplicated,
+    /// insertion order). A singleton means the observation de-anonymizes
+    /// its sender.
+    pub fn query(&self, observation: &Observation) -> Vec<AccountId> {
+        let currency_hint = observation.currency.unwrap_or(Currency::XRP);
+        let fp = observation.fingerprint(self.spec, currency_hint);
+        let mut out = Vec::new();
+        if let Some(indices) = self.by_fingerprint.get(&fp) {
+            for &i in indices {
+                let sender = self.records[i].sender;
+                if !out.contains(&sender) {
+                    out.push(sender);
+                }
+            }
+        }
+        out
+    }
+
+    /// The matching payments themselves (for the attacker's forensics).
+    pub fn matching_payments(&self, observation: &Observation) -> Vec<&PaymentRecord> {
+        let currency_hint = observation.currency.unwrap_or(Currency::XRP);
+        let fp = observation.fingerprint(self.spec, currency_hint);
+        self.by_fingerprint
+            .get(&fp)
+            .map(|indices| indices.iter().map(|&i| &self.records[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Unrolls the full financial profile of `account` from the indexed
+    /// history — everything §V says an attacker gains after linking a
+    /// single payment.
+    pub fn profile(&self, account: AccountId) -> FinancialProfile {
+        let mut payments_sent = 0u64;
+        let mut payments_received = 0u64;
+        let mut sent_by_currency: HashMap<Currency, Value> = HashMap::new();
+        let mut destinations: HashMap<AccountId, u64> = HashMap::new();
+        let mut first_seen: Option<RippleTime> = None;
+        let mut last_seen: Option<RippleTime> = None;
+        for record in &self.records {
+            if record.sender == account {
+                payments_sent += 1;
+                let entry = sent_by_currency
+                    .entry(record.currency)
+                    .or_insert(Value::ZERO);
+                *entry = *entry + record.amount;
+                *destinations.entry(record.destination).or_insert(0) += 1;
+                first_seen = Some(first_seen.map_or(record.timestamp, |t| t.min(record.timestamp)));
+                last_seen = Some(last_seen.map_or(record.timestamp, |t| t.max(record.timestamp)));
+            }
+            if record.destination == account {
+                payments_received += 1;
+            }
+        }
+        let mut sent_by_currency: Vec<(Currency, Value)> = sent_by_currency.into_iter().collect();
+        sent_by_currency.sort_by_key(|&(_, total)| std::cmp::Reverse(total));
+        let mut top_destinations: Vec<(AccountId, u64)> = destinations.into_iter().collect();
+        top_destinations.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        top_destinations.truncate(10);
+
+        let monthly_outflow = match (first_seen, last_seen, sent_by_currency.first()) {
+            (Some(first), Some(last), Some(&(currency, total))) => {
+                let days = ((last.seconds() - first.seconds()) / 86_400).max(30);
+                let months = (days as i64 / 30).max(1);
+                Some((currency, Value::from_raw(total.raw() / months as i128)))
+            }
+            _ => None,
+        };
+
+        FinancialProfile {
+            account,
+            payments_sent,
+            payments_received,
+            sent_by_currency,
+            top_destinations,
+            first_seen,
+            last_seen,
+            monthly_outflow,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_crypto::sha512_half;
+    use ripple_ledger::PathSummary;
+
+    fn rec(sender: u8, dest: u8, amount: &str, secs: u64, currency: Currency) -> PaymentRecord {
+        PaymentRecord {
+            tx_hash: sha512_half(&[sender, dest, secs as u8]),
+            sender: AccountId::from_bytes([sender; 20]),
+            destination: AccountId::from_bytes([dest; 20]),
+            currency,
+            issuer: None,
+            amount: amount.parse().unwrap(),
+            timestamp: RippleTime::from_seconds(secs),
+            ledger_seq: 1,
+            paths: PathSummary::direct(),
+            cross_currency: false,
+            source_currency: None,
+        }
+    }
+
+    fn history() -> Vec<PaymentRecord> {
+        vec![
+            // Bob(7)'s latte at the bar(9).
+            rec(7, 9, "4.5", 1_000, Currency::USD),
+            // Bob's other life.
+            rec(7, 11, "120", 5_000, Currency::USD),
+            rec(7, 9, "4.5", 90_000, Currency::USD),
+            rec(7, 12, "0.3", 95_000, Currency::BTC),
+            // Unrelated traffic.
+            rec(2, 9, "15", 2_000, Currency::USD),
+            rec(3, 13, "4.5", 1_000, Currency::USD),
+            rec(3, 7, "9", 3_000, Currency::USD),
+        ]
+    }
+
+    #[test]
+    fn latte_observation_identifies_bob() {
+        let history = history();
+        let index = DeanonIndex::build(history.iter(), ResolutionSpec::full());
+        let observation = Observation {
+            amount: Some("4.5".parse().unwrap()),
+            time: Some(RippleTime::from_seconds(1_000)),
+            currency: Some(Currency::USD),
+            destination: Some(AccountId::from_bytes([9; 20])),
+        };
+        let candidates = index.query(&observation);
+        assert_eq!(candidates, vec![AccountId::from_bytes([7; 20])]);
+    }
+
+    #[test]
+    fn approximate_amount_still_matches_after_rounding() {
+        // Alice misheard the price: 4.9 instead of 4.5 — both round to 0
+        // at the USD maximum resolution (closest tens).
+        let history = history();
+        let index = DeanonIndex::build(history.iter(), ResolutionSpec::full());
+        let observation = Observation {
+            amount: Some("4.9".parse().unwrap()),
+            time: Some(RippleTime::from_seconds(1_000)),
+            currency: Some(Currency::USD),
+            destination: Some(AccountId::from_bytes([9; 20])),
+        };
+        assert_eq!(
+            index.query(&observation),
+            vec![AccountId::from_bytes([7; 20])]
+        );
+    }
+
+    #[test]
+    fn ambiguous_observation_returns_multiple_candidates() {
+        let history = history();
+        // Drop the destination: (amount 4.5, second 1000, USD) matches both
+        // Bob's latte and sender 3's payment.
+        let spec = ResolutionSpec {
+            destination: false,
+            ..ResolutionSpec::full()
+        };
+        let index = DeanonIndex::build(history.iter(), spec);
+        let observation = Observation {
+            amount: Some("4.5".parse().unwrap()),
+            time: Some(RippleTime::from_seconds(1_000)),
+            currency: Some(Currency::USD),
+            destination: None,
+        };
+        let candidates = index.query(&observation);
+        assert_eq!(candidates.len(), 2);
+    }
+
+    #[test]
+    fn profile_unrolls_financial_life() {
+        let history = history();
+        let index = DeanonIndex::build(history.iter(), ResolutionSpec::full());
+        let bob = AccountId::from_bytes([7; 20]);
+        let profile = index.profile(bob);
+        assert_eq!(profile.payments_sent, 4);
+        assert_eq!(profile.payments_received, 1);
+        // Favourite place: the bar, twice.
+        assert_eq!(profile.top_destinations[0], (AccountId::from_bytes([9; 20]), 2));
+        // USD dominates his outflow.
+        assert_eq!(profile.sent_by_currency[0].0, Currency::USD);
+        assert_eq!(
+            profile.sent_by_currency[0].1,
+            "129".parse::<Value>().unwrap()
+        );
+        assert_eq!(profile.first_seen, Some(RippleTime::from_seconds(1_000)));
+        assert_eq!(profile.last_seen, Some(RippleTime::from_seconds(95_000)));
+        assert!(profile.monthly_outflow.is_some());
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let history = history();
+        let index = DeanonIndex::build(history.iter(), ResolutionSpec::full());
+        let observation = Observation {
+            amount: Some("123456".parse().unwrap()),
+            time: Some(RippleTime::from_seconds(77)),
+            currency: Some(Currency::EUR),
+            destination: Some(AccountId::from_bytes([50; 20])),
+        };
+        assert!(index.query(&observation).is_empty());
+        assert!(index.matching_payments(&observation).is_empty());
+    }
+
+    #[test]
+    fn matching_payments_expose_records() {
+        let history = history();
+        let index = DeanonIndex::build(history.iter(), ResolutionSpec::full());
+        let observation = Observation::of(&history[0]);
+        let matches = index.matching_payments(&observation);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].amount, "4.5".parse().unwrap());
+    }
+}

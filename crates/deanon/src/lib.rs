@@ -1,0 +1,62 @@
+//! Transaction fingerprinting and sender de-anonymization — the paper's
+//! headline contribution (§V).
+//!
+//! The attack: given a *single* observed payment — even at coarse
+//! resolution (the "latte" example: Alice overhears the bar's address, the
+//! price, the currency and roughly when) — find the unique sender account
+//! whose transaction matches, then unroll that account's entire financial
+//! life from the public ledger.
+//!
+//! The crate provides:
+//!
+//! * [`resolution`] — Table I's rounding grid (currency-strength groups ×
+//!   amount resolutions) and the timestamp coarsening ladder;
+//! * [`fingerprint`] — feature extraction `⟨A_res, T_res, C_res, D_res⟩`;
+//! * [`ig`] — the *information gain* metric: the fraction of payments whose
+//!   fingerprint pins down a unique sender (Fig. 3);
+//! * [`attack`] — the end-to-end attacker API: build an index, query an
+//!   observation, profile the de-anonymized account.
+//!
+//! # Examples
+//!
+//! ```
+//! use ripple_deanon::{DeanonIndex, Observation, ResolutionSpec};
+//! use ripple_ledger::{Currency, PathSummary, PaymentRecord, RippleTime};
+//! use ripple_crypto::{sha512_half, AccountId};
+//!
+//! let bob = AccountId::from_bytes([7; 20]);
+//! let bar = AccountId::from_bytes([9; 20]);
+//! let latte = PaymentRecord {
+//!     tx_hash: sha512_half(b"latte"),
+//!     sender: bob,
+//!     destination: bar,
+//!     currency: Currency::USD,
+//!     issuer: None,
+//!     amount: "4.5".parse().unwrap(),
+//!     timestamp: RippleTime::from_ymd_hms(2015, 8, 24, 8, 3, 21),
+//!     ledger_seq: 99,
+//!     paths: PathSummary::direct(),
+//!     cross_currency: false,
+//!     source_currency: None,
+//! };
+//!
+//! let spec = ResolutionSpec::full();
+//! let index = DeanonIndex::build([latte.clone()].iter(), spec);
+//! let candidates = index.query(&Observation::of(&latte));
+//! assert_eq!(candidates, vec![bob]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod countermeasure;
+pub mod fingerprint;
+pub mod ig;
+pub mod resolution;
+
+pub use attack::{DeanonIndex, FinancialProfile, Observation};
+pub use countermeasure::{link_wallets_by_habit, split_wallets, LinkReport, WalletSplitReport};
+pub use fingerprint::{Fingerprint, ResolutionSpec};
+pub use ig::{information_gain, sender_information_gain, IgResult};
+pub use resolution::{AmountResolution, CurrencyStrength, TimeResolution};

@@ -1,0 +1,171 @@
+//! Ledger pages — the units sealed by consensus.
+//!
+//! "When agreement is reached, the transactions in the agreement are
+//! permanently added to the distributed ledger as a new page." (paper §III.B)
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::RippleTime;
+use crate::tx::Transaction;
+use ripple_crypto::{sha512_half, Digest256};
+
+/// Header of a ledger page.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LedgerHeader {
+    /// Monotonic page sequence number (genesis is 1).
+    pub sequence: u32,
+    /// Hash of the previous page.
+    pub parent_hash: Digest256,
+    /// Root hash over the page's transaction set.
+    pub tx_root: Digest256,
+    /// Time the page closed (passed consensus).
+    pub close_time: RippleTime,
+    /// Total XRP drops in existence after this page (fees are burned, so the
+    /// figure is non-increasing — matching the real ledger).
+    pub total_drops: u64,
+}
+
+impl LedgerHeader {
+    /// Hash of the header, which identifies the page.
+    pub fn hash(&self) -> Digest256 {
+        let mut bytes = Vec::with_capacity(88);
+        bytes.extend_from_slice(b"PAGE");
+        bytes.extend_from_slice(&self.sequence.to_be_bytes());
+        bytes.extend_from_slice(self.parent_hash.as_bytes());
+        bytes.extend_from_slice(self.tx_root.as_bytes());
+        bytes.extend_from_slice(&self.close_time.seconds().to_be_bytes());
+        bytes.extend_from_slice(&self.total_drops.to_be_bytes());
+        sha512_half(&bytes)
+    }
+}
+
+/// A closed ledger page: header plus the transactions it sealed.
+///
+/// # Examples
+///
+/// ```
+/// use ripple_ledger::{LedgerPage, RippleTime};
+///
+/// let genesis = LedgerPage::genesis(RippleTime::from_ymd_hms(2013, 1, 1, 0, 0, 0), 10u64.pow(11));
+/// let next = LedgerPage::next(&genesis, Vec::new(), genesis.header.close_time.plus_seconds(5));
+/// assert_eq!(next.header.sequence, 2);
+/// assert_eq!(next.header.parent_hash, genesis.hash());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LedgerPage {
+    /// The page header.
+    pub header: LedgerHeader,
+    /// Transactions sealed in this page, in canonical order.
+    pub txs: Vec<Transaction>,
+}
+
+impl LedgerPage {
+    /// Builds the genesis page (sequence 1, zero parent).
+    pub fn genesis(close_time: RippleTime, total_drops: u64) -> LedgerPage {
+        let header = LedgerHeader {
+            sequence: 1,
+            parent_hash: Digest256::from_bytes([0; 32]),
+            tx_root: tx_root(&[]),
+            close_time,
+            total_drops,
+        };
+        LedgerPage {
+            header,
+            txs: Vec::new(),
+        }
+    }
+
+    /// Builds the successor page of `parent` sealing `txs` at `close_time`.
+    ///
+    /// The new page's `total_drops` is reduced by the fees burned by `txs`.
+    pub fn next(parent: &LedgerPage, txs: Vec<Transaction>, close_time: RippleTime) -> LedgerPage {
+        let burned: u64 = txs.iter().map(|t| t.fee.as_drops()).sum();
+        let header = LedgerHeader {
+            sequence: parent.header.sequence + 1,
+            parent_hash: parent.hash(),
+            tx_root: tx_root(&txs),
+            close_time,
+            total_drops: parent.header.total_drops.saturating_sub(burned),
+        };
+        LedgerPage { header, txs }
+    }
+
+    /// The page hash (header hash).
+    pub fn hash(&self) -> Digest256 {
+        self.header.hash()
+    }
+}
+
+/// Root hash over a transaction set: a hash chain over the transaction
+/// hashes in order (a simplification of the real ledger's SHAMap tree that
+/// preserves the properties the study needs: determinism and sensitivity to
+/// content and order).
+pub fn tx_root(txs: &[Transaction]) -> Digest256 {
+    let mut bytes = Vec::with_capacity(4 + txs.len() * 32);
+    bytes.extend_from_slice(b"TXRT");
+    for tx in txs {
+        bytes.extend_from_slice(tx.hash().as_bytes());
+    }
+    sha512_half(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amount::Drops;
+    use crate::tx::TxKind;
+    use ripple_crypto::{AccountId, SimKeypair};
+
+    fn tx(seed: &[u8], fee: u64) -> Transaction {
+        let keys = SimKeypair::from_seed(seed);
+        Transaction::build(
+            AccountId::from_public_key(&keys.public_key()),
+            1,
+            Drops::new(fee),
+            TxKind::AccountSet { flags: 0 },
+        )
+        .signed(&keys)
+    }
+
+    #[test]
+    fn genesis_starts_chain() {
+        let g = LedgerPage::genesis(RippleTime::EPOCH, 100);
+        assert_eq!(g.header.sequence, 1);
+        assert_eq!(g.header.parent_hash, Digest256::from_bytes([0; 32]));
+    }
+
+    #[test]
+    fn chain_links_by_hash() {
+        let g = LedgerPage::genesis(RippleTime::EPOCH, 100);
+        let p2 = LedgerPage::next(&g, vec![], RippleTime::from_seconds(5));
+        let p3 = LedgerPage::next(&p2, vec![], RippleTime::from_seconds(10));
+        assert_eq!(p2.header.parent_hash, g.hash());
+        assert_eq!(p3.header.parent_hash, p2.hash());
+        assert_ne!(p2.hash(), p3.hash());
+    }
+
+    #[test]
+    fn fees_reduce_total_drops() {
+        let g = LedgerPage::genesis(RippleTime::EPOCH, 1_000);
+        let p2 = LedgerPage::next(&g, vec![tx(b"a", 10), tx(b"b", 15)], RippleTime::from_seconds(5));
+        assert_eq!(p2.header.total_drops, 975);
+    }
+
+    #[test]
+    fn tx_root_depends_on_order() {
+        let a = tx(b"a", 10);
+        let b = tx(b"b", 10);
+        assert_ne!(
+            tx_root(&[a.clone(), b.clone()]),
+            tx_root(&[b, a])
+        );
+    }
+
+    #[test]
+    fn header_hash_sensitive_to_close_time() {
+        let g = LedgerPage::genesis(RippleTime::EPOCH, 100);
+        let p1 = LedgerPage::next(&g, vec![], RippleTime::from_seconds(5));
+        let p2 = LedgerPage::next(&g, vec![], RippleTime::from_seconds(6));
+        assert_ne!(p1.hash(), p2.hash());
+    }
+}

@@ -1,0 +1,1152 @@
+//! The mutable ledger state: accounts, trust lines, IOU balances and offers.
+//!
+//! Trust-line semantics follow the paper's §III.B: "if user Alice trusts Bob
+//! for 10 USD, this means that Alice is willing to give Bob credit for up to
+//! 10 USD. […] the trust-line of 10 USD from Alice to Bob limits IOU
+//! transactions in the opposite direction (from Bob to Alice) to 10 USD."
+//!
+//! Balances between a pair of accounts are stored once per unordered pair and
+//! currency, signed from the lexicographically lower account's point of view
+//! — mirroring the real ledger's `RippleState` objects and giving automatic
+//! netting of mutual debt.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::amount::{Amount, Drops, Value};
+use crate::currency::Currency;
+use crate::fees::FeeSchedule;
+use crate::tx::{Transaction, TxKind, TxResult};
+use ripple_crypto::AccountId;
+
+/// Per-account ledger entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccountRoot {
+    /// XRP balance in drops.
+    pub balance: Drops,
+    /// Next expected transaction sequence number.
+    pub sequence: u32,
+    /// Number of owned objects (trust lines declared + live offers),
+    /// which scales the reserve requirement.
+    pub owner_count: u32,
+}
+
+/// A declared trust line: `truster` accepts up to `limit` of `trustee`'s
+/// IOUs in `currency`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrustLine {
+    /// The account extending trust.
+    pub truster: AccountId,
+    /// The account being trusted (whose IOUs are accepted).
+    pub trustee: AccountId,
+    /// The trusted currency.
+    pub currency: Currency,
+    /// Maximum exposure.
+    pub limit: Value,
+}
+
+/// A live currency-exchange offer resting in the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Offer {
+    /// The account that placed the offer (the Market Maker, typically).
+    pub owner: AccountId,
+    /// Sequence number of the creating transaction (offer identity).
+    pub offer_seq: u32,
+    /// Remaining amount the owner gives.
+    pub taker_gets: Amount,
+    /// Remaining amount the owner wants.
+    pub taker_pays: Amount,
+}
+
+/// Errors from ledger mutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LedgerError {
+    /// The referenced account does not exist.
+    NoSuchAccount(AccountId),
+    /// Attempt to create an account that already exists.
+    AccountExists(AccountId),
+    /// Transaction sequence number mismatch.
+    BadSequence {
+        /// Sequence the account root expects next.
+        expected: u32,
+        /// Sequence the transaction carried.
+        got: u32,
+    },
+    /// The account cannot pay the fee (or would dip below its reserve).
+    InsufficientXrp {
+        /// Account whose balance fell short.
+        account: AccountId,
+        /// XRP needed.
+        needed: Drops,
+        /// XRP available above the reserve.
+        available: Drops,
+    },
+    /// A rippling hop exceeded the receiving trust line's capacity.
+    TrustLimitExceeded {
+        /// The hop's paying account.
+        from: AccountId,
+        /// The hop's receiving account.
+        to: AccountId,
+        /// Capacity that was actually available.
+        capacity: Value,
+        /// Amount requested.
+        requested: Value,
+    },
+    /// Payments to oneself are rejected.
+    SelfPayment,
+    /// Zero or negative amounts are rejected.
+    NonPositiveAmount,
+    /// XRP cannot ride trust lines.
+    XrpOnTrustLine,
+    /// The referenced offer does not exist.
+    NoSuchOffer {
+        /// Offer owner.
+        owner: AccountId,
+        /// Offer sequence.
+        offer_seq: u32,
+    },
+    /// Trust limits cannot be negative.
+    NegativeLimit,
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::NoSuchAccount(a) => write!(f, "account {} does not exist", a.short()),
+            LedgerError::AccountExists(a) => write!(f, "account {} already exists", a.short()),
+            LedgerError::BadSequence { expected, got } => {
+                write!(f, "bad sequence: expected {expected}, got {got}")
+            }
+            LedgerError::InsufficientXrp {
+                account,
+                needed,
+                available,
+            } => write!(
+                f,
+                "account {} needs {needed} but only {available} is spendable",
+                account.short()
+            ),
+            LedgerError::TrustLimitExceeded {
+                from,
+                to,
+                capacity,
+                requested,
+            } => write!(
+                f,
+                "hop {}->{} can carry {capacity} but {requested} was requested",
+                from.short(),
+                to.short()
+            ),
+            LedgerError::SelfPayment => write!(f, "sender and destination are the same account"),
+            LedgerError::NonPositiveAmount => write!(f, "amount must be strictly positive"),
+            LedgerError::XrpOnTrustLine => write!(f, "XRP cannot be carried on a trust line"),
+            LedgerError::NoSuchOffer { owner, offer_seq } => {
+                write!(f, "offer {}#{offer_seq} does not exist", owner.short())
+            }
+            LedgerError::NegativeLimit => write!(f, "trust limits cannot be negative"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// Key for pair balances: the unordered `(low, high)` account pair plus
+/// currency.
+fn pair_key(
+    a: AccountId,
+    b: AccountId,
+    currency: Currency,
+) -> ((AccountId, AccountId, Currency), bool) {
+    if a <= b {
+        ((a, b, currency), false)
+    } else {
+        ((b, a, currency), true)
+    }
+}
+
+/// The full mutable ledger state.
+///
+/// See the crate-level example for typical usage.
+#[derive(Debug, Clone, Default)]
+pub struct LedgerState {
+    accounts: HashMap<AccountId, AccountRoot>,
+    /// Trust limits: `(truster, trustee, currency) -> limit`.
+    trust: HashMap<(AccountId, AccountId, Currency), Value>,
+    /// Pair balances: `(low, high, currency) -> amount high owes low`.
+    balances: HashMap<(AccountId, AccountId, Currency), Value>,
+    /// Live offers, ordered by `(owner, offer_seq)`.
+    offers: BTreeMap<(AccountId, u32), Offer>,
+    /// Fee schedule enforced on `apply`.
+    fees: FeeSchedule,
+    /// Total XRP burned so far.
+    burned: Drops,
+}
+
+impl LedgerState {
+    /// Creates an empty state with the main-net fee schedule.
+    pub fn new() -> LedgerState {
+        LedgerState::with_fees(FeeSchedule::mainnet())
+    }
+
+    /// Creates an empty state with a custom fee schedule.
+    pub fn with_fees(fees: FeeSchedule) -> LedgerState {
+        LedgerState {
+            fees,
+            ..LedgerState::default()
+        }
+    }
+
+    /// The enforced fee schedule.
+    pub fn fees(&self) -> &FeeSchedule {
+        &self.fees
+    }
+
+    /// Total XRP burned by applied transactions.
+    pub fn total_burned(&self) -> Drops {
+        self.burned
+    }
+
+    /// Number of accounts.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Looks up an account root.
+    pub fn account(&self, id: &AccountId) -> Option<&AccountRoot> {
+        self.accounts.get(id)
+    }
+
+    /// Iterates over all accounts.
+    pub fn accounts(&self) -> impl Iterator<Item = (&AccountId, &AccountRoot)> {
+        self.accounts.iter()
+    }
+
+    /// Creates an account funded with `balance` XRP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the account already exists — account creation is driven by
+    /// generators which guarantee fresh identifiers.
+    pub fn create_account(&mut self, id: AccountId, balance: Drops) {
+        let prev = self.accounts.insert(
+            id,
+            AccountRoot {
+                balance,
+                sequence: 1,
+                owner_count: 0,
+            },
+        );
+        assert!(prev.is_none(), "account {id} already exists");
+    }
+
+    /// Declares (or updates) `truster`'s trust towards `trustee`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LedgerError::NoSuchAccount`] if either party is missing.
+    /// * [`LedgerError::XrpOnTrustLine`] for the native currency.
+    /// * [`LedgerError::NegativeLimit`] for negative limits.
+    pub fn set_trust(
+        &mut self,
+        truster: AccountId,
+        trustee: AccountId,
+        currency: Currency,
+        limit: Value,
+    ) -> Result<(), LedgerError> {
+        if currency.is_xrp() {
+            return Err(LedgerError::XrpOnTrustLine);
+        }
+        if limit.is_negative() {
+            return Err(LedgerError::NegativeLimit);
+        }
+        if !self.accounts.contains_key(&trustee) {
+            return Err(LedgerError::NoSuchAccount(trustee));
+        }
+        let key = (truster, trustee, currency);
+        let existed = self.trust.contains_key(&key);
+        let root = self
+            .accounts
+            .get_mut(&truster)
+            .ok_or(LedgerError::NoSuchAccount(truster))?;
+        if limit.is_zero() {
+            if self.trust.remove(&key).is_some() {
+                root.owner_count = root.owner_count.saturating_sub(1);
+            }
+        } else {
+            self.trust.insert(key, limit);
+            if !existed {
+                root.owner_count += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The declared trust limit from `truster` towards `trustee` (zero if no
+    /// line exists).
+    pub fn trust_limit(&self, truster: AccountId, trustee: AccountId, currency: Currency) -> Value {
+        self.trust
+            .get(&(truster, trustee, currency))
+            .copied()
+            .unwrap_or(Value::ZERO)
+    }
+
+    /// Iterates over all non-zero pair balances as
+    /// `(low, high, currency, amount-high-owes-low)`.
+    pub fn pair_balances(
+        &self,
+    ) -> impl Iterator<Item = (AccountId, AccountId, Currency, Value)> + '_ {
+        self.balances
+            .iter()
+            .map(|(&(low, high, currency), &value)| (low, high, currency, value))
+    }
+
+    /// Iterates over all trust lines.
+    pub fn trust_lines(&self) -> impl Iterator<Item = TrustLine> + '_ {
+        self.trust.iter().map(|(&(truster, trustee, currency), &limit)| TrustLine {
+            truster,
+            trustee,
+            currency,
+            limit,
+        })
+    }
+
+    /// How much of `counterparty`'s debt `holder` currently holds (negative
+    /// if `holder` is the one in debt).
+    pub fn iou_balance(
+        &self,
+        holder: AccountId,
+        counterparty: AccountId,
+        currency: Currency,
+    ) -> Value {
+        let (key, flipped) = pair_key(holder, counterparty, currency);
+        let raw = self.balances.get(&key).copied().unwrap_or(Value::ZERO);
+        if flipped {
+            -raw
+        } else {
+            raw
+        }
+    }
+
+    /// Net position of `account` in `currency`: sum of all pair balances
+    /// (positive = the system owes the account; negative = the account owes).
+    pub fn net_position(&self, account: AccountId, currency: Currency) -> Value {
+        let mut total = Value::ZERO;
+        for (&(low, high, cur), &bal) in &self.balances {
+            if cur != currency {
+                continue;
+            }
+            if low == account {
+                total = total + bal;
+            } else if high == account {
+                total = total - bal;
+            }
+        }
+        total
+    }
+
+    /// Capacity of the rippling hop `from -> to`: how much more IOU value
+    /// `from` can push to `to` in `currency`, given `to`'s declared trust in
+    /// `from` and the current pair balance (existing debt of `to` towards
+    /// `from` nets first).
+    pub fn hop_capacity(&self, from: AccountId, to: AccountId, currency: Currency) -> Value {
+        let limit = self.trust_limit(to, from, currency);
+        let held = self.iou_balance(to, from, currency); // `to`'s claim on `from`
+        // `to` can accept IOUs until its claim on `from` reaches the limit.
+        limit - held
+    }
+
+    /// Executes one rippling hop: `from` pays `to` the given IOU `amount`
+    /// (i.e. `to`'s claim on `from` grows by `amount`).
+    ///
+    /// # Errors
+    ///
+    /// * [`LedgerError::NonPositiveAmount`] for zero/negative amounts.
+    /// * [`LedgerError::XrpOnTrustLine`] for the native currency.
+    /// * [`LedgerError::NoSuchAccount`] if either party is missing.
+    /// * [`LedgerError::TrustLimitExceeded`] if capacity is insufficient.
+    pub fn ripple_hop(
+        &mut self,
+        from: AccountId,
+        to: AccountId,
+        currency: Currency,
+        amount: Value,
+    ) -> Result<(), LedgerError> {
+        if currency.is_xrp() {
+            return Err(LedgerError::XrpOnTrustLine);
+        }
+        if !amount.is_positive() {
+            return Err(LedgerError::NonPositiveAmount);
+        }
+        if from == to {
+            return Err(LedgerError::SelfPayment);
+        }
+        if !self.accounts.contains_key(&from) {
+            return Err(LedgerError::NoSuchAccount(from));
+        }
+        if !self.accounts.contains_key(&to) {
+            return Err(LedgerError::NoSuchAccount(to));
+        }
+        let capacity = self.hop_capacity(from, to, currency);
+        if amount > capacity {
+            return Err(LedgerError::TrustLimitExceeded {
+                from,
+                to,
+                capacity,
+                requested: amount,
+            });
+        }
+        self.adjust_pair_balance(to, from, currency, amount);
+        Ok(())
+    }
+
+    /// Adjusts the pair balance so that `holder`'s claim on `counterparty`
+    /// grows by `delta` (no capacity checks — internal primitive also used by
+    /// the payment engine after it has validated a full path).
+    pub fn adjust_pair_balance(
+        &mut self,
+        holder: AccountId,
+        counterparty: AccountId,
+        currency: Currency,
+        delta: Value,
+    ) {
+        let (key, flipped) = pair_key(holder, counterparty, currency);
+        let entry = self.balances.entry(key).or_insert(Value::ZERO);
+        *entry = if flipped { *entry - delta } else { *entry + delta };
+        if entry.is_zero() {
+            self.balances.remove(&key);
+        }
+    }
+
+    /// Transfers XRP between accounts, enforcing the sender's reserve.
+    ///
+    /// # Errors
+    ///
+    /// * [`LedgerError::NonPositiveAmount`], [`LedgerError::SelfPayment`].
+    /// * [`LedgerError::NoSuchAccount`] if either party is missing.
+    /// * [`LedgerError::InsufficientXrp`] if the sender would dip below its
+    ///   reserve.
+    pub fn xrp_transfer(
+        &mut self,
+        from: AccountId,
+        to: AccountId,
+        amount: Drops,
+    ) -> Result<(), LedgerError> {
+        if amount == Drops::ZERO {
+            return Err(LedgerError::NonPositiveAmount);
+        }
+        if from == to {
+            return Err(LedgerError::SelfPayment);
+        }
+        if !self.accounts.contains_key(&to) {
+            return Err(LedgerError::NoSuchAccount(to));
+        }
+        let reserve = {
+            let root = self
+                .accounts
+                .get(&from)
+                .ok_or(LedgerError::NoSuchAccount(from))?;
+            self.fees.reserve_for(root.owner_count)
+        };
+        let root = self
+            .accounts
+            .get_mut(&from)
+            .ok_or(LedgerError::NoSuchAccount(from))?;
+        let spendable = root
+            .balance
+            .checked_sub(reserve)
+            .unwrap_or(Drops::ZERO);
+        if amount > spendable {
+            return Err(LedgerError::InsufficientXrp {
+                account: from,
+                needed: amount,
+                available: spendable,
+            });
+        }
+        root.balance = root.balance.checked_sub(amount).expect("checked above");
+        let to_root = self.accounts.get_mut(&to).expect("checked above");
+        to_root.balance = to_root
+            .balance
+            .checked_add(amount)
+            .expect("XRP supply fits in u64");
+        Ok(())
+    }
+
+    /// Transfers XRP without enforcing the sender's reserve (the balance
+    /// itself must still cover the amount). Used by the payment engine for
+    /// maker-to-maker bridge legs and for rollback, where re-checking the
+    /// reserve could wedge an undo of funds that just moved.
+    ///
+    /// # Errors
+    ///
+    /// * [`LedgerError::NonPositiveAmount`], [`LedgerError::SelfPayment`].
+    /// * [`LedgerError::NoSuchAccount`] if either party is missing.
+    /// * [`LedgerError::InsufficientXrp`] if the sender's full balance is
+    ///   short.
+    pub fn xrp_transfer_unchecked(
+        &mut self,
+        from: AccountId,
+        to: AccountId,
+        amount: Drops,
+    ) -> Result<(), LedgerError> {
+        if amount == Drops::ZERO {
+            return Err(LedgerError::NonPositiveAmount);
+        }
+        if from == to {
+            return Err(LedgerError::SelfPayment);
+        }
+        if !self.accounts.contains_key(&to) {
+            return Err(LedgerError::NoSuchAccount(to));
+        }
+        let root = self
+            .accounts
+            .get_mut(&from)
+            .ok_or(LedgerError::NoSuchAccount(from))?;
+        let new_balance = root.balance.checked_sub(amount).ok_or({
+            LedgerError::InsufficientXrp {
+                account: from,
+                needed: amount,
+                available: root.balance,
+            }
+        })?;
+        root.balance = new_balance;
+        let to_root = self.accounts.get_mut(&to).expect("checked above");
+        to_root.balance = to_root
+            .balance
+            .checked_add(amount)
+            .expect("XRP supply fits in u64");
+        Ok(())
+    }
+
+    /// Places an offer owned by `owner` with the creating sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::NoSuchAccount`] if the owner is missing.
+    pub fn place_offer(
+        &mut self,
+        owner: AccountId,
+        offer_seq: u32,
+        taker_gets: Amount,
+        taker_pays: Amount,
+    ) -> Result<(), LedgerError> {
+        let root = self
+            .accounts
+            .get_mut(&owner)
+            .ok_or(LedgerError::NoSuchAccount(owner))?;
+        root.owner_count += 1;
+        self.offers.insert(
+            (owner, offer_seq),
+            Offer {
+                owner,
+                offer_seq,
+                taker_gets,
+                taker_pays,
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes an offer.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::NoSuchOffer`] if absent.
+    pub fn cancel_offer(&mut self, owner: AccountId, offer_seq: u32) -> Result<Offer, LedgerError> {
+        let offer = self
+            .offers
+            .remove(&(owner, offer_seq))
+            .ok_or(LedgerError::NoSuchOffer { owner, offer_seq })?;
+        if let Some(root) = self.accounts.get_mut(&owner) {
+            root.owner_count = root.owner_count.saturating_sub(1);
+        }
+        Ok(offer)
+    }
+
+    /// Replaces the remaining amounts of a live offer (used by the matching
+    /// engine for partial fills).
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::NoSuchOffer`] if absent.
+    pub fn update_offer(
+        &mut self,
+        owner: AccountId,
+        offer_seq: u32,
+        taker_gets: Amount,
+        taker_pays: Amount,
+    ) -> Result<(), LedgerError> {
+        let offer = self
+            .offers
+            .get_mut(&(owner, offer_seq))
+            .ok_or(LedgerError::NoSuchOffer { owner, offer_seq })?;
+        offer.taker_gets = taker_gets;
+        offer.taker_pays = taker_pays;
+        Ok(())
+    }
+
+    /// Looks up a live offer.
+    pub fn offer(&self, owner: AccountId, offer_seq: u32) -> Option<&Offer> {
+        self.offers.get(&(owner, offer_seq))
+    }
+
+    /// Iterates over all live offers.
+    pub fn offers(&self) -> impl Iterator<Item = &Offer> {
+        self.offers.values()
+    }
+
+    /// Number of live offers.
+    pub fn offer_count(&self) -> usize {
+        self.offers.len()
+    }
+
+    /// Removes **all** offers from the ledger — the paper's Table II
+    /// experiment: "we remove them [Market Makers] and the exchange orders
+    /// from the system and replay the extracted payments on the modified
+    /// trust network".
+    pub fn strip_all_offers(&mut self) -> usize {
+        let n = self.offers.len();
+        let owners: Vec<AccountId> = self.offers.values().map(|o| o.owner).collect();
+        self.offers.clear();
+        for owner in owners {
+            if let Some(root) = self.accounts.get_mut(&owner) {
+                root.owner_count = root.owner_count.saturating_sub(1);
+            }
+        }
+        n
+    }
+
+    /// Disconnects an account from the credit network: removes every trust
+    /// line it declared or received and every pair balance it participates
+    /// in. The account itself and its XRP balance survive.
+    ///
+    /// This models the paper's Table II attack analysis ("by taking over or
+    /// thwarting the functionality of a very small number of users […] an
+    /// attacker could control or block" traffic): severed accounts can no
+    /// longer forward IOU payments.
+    pub fn sever_account(&mut self, account: AccountId) {
+        let removed_trust: Vec<(AccountId, AccountId, Currency)> = self
+            .trust
+            .keys()
+            .filter(|&&(truster, trustee, _)| truster == account || trustee == account)
+            .copied()
+            .collect();
+        for key in removed_trust {
+            self.trust.remove(&key);
+            if let Some(root) = self.accounts.get_mut(&key.0) {
+                root.owner_count = root.owner_count.saturating_sub(1);
+            }
+        }
+        let removed_balances: Vec<(AccountId, AccountId, Currency)> = self
+            .balances
+            .keys()
+            .filter(|&&(low, high, _)| low == account || high == account)
+            .copied()
+            .collect();
+        for key in removed_balances {
+            self.balances.remove(&key);
+        }
+    }
+
+    /// Validates and applies a signed transaction: signature, sequence and
+    /// fee checks, then the kind-specific effect. Multi-hop payments must
+    /// carry explicit paths; each path hop is executed with capacity checks
+    /// (all-or-nothing: the first failing hop aborts the whole payment and
+    /// rolls back nothing because hops are validated before any is applied).
+    ///
+    /// # Errors
+    ///
+    /// Any [`LedgerError`] from validation; on error the state is unchanged.
+    pub fn apply(&mut self, tx: &Transaction) -> Result<TxResult, LedgerError> {
+        let root = self
+            .accounts
+            .get(&tx.account)
+            .ok_or(LedgerError::NoSuchAccount(tx.account))?;
+        if root.sequence != tx.sequence {
+            return Err(LedgerError::BadSequence {
+                expected: root.sequence,
+                got: tx.sequence,
+            });
+        }
+        let reserve = self.fees.reserve_for(root.owner_count);
+        let spendable = root.balance.checked_sub(reserve).unwrap_or(Drops::ZERO);
+        if tx.fee < self.fees.base_fee || tx.fee > spendable {
+            return Err(LedgerError::InsufficientXrp {
+                account: tx.account,
+                needed: self.fees.base_fee,
+                available: spendable,
+            });
+        }
+
+        // Validate + apply the kind-specific effect first (on a clone for
+        // multi-hop payments, cheap single mutations validated inline).
+        match &tx.kind {
+            TxKind::Payment {
+                destination,
+                amount,
+                send_max: _,
+                paths,
+            } => match amount {
+                Amount::Xrp(drops) => {
+                    self.charge_fee(tx.account, tx.fee);
+                    if let Err(e) = self.xrp_transfer(tx.account, *destination, *drops) {
+                        self.refund_fee(tx.account, tx.fee);
+                        return Err(e);
+                    }
+                }
+                Amount::Iou(iou) => {
+                    let route: Vec<Vec<AccountId>> = if paths.is_empty() {
+                        vec![Vec::new()]
+                    } else {
+                        paths.clone()
+                    };
+                    // Only single-path same-currency payments are executed
+                    // here; richer routing lives in the payment engine crate.
+                    let hops = &route[0];
+                    let mut chain = Vec::with_capacity(hops.len() + 2);
+                    chain.push(tx.account);
+                    chain.extend_from_slice(hops);
+                    chain.push(*destination);
+                    for pair in chain.windows(2) {
+                        let capacity = self.hop_capacity(pair[0], pair[1], iou.currency);
+                        if iou.value > capacity {
+                            return Err(LedgerError::TrustLimitExceeded {
+                                from: pair[0],
+                                to: pair[1],
+                                capacity,
+                                requested: iou.value,
+                            });
+                        }
+                    }
+                    self.charge_fee(tx.account, tx.fee);
+                    for pair in chain.windows(2) {
+                        self.adjust_pair_balance(pair[1], pair[0], iou.currency, iou.value);
+                    }
+                }
+            },
+            TxKind::TrustSet {
+                trustee,
+                currency,
+                limit,
+            } => {
+                self.set_trust(tx.account, *trustee, *currency, *limit)?;
+                self.charge_fee(tx.account, tx.fee);
+            }
+            TxKind::OfferCreate {
+                taker_gets,
+                taker_pays,
+            } => {
+                self.place_offer(tx.account, tx.sequence, *taker_gets, *taker_pays)?;
+                self.charge_fee(tx.account, tx.fee);
+            }
+            TxKind::OfferCancel { offer_seq } => {
+                self.cancel_offer(tx.account, *offer_seq)?;
+                self.charge_fee(tx.account, tx.fee);
+            }
+            TxKind::AccountSet { .. } => {
+                self.charge_fee(tx.account, tx.fee);
+            }
+        }
+
+        let root = self.accounts.get_mut(&tx.account).expect("checked above");
+        root.sequence += 1;
+        Ok(TxResult::Applied)
+    }
+
+    fn charge_fee(&mut self, account: AccountId, fee: Drops) {
+        let root = self.accounts.get_mut(&account).expect("caller validated");
+        root.balance = root.balance.checked_sub(fee).expect("caller validated fee");
+        self.burned = self.burned.checked_add(fee).expect("burn fits u64");
+    }
+
+    fn refund_fee(&mut self, account: AccountId, fee: Drops) {
+        let root = self.accounts.get_mut(&account).expect("caller validated");
+        root.balance = root.balance.checked_add(fee).expect("refund fits");
+        self.burned = Drops::new(self.burned.as_drops() - fee.as_drops());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acct(n: u8) -> AccountId {
+        AccountId::from_bytes([n; 20])
+    }
+
+    fn funded_state(n: u8) -> LedgerState {
+        let mut s = LedgerState::new();
+        for i in 1..=n {
+            s.create_account(acct(i), Drops::from_xrp(1_000));
+        }
+        s
+    }
+
+    #[test]
+    fn xrp_transfer_moves_balance() {
+        let mut s = funded_state(2);
+        s.xrp_transfer(acct(1), acct(2), Drops::from_xrp(10)).unwrap();
+        assert_eq!(s.account(&acct(1)).unwrap().balance, Drops::from_xrp(990));
+        assert_eq!(s.account(&acct(2)).unwrap().balance, Drops::from_xrp(1_010));
+    }
+
+    #[test]
+    fn xrp_transfer_respects_reserve() {
+        let mut s = funded_state(2);
+        // 1000 XRP balance, 20 XRP base reserve: at most 980 spendable.
+        let err = s
+            .xrp_transfer(acct(1), acct(2), Drops::from_xrp(990))
+            .unwrap_err();
+        assert!(matches!(err, LedgerError::InsufficientXrp { .. }));
+        s.xrp_transfer(acct(1), acct(2), Drops::from_xrp(980)).unwrap();
+    }
+
+    #[test]
+    fn trust_is_unidirectional() {
+        let mut s = funded_state(2);
+        s.set_trust(acct(1), acct(2), Currency::USD, "10".parse().unwrap())
+            .unwrap();
+        // Paper: trust from Alice(1) to Bob(2) allows payments Bob->Alice.
+        assert_eq!(
+            s.hop_capacity(acct(2), acct(1), Currency::USD),
+            "10".parse().unwrap()
+        );
+        assert_eq!(s.hop_capacity(acct(1), acct(2), Currency::USD), Value::ZERO);
+    }
+
+    #[test]
+    fn ripple_hop_moves_debt_and_respects_limit() {
+        let mut s = funded_state(2);
+        s.set_trust(acct(1), acct(2), Currency::USD, "10".parse().unwrap())
+            .unwrap();
+        s.ripple_hop(acct(2), acct(1), Currency::USD, "7".parse().unwrap())
+            .unwrap();
+        assert_eq!(
+            s.iou_balance(acct(1), acct(2), Currency::USD),
+            "7".parse().unwrap()
+        );
+        let err = s
+            .ripple_hop(acct(2), acct(1), Currency::USD, "4".parse().unwrap())
+            .unwrap_err();
+        assert!(matches!(err, LedgerError::TrustLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn netting_extends_capacity() {
+        let mut s = funded_state(2);
+        s.set_trust(acct(1), acct(2), Currency::USD, "10".parse().unwrap())
+            .unwrap();
+        s.set_trust(acct(2), acct(1), Currency::USD, "10".parse().unwrap())
+            .unwrap();
+        s.ripple_hop(acct(2), acct(1), Currency::USD, "10".parse().unwrap())
+            .unwrap();
+        // Account 1 now holds 10 of 2's IOUs; paying back nets first, so
+        // capacity 1->2 is 10 (netting) + 10 (limit) = 20.
+        assert_eq!(
+            s.hop_capacity(acct(1), acct(2), Currency::USD),
+            "20".parse().unwrap()
+        );
+    }
+
+    #[test]
+    fn pair_balance_is_antisymmetric() {
+        let mut s = funded_state(2);
+        s.set_trust(acct(1), acct(2), Currency::EUR, "5".parse().unwrap())
+            .unwrap();
+        s.ripple_hop(acct(2), acct(1), Currency::EUR, "3".parse().unwrap())
+            .unwrap();
+        assert_eq!(
+            s.iou_balance(acct(1), acct(2), Currency::EUR),
+            -s.iou_balance(acct(2), acct(1), Currency::EUR)
+        );
+    }
+
+    #[test]
+    fn paper_figure1_three_party_chain() {
+        // A trusts B for 10, B trusts C for 20 => C can pay A up to 10 via B.
+        let mut s = funded_state(3);
+        let (a, b, c) = (acct(1), acct(2), acct(3));
+        s.set_trust(a, b, Currency::USD, "10".parse().unwrap()).unwrap();
+        s.set_trust(b, c, Currency::USD, "20".parse().unwrap()).unwrap();
+        s.ripple_hop(c, b, Currency::USD, "10".parse().unwrap()).unwrap();
+        s.ripple_hop(b, a, Currency::USD, "10".parse().unwrap()).unwrap();
+        assert_eq!(s.iou_balance(a, b, Currency::USD), "10".parse().unwrap());
+        assert_eq!(s.iou_balance(b, c, Currency::USD), "10".parse().unwrap());
+        // B's net position is zero: owed 10 by C, owes 10 to A.
+        assert_eq!(s.net_position(b, Currency::USD), Value::ZERO);
+        assert_eq!(s.net_position(a, Currency::USD), "10".parse().unwrap());
+        assert_eq!(s.net_position(c, Currency::USD), "-10".parse().unwrap());
+    }
+
+    #[test]
+    fn set_trust_tracks_owner_count() {
+        let mut s = funded_state(2);
+        s.set_trust(acct(1), acct(2), Currency::USD, "10".parse().unwrap())
+            .unwrap();
+        assert_eq!(s.account(&acct(1)).unwrap().owner_count, 1);
+        s.set_trust(acct(1), acct(2), Currency::USD, "20".parse().unwrap())
+            .unwrap();
+        assert_eq!(s.account(&acct(1)).unwrap().owner_count, 1);
+        s.set_trust(acct(1), acct(2), Currency::USD, Value::ZERO).unwrap();
+        assert_eq!(s.account(&acct(1)).unwrap().owner_count, 0);
+    }
+
+    #[test]
+    fn offers_lifecycle() {
+        let mut s = funded_state(1);
+        s.place_offer(
+            acct(1),
+            5,
+            Amount::Xrp(Drops::from_xrp(10)),
+            Amount::Iou(crate::amount::IouAmount::new(
+                "5".parse().unwrap(),
+                Currency::USD,
+                acct(1),
+            )),
+        )
+        .unwrap();
+        assert_eq!(s.offer_count(), 1);
+        assert!(s.offer(acct(1), 5).is_some());
+        s.cancel_offer(acct(1), 5).unwrap();
+        assert_eq!(s.offer_count(), 0);
+        assert!(matches!(
+            s.cancel_offer(acct(1), 5),
+            Err(LedgerError::NoSuchOffer { .. })
+        ));
+    }
+
+    #[test]
+    fn strip_all_offers_clears_book() {
+        let mut s = funded_state(2);
+        for seq in 0..4 {
+            s.place_offer(
+                acct(1),
+                seq,
+                Amount::Xrp(Drops::from_xrp(1)),
+                Amount::Xrp(Drops::from_xrp(1)),
+            )
+            .unwrap();
+        }
+        assert_eq!(s.strip_all_offers(), 4);
+        assert_eq!(s.offer_count(), 0);
+    }
+
+    #[test]
+    fn apply_burns_fee_and_bumps_sequence() {
+        use crate::tx::{Transaction, TxKind};
+        use ripple_crypto::SimKeypair;
+        let keys = SimKeypair::from_seed(b"payer");
+        let payer = AccountId::from_public_key(&keys.public_key());
+        let mut s = LedgerState::new();
+        s.create_account(payer, Drops::from_xrp(100));
+        s.create_account(acct(9), Drops::from_xrp(100));
+        let tx = Transaction::build(
+            payer,
+            1,
+            Drops::new(10),
+            TxKind::Payment {
+                destination: acct(9),
+                amount: Amount::Xrp(Drops::from_xrp(1)),
+                send_max: None,
+                paths: Vec::new(),
+            },
+        )
+        .signed(&keys);
+        s.apply(&tx).unwrap();
+        assert_eq!(s.total_burned(), Drops::new(10));
+        assert_eq!(s.account(&payer).unwrap().sequence, 2);
+        assert_eq!(
+            s.account(&payer).unwrap().balance,
+            Drops::new(100_000_000 - 1_000_000 - 10)
+        );
+        // Replaying the same sequence fails.
+        assert!(matches!(
+            s.apply(&tx),
+            Err(LedgerError::BadSequence { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_trustset_and_offers_lifecycle() {
+        use crate::amount::IouAmount;
+        use crate::tx::{Transaction, TxKind};
+        use ripple_crypto::SimKeypair;
+        let keys = SimKeypair::from_seed(b"maker");
+        let maker = AccountId::from_public_key(&keys.public_key());
+        let mut s = LedgerState::new();
+        s.create_account(maker, Drops::from_xrp(100));
+        s.create_account(acct(7), Drops::from_xrp(100));
+
+        // TrustSet through apply.
+        let trust = Transaction::build(
+            maker,
+            1,
+            Drops::new(10),
+            TxKind::TrustSet {
+                trustee: acct(7),
+                currency: Currency::EUR,
+                limit: "25".parse().unwrap(),
+            },
+        )
+        .signed(&keys);
+        s.apply(&trust).unwrap();
+        assert_eq!(
+            s.trust_limit(maker, acct(7), Currency::EUR),
+            "25".parse().unwrap()
+        );
+        assert_eq!(s.account(&maker).unwrap().owner_count, 1);
+
+        // OfferCreate through apply: identity is the creating sequence.
+        let create = Transaction::build(
+            maker,
+            2,
+            Drops::new(10),
+            TxKind::OfferCreate {
+                taker_gets: IouAmount::new("10".parse().unwrap(), Currency::EUR, maker).into(),
+                taker_pays: IouAmount::new("11".parse().unwrap(), Currency::USD, maker).into(),
+            },
+        )
+        .signed(&keys);
+        s.apply(&create).unwrap();
+        assert!(s.offer(maker, 2).is_some());
+        assert_eq!(s.account(&maker).unwrap().owner_count, 2);
+
+        // OfferCancel through apply.
+        let cancel = Transaction::build(
+            maker,
+            3,
+            Drops::new(10),
+            TxKind::OfferCancel { offer_seq: 2 },
+        )
+        .signed(&keys);
+        s.apply(&cancel).unwrap();
+        assert!(s.offer(maker, 2).is_none());
+        assert_eq!(s.account(&maker).unwrap().owner_count, 1);
+        assert_eq!(s.total_burned(), Drops::new(30));
+    }
+
+    #[test]
+    fn apply_account_set_only_burns_and_bumps() {
+        use crate::tx::{Transaction, TxKind};
+        use ripple_crypto::SimKeypair;
+        let keys = SimKeypair::from_seed(b"flagger");
+        let who = AccountId::from_public_key(&keys.public_key());
+        let mut s = LedgerState::new();
+        s.create_account(who, Drops::from_xrp(100));
+        let tx = Transaction::build(who, 1, Drops::new(12), TxKind::AccountSet { flags: 0xFF })
+            .signed(&keys);
+        s.apply(&tx).unwrap();
+        assert_eq!(s.account(&who).unwrap().sequence, 2);
+        assert_eq!(s.total_burned(), Drops::new(12));
+    }
+
+    #[test]
+    fn sever_account_disconnects_but_preserves_xrp() {
+        let mut s = funded_state(3);
+        s.set_trust(acct(1), acct(2), Currency::USD, "10".parse().unwrap())
+            .unwrap();
+        s.set_trust(acct(3), acct(2), Currency::USD, "10".parse().unwrap())
+            .unwrap();
+        s.ripple_hop(acct(2), acct(1), Currency::USD, "5".parse().unwrap())
+            .unwrap();
+        let xrp_before = s.account(&acct(2)).unwrap().balance;
+        s.sever_account(acct(2));
+        assert_eq!(s.trust_limit(acct(1), acct(2), Currency::USD), Value::ZERO);
+        assert_eq!(s.trust_limit(acct(3), acct(2), Currency::USD), Value::ZERO);
+        assert_eq!(s.iou_balance(acct(1), acct(2), Currency::USD), Value::ZERO);
+        assert_eq!(s.account(&acct(2)).unwrap().balance, xrp_before);
+        assert_eq!(s.hop_capacity(acct(2), acct(1), Currency::USD), Value::ZERO);
+    }
+
+    #[test]
+    fn apply_rejects_unknown_sender() {
+        use crate::tx::{Transaction, TxKind};
+        use ripple_crypto::SimKeypair;
+        let keys = SimKeypair::from_seed(b"ghost");
+        let ghost = AccountId::from_public_key(&keys.public_key());
+        let mut s = LedgerState::new();
+        let tx = Transaction::build(ghost, 1, Drops::new(10), TxKind::AccountSet { flags: 0 })
+            .signed(&keys);
+        assert!(matches!(
+            s.apply(&tx),
+            Err(LedgerError::NoSuchAccount(_))
+        ));
+    }
+
+    #[test]
+    fn apply_iou_payment_over_explicit_path() {
+        use crate::amount::IouAmount;
+        use crate::tx::{Transaction, TxKind};
+        use ripple_crypto::SimKeypair;
+        let keys = SimKeypair::from_seed(b"sender");
+        let sender = AccountId::from_public_key(&keys.public_key());
+        let mut s = LedgerState::new();
+        s.create_account(sender, Drops::from_xrp(100));
+        s.create_account(acct(2), Drops::from_xrp(100));
+        s.create_account(acct(3), Drops::from_xrp(100));
+        // Path sender -> 2 -> 3 requires 2 trusts sender and 3 trusts 2.
+        s.set_trust(acct(2), sender, Currency::USD, "50".parse().unwrap())
+            .unwrap();
+        s.set_trust(acct(3), acct(2), Currency::USD, "50".parse().unwrap())
+            .unwrap();
+        let tx = Transaction::build(
+            sender,
+            1,
+            Drops::new(10),
+            TxKind::Payment {
+                destination: acct(3),
+                amount: Amount::Iou(IouAmount::new(
+                    "20".parse().unwrap(),
+                    Currency::USD,
+                    acct(2),
+                )),
+                send_max: None,
+                paths: vec![vec![acct(2)]],
+            },
+        )
+        .signed(&keys);
+        s.apply(&tx).unwrap();
+        assert_eq!(
+            s.iou_balance(acct(3), acct(2), Currency::USD),
+            "20".parse().unwrap()
+        );
+        assert_eq!(
+            s.iou_balance(acct(2), sender, Currency::USD),
+            "20".parse().unwrap()
+        );
+    }
+
+    #[test]
+    fn failed_payment_leaves_state_unchanged() {
+        use crate::amount::IouAmount;
+        use crate::tx::{Transaction, TxKind};
+        use ripple_crypto::SimKeypair;
+        let keys = SimKeypair::from_seed(b"sender2");
+        let sender = AccountId::from_public_key(&keys.public_key());
+        let mut s = LedgerState::new();
+        s.create_account(sender, Drops::from_xrp(100));
+        s.create_account(acct(2), Drops::from_xrp(100));
+        let tx = Transaction::build(
+            sender,
+            1,
+            Drops::new(10),
+            TxKind::Payment {
+                destination: acct(2),
+                amount: Amount::Iou(IouAmount::new(
+                    "20".parse().unwrap(),
+                    Currency::USD,
+                    sender,
+                )),
+                send_max: None,
+                paths: Vec::new(),
+            },
+        )
+        .signed(&keys);
+        // No trust line: rejected, no fee burned, sequence unchanged.
+        assert!(s.apply(&tx).is_err());
+        assert_eq!(s.total_burned(), Drops::ZERO);
+        assert_eq!(s.account(&sender).unwrap().sequence, 1);
+        assert_eq!(s.account(&sender).unwrap().balance, Drops::from_xrp(100));
+    }
+}

@@ -1,0 +1,201 @@
+//! Ledger timestamps.
+//!
+//! The XRP Ledger counts seconds since the *Ripple epoch*, 2000-01-01T00:00:00
+//! UTC. The paper's de-anonymization study coarsens timestamps from seconds to
+//! minutes, hours and days (§V.A), so [`RippleTime`] provides exact truncation
+//! helpers plus a civil-calendar rendering used in reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds in a minute/hour/day, used by the resolution-coarsening helpers.
+pub const SECONDS_PER_MINUTE: u64 = 60;
+/// Seconds per hour.
+pub const SECONDS_PER_HOUR: u64 = 3_600;
+/// Seconds per day.
+pub const SECONDS_PER_DAY: u64 = 86_400;
+
+/// Days between 1970-01-01 (Unix epoch) and 2000-01-01 (Ripple epoch).
+const RIPPLE_EPOCH_DAYS_FROM_UNIX: i64 = 10_957;
+
+/// A timestamp in seconds since the Ripple epoch (2000-01-01 UTC).
+///
+/// # Examples
+///
+/// ```
+/// use ripple_ledger::RippleTime;
+///
+/// let t = RippleTime::from_ymd_hms(2015, 8, 24, 15, 41, 3);
+/// assert_eq!(t.to_string(), "2015-08-24 15:41:03");
+/// assert_eq!(t.truncate_to_day().to_string(), "2015-08-24 00:00:00");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RippleTime(u64);
+
+impl RippleTime {
+    /// The Ripple epoch itself (2000-01-01T00:00:00 UTC).
+    pub const EPOCH: RippleTime = RippleTime(0);
+
+    /// Wraps a raw seconds-since-epoch count.
+    pub const fn from_seconds(secs: u64) -> Self {
+        RippleTime(secs)
+    }
+
+    /// Returns the seconds since the Ripple epoch.
+    pub const fn seconds(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a timestamp from a UTC civil date and time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the date is before 2000-01-01 or the fields are out of range
+    /// (month 1–12, day valid for month, hour < 24, minute/second < 60).
+    pub fn from_ymd_hms(year: i64, month: u32, day: u32, hour: u32, minute: u32, second: u32) -> Self {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        assert!(hour < 24 && minute < 60 && second < 60, "time out of range");
+        let days = days_from_civil(year, month, day) - RIPPLE_EPOCH_DAYS_FROM_UNIX;
+        assert!(days >= 0, "date precedes the Ripple epoch");
+        RippleTime(
+            days as u64 * SECONDS_PER_DAY
+                + hour as u64 * SECONDS_PER_HOUR
+                + minute as u64 * SECONDS_PER_MINUTE
+                + second as u64,
+        )
+    }
+
+    /// Advances the timestamp by `secs` seconds.
+    pub fn plus_seconds(self, secs: u64) -> Self {
+        RippleTime(self.0 + secs)
+    }
+
+    /// Truncates to the start of the minute.
+    pub fn truncate_to_minute(self) -> Self {
+        RippleTime(self.0 - self.0 % SECONDS_PER_MINUTE)
+    }
+
+    /// Truncates to the start of the hour.
+    pub fn truncate_to_hour(self) -> Self {
+        RippleTime(self.0 - self.0 % SECONDS_PER_HOUR)
+    }
+
+    /// Truncates to the start of the (UTC) day.
+    pub fn truncate_to_day(self) -> Self {
+        RippleTime(self.0 - self.0 % SECONDS_PER_DAY)
+    }
+
+    /// Decomposes into `(year, month, day, hour, minute, second)` UTC.
+    pub fn to_civil(self) -> (i64, u32, u32, u32, u32, u32) {
+        let days = (self.0 / SECONDS_PER_DAY) as i64 + RIPPLE_EPOCH_DAYS_FROM_UNIX;
+        let rem = self.0 % SECONDS_PER_DAY;
+        let (y, m, d) = civil_from_days(days);
+        (
+            y,
+            m,
+            d,
+            (rem / SECONDS_PER_HOUR) as u32,
+            (rem % SECONDS_PER_HOUR / SECONDS_PER_MINUTE) as u32,
+            (rem % SECONDS_PER_MINUTE) as u32,
+        )
+    }
+}
+
+impl std::fmt::Display for RippleTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (y, mo, d, h, mi, s) = self.to_civil();
+        write!(f, "{y:04}-{mo:02}-{d:02} {h:02}:{mi:02}:{s:02}")
+    }
+}
+
+/// Days since the Unix epoch for a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = ((m + 9) % 12) as u64; // [0, 11], Mar=0
+    let doy = (153 * mp + 2) / 5 + d as u64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Civil date from days since the Unix epoch (inverse of [`days_from_civil`]).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_renders_as_y2k() {
+        assert_eq!(RippleTime::EPOCH.to_string(), "2000-01-01 00:00:00");
+    }
+
+    #[test]
+    fn paper_example_truncation() {
+        // "the worst resolution of the timestamp will modify the value
+        //  2015-08-24 15:41:03 to 2015-08-24 00:00:00" (paper §V.A).
+        let t = RippleTime::from_ymd_hms(2015, 8, 24, 15, 41, 3);
+        assert_eq!(t.truncate_to_day().to_string(), "2015-08-24 00:00:00");
+        assert_eq!(t.truncate_to_hour().to_string(), "2015-08-24 15:00:00");
+        assert_eq!(t.truncate_to_minute().to_string(), "2015-08-24 15:41:00");
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        let t = RippleTime::from_ymd_hms(2016, 2, 29, 12, 0, 0);
+        assert_eq!(t.to_civil(), (2016, 2, 29, 12, 0, 0));
+        let next = t.plus_seconds(12 * SECONDS_PER_HOUR);
+        assert_eq!(next.to_civil().2, 1);
+        assert_eq!(next.to_civil().1, 3);
+    }
+
+    #[test]
+    fn genesis_period_covers_paper_window() {
+        // Paper window: January 2013 (genesis) – September 2015.
+        let genesis = RippleTime::from_ymd_hms(2013, 1, 1, 0, 0, 0);
+        let end = RippleTime::from_ymd_hms(2015, 9, 30, 23, 59, 59);
+        assert!(genesis < end);
+        let span_days = (end.seconds() - genesis.seconds()) / SECONDS_PER_DAY;
+        assert_eq!(span_days, 1002);
+    }
+
+    #[test]
+    fn ordering_follows_seconds() {
+        assert!(RippleTime::from_seconds(5) < RippleTime::from_seconds(6));
+    }
+
+    proptest! {
+        #[test]
+        fn civil_round_trip(secs in 0u64..2_000_000_000) {
+            let t = RippleTime::from_seconds(secs);
+            let (y, mo, d, h, mi, s) = t.to_civil();
+            prop_assert_eq!(RippleTime::from_ymd_hms(y, mo, d, h, mi, s), t);
+        }
+
+        #[test]
+        fn truncation_is_idempotent_and_monotone(secs in 0u64..2_000_000_000) {
+            let t = RippleTime::from_seconds(secs);
+            for f in [RippleTime::truncate_to_minute, RippleTime::truncate_to_hour, RippleTime::truncate_to_day] {
+                let once = f(t);
+                prop_assert_eq!(f(once), once);
+                prop_assert!(once <= t);
+            }
+            prop_assert!(t.truncate_to_day() <= t.truncate_to_hour());
+            prop_assert!(t.truncate_to_hour() <= t.truncate_to_minute());
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! A message-passing overlay on top of the event engine: per-link latency,
+//! loss, and partitions.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::Rng;
+
+use crate::latency::LatencyModel;
+use crate::sim::{SimTime, Simulation};
+
+/// Identifier of a simulated node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A message delivered to a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// The payload.
+    pub msg: M,
+}
+
+/// A simulated network of `n` nodes.
+///
+/// Messages are routed through the internal [`Simulation`]; call
+/// [`Network::step`] to advance to the next delivery. Links can be tuned
+/// per-pair, lossy links drop messages probabilistically, and partitions
+/// silently discard traffic between separated groups.
+#[derive(Debug)]
+pub struct Network<M> {
+    node_count: usize,
+    sim: Simulation<Delivery<M>>,
+    default_latency: LatencyModel,
+    link_latency: HashMap<(NodeId, NodeId), LatencyModel>,
+    loss: HashMap<(NodeId, NodeId), f64>,
+    default_loss: f64,
+    partitioned: HashSet<(NodeId, NodeId)>,
+    crashed: HashSet<NodeId>,
+    sent: u64,
+    dropped: u64,
+}
+
+impl<M> Network<M> {
+    /// Creates a network of `node_count` fully connected nodes with default
+    /// latency and no loss.
+    pub fn new(node_count: usize) -> Network<M> {
+        Network {
+            node_count,
+            sim: Simulation::new(),
+            default_latency: LatencyModel::default(),
+            link_latency: HashMap::new(),
+            loss: HashMap::new(),
+            default_loss: 0.0,
+            partitioned: HashSet::new(),
+            crashed: HashSet::new(),
+            sent: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Messages sent so far (including dropped ones).
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages dropped by loss, partition or crash.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Sets the latency model used for links without an explicit override.
+    pub fn set_default_latency(&mut self, model: LatencyModel) {
+        self.default_latency = model;
+    }
+
+    /// Overrides the latency of the directed link `from -> to`.
+    pub fn set_link_latency(&mut self, from: NodeId, to: NodeId, model: LatencyModel) {
+        self.link_latency.insert((from, to), model);
+    }
+
+    /// Makes every link *from* `node` use `model` (models a slow node's
+    /// uplink, like the paper's lagging validators).
+    pub fn set_node_uplink_latency(&mut self, node: NodeId, model: LatencyModel) {
+        for to in 0..self.node_count {
+            if to != node.0 {
+                self.link_latency.insert((node, NodeId(to)), model);
+            }
+        }
+    }
+
+    /// Sets the default message-loss probability.
+    pub fn set_default_loss(&mut self, p: f64) {
+        self.default_loss = p.clamp(0.0, 1.0);
+    }
+
+    /// Sets the loss probability of a directed link.
+    pub fn set_link_loss(&mut self, from: NodeId, to: NodeId, p: f64) {
+        self.loss.insert((from, to), p.clamp(0.0, 1.0));
+    }
+
+    /// Severs communication between `a` and `b` in both directions.
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.partitioned.insert((a, b));
+        self.partitioned.insert((b, a));
+    }
+
+    /// Splits the network into two groups with no traffic across.
+    pub fn partition_groups(&mut self, left: &[NodeId], right: &[NodeId]) {
+        for &a in left {
+            for &b in right {
+                self.partition(a, b);
+            }
+        }
+    }
+
+    /// Heals all partitions.
+    pub fn heal(&mut self) {
+        self.partitioned.clear();
+    }
+
+    /// Crashes a node: all traffic to and from it is dropped.
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed.insert(node);
+    }
+
+    /// Restarts a crashed node.
+    pub fn restart(&mut self, node: NodeId) {
+        self.crashed.remove(&node);
+    }
+
+    /// Whether a node is crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Sends `msg` from `from` to `to`, sampling latency/loss with `rng`.
+    /// Returns `true` if the message was enqueued (not dropped).
+    pub fn send<R: Rng + ?Sized>(&mut self, from: NodeId, to: NodeId, msg: M, rng: &mut R) -> bool {
+        self.sent += 1;
+        if self.crashed.contains(&from)
+            || self.crashed.contains(&to)
+            || self.partitioned.contains(&(from, to))
+        {
+            self.dropped += 1;
+            return false;
+        }
+        let loss = self.loss.get(&(from, to)).copied().unwrap_or(self.default_loss);
+        if loss > 0.0 && rng.gen_bool(loss) {
+            self.dropped += 1;
+            return false;
+        }
+        let latency = self
+            .link_latency
+            .get(&(from, to))
+            .unwrap_or(&self.default_latency)
+            .sample(rng);
+        self.sim.schedule_in(latency, Delivery { from, to, msg });
+        true
+    }
+
+    /// Broadcasts `msg` from `from` to every other node.
+    pub fn broadcast<R: Rng + ?Sized>(&mut self, from: NodeId, msg: M, rng: &mut R)
+    where
+        M: Clone,
+    {
+        for to in 0..self.node_count {
+            if to != from.0 {
+                self.send(from, NodeId(to), msg.clone(), rng);
+            }
+        }
+    }
+
+    /// Schedules a local (self-addressed) event, e.g. a timer.
+    pub fn schedule_local(&mut self, node: NodeId, delay: SimTime, msg: M) {
+        self.sim.schedule_in(
+            delay,
+            Delivery {
+                from: node,
+                to: node,
+                msg,
+            },
+        );
+    }
+
+    /// Advances to the next delivery.
+    pub fn step(&mut self) -> Option<(SimTime, Delivery<M>)> {
+        self.sim.step()
+    }
+
+    /// Advances to the next delivery at or before `deadline`.
+    pub fn step_until(&mut self, deadline: SimTime) -> Option<(SimTime, Delivery<M>)> {
+        self.sim.step_until(deadline)
+    }
+
+    /// Number of in-flight messages.
+    pub fn in_flight(&self) -> usize {
+        self.sim.pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    type Rng = rand::rngs::StdRng;
+
+    fn rng() -> Rng {
+        Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn delivery_carries_payload_and_latency() {
+        let mut rng = rng();
+        let mut net: Network<u32> = Network::new(2);
+        net.set_default_latency(LatencyModel::Fixed(SimTime::from_millis(5)));
+        assert!(net.send(NodeId(0), NodeId(1), 99, &mut rng));
+        let (at, d) = net.step().unwrap();
+        assert_eq!(at, SimTime::from_millis(5));
+        assert_eq!((d.from, d.to, d.msg), (NodeId(0), NodeId(1), 99));
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let mut rng = rng();
+        let mut net: Network<&str> = Network::new(5);
+        net.broadcast(NodeId(2), "v", &mut rng);
+        let mut receivers: Vec<usize> = std::iter::from_fn(|| net.step())
+            .map(|(_, d)| d.to.0)
+            .collect();
+        receivers.sort_unstable();
+        assert_eq!(receivers, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let mut rng = rng();
+        let mut net: Network<()> = Network::new(2);
+        net.partition(NodeId(0), NodeId(1));
+        assert!(!net.send(NodeId(0), NodeId(1), (), &mut rng));
+        assert!(!net.send(NodeId(1), NodeId(0), (), &mut rng));
+        net.heal();
+        assert!(net.send(NodeId(0), NodeId(1), (), &mut rng));
+        assert_eq!(net.dropped(), 2);
+    }
+
+    #[test]
+    fn group_partition_blocks_cross_traffic_only() {
+        let mut rng = rng();
+        let mut net: Network<()> = Network::new(4);
+        net.partition_groups(&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
+        assert!(net.send(NodeId(0), NodeId(1), (), &mut rng));
+        assert!(!net.send(NodeId(0), NodeId(2), (), &mut rng));
+        assert!(!net.send(NodeId(3), NodeId(1), (), &mut rng));
+    }
+
+    #[test]
+    fn crashed_node_is_silent() {
+        let mut rng = rng();
+        let mut net: Network<()> = Network::new(2);
+        net.crash(NodeId(1));
+        assert!(!net.send(NodeId(0), NodeId(1), (), &mut rng));
+        assert!(!net.send(NodeId(1), NodeId(0), (), &mut rng));
+        net.restart(NodeId(1));
+        assert!(net.send(NodeId(0), NodeId(1), (), &mut rng));
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_half() {
+        let mut rng = rng();
+        let mut net: Network<u32> = Network::new(2);
+        net.set_link_loss(NodeId(0), NodeId(1), 0.5);
+        let delivered = (0..1_000)
+            .filter(|&i| net.send(NodeId(0), NodeId(1), i, &mut rng))
+            .count();
+        assert!((400..600).contains(&delivered), "delivered = {delivered}");
+    }
+
+    #[test]
+    fn per_link_latency_override() {
+        let mut rng = rng();
+        let mut net: Network<u8> = Network::new(3);
+        net.set_default_latency(LatencyModel::Fixed(SimTime::from_millis(10)));
+        net.set_node_uplink_latency(NodeId(1), LatencyModel::Fixed(SimTime::from_millis(500)));
+        net.send(NodeId(0), NodeId(2), 0, &mut rng);
+        net.send(NodeId(1), NodeId(2), 1, &mut rng);
+        let (t0, d0) = net.step().unwrap();
+        assert_eq!((t0, d0.msg), (SimTime::from_millis(10), 0));
+        let (t1, d1) = net.step().unwrap();
+        assert_eq!((t1, d1.msg), (SimTime::from_millis(500), 1));
+    }
+
+    #[test]
+    fn local_timers_fire() {
+        let mut net: Network<&str> = Network::new(1);
+        net.schedule_local(NodeId(0), SimTime::from_millis(30), "tick");
+        let (at, d) = net.step().unwrap();
+        assert_eq!(at, SimTime::from_millis(30));
+        assert_eq!(d.msg, "tick");
+        assert_eq!(d.from, d.to);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = || {
+            let mut rng = Rng::seed_from_u64(7);
+            let mut net: Network<u32> = Network::new(4);
+            net.set_default_latency(LatencyModel::Jittered {
+                base: SimTime::from_millis(5),
+                jitter: SimTime::from_millis(20),
+            });
+            for i in 0..20 {
+                net.broadcast(NodeId((i % 4) as usize), i, &mut rng);
+            }
+            std::iter::from_fn(|| net.step())
+                .map(|(t, d)| (t.as_millis(), d.to.0, d.msg))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,265 @@
+//! Arbitrage detection and execution.
+//!
+//! "Ripple users can also try to take advantage of the exchange offers,
+//! exploiting the price skew between two or more markets. This process,
+//! called arbitrage, consists in buying assets at a competitive exchange
+//! rate and then selling them immediately at a higher price. Arbitrage is
+//! allowed by design in the Ripple exchange system and can also be
+//! performed automatically, for example by a financial bot." (§III.C)
+
+use ripple_ledger::{Currency, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::book::BookSet;
+
+/// A detected risk-free cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArbitrageOpportunity {
+    /// The currency cycle, starting and ending at the funding currency
+    /// (e.g. `[USD, EUR, USD]` for two legs, `[USD, BTC, EUR, USD]` for a
+    /// triangle).
+    pub cycle: Vec<Currency>,
+    /// Gross multiplier per unit of the funding currency (> 1.0 means
+    /// profit; 1.05 = 5% per round trip at the top of the books).
+    pub multiplier: f64,
+}
+
+impl ArbitrageOpportunity {
+    /// Profit per unit of funding currency (multiplier − 1).
+    pub fn profit_rate(&self) -> f64 {
+        self.multiplier - 1.0
+    }
+}
+
+/// Scans every ordered currency pair for two-leg skews: buy `x` with `y`
+/// on the `(x, y)` book, sell it back through the `(y, x)` book. Profitable
+/// when the product of the two best rates is below 1.
+pub fn find_two_leg(books: &BookSet, currencies: &[Currency]) -> Vec<ArbitrageOpportunity> {
+    let mut out = Vec::new();
+    for (i, &x) in currencies.iter().enumerate() {
+        for &y in currencies.iter().skip(i + 1) {
+            let Some(r1) = books.book(x, y).and_then(|b| b.best_rate()) else {
+                continue;
+            };
+            let Some(r2) = books.book(y, x).and_then(|b| b.best_rate()) else {
+                continue;
+            };
+            let product = r1.to_f64() * r2.to_f64();
+            if product < 1.0 - 1e-9 {
+                out.push(ArbitrageOpportunity {
+                    cycle: vec![y, x, y],
+                    multiplier: 1.0 / product,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| b.multiplier.partial_cmp(&a.multiplier).expect("finite"));
+    out
+}
+
+/// Scans ordered currency triples for triangular skews: `y → x → z → y`
+/// through the `(x, y)`, `(z, x)` and `(y, z)` books.
+pub fn find_triangular(books: &BookSet, currencies: &[Currency]) -> Vec<ArbitrageOpportunity> {
+    let mut out = Vec::new();
+    for &x in currencies {
+        for &y in currencies {
+            for &z in currencies {
+                if x == y || y == z || x == z {
+                    continue;
+                }
+                let legs = [
+                    books.book(x, y).and_then(|b| b.best_rate()),
+                    books.book(z, x).and_then(|b| b.best_rate()),
+                    books.book(y, z).and_then(|b| b.best_rate()),
+                ];
+                let [Some(r1), Some(r2), Some(r3)] = legs else {
+                    continue;
+                };
+                let product = r1.to_f64() * r2.to_f64() * r3.to_f64();
+                if product < 1.0 - 1e-9 {
+                    out.push(ArbitrageOpportunity {
+                        cycle: vec![y, x, z, y],
+                        multiplier: 1.0 / product,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| b.multiplier.partial_cmp(&a.multiplier).expect("finite"));
+    out
+}
+
+/// Outcome of executing a two-leg cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArbitrageExecution {
+    /// Funding currency spent.
+    pub spent: Value,
+    /// Funding currency received after the round trip.
+    pub received: Value,
+}
+
+impl ArbitrageExecution {
+    /// Net profit in the funding currency.
+    pub fn profit(&self) -> Value {
+        self.received - self.spent
+    }
+}
+
+/// Executes a two-leg cycle `y → x → y` against the books, taking at most
+/// `budget` of the funding currency. Consumes liquidity (the bot's trades
+/// move the market: running it again finds a smaller or no skew).
+///
+/// Returns `None` if either side lacks a book or the top-of-book skew is
+/// not profitable.
+pub fn execute_two_leg(
+    books: &mut BookSet,
+    x: Currency,
+    y: Currency,
+    budget: Value,
+) -> Option<ArbitrageExecution> {
+    let r1 = books.book(x, y)?.best_rate()?;
+    let r2 = books.book(y, x)?.best_rate()?;
+    if r1.to_f64() * r2.to_f64() >= 1.0 - 1e-9 {
+        return None;
+    }
+    // Size: the x obtainable for the budget, capped by both books' top
+    // liquidity.
+    let buy_book = books.book(x, y).expect("checked");
+    let x_affordable = r1.invert_apply(budget);
+    let x_available = buy_book.iter().next().map(|e| e.remaining)?;
+    let sell_book = books.book(y, x).expect("checked");
+    let y_available = sell_book.iter().next().map(|e| e.remaining)?;
+    // Selling x for y on the (y, x) book: we *take* y liquidity, paying x
+    // at rate r2 (x per y). x needed to exhaust that level: r2.apply(y).
+    let x_sellable = r2.apply(y_available);
+    let size_x = [x_affordable, x_available, x_sellable]
+        .into_iter()
+        .min()
+        .expect("non-empty");
+    if !size_x.is_positive() {
+        return None;
+    }
+    // Leg 1: buy size_x of x, paying y.
+    let leg1 = books.book_mut(x, y).fill(size_x);
+    // Leg 2: spend the x to take y liquidity.
+    let y_target = r2.invert_apply(leg1.filled);
+    let leg2 = books.book_mut(y, x).fill(y_target);
+    Some(ArbitrageExecution {
+        spent: leg1.paid,
+        received: leg2.filled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::Rate;
+    use ripple_crypto::AccountId;
+
+    fn acct(n: u8) -> AccountId {
+        AccountId::from_bytes([n; 20])
+    }
+
+    fn v(s: &str) -> Value {
+        s.parse().unwrap()
+    }
+
+    /// EUR/USD skew: buy EUR at 1.00 USD, sell EUR at 1.10 USD.
+    fn skewed_books() -> BookSet {
+        let mut books = BookSet::new();
+        // (EUR, USD): someone sells EUR cheap.
+        books
+            .book_mut(Currency::EUR, Currency::USD)
+            .insert(acct(1), 1, v("1000"), Rate::new(1, 1));
+        // (USD, EUR): someone sells USD cheap in EUR terms — i.e. buys EUR
+        // dear: 1 USD costs 0.9 EUR => selling 1 EUR nets ~1.11 USD.
+        books
+            .book_mut(Currency::USD, Currency::EUR)
+            .insert(acct(2), 1, v("1000"), Rate::new(9, 10));
+        books
+    }
+
+    fn consistent_books() -> BookSet {
+        let mut books = BookSet::new();
+        books
+            .book_mut(Currency::EUR, Currency::USD)
+            .insert(acct(1), 1, v("1000"), Rate::new(11, 10));
+        books
+            .book_mut(Currency::USD, Currency::EUR)
+            .insert(acct(2), 1, v("1000"), Rate::new(10, 11));
+        books
+    }
+
+    #[test]
+    fn detects_two_leg_skew() {
+        let books = skewed_books();
+        let found = find_two_leg(&books, &[Currency::EUR, Currency::USD]);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].profit_rate() > 0.1, "rate = {}", found[0].profit_rate());
+        assert_eq!(found[0].cycle.len(), 3);
+    }
+
+    #[test]
+    fn no_false_positive_on_consistent_rates() {
+        let books = consistent_books();
+        assert!(find_two_leg(&books, &[Currency::EUR, Currency::USD]).is_empty());
+    }
+
+    #[test]
+    fn execution_realizes_profit_and_closes_the_gap() {
+        let mut books = skewed_books();
+        let execution =
+            execute_two_leg(&mut books, Currency::EUR, Currency::USD, v("500")).expect("skew");
+        assert!(
+            execution.profit().is_positive(),
+            "profit = {}",
+            execution.profit()
+        );
+        // The consumed liquidity removes (or shrinks) the opportunity.
+        let remaining = find_two_leg(&books, &[Currency::EUR, Currency::USD]);
+        if let Some(op) = remaining.first() {
+            // Any residue must not exceed the original skew.
+            assert!(op.multiplier <= 1.12);
+        }
+    }
+
+    #[test]
+    fn execution_declines_unprofitable_cycles() {
+        let mut books = consistent_books();
+        assert!(execute_two_leg(&mut books, Currency::EUR, Currency::USD, v("500")).is_none());
+    }
+
+    #[test]
+    fn detects_triangular_cycle() {
+        let mut books = BookSet::new();
+        // USD -> BTC -> EUR -> USD with a 5% total skew.
+        // (BTC, USD): 1 BTC costs 100 USD.
+        books
+            .book_mut(Currency::BTC, Currency::USD)
+            .insert(acct(1), 1, v("10"), Rate::new(100, 1));
+        // (EUR, BTC): 1 EUR costs 0.011 BTC => 1 BTC buys ~90.9 EUR.
+        books
+            .book_mut(Currency::EUR, Currency::BTC)
+            .insert(acct(2), 1, v("1000"), Rate::new(11, 1000));
+        // (USD, EUR): 1 USD costs 0.85 EUR => 90.9 EUR buys ~107 USD.
+        books
+            .book_mut(Currency::USD, Currency::EUR)
+            .insert(acct(3), 1, v("1000"), Rate::new(85, 100));
+        let found = find_triangular(
+            &books,
+            &[Currency::USD, Currency::EUR, Currency::BTC],
+        );
+        assert!(!found.is_empty());
+        let best = &found[0];
+        assert!(best.multiplier > 1.0);
+        assert_eq!(best.cycle.len(), 4);
+        assert_eq!(best.cycle.first(), best.cycle.last());
+    }
+
+    #[test]
+    fn missing_books_are_skipped() {
+        let books = BookSet::new();
+        assert!(find_two_leg(&books, &[Currency::EUR, Currency::USD]).is_empty());
+        assert!(find_triangular(&books, &[Currency::EUR, Currency::USD, Currency::BTC]).is_empty());
+    }
+}

@@ -1,0 +1,343 @@
+//! Field-level binary encoding.
+//!
+//! Every type encodes with a fixed field order and big-endian integers;
+//! variable-length parts carry `u32` length prefixes. The format favours
+//! sequential scan speed: a reader can skip any record from its frame
+//! header without decoding the payload.
+
+use bytes::{Buf, BufMut};
+
+use ripple_crypto::{AccountId, Digest256};
+use ripple_ledger::{Currency, PathSummary, PaymentRecord, RippleTime, Value};
+
+use crate::stream::StoreError;
+
+/// Serializes a value into the canonical binary form.
+pub trait Encode {
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+}
+
+/// Deserializes a value from the canonical binary form.
+pub trait Decode: Sized {
+    /// Reads a value from the front of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on malformed or truncated input.
+    fn decode(buf: &mut &[u8]) -> Result<Self, StoreError>;
+}
+
+fn need(buf: &&[u8], n: usize) -> Result<(), StoreError> {
+    if buf.len() < n {
+        Err(StoreError::corrupt("unexpected end of payload"))
+    } else {
+        Ok(())
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u32(*self);
+    }
+}
+
+impl Decode for u32 {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StoreError> {
+        need(buf, 4)?;
+        Ok(buf.get_u32())
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u64(*self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StoreError> {
+        need(buf, 8)?;
+        Ok(buf.get_u64())
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u8(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StoreError> {
+        need(buf, 1)?;
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StoreError::corrupt(format!("invalid bool byte {other}"))),
+        }
+    }
+}
+
+impl Encode for AccountId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_slice(self.as_bytes());
+    }
+}
+
+impl Decode for AccountId {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StoreError> {
+        need(buf, 20)?;
+        let mut bytes = [0u8; 20];
+        buf.copy_to_slice(&mut bytes);
+        Ok(AccountId::from_bytes(bytes))
+    }
+}
+
+impl Encode for Digest256 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_slice(self.as_bytes());
+    }
+}
+
+impl Decode for Digest256 {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StoreError> {
+        need(buf, 32)?;
+        let mut bytes = [0u8; 32];
+        buf.copy_to_slice(&mut bytes);
+        Ok(Digest256::from_bytes(bytes))
+    }
+}
+
+impl Encode for Currency {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_slice(self.as_bytes());
+    }
+}
+
+impl Decode for Currency {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StoreError> {
+        need(buf, 3)?;
+        let mut bytes = [0u8; 3];
+        buf.copy_to_slice(&mut bytes);
+        let code = std::str::from_utf8(&bytes)
+            .map_err(|_| StoreError::corrupt("non-UTF8 currency code"))?;
+        Currency::try_code(code).ok_or_else(|| StoreError::corrupt("invalid currency code"))
+    }
+}
+
+impl Encode for Value {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_i128(self.raw());
+    }
+}
+
+impl Decode for Value {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StoreError> {
+        need(buf, 16)?;
+        Ok(Value::from_raw(buf.get_i128()))
+    }
+}
+
+impl Encode for RippleTime {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u64(self.seconds());
+    }
+}
+
+impl Decode for RippleTime {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StoreError> {
+        need(buf, 8)?;
+        Ok(RippleTime::from_seconds(buf.get_u64()))
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.put_u8(0),
+            Some(v) => {
+                out.put_u8(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StoreError> {
+        need(buf, 1)?;
+        match buf.get_u8() {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            other => Err(StoreError::corrupt(format!("invalid option byte {other}"))),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u32(self.len() as u32);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StoreError> {
+        let len = u32::decode(buf)? as usize;
+        // Defensive cap: a corrupt length must not trigger a huge
+        // allocation. Grow lazily instead of reserving `len` up front.
+        let mut out = Vec::new();
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Encode for PathSummary {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.paths.encode(out);
+    }
+}
+
+impl Decode for PathSummary {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StoreError> {
+        Ok(PathSummary::from_paths(Vec::decode(buf)?))
+    }
+}
+
+impl Encode for PaymentRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tx_hash.encode(out);
+        self.sender.encode(out);
+        self.destination.encode(out);
+        self.currency.encode(out);
+        self.issuer.encode(out);
+        self.amount.encode(out);
+        self.timestamp.encode(out);
+        self.ledger_seq.encode(out);
+        self.paths.encode(out);
+        self.cross_currency.encode(out);
+        self.source_currency.encode(out);
+    }
+}
+
+impl Decode for PaymentRecord {
+    fn decode(buf: &mut &[u8]) -> Result<Self, StoreError> {
+        Ok(PaymentRecord {
+            tx_hash: Decode::decode(buf)?,
+            sender: Decode::decode(buf)?,
+            destination: Decode::decode(buf)?,
+            currency: Decode::decode(buf)?,
+            issuer: Decode::decode(buf)?,
+            amount: Decode::decode(buf)?,
+            timestamp: Decode::decode(buf)?,
+            ledger_seq: Decode::decode(buf)?,
+            paths: Decode::decode(buf)?,
+            cross_currency: Decode::decode(buf)?,
+            source_currency: Decode::decode(buf)?,
+        })
+    }
+}
+
+/// Encodes a value to a fresh buffer.
+pub fn to_bytes<T: Encode>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decodes a value from a buffer, requiring full consumption.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] on malformed input or trailing bytes.
+pub fn from_bytes<T: Decode>(mut buf: &[u8]) -> Result<T, StoreError> {
+    let value = T::decode(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(StoreError::corrupt("trailing bytes after payload"));
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use ripple_crypto::sha512_half;
+
+    fn sample_record() -> PaymentRecord {
+        PaymentRecord {
+            tx_hash: sha512_half(b"x"),
+            sender: AccountId::from_bytes([1; 20]),
+            destination: AccountId::from_bytes([2; 20]),
+            currency: Currency::BTC,
+            issuer: Some(AccountId::from_bytes([3; 20])),
+            amount: "0.003".parse().unwrap(),
+            timestamp: RippleTime::from_seconds(123_456),
+            ledger_seq: 42,
+            paths: PathSummary::from_paths(vec![
+                vec![AccountId::from_bytes([4; 20])],
+                vec![],
+            ]),
+            cross_currency: true,
+            source_currency: Some(Currency::USD),
+        }
+    }
+
+    #[test]
+    fn payment_record_round_trip() {
+        let rec = sample_record();
+        let bytes = to_bytes(&rec);
+        let back: PaymentRecord = from_bytes(&bytes).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn truncated_payload_is_corrupt() {
+        let bytes = to_bytes(&sample_record());
+        for cut in [0, 1, 10, bytes.len() - 1] {
+            assert!(
+                from_bytes::<PaymentRecord>(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&sample_record());
+        bytes.push(0);
+        assert!(from_bytes::<PaymentRecord>(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_option_byte_rejected() {
+        let bytes = vec![7u8];
+        assert!(from_bytes::<Option<u32>>(&bytes).is_err());
+    }
+
+    #[test]
+    fn huge_corrupt_length_does_not_allocate() {
+        // A length prefix of u32::MAX with no data must fail fast.
+        let bytes = u32::MAX.to_be_bytes().to_vec();
+        assert!(from_bytes::<Vec<u32>>(&bytes).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn value_round_trip(raw in any::<i64>()) {
+            let v = Value::from_raw(raw as i128);
+            prop_assert_eq!(from_bytes::<Value>(&to_bytes(&v)).unwrap(), v);
+        }
+
+        #[test]
+        fn vec_of_accounts_round_trip(seeds in proptest::collection::vec(any::<[u8; 20]>(), 0..8)) {
+            let accounts: Vec<AccountId> = seeds.into_iter().map(AccountId::from_bytes).collect();
+            prop_assert_eq!(from_bytes::<Vec<AccountId>>(&to_bytes(&accounts)).unwrap(), accounts);
+        }
+    }
+}

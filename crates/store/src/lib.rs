@@ -1,0 +1,65 @@
+//! Canonical binary codec and streaming history store.
+//!
+//! The paper processed "more than 500 GB worth of data" downloaded from the
+//! public ledger with "an ad-hoc Ripple client". This crate is our
+//! equivalent of that pipeline: a compact, field-ordered binary format for
+//! history events, a streaming [`Writer`]/[`Reader`] pair, and per-record
+//! CRC-32 framing so truncation and corruption are detected rather than
+//! silently mis-parsed.
+//!
+//! # Format
+//!
+//! ```text
+//! file   := magic "RPLSTOR1" , record*
+//! record := tag:u8 , len:u32be , payload[len] , crc32:u32be
+//! ```
+//!
+//! The CRC covers tag, length and payload. Integers are big-endian; strings
+//! and paths are length-prefixed.
+//!
+//! # Examples
+//!
+//! ```
+//! use ripple_store::{HistoryEvent, Reader, Writer};
+//! use ripple_ledger::{Currency, PathSummary, PaymentRecord, RippleTime};
+//! use ripple_crypto::{sha512_half, AccountId};
+//!
+//! let record = PaymentRecord {
+//!     tx_hash: sha512_half(b"tx"),
+//!     sender: AccountId::from_bytes([1; 20]),
+//!     destination: AccountId::from_bytes([2; 20]),
+//!     currency: Currency::USD,
+//!     issuer: None,
+//!     amount: "4.5".parse().unwrap(),
+//!     timestamp: RippleTime::from_ymd_hms(2015, 8, 24, 15, 41, 3),
+//!     ledger_seq: 17,
+//!     paths: PathSummary::direct(),
+//!     cross_currency: false,
+//!     source_currency: None,
+//! };
+//!
+//! let mut buf = Vec::new();
+//! let mut writer = Writer::new(&mut buf);
+//! writer.write(&HistoryEvent::Payment(record.clone()))?;
+//! writer.finish()?;
+//!
+//! let mut reader = Reader::new(buf.as_slice())?;
+//! match reader.next_event()? {
+//!     Some(HistoryEvent::Payment(back)) => assert_eq!(back, record),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! # Ok::<(), ripple_store::StoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc;
+pub mod event;
+pub mod index;
+pub mod stream;
+
+pub use event::HistoryEvent;
+pub use index::ArchiveIndex;
+pub use stream::{Reader, StoreError, Writer};

@@ -1,0 +1,344 @@
+//! Streaming archive reader/writer with CRC-framed records.
+
+use std::io::{self, Read, Write};
+
+use crate::crc::crc32;
+use crate::event::HistoryEvent;
+
+/// The 8-byte archive magic.
+pub const MAGIC: &[u8; 8] = b"RPLSTOR1";
+
+/// Maximum payload size accepted by the reader (a corrupt length prefix must
+/// not trigger a giant allocation).
+pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// Errors from archive I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid data (bad magic, bad CRC, truncated frame,
+    /// malformed payload).
+    Corrupt(String),
+}
+
+impl StoreError {
+    pub(crate) fn corrupt(msg: impl Into<String>) -> StoreError {
+        StoreError::Corrupt(msg.into())
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "archive I/O failed: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "archive corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Streaming archive writer.
+///
+/// A mutable reference works wherever an owned writer does (`Write` is
+/// implemented for `&mut W`), so callers can keep ownership of their sink.
+#[derive(Debug)]
+pub struct Writer<W: Write> {
+    sink: W,
+    wrote_magic: bool,
+    records: u64,
+}
+
+impl<W: Write> Writer<W> {
+    /// Creates a writer over `sink`. The magic is emitted lazily on the
+    /// first record (or on [`Writer::finish`] for empty archives).
+    pub fn new(sink: W) -> Writer<W> {
+        Writer {
+            sink,
+            wrote_magic: false,
+            records: 0,
+        }
+    }
+
+    fn ensure_magic(&mut self) -> Result<(), StoreError> {
+        if !self.wrote_magic {
+            self.sink.write_all(MAGIC)?;
+            self.wrote_magic = true;
+        }
+        Ok(())
+    }
+
+    /// Appends one event.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on sink failure.
+    pub fn write(&mut self, event: &HistoryEvent) -> Result<(), StoreError> {
+        self.ensure_magic()?;
+        let payload = event.encode_payload();
+        let tag = event.tag();
+        let len = payload.len() as u32;
+        let mut head = Vec::with_capacity(5 + payload.len());
+        head.push(tag);
+        head.extend_from_slice(&len.to_be_bytes());
+        head.extend_from_slice(&payload);
+        let crc = crc32(&head);
+        self.sink.write_all(&head)?;
+        self.sink.write_all(&crc.to_be_bytes())?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on flush failure.
+    pub fn finish(mut self) -> Result<W, StoreError> {
+        self.ensure_magic()?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Streaming archive reader.
+#[derive(Debug)]
+pub struct Reader<R: Read> {
+    source: R,
+    records: u64,
+}
+
+impl<R: Read> Reader<R> {
+    /// Opens an archive, validating the magic.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] if the magic does not match;
+    /// [`StoreError::Io`] on read failure.
+    pub fn new(mut source: R) -> Result<Reader<R>, StoreError> {
+        let mut magic = [0u8; 8];
+        source.read_exact(&mut magic).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                StoreError::corrupt("archive shorter than its magic")
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        if &magic != MAGIC {
+            return Err(StoreError::corrupt("bad archive magic"));
+        }
+        Ok(Reader { source, records: 0 })
+    }
+
+    /// Reads the next event, or `None` at a clean end of archive.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on CRC mismatch, truncation mid-record, or a
+    /// malformed payload.
+    pub fn next_event(&mut self) -> Result<Option<HistoryEvent>, StoreError> {
+        let mut tag_buf = [0u8; 1];
+        match self.source.read_exact(&mut tag_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(StoreError::Io(e)),
+        }
+        let mut len_buf = [0u8; 4];
+        self.read_fully(&mut len_buf)?;
+        let len = u32::from_be_bytes(len_buf);
+        if len > MAX_PAYLOAD {
+            return Err(StoreError::corrupt(format!(
+                "payload length {len} exceeds cap {MAX_PAYLOAD}"
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.read_fully(&mut payload)?;
+        let mut crc_buf = [0u8; 4];
+        self.read_fully(&mut crc_buf)?;
+        let stored_crc = u32::from_be_bytes(crc_buf);
+
+        let mut framed = Vec::with_capacity(5 + payload.len());
+        framed.push(tag_buf[0]);
+        framed.extend_from_slice(&len_buf);
+        framed.extend_from_slice(&payload);
+        if crc32(&framed) != stored_crc {
+            return Err(StoreError::corrupt(format!(
+                "CRC mismatch in record {}",
+                self.records
+            )));
+        }
+        let event = HistoryEvent::decode_payload(tag_buf[0], &payload)?;
+        self.records += 1;
+        Ok(Some(event))
+    }
+
+    fn read_fully(&mut self, buf: &mut [u8]) -> Result<(), StoreError> {
+        self.source.read_exact(buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                StoreError::corrupt("archive truncated mid-record")
+            } else {
+                StoreError::Io(e)
+            }
+        })
+    }
+
+    /// Number of records read so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Drains the remaining events into a vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error encountered.
+    pub fn read_all(mut self) -> Result<Vec<HistoryEvent>, StoreError> {
+        let mut out = Vec::new();
+        while let Some(event) = self.next_event()? {
+            out.push(event);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_crypto::{sha512_half, AccountId};
+    use ripple_ledger::{Currency, PathSummary, PaymentRecord, RippleTime};
+
+    fn payment(n: u8) -> HistoryEvent {
+        HistoryEvent::Payment(PaymentRecord {
+            tx_hash: sha512_half(&[n]),
+            sender: AccountId::from_bytes([n; 20]),
+            destination: AccountId::from_bytes([n.wrapping_add(1); 20]),
+            currency: Currency::USD,
+            issuer: None,
+            amount: "1.5".parse().unwrap(),
+            timestamp: RippleTime::from_seconds(n as u64),
+            ledger_seq: n as u32,
+            paths: PathSummary::direct(),
+            cross_currency: false,
+            source_currency: None,
+        })
+    }
+
+    fn archive(events: &[HistoryEvent]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut writer = Writer::new(&mut buf);
+        for e in events {
+            writer.write(e).unwrap();
+        }
+        writer.finish().unwrap();
+        buf
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let events: Vec<HistoryEvent> = (0..10).map(payment).collect();
+        let buf = archive(&events);
+        let back = Reader::new(buf.as_slice()).unwrap().read_all().unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn empty_archive_is_valid() {
+        let buf = archive(&[]);
+        assert_eq!(buf, MAGIC);
+        let back = Reader::new(buf.as_slice()).unwrap().read_all().unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            Reader::new(&b"NOTMAGIC"[..]),
+            Err(StoreError::Corrupt(_))
+        ));
+        assert!(matches!(Reader::new(&b"RP"[..]), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bit_flip_detected_by_crc() {
+        let mut buf = archive(&[payment(1)]);
+        // Flip a byte in the middle of the payload.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x40;
+        let mut reader = Reader::new(buf.as_slice()).unwrap();
+        assert!(matches!(reader.next_event(), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncation_mid_record_detected() {
+        let buf = archive(&[payment(1)]);
+        let cut = &buf[..buf.len() - 3];
+        let mut reader = Reader::new(cut).unwrap();
+        let err = reader.next_event().unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(msg) if msg.contains("truncated")));
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        let mut buf = MAGIC.to_vec();
+        buf.push(1); // tag
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut reader = Reader::new(buf.as_slice()).unwrap();
+        let err = reader.next_event().unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(msg) if msg.contains("exceeds cap")));
+    }
+
+    #[test]
+    fn record_counters_track() {
+        let events: Vec<HistoryEvent> = (0..5).map(payment).collect();
+        let mut buf = Vec::new();
+        let mut writer = Writer::new(&mut buf);
+        for e in &events {
+            writer.write(e).unwrap();
+        }
+        assert_eq!(writer.records(), 5);
+        writer.finish().unwrap();
+        let mut reader = Reader::new(buf.as_slice()).unwrap();
+        while reader.next_event().unwrap().is_some() {}
+        assert_eq!(reader.records(), 5);
+    }
+
+    #[test]
+    fn mixed_event_kinds_round_trip() {
+        let events = vec![
+            payment(1),
+            HistoryEvent::TrustSet {
+                truster: AccountId::from_bytes([7; 20]),
+                trustee: AccountId::from_bytes([8; 20]),
+                currency: Currency::EUR,
+                limit: "100".parse().unwrap(),
+                timestamp: RippleTime::from_seconds(9),
+            },
+            HistoryEvent::AccountCreated {
+                account: AccountId::from_bytes([9; 20]),
+                timestamp: RippleTime::from_seconds(10),
+            },
+        ];
+        let buf = archive(&events);
+        assert_eq!(Reader::new(buf.as_slice()).unwrap().read_all().unwrap(), events);
+    }
+}

@@ -1,0 +1,1313 @@
+//! The history generator: plans each payment's route from the calibrated
+//! marginals and executes every hop against the live ledger.
+
+use std::collections::HashMap;
+use std::io::Write;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ripple_crypto::{sha512_half, AccountId};
+use ripple_ledger::{
+    Currency, Drops, LedgerState, PathSummary, PaymentRecord, RippleTime, Value,
+};
+use ripple_orderbook::{Rate, RateTable};
+use ripple_store::{HistoryEvent, StoreError, Writer};
+
+use crate::cast::Cast;
+use crate::config::SynthConfig;
+use crate::dist::{Categorical, LogNormal, Zipf};
+
+/// Everything a generation run produces.
+#[derive(Debug)]
+pub struct SynthOutput {
+    /// The archived history, in time order.
+    pub events: Vec<HistoryEvent>,
+    /// The ledger state after the last event.
+    pub final_state: LedgerState,
+    /// State snapshot at `config.snapshot_at` (for the Table II replay),
+    /// if the snapshot instant lay inside the generated window.
+    pub snapshot: Option<(RippleTime, LedgerState)>,
+    /// The population.
+    pub cast: Cast,
+    /// The configuration that produced this history.
+    pub config: SynthConfig,
+}
+
+impl SynthOutput {
+    /// Iterates over the payment records in the history.
+    pub fn payments(&self) -> impl Iterator<Item = &PaymentRecord> {
+        self.events.iter().filter_map(|e| match e {
+            HistoryEvent::Payment(p) => Some(p),
+            _ => None,
+        })
+    }
+
+    /// Writes the full history to an archive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from the sink.
+    pub fn write_archive<W: Write>(&self, sink: W) -> Result<u64, StoreError> {
+        let mut writer = Writer::new(sink);
+        for event in &self.events {
+            writer.write(event)?;
+        }
+        let n = writer.records();
+        writer.finish()?;
+        Ok(n)
+    }
+}
+
+/// The workload generator. See the crate docs for the calibration story.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    config: SynthConfig,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PaymentKind {
+    XrpRegular,
+    XrpSpin,
+    XrpZeroBounce,
+    Mtl,
+    Cck,
+    Iou,
+}
+
+impl Generator {
+    /// Creates a generator.
+    pub fn new(config: SynthConfig) -> Generator {
+        Generator { config }
+    }
+
+    /// Runs the generation, producing the archive, final state, cast and
+    /// optional snapshot.
+    pub fn run(&self) -> SynthOutput {
+        let config = &self.config;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut state = LedgerState::new();
+        let mut events = Vec::with_capacity(config.payments * 2);
+        let cast = Cast::build(config, &mut state, &mut events, &mut rng);
+        let rates = RateTable::eur_2015();
+
+        // Treasury: funds XRP top-ups (simulating off-ledger XRP purchases).
+        let treasury = AccountId::from_bytes([0xFE; 20]);
+        state.create_account(treasury, Drops::from_xrp(50_000_000_000));
+
+        // Resident genesis offers so the Table II replay has books to walk.
+        place_resident_offers(config, &cast, &rates, &mut state, &mut events, &mut rng);
+
+        // Per-kind payment budgets: bursts draw from the same budget, so
+        // spam fractions stay exact despite burstiness.
+        let mut budgets = self.kind_budgets();
+        let iou_mix: Categorical<Currency> = Categorical::new(config.iou_currency_mix());
+        let user_zipf = Zipf::new(cast.users.len(), 0.9);
+        let merchant_zipf = Zipf::new(cast.merchants.len().max(1), 1.0);
+        // Exponent 1.0 over ~230 makers lands the paper's offer
+        // concentration (top-10 = 50%, top-50 = 75%, top-100 = 87%).
+        let mm_zipf = Zipf::new(cast.market_makers.len(), 1.0);
+        // Parallel-path counts for routed IOU payments, tuned so the
+        // non-MTL multi-hop marginal lands near Fig. 6(b)'s
+        // 16.3/10.4/9.3/28.9 split.
+        let parallel_dist = Categorical::new([(1usize, 0.18), (2, 0.17), (3, 0.15), (4, 0.50)]);
+
+        // Time flow: adaptive pacing keeps the history spanning the full
+        // window even though bursts stall the clock.
+        let page = config.page_interval_secs.max(1);
+        let mut now = config.start;
+        let mut advances = 1u64;
+
+        // Habits: per-sender remembered (destination, amount) pairs.
+        let mut habits: HashMap<AccountId, Vec<(AccountId, Value)>> = HashMap::new();
+        // Merchant menus: fixed prices per merchant.
+        let menus = build_menus(&cast, &mut rng);
+
+        let mut snapshot: Option<(RippleTime, LedgerState)> = None;
+        let offer_churn = OfferChurn::new(config, &cast, &rates);
+
+        let mut generated = 0usize;
+        let mut probe_emitted = false;
+        let mut burst_left = 0usize;
+        let mut burst_kind = PaymentKind::XrpRegular;
+        // ACCOUNT_ZERO ping-pong phase: outbound opens a fresh page, the
+        // bounce-back lands in the same page.
+        let mut zero_outbound = true;
+        // Current MTL burst's sink (one destination per burst).
+        let mut mtl_sink = cast.mtl_sinks[0];
+        // Counter for one-time destinations (the long tail of accounts that
+        // receive a single payment ever).
+        let mut onetime_counter = 0u64;
+
+        while generated < config.payments {
+            // Pick the kind, possibly continuing a spam burst; every draw
+            // consumes the kind's budget so fractions stay exact.
+            let kind = if burst_left > 0 && budgets.take(burst_kind) {
+                burst_left -= 1;
+                burst_kind
+            } else {
+                burst_left = 0;
+                let k = budgets.draw(&mut rng);
+                match k {
+                    PaymentKind::Mtl => {
+                        burst_kind = k;
+                        // ~1/3 of spam pages carry a single payment; the
+                        // rest are bursts sharing one page and one sink.
+                        burst_left = if rng.gen_bool(0.35) {
+                            0
+                        } else {
+                            rng.gen_range(2..9)
+                        };
+                        mtl_sink = cast.mtl_sinks[rng.gen_range(0..cast.mtl_sinks.len())];
+                    }
+                    PaymentKind::XrpZeroBounce | PaymentKind::XrpSpin => {
+                        burst_kind = k;
+                        burst_left = rng.gen_range(2..10);
+                    }
+                    _ => {}
+                }
+                k
+            };
+
+            // Advance time (bursts stay on the same page). The gap mean is
+            // recomputed from the remaining span and the observed advance
+            // rate, so the history always reaches `config.end`.
+            let in_burst = burst_left > 0;
+            let same_page = (in_burst && burst_kind == PaymentKind::Mtl)
+                || (kind == PaymentKind::XrpZeroBounce && !zero_outbound)
+                || rng.gen_bool(config.same_page_prob);
+            if !same_page {
+                let remaining_payments = (config.payments - generated).max(1) as f64;
+                let advance_rate =
+                    (advances as f64 / (generated.max(1) as f64)).clamp(0.05, 1.0);
+                let remaining_span = (config.end.seconds().saturating_sub(now.seconds())) as f64;
+                let mean_gap = (remaining_span / (remaining_payments * advance_rate)).max(1.0);
+                let gap = exp_sample(&mut rng, mean_gap).max(page as f64);
+                let quantized = (gap as u64 / page) * page;
+                now = now.plus_seconds(quantized.max(page));
+                advances += 1;
+            }
+            if now > config.end {
+                // Clamp to the last grid-aligned instant inside the window.
+                let span = config.end.seconds() - config.start.seconds();
+                now = RippleTime::from_seconds(config.start.seconds() + span / page * page);
+            }
+            // Snapshot for the Table II replay.
+            if let Some(at) = config.snapshot_at {
+                if snapshot.is_none() && now >= at {
+                    snapshot = Some((at, state.clone()));
+                }
+            }
+            let ledger_seq = ((now.seconds() - config.start.seconds()) / page) as u32 + 1;
+
+            // Offer churn events ride alongside payments.
+            offer_churn.maybe_emit(config, &mm_zipf, &mut rng, now, &mut events);
+
+            // One crafted 44-intermediate payment per history: the lone
+            // outlier on Fig. 6(a)'s x-axis. Fires on the first IOU slot in
+            // the second half of the history.
+            if !probe_emitted && generated >= config.payments / 2 && kind == PaymentKind::Iou {
+                probe_emitted = true;
+                let record = self.gen_long_chain_probe(
+                    &cast, &mut state, &mut events, &mut rng, now, ledger_seq, generated,
+                );
+                events.push(HistoryEvent::Payment(record));
+                generated += 1;
+                continue;
+            }
+
+            let record = match kind {
+                PaymentKind::XrpRegular => {
+                    let onetime = if rng.gen_bool(0.38) {
+                        onetime_counter += 1;
+                        let id = AccountId::from_public_key(
+                            &ripple_crypto::SimKeypair::from_seed(
+                                format!("onetime:{onetime_counter}").as_bytes(),
+                            )
+                            .public_key(),
+                        );
+                        state.create_account(id, Drops::ZERO);
+                        events.push(HistoryEvent::AccountCreated {
+                            account: id,
+                            timestamp: now,
+                        });
+                        Some(id)
+                    } else {
+                        None
+                    };
+                    self.gen_xrp_regular(
+                    &cast,
+                    onetime,
+                    &user_zipf,
+                    &merchant_zipf,
+                    &menus,
+                    &mut habits,
+                    &mut state,
+                    treasury,
+                    &mut rng,
+                    now,
+                    ledger_seq,
+                    generated,
+                )
+                }
+                PaymentKind::XrpSpin => self.gen_spin(
+                    &cast,
+                    &user_zipf,
+                    &mut state,
+                    treasury,
+                    &mut rng,
+                    now,
+                    ledger_seq,
+                    generated,
+                ),
+                PaymentKind::XrpZeroBounce => {
+                    let outbound = zero_outbound;
+                    zero_outbound = !zero_outbound;
+                    self.gen_zero_bounce(
+                        &cast,
+                        outbound,
+                        &mut state,
+                        treasury,
+                        &mut rng,
+                        now,
+                        ledger_seq,
+                        generated,
+                    )
+                }
+                PaymentKind::Mtl => self.gen_mtl(
+                    &cast,
+                    mtl_sink,
+                    &mut state,
+                    &mut events,
+                    &mut rng,
+                    now,
+                    ledger_seq,
+                    generated,
+                ),
+                PaymentKind::Cck => self.gen_iou(
+                    &cast,
+                    Some(Currency::CCK),
+                    &iou_mix,
+                    &user_zipf,
+                    &merchant_zipf,
+                    &mm_zipf,
+                    &parallel_dist,
+                    &menus,
+                    &mut habits,
+                    &rates,
+                    &mut state,
+                    &mut events,
+                    &mut rng,
+                    now,
+                    ledger_seq,
+                    generated,
+                ),
+                PaymentKind::Iou => {
+                    self.gen_iou(
+                        &cast,
+                        None,
+                        &iou_mix,
+                        &user_zipf,
+                        &merchant_zipf,
+                        &mm_zipf,
+                        &parallel_dist,
+                        &menus,
+                        &mut habits,
+                        &rates,
+                        &mut state,
+                        &mut events,
+                        &mut rng,
+                        now,
+                        ledger_seq,
+                        generated,
+                    )
+                }
+            };
+            events.push(HistoryEvent::Payment(record));
+            generated += 1;
+        }
+
+        SynthOutput {
+            events,
+            final_state: state,
+            snapshot,
+            cast,
+            config: config.clone(),
+        }
+    }
+
+    fn kind_budgets(&self) -> KindBudgets {
+        let c = &self.config;
+        let n = c.payments as f64;
+        let xrp_regular =
+            c.xrp_fraction * (1.0 - c.account_zero_fraction - c.spin_fraction).max(0.0);
+        let xrp_zero = c.xrp_fraction * c.account_zero_fraction;
+        let xrp_spin = c.xrp_fraction * c.spin_fraction;
+        let mut counts = vec![
+            (PaymentKind::XrpRegular, (n * xrp_regular) as usize),
+            (PaymentKind::XrpZeroBounce, (n * xrp_zero) as usize),
+            (PaymentKind::XrpSpin, (n * xrp_spin) as usize),
+            (PaymentKind::Mtl, (n * c.mtl_fraction) as usize),
+            (PaymentKind::Cck, (n * c.cck_fraction) as usize),
+            (PaymentKind::Iou, 0),
+        ];
+        let assigned: usize = counts.iter().map(|&(_, k)| k).sum();
+        counts.last_mut().expect("non-empty").1 = c.payments.saturating_sub(assigned);
+        KindBudgets { counts }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gen_xrp_regular(
+        &self,
+        cast: &Cast,
+        onetime: Option<AccountId>,
+        user_zipf: &Zipf,
+        merchant_zipf: &Zipf,
+        menus: &HashMap<AccountId, Vec<Value>>,
+        habits: &mut HashMap<AccountId, Vec<(AccountId, Value)>>,
+        state: &mut LedgerState,
+        treasury: AccountId,
+        rng: &mut StdRng,
+        now: RippleTime,
+        ledger_seq: u32,
+        index: usize,
+    ) -> PaymentRecord {
+        let sender = cast.users[user_zipf.sample(rng)].0;
+        let (destination, amount) = if let Some(fresh) = onetime {
+            // The long tail: an account that receives exactly one payment
+            // ever (new users being activated, one-off counterparties).
+            (fresh, amount_for(Currency::XRP, rng))
+        } else {
+            self.pick_destination_and_amount(
+                cast,
+                sender,
+                Currency::XRP,
+                user_zipf,
+                merchant_zipf,
+                menus,
+                habits,
+                rng,
+            )
+        };
+        let drops = Drops::new(amount.raw().max(1) as u64);
+        top_up_xrp(state, treasury, sender, drops);
+        state
+            .xrp_transfer_unchecked(sender, destination, drops)
+            .expect("topped-up sender can pay");
+        record(index, sender, destination, Currency::XRP, None, amount, now, ledger_seq,
+               PathSummary::direct(), false, None)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gen_spin(
+        &self,
+        cast: &Cast,
+        user_zipf: &Zipf,
+        state: &mut LedgerState,
+        treasury: AccountId,
+        rng: &mut StdRng,
+        now: RippleTime,
+        ledger_seq: u32,
+        index: usize,
+    ) -> PaymentRecord {
+        let sender = cast.users[user_zipf.sample(rng)].0;
+        // Gambling bets come from a small menu of round stakes.
+        const BETS: [u64; 6] = [1, 2, 5, 10, 20, 50];
+        let bet = BETS[rng.gen_range(0..BETS.len())];
+        let drops = Drops::from_xrp(bet);
+        top_up_xrp(state, treasury, sender, drops);
+        state
+            .xrp_transfer_unchecked(sender, cast.spin, drops)
+            .expect("topped-up sender can bet");
+        record(index, sender, cast.spin, Currency::XRP, None, Value::from_int(bet as i64),
+               now, ledger_seq, PathSummary::direct(), false, None)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gen_zero_bounce(
+        &self,
+        cast: &Cast,
+        outbound: bool,
+        state: &mut LedgerState,
+        treasury: AccountId,
+        rng: &mut StdRng,
+        now: RippleTime,
+        ledger_seq: u32,
+        index: usize,
+    ) -> PaymentRecord {
+        // Ping-pong dust between the spammer and ACCOUNT_ZERO (whose secret
+        // key is public — anyone can sign for it). The outbound leg opens a
+        // page; the bounce returns within it.
+        let (sender, destination) = if outbound {
+            (cast.zero_spammer, AccountId::ZERO)
+        } else {
+            (AccountId::ZERO, cast.zero_spammer)
+        };
+        let dust = Value::from_raw(rng.gen_range(1..=10i128)); // 1–10 millionths
+        let drops = Drops::new(dust.raw() as u64);
+        top_up_xrp(state, treasury, sender, drops);
+        state
+            .xrp_transfer_unchecked(sender, destination, drops)
+            .expect("dust fits");
+        record(index, sender, destination, Currency::XRP, None, dust, now, ledger_seq,
+               PathSummary::direct(), false, None)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gen_mtl(
+        &self,
+        cast: &Cast,
+        sink: AccountId,
+        state: &mut LedgerState,
+        events: &mut Vec<HistoryEvent>,
+        rng: &mut StdRng,
+        now: RippleTime,
+        ledger_seq: u32,
+        index: usize,
+    ) -> PaymentRecord {
+        // The spam campaign: amounts around 1e9 MTL, forced through exactly
+        // 8 intermediate hops on exactly 6 parallel paths.
+        let amount = Value::from_f64(rng.gen_range(0.92e9..1.12e9));
+        let share = Value::from_raw(amount.raw() / 6);
+        let mut paths = Vec::with_capacity(6);
+        for chain in &cast.mtl_chains {
+            let mut hops = Vec::with_capacity(chain.len() + 2);
+            hops.push(cast.mtl_attacker);
+            hops.extend_from_slice(chain);
+            hops.push(sink);
+            for pair in hops.windows(2) {
+                ensure_hop(state, events, cast, pair[0], pair[1], Currency::MTL, share, now);
+                state
+                    .ripple_hop(pair[0], pair[1], Currency::MTL, share)
+                    .expect("MTL chain capacity was ensured");
+            }
+            paths.push(chain.clone());
+        }
+        record(index, cast.mtl_attacker, sink, Currency::MTL, Some(cast.mtl_attacker),
+               amount, now, ledger_seq, PathSummary::from_paths(paths), false, None)
+    }
+
+    /// The 44-intermediate curiosity: a deliberately crafted chain through
+    /// 44 fresh accounts (Fig. 6(a) shows exactly one such bin).
+    #[allow(clippy::too_many_arguments)]
+    fn gen_long_chain_probe(
+        &self,
+        cast: &Cast,
+        state: &mut LedgerState,
+        events: &mut Vec<HistoryEvent>,
+        rng: &mut StdRng,
+        now: RippleTime,
+        ledger_seq: u32,
+        index: usize,
+    ) -> PaymentRecord {
+        let sender = cast.users[0].0;
+        let currency = Currency::USD;
+        let amount = amount_for(currency, rng);
+        let mut hops = Vec::with_capacity(44);
+        for i in 0..44 {
+            let id = AccountId::from_public_key(
+                &ripple_crypto::SimKeypair::from_seed(format!("probe:{i}").as_bytes())
+                    .public_key(),
+            );
+            state.create_account(id, Drops::ZERO);
+            events.push(HistoryEvent::AccountCreated {
+                account: id,
+                timestamp: now,
+            });
+            hops.push(id);
+        }
+        let destination = AccountId::from_public_key(
+            &ripple_crypto::SimKeypair::from_seed(b"probe:dest").public_key(),
+        );
+        state.create_account(destination, Drops::ZERO);
+        events.push(HistoryEvent::AccountCreated {
+            account: destination,
+            timestamp: now,
+        });
+        apply_chain(state, events, cast, sender, destination, &hops, currency, amount, now);
+        record(index, sender, destination, currency, hops.last().copied(), amount, now,
+               ledger_seq, PathSummary::from_paths(vec![hops]), false, None)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gen_iou(
+        &self,
+        cast: &Cast,
+        forced_currency: Option<Currency>,
+        iou_mix: &Categorical<Currency>,
+        user_zipf: &Zipf,
+        merchant_zipf: &Zipf,
+        mm_zipf: &Zipf,
+        parallel_dist: &Categorical<usize>,
+        menus: &HashMap<AccountId, Vec<Value>>,
+        habits: &mut HashMap<AccountId, Vec<(AccountId, Value)>>,
+        rates: &RateTable,
+        state: &mut LedgerState,
+        events: &mut Vec<HistoryEvent>,
+        rng: &mut StdRng,
+        now: RippleTime,
+        ledger_seq: u32,
+        index: usize,
+    ) -> PaymentRecord {
+        let config = &self.config;
+        let (sender, sender_community) = cast.users[user_zipf.sample(rng)];
+        let src_currency = cast.community_currency[sender_community];
+        let cross = forced_currency.is_none() && rng.gen_bool(config.cross_currency_prob);
+
+        if !cross && rng.gen_bool(config.same_community_fraction) {
+            // Same community: one (or two) shared-gateway paths.
+            let currency = forced_currency.unwrap_or(src_currency);
+            let (destination, amount) = self.pick_destination_and_amount(
+                cast, sender, currency, user_zipf, merchant_zipf, menus, habits, rng,
+            );
+            let destination = pin_to_community(cast, destination, sender, sender_community, rng);
+            let gws: Vec<AccountId> = cast
+                .community_gateways(sender_community)
+                .map(|g| g.account)
+                .collect();
+            let k = if rng.gen_bool(0.3) { 2.min(gws.len()) } else { 1 };
+            let share = Value::from_raw(amount.raw() / k as i128).max_one();
+            let mut paths = Vec::new();
+            for gw in gws.iter().take(k) {
+                let hops = vec![*gw];
+                apply_chain(state, events, cast, sender, destination, &hops, currency, share, now);
+                paths.push(hops);
+            }
+            return record(index, sender, destination, currency, Some(gws[0]), amount, now,
+                          ledger_seq, PathSummary::from_paths(paths), false, None);
+        }
+
+        // Routed payment (cross-community and/or cross-currency).
+        let (dst_community, dst_currency) = if cross {
+            // A community with a *different* home currency.
+            loop {
+                let c = rng.gen_range(0..cast.community_currency.len());
+                let cur = cast.community_currency[c];
+                if cur != src_currency {
+                    break (c, cur);
+                }
+            }
+        } else {
+            // Same currency, different community (the partner community).
+            match cast.partner_community(sender_community) {
+                Some(c) => (c, forced_currency.unwrap_or(src_currency)),
+                None => (sender_community, forced_currency.unwrap_or(src_currency)),
+            }
+        };
+        // A share of cross-currency traffic delivers one of Figure 4's
+        // long-tail currencies instead of the destination community's home
+        // money (issued on demand by the destination's gateway).
+        let currency = forced_currency.unwrap_or_else(|| {
+            if cross && rng.gen_bool(0.45) {
+                let tail = *iou_mix.sample(rng);
+                if tail == src_currency {
+                    dst_currency
+                } else {
+                    tail
+                }
+            } else {
+                dst_currency
+            }
+        });
+        let (destination, amount) = self.pick_destination_and_amount(
+            cast, sender, currency, user_zipf, merchant_zipf, menus, habits, rng,
+        );
+        let destination = pin_to_community(cast, destination, sender, dst_community, rng);
+
+        let gw_a = cast
+            .community_gateways(sender_community)
+            .map(|g| g.account)
+            .next()
+            .expect("communities have gateways");
+        let gw_b = cast
+            .community_gateways(dst_community)
+            .map(|g| g.account)
+            .next()
+            .expect("communities have gateways");
+
+        // Hub route for the hub-covered same-currency pair, sometimes.
+        let hub_possible = !cross
+            && cast.in_hub_region(sender_community)
+            && cast.in_hub_region(dst_community)
+            && sender_community != dst_community;
+        let k = *parallel_dist.sample(rng);
+        let share = Value::from_raw(amount.raw() / k as i128).max_one();
+        let src_amount = if cross {
+            convert(rates, currency, src_currency, amount)
+        } else {
+            amount
+        };
+        let src_share = Value::from_raw(src_amount.raw() / k as i128).max_one();
+
+        // Route depth: the number of intermediate hops, drawn from the
+        // decreasing trend of Fig. 6(a) (the 8-hop spike is the MTL
+        // campaign, generated separately; a tail reaches 11).
+        let depth = sample_route_depth(rng);
+
+        let mut paths = Vec::with_capacity(k);
+        for slot in 0..k {
+            let connector = if hub_possible && slot < 2 && rng.gen_bool(0.4) {
+                cast.hubs[slot % 2]
+            } else {
+                cast.market_makers[mm_zipf.sample(rng)]
+            };
+            // Build `depth` intermediates around the converting connector:
+            //   1 => [conn]
+            //   2 => [gwA, conn]
+            //   d => [gwA, conn, (extra connectors…), gwB]
+            let mut hops: Vec<AccountId> = Vec::with_capacity(depth);
+            if depth >= 2 {
+                hops.push(gw_a);
+            }
+            hops.push(connector);
+            if depth >= 3 {
+                let mut extras = depth - 3;
+                while extras > 0 {
+                    let extra = cast.market_makers[mm_zipf.sample(rng)];
+                    if !hops.contains(&extra) {
+                        hops.push(extra);
+                        extras -= 1;
+                    }
+                }
+                if gw_b != gw_a && !hops.contains(&gw_b) {
+                    hops.push(gw_b);
+                } else {
+                    // Degenerate same-gateway pair: pad with one more
+                    // connector to keep the drawn depth.
+                    let mut pad = cast.market_makers[mm_zipf.sample(rng)];
+                    while hops.contains(&pad) {
+                        pad = cast.market_makers[mm_zipf.sample(rng)];
+                    }
+                    hops.push(pad);
+                }
+            }
+            // Execute: the source-currency legs run sender→…→connector; the
+            // delivered-currency legs run connector→…→destination. The
+            // connector (Market Maker or hub) converts internally.
+            let conv_at = hops
+                .iter()
+                .position(|h| *h == connector)
+                .expect("connector is on the path");
+            let mut full = Vec::with_capacity(hops.len() + 2);
+            full.push(sender);
+            full.extend_from_slice(&hops);
+            full.push(destination);
+            for (i, pair) in full.windows(2).enumerate() {
+                let (cur, amt) = if cross && i <= conv_at {
+                    (src_currency, src_share)
+                } else {
+                    (currency, share)
+                };
+                ensure_hop(state, events, cast, pair[0], pair[1], cur, amt, now);
+                state
+                    .ripple_hop(pair[0], pair[1], cur, amt)
+                    .expect("capacity was ensured");
+            }
+            paths.push(hops);
+        }
+
+        record(
+            index,
+            sender,
+            destination,
+            currency,
+            Some(gw_b),
+            amount,
+            now,
+            ledger_seq,
+            PathSummary::from_paths(paths),
+            cross,
+            cross.then_some(src_currency),
+        )
+    }
+
+    /// Picks a destination and amount, applying merchant menus and repeat
+    /// habits (the structure the de-anonymization study exploits).
+    #[allow(clippy::too_many_arguments)]
+    fn pick_destination_and_amount(
+        &self,
+        cast: &Cast,
+        sender: AccountId,
+        currency: Currency,
+        user_zipf: &Zipf,
+        merchant_zipf: &Zipf,
+        menus: &HashMap<AccountId, Vec<Value>>,
+        habits: &mut HashMap<AccountId, Vec<(AccountId, Value)>>,
+        rng: &mut StdRng,
+    ) -> (AccountId, Value) {
+        // Habit: repeat a previous (destination, amount) pair exactly.
+        if let Some(pairs) = habits.get(&sender) {
+            if !pairs.is_empty() && rng.gen_bool(self.config.habit_prob) {
+                let &(dest, amount) = &pairs[rng.gen_range(0..pairs.len())];
+                if dest != sender {
+                    return (dest, amount);
+                }
+            }
+        }
+        let merchant = !cast.merchants.is_empty() && rng.gen_bool(0.4);
+        let (dest, amount) = if merchant {
+            let (m, _) = cast.merchants[merchant_zipf.sample(rng)];
+            let menu = &menus[&m];
+            (m, menu[rng.gen_range(0..menu.len())])
+        } else {
+            let mut dest = cast.users[user_zipf.sample(rng)].0;
+            let mut guard = 0;
+            while dest == sender {
+                dest = cast.users[(user_zipf.sample(rng) + guard) % cast.users.len()].0;
+                guard += 1;
+                if guard > cast.users.len() {
+                    break;
+                }
+            }
+            (dest, amount_for(currency, rng))
+        };
+        let entry = habits.entry(sender).or_default();
+        if entry.len() < 3 {
+            entry.push((dest, amount));
+        }
+        (dest, amount)
+    }
+}
+
+/// Remaining payment counts per kind; sampling is weighted by what's left,
+/// so the generated history hits each fraction exactly.
+#[derive(Debug)]
+struct KindBudgets {
+    counts: Vec<(PaymentKind, usize)>,
+}
+
+impl KindBudgets {
+    /// Consumes one unit of `kind`'s budget, if any remains.
+    fn take(&mut self, kind: PaymentKind) -> bool {
+        for (k, left) in &mut self.counts {
+            if *k == kind && *left > 0 {
+                *left -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Draws a kind weighted by remaining budgets (consuming one unit).
+    fn draw(&mut self, rng: &mut StdRng) -> PaymentKind {
+        let total: usize = self.counts.iter().map(|&(_, left)| left).sum();
+        if total == 0 {
+            return PaymentKind::Iou;
+        }
+        let mut r = rng.gen_range(0..total);
+        for (kind, left) in &mut self.counts {
+            if r < *left {
+                *left -= 1;
+                return *kind;
+            }
+            r -= *left;
+        }
+        unreachable!("weighted draw stays within total")
+    }
+}
+
+trait MaxOne {
+    fn max_one(self) -> Self;
+}
+
+impl MaxOne for Value {
+    /// Clamps to at least one millionth (shares of tiny amounts must stay
+    /// positive).
+    fn max_one(self) -> Value {
+        if self.raw() < 1 {
+            Value::from_raw(1)
+        } else {
+            self
+        }
+    }
+}
+
+/// Route-depth model for routed IOU payments: a decreasing trend over
+/// 1–7 intermediates with a thin tail to 11 (Fig. 6(a), MTL excluded).
+fn sample_route_depth(rng: &mut StdRng) -> usize {
+    let u: f64 = rng.gen();
+    match u {
+        x if x < 0.34 => 1,
+        x if x < 0.60 => 2,
+        x if x < 0.78 => 3,
+        x if x < 0.90 => 4,
+        x if x < 0.96 => 5,
+        x if x < 0.985 => 6,
+        x if x < 0.995 => 7,
+        x if x < 0.9975 => 9,
+        x if x < 0.999 => 10,
+        _ => 11,
+    }
+}
+
+/// Per-currency amount models (Fig. 5's survival-function shapes).
+fn amount_for(currency: Currency, rng: &mut StdRng) -> Value {
+    let sample = |rng: &mut StdRng, median: f64, sigma: f64| {
+        LogNormal::with_median(median, sigma).sample(rng)
+    };
+    let v = match currency {
+        Currency::XRP => sample(rng, 25.0, 2.2),
+        Currency::BTC => sample(rng, 0.02, 1.8),
+        Currency::CCK => sample(rng, 0.004, 1.3),
+        Currency::USD | Currency::EUR => sample(rng, 40.0, 1.7),
+        Currency::CNY => sample(rng, 200.0, 1.7),
+        Currency::JPY => sample(rng, 4_000.0, 1.7),
+        Currency::GBP => sample(rng, 30.0, 1.7),
+        Currency::KRW => sample(rng, 40_000.0, 1.7),
+        Currency::AUD => sample(rng, 50.0, 1.7),
+        Currency::MTL => rng.gen_range(0.92e9..1.12e9),
+        _ => sample(rng, 20.0, 2.0),
+    };
+    Value::from_f64(v.clamp(0.000001, 1e12)).max_one()
+}
+
+fn convert(rates: &RateTable, from: Currency, to: Currency, amount: Value) -> Value {
+    match rates.cross(from, to) {
+        Some(rate) => rate.apply(amount).max_one(),
+        None => amount,
+    }
+}
+
+fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+fn top_up_xrp(state: &mut LedgerState, treasury: AccountId, account: AccountId, need: Drops) {
+    let balance = state
+        .account(&account)
+        .map(|r| r.balance)
+        .unwrap_or(Drops::ZERO);
+    if balance.as_drops() < need.as_drops().saturating_mul(2) {
+        let top_up = Drops::new(need.as_drops().saturating_mul(50).max(1_000_000));
+        state
+            .xrp_transfer_unchecked(treasury, account, top_up)
+            .expect("treasury holds the float");
+    }
+}
+
+/// Guarantees that the hop `from -> to` can carry `amount` of `currency`:
+/// deposits are topped up when the receiving side is a gateway (gateways do
+/// not extend trust), and trust limits are raised organically otherwise.
+#[allow(clippy::too_many_arguments)]
+fn ensure_hop(
+    state: &mut LedgerState,
+    events: &mut Vec<HistoryEvent>,
+    cast: &Cast,
+    from: AccountId,
+    to: AccountId,
+    currency: Currency,
+    amount: Value,
+    now: RippleTime,
+) {
+    let capacity = state.hop_capacity(from, to, currency);
+    if capacity >= amount {
+        return;
+    }
+    let shortfall = amount - capacity;
+    let is_gateway = cast.gateways.iter().any(|g| g.account == to);
+    if is_gateway {
+        // `from` deposits at the gateway: the gateway issues IOUs to `from`
+        // (needs `from` to trust the gateway in this currency).
+        let boost = Value::from_raw(shortfall.raw().saturating_mul(50)).max_one();
+        let limit = state.trust_limit(from, to, currency);
+        let claim = state.iou_balance(from, to, currency);
+        if limit - claim < boost {
+            let new_limit = (claim + boost + boost).max_one();
+            state
+                .set_trust(from, to, currency, new_limit)
+                .expect("parties exist");
+            events.push(HistoryEvent::TrustSet {
+                truster: from,
+                trustee: to,
+                currency,
+                limit: new_limit,
+                timestamp: now,
+            });
+        }
+        state
+            .ripple_hop(to, from, currency, boost)
+            .expect("trust was just raised");
+    } else {
+        // Raise `to`'s declared trust in `from` (organic trust growth).
+        let claim = state.iou_balance(to, from, currency);
+        let new_limit = (claim + Value::from_raw(amount.raw().saturating_mul(50))).max_one();
+        state
+            .set_trust(to, from, currency, new_limit)
+            .expect("parties exist");
+        events.push(HistoryEvent::TrustSet {
+            truster: to,
+            trustee: from,
+            currency,
+            limit: new_limit,
+            timestamp: now,
+        });
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply_chain(
+    state: &mut LedgerState,
+    events: &mut Vec<HistoryEvent>,
+    cast: &Cast,
+    sender: AccountId,
+    destination: AccountId,
+    hops: &[AccountId],
+    currency: Currency,
+    amount: Value,
+    now: RippleTime,
+) {
+    let mut full = Vec::with_capacity(hops.len() + 2);
+    full.push(sender);
+    full.extend_from_slice(hops);
+    full.push(destination);
+    for pair in full.windows(2) {
+        ensure_hop(state, events, cast, pair[0], pair[1], currency, amount, now);
+        state
+            .ripple_hop(pair[0], pair[1], currency, amount)
+            .expect("capacity was ensured");
+    }
+}
+
+fn pin_to_community(
+    cast: &Cast,
+    candidate: AccountId,
+    exclude: AccountId,
+    community: usize,
+    rng: &mut StdRng,
+) -> AccountId {
+    // Keep merchants/users already in the community; otherwise draw a
+    // member of the community.
+    let in_community = cast
+        .users
+        .iter()
+        .chain(cast.merchants.iter())
+        .any(|&(a, c)| a == candidate && c == community);
+    if in_community && candidate != exclude {
+        return candidate;
+    }
+    let members: Vec<AccountId> = cast
+        .users
+        .iter()
+        .chain(cast.merchants.iter())
+        .filter(|&&(_, c)| c == community)
+        .map(|&(a, _)| a)
+        .collect();
+    let members: Vec<AccountId> = members.into_iter().filter(|&a| a != exclude).collect();
+    if members.is_empty() {
+        candidate
+    } else {
+        members[rng.gen_range(0..members.len())]
+    }
+}
+
+fn build_menus(cast: &Cast, rng: &mut StdRng) -> HashMap<AccountId, Vec<Value>> {
+    let mut menus = HashMap::new();
+    for &(m, community) in &cast.merchants {
+        let currency = cast.community_currency[community];
+        let base = amount_for(currency, rng);
+        // Three fixed menu prices at quarter-unit granularity.
+        let prices: Vec<Value> = (1..=3)
+            .map(|k| {
+                let scaled = base.raw() * k as i128 / 2;
+                let quarter = 250_000i128; // 0.25 in micro-units
+                Value::from_raw(((scaled / quarter).max(1)) * quarter)
+            })
+            .collect();
+        menus.insert(m, prices);
+    }
+    menus
+}
+
+fn place_resident_offers(
+    config: &SynthConfig,
+    cast: &Cast,
+    rates: &RateTable,
+    state: &mut LedgerState,
+    events: &mut Vec<HistoryEvent>,
+    rng: &mut StdRng,
+) {
+    let majors = [Currency::USD, Currency::EUR, Currency::BTC, Currency::CNY];
+    for (m, &mm) in cast.market_makers.iter().enumerate() {
+        // Each maker rests a handful of deep quotes; more for top ranks.
+        let quotes = if m < 10 { 4 } else { 2 };
+        for q in 0..quotes {
+            let base = majors[(m + q) % majors.len()];
+            let quote_cur = if q % 2 == 0 {
+                Currency::XRP
+            } else {
+                majors[(m + q + 1) % majors.len()]
+            };
+            if base == quote_cur {
+                continue;
+            }
+            let Some(mid) = rates.cross(base, quote_cur) else {
+                continue;
+            };
+            let spread_bps = rng.gen_range(10..120);
+            let rate = mid.compose(&Rate::new(10_000 + spread_bps, 10_000));
+            let gets = Value::from_int(1_000_000_000);
+            let pays = rate.apply(gets);
+            let offer_seq = (m * 10 + q) as u32 + 1;
+            state
+                .place_offer(
+                    mm,
+                    offer_seq,
+                    ripple_ledger::IouAmount::new(gets, base, mm).into(),
+                    ripple_ledger::IouAmount::new(pays, quote_cur, mm).into(),
+                )
+                .expect("maker account exists");
+            events.push(HistoryEvent::OfferPlaced {
+                owner: mm,
+                offer_seq,
+                base,
+                quote: quote_cur,
+                gets,
+                pays,
+                timestamp: config.start,
+            });
+        }
+    }
+}
+
+/// Offer churn: archived offer placements following the Zipf concentration
+/// the paper measures (top-10 makers ⇒ 50% of offers).
+#[derive(Debug)]
+struct OfferChurn {
+    pairs: Vec<(Currency, Currency)>,
+    makers: Vec<AccountId>,
+    rates: RateTable,
+}
+
+impl OfferChurn {
+    fn new(_config: &SynthConfig, cast: &Cast, rates: &RateTable) -> OfferChurn {
+        let majors = [Currency::USD, Currency::EUR, Currency::BTC, Currency::CNY];
+        let mut pairs = Vec::new();
+        for &a in &majors {
+            pairs.push((a, Currency::XRP));
+            for &b in &majors {
+                if a != b {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        OfferChurn {
+            pairs,
+            makers: cast.market_makers.clone(),
+            rates: rates.clone(),
+        }
+    }
+
+    fn maybe_emit(
+        &self,
+        config: &SynthConfig,
+        mm_zipf: &Zipf,
+        rng: &mut StdRng,
+        now: RippleTime,
+        events: &mut Vec<HistoryEvent>,
+    ) {
+        let mut budget = config.offers_per_payment;
+        while budget > 0.0 {
+            if budget < 1.0 && !rng.gen_bool(budget) {
+                break;
+            }
+            budget -= 1.0;
+            let owner = self.makers[mm_zipf.sample(rng)];
+            let (base, quote) = self.pairs[rng.gen_range(0..self.pairs.len())];
+            let Some(mid) = self.rates.cross(base, quote) else {
+                continue;
+            };
+            let spread = Rate::new(10_000 + rng.gen_range(5..200), 10_000);
+            let rate = mid.compose(&spread);
+            let gets = Value::from_f64(LogNormal::with_median(500.0, 1.5).sample(rng));
+            let pays = rate.apply(gets.max_one());
+            events.push(HistoryEvent::OfferPlaced {
+                owner,
+                offer_seq: rng.gen::<u32>() | 1,
+                base,
+                quote,
+                gets: gets.max_one(),
+                pays: pays.max_one(),
+                timestamp: now,
+            });
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record(
+    index: usize,
+    sender: AccountId,
+    destination: AccountId,
+    currency: Currency,
+    issuer: Option<AccountId>,
+    amount: Value,
+    timestamp: RippleTime,
+    ledger_seq: u32,
+    paths: PathSummary,
+    cross_currency: bool,
+    source_currency: Option<Currency>,
+) -> PaymentRecord {
+    PaymentRecord {
+        tx_hash: sha512_half(format!("synth-tx:{index}").as_bytes()),
+        sender,
+        destination,
+        currency,
+        issuer,
+        amount,
+        timestamp,
+        ledger_seq,
+        paths,
+        cross_currency,
+        source_currency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_output(payments: usize, seed: u64) -> SynthOutput {
+        let config = SynthConfig {
+            seed,
+            ..SynthConfig::small(payments)
+        };
+        Generator::new(config).run()
+    }
+
+    #[test]
+    fn generates_exactly_n_payments() {
+        let out = small_output(500, 1);
+        assert_eq!(out.payments().count(), 500);
+    }
+
+    #[test]
+    fn timestamps_are_monotone_and_page_aligned() {
+        let out = small_output(400, 2);
+        let mut prev = RippleTime::EPOCH;
+        for p in out.payments() {
+            assert!(p.timestamp >= prev, "timestamps must be non-decreasing");
+            assert_eq!(
+                (p.timestamp.seconds() - out.config.start.seconds()) % 5,
+                0,
+                "timestamps sit on the page grid"
+            );
+            prev = p.timestamp;
+        }
+    }
+
+    #[test]
+    fn currency_mix_matches_fractions() {
+        let out = small_output(3_000, 3);
+        let total = out.payments().count() as f64;
+        let xrp = out.payments().filter(|p| p.currency.is_xrp()).count() as f64;
+        let mtl = out
+            .payments()
+            .filter(|p| p.currency == Currency::MTL)
+            .count() as f64;
+        assert!((xrp / total - 0.49).abs() < 0.06, "xrp = {}", xrp / total);
+        assert!((mtl / total - 0.14).abs() < 0.05, "mtl = {}", mtl / total);
+    }
+
+    #[test]
+    fn mtl_payments_have_eight_hops_six_paths() {
+        let out = small_output(1_000, 4);
+        let mtl: Vec<&PaymentRecord> = out
+            .payments()
+            .filter(|p| p.currency == Currency::MTL)
+            .collect();
+        assert!(!mtl.is_empty());
+        for p in mtl {
+            assert_eq!(p.paths.parallel_paths(), 6);
+            assert_eq!(p.paths.max_intermediate_hops(), 8);
+            assert!(p.amount >= Value::from_int(500_000_000));
+        }
+    }
+
+    #[test]
+    fn iou_payments_ride_trust_paths() {
+        let out = small_output(1_000, 5);
+        let multi = out.payments().filter(|p| p.paths.is_multi_hop()).count();
+        assert!(multi > 200, "multi-hop = {multi}");
+        // And the ledger shows real debt movement.
+        let total_usd: Value = out
+            .cast
+            .users
+            .iter()
+            .map(|&(u, _)| out.final_state.net_position(u, Currency::USD))
+            .sum();
+        let _ = total_usd; // positions exist; detailed checks in analytics
+    }
+
+    #[test]
+    fn cross_currency_fraction_is_respected() {
+        let out = small_output(2_000, 6);
+        let iou: Vec<&PaymentRecord> = out
+            .payments()
+            .filter(|p| !p.currency.is_xrp() && p.currency != Currency::MTL && p.currency != Currency::CCK)
+            .collect();
+        let cross = iou.iter().filter(|p| p.cross_currency).count() as f64;
+        let frac = cross / iou.len().max(1) as f64;
+        assert!((frac - 0.65).abs() < 0.1, "cross fraction = {frac}");
+    }
+
+    #[test]
+    fn snapshot_is_taken_when_configured() {
+        let out = small_output(800, 7);
+        let (at, snap) = out.snapshot.as_ref().expect("snapshot inside window");
+        assert_eq!(at.to_string(), "2015-02-01 00:00:00");
+        assert!(snap.account_count() > 100);
+        // Payments exist on both sides of the snapshot.
+        let before = out.payments().filter(|p| p.timestamp < *at).count();
+        let after = out.payments().filter(|p| p.timestamp >= *at).count();
+        assert!(before > 0 && after > 0, "before={before} after={after}");
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let a = small_output(300, 8);
+        let b = small_output(300, 8);
+        assert_eq!(a.events.len(), b.events.len());
+        let pa: Vec<_> = a.payments().collect();
+        let pb: Vec<_> = b.payments().collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn habits_repeat_destination_amount_pairs() {
+        let out = small_output(3_000, 9);
+        use std::collections::HashMap;
+        let mut by_fingerprint: HashMap<(AccountId, AccountId, String), usize> = HashMap::new();
+        for p in out.payments() {
+            *by_fingerprint
+                .entry((p.sender, p.destination, p.amount.to_string()))
+                .or_insert(0) += 1;
+        }
+        let repeats = by_fingerprint.values().filter(|&&c| c > 1).count();
+        assert!(repeats > 20, "habit repeats = {repeats}");
+    }
+
+    #[test]
+    fn archive_round_trips() {
+        let out = small_output(200, 10);
+        let mut buf = Vec::new();
+        let n = out.write_archive(&mut buf).unwrap();
+        assert_eq!(n as usize, out.events.len());
+        let back = ripple_store::Reader::new(buf.as_slice())
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(back.len(), out.events.len());
+    }
+
+    #[test]
+    fn offer_events_are_emitted() {
+        let out = small_output(500, 11);
+        let offers = out
+            .events
+            .iter()
+            .filter(|e| matches!(e, HistoryEvent::OfferPlaced { .. }))
+            .count();
+        assert!(offers > 300, "offers = {offers}");
+    }
+}

@@ -1,0 +1,88 @@
+//! The §III.C financial bot: scan the order books for price skew, execute
+//! the risk-free cycle, watch the gap close.
+//!
+//! "Ripple users can also try to take advantage of the exchange offers,
+//! exploiting the price skew between two or more markets. […] Arbitrage is
+//! allowed by design in the Ripple exchange system and can also be
+//! performed automatically, for example by a financial bot."
+//!
+//! ```text
+//! cargo run --release --example arbitrage_bot
+//! ```
+
+use ripple_core::ledger::Currency;
+use ripple_core::orderbook::{
+    execute_two_leg, find_triangular, find_two_leg, BookSet, Rate,
+};
+use ripple_core::AccountId;
+
+fn main() {
+    // Market makers with slightly inconsistent quotes.
+    let mut books = BookSet::new();
+    let mm = |n: u8| AccountId::from_bytes([n; 20]);
+
+    // EUR/USD: one maker sells EUR at 1.02 USD…
+    books
+        .book_mut(Currency::EUR, Currency::USD)
+        .insert(mm(1), 1, "5000".parse().unwrap(), Rate::new(102, 100));
+    // …while another effectively *buys* EUR at 1.08 (sells USD at 0.925).
+    books
+        .book_mut(Currency::USD, Currency::EUR)
+        .insert(mm(2), 1, "5000".parse().unwrap(), Rate::new(925, 1000));
+    // And a BTC triangle with a small skew.
+    books
+        .book_mut(Currency::BTC, Currency::USD)
+        .insert(mm(3), 1, "10".parse().unwrap(), Rate::new(230, 1));
+    books
+        .book_mut(Currency::EUR, Currency::BTC)
+        .insert(mm(4), 1, "3000".parse().unwrap(), Rate::new(45, 10_000));
+    books
+        .book_mut(Currency::USD, Currency::EUR)
+        .insert(mm(5), 2, "3000".parse().unwrap(), Rate::new(93, 100));
+
+    println!("scanning for two-leg skews...");
+    let currencies = [Currency::USD, Currency::EUR, Currency::BTC];
+    for op in find_two_leg(&books, &currencies) {
+        let cycle: Vec<String> = op.cycle.iter().map(|c| c.to_string()).collect();
+        println!(
+            "  {}: {:.2}% per round trip",
+            cycle.join(" -> "),
+            op.profit_rate() * 100.0
+        );
+    }
+    println!("\nscanning for triangles...");
+    for op in find_triangular(&books, &currencies).iter().take(3) {
+        let cycle: Vec<String> = op.cycle.iter().map(|c| c.to_string()).collect();
+        println!(
+            "  {}: {:.2}% per round trip",
+            cycle.join(" -> "),
+            op.profit_rate() * 100.0
+        );
+    }
+
+    println!("\nexecuting the EUR/USD cycle with a 2000 USD budget...");
+    match execute_two_leg(&mut books, Currency::EUR, Currency::USD, "2000".parse().unwrap()) {
+        Some(result) => {
+            println!(
+                "  spent {} USD, received {} USD -> profit {} USD",
+                result.spent,
+                result.received,
+                result.profit()
+            );
+        }
+        None => println!("  no profitable size at the top of the books"),
+    }
+
+    println!("\nre-scanning after execution...");
+    let remaining = find_two_leg(&books, &currencies);
+    if remaining.is_empty() {
+        println!("  the gap is closed — arbitrage priced the books back in line.");
+    } else {
+        for op in &remaining {
+            println!(
+                "  residue: {:.3}% (thinner top-of-book)",
+                op.profit_rate() * 100.0
+            );
+        }
+    }
+}

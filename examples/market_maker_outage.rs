@@ -1,0 +1,58 @@
+//! Reproduces the paper's Table II: what fraction of payments still
+//! delivers if every Market Maker disappears?
+//!
+//! The experiment takes a snapshot of the network, strips all exchange
+//! offers, severs the Market-Maker accounts from the trust graph, and
+//! replays the post-snapshot payment window with live balance updates.
+//!
+//! ```text
+//! cargo run --release --example market_maker_outage
+//! ```
+
+use ripple_core::analytics::mm_removal::control_replay;
+use ripple_core::{Currency, Study, SynthConfig};
+
+fn main() {
+    println!("generating history (40k payments)...");
+    let config = SynthConfig {
+        payments: 40_000,
+        ..SynthConfig::default()
+    };
+    let study = Study::generate(config);
+
+    let report = study
+        .table2()
+        .expect("the default window contains the February-2015 snapshot");
+
+    println!(
+        "\nsnapshot replay: {} offers stripped, {} Market Makers severed\n",
+        report.offers_stripped, report.makers_severed
+    );
+    print!("{}", report.stats.to_table());
+    println!("\npaper's Table II: cross 0.0%, single 36.1%, total 11.2%");
+
+    // Control: the same window on the untouched snapshot.
+    let (at, snapshot) = study.output().snapshot.as_ref().expect("snapshot exists");
+    let window: Vec<_> = study
+        .output()
+        .payments()
+        .filter(|p| {
+            p.timestamp >= *at
+                && !p.currency.is_xrp()
+                && p.currency != Currency::MTL
+                && p.currency != Currency::CCK
+        })
+        .cloned()
+        .collect();
+    let control = control_replay(snapshot, window.iter());
+    println!(
+        "\ncontrol (Market Makers intact): {:.1}% of the same window delivers",
+        control.total_rate() * 100.0
+    );
+    println!(
+        "=> \"Market Makers are crucial for the Ripple exchange\n   \
+         infrastructure\" — without them, even {:.0}% of single-currency\n   \
+         traffic strands.",
+        (1.0 - report.stats.single_rate()) * 100.0
+    );
+}

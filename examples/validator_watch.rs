@@ -1,0 +1,72 @@
+//! Reproduces the paper's §IV measurement: subscribe to the validation
+//! stream across three two-week windows and count, per validator, how many
+//! pages it signed and how many made the main ledger — then inject the
+//! failure the paper worries about (compromising the core validators).
+//!
+//! ```text
+//! cargo run --release --example validator_watch
+//! ```
+
+use ripple_core::consensus::metrics::{persistent_actives, total_observed};
+use ripple_core::consensus::{Campaign, CollectionPeriod};
+
+fn main() {
+    let rounds = 10_000; // the real captures span ~250k rounds
+    let seed = 7;
+
+    let mut reports = Vec::new();
+    for period in CollectionPeriod::all() {
+        let outcome = period.run(rounds, seed);
+        let report = outcome.report();
+        println!("== {} ==", period.name());
+        println!(
+            "observed: {} validators | active: {} | signing-but-never-valid: {}",
+            report.observed(),
+            report.active(0.5).len(),
+            report.never_valid().len()
+        );
+        // The five busiest rows, like squinting at Figure 2's tallest bars.
+        let mut rows = report.rows.clone();
+        rows.sort_by_key(|row| std::cmp::Reverse(row.valid));
+        for row in rows.iter().take(5) {
+            println!(
+                "  {:<24} total {:>7}  valid {:>7} ({:>5.1}%)",
+                row.label,
+                row.total,
+                row.valid,
+                row.valid_fraction() * 100.0
+            );
+        }
+        println!();
+        reports.push(report);
+    }
+
+    let refs: Vec<_> = reports.iter().collect();
+    println!(
+        "persistent active contributors across all periods: {} (paper: 9)",
+        persistent_actives(&refs, 0.0).len()
+    );
+    println!(
+        "distinct validators across periods: {} (paper: ~70)\n",
+        total_observed(&refs)
+    );
+
+    // Failure injection: the paper's concern made concrete. Take two of the
+    // five Ripple Labs validators offline mid-capture and watch rounds fail.
+    println!("== failure injection: R1 and R2 compromised for 2k rounds ==");
+    let campaign = Campaign::new(CollectionPeriod::December2015.validators())
+        .with_outage(0, 4_000..6_000)
+        .with_outage(1, 4_000..6_000);
+    let outcome = campaign.run(rounds, seed);
+    println!(
+        "rounds: {} | failed (no 80% quorum): {} ({:.1}%)",
+        outcome.rounds,
+        outcome.failed_rounds,
+        outcome.failed_rounds as f64 / outcome.rounds as f64 * 100.0
+    );
+    println!(
+        "=> a two-validator outage stalled the ledger for {} rounds — the\n   \
+         concentration §IV measures is a real availability risk.",
+        outcome.failed_rounds
+    );
+}

@@ -1,0 +1,104 @@
+//! The de-anonymization attack end to end, against the synthetic history:
+//! observe one payment, recover the sender, unroll the profile.
+
+use ripple_core::deanon::{sender_information_gain, Observation, ResolutionSpec, TimeResolution};
+use ripple_core::{Study, SynthConfig};
+
+fn study() -> Study {
+    Study::generate(SynthConfig {
+        seed: 2_718,
+        ..SynthConfig::small(8_000)
+    })
+}
+
+#[test]
+fn observing_random_payments_recovers_their_senders() {
+    let study = study();
+    let index = study.attack_index(ResolutionSpec::full());
+    let payments = study.payments();
+    let mut exact = 0;
+    let mut probed = 0;
+    // Probe every 37th payment as the "overheard" one.
+    for payment in payments.iter().step_by(37) {
+        probed += 1;
+        let candidates = index.query(&Observation::of(payment));
+        assert!(
+            candidates.contains(&payment.sender),
+            "the true sender is always among the candidates"
+        );
+        if candidates.len() == 1 {
+            exact += 1;
+        }
+    }
+    let rate = exact as f64 / probed as f64;
+    assert!(
+        rate > 0.95,
+        "almost every observation pins a single sender: {rate} over {probed}"
+    );
+}
+
+#[test]
+fn profile_reconstructs_full_history_of_heavy_sender() {
+    let study = study();
+    let index = study.attack_index(ResolutionSpec::full());
+    // The busiest sender in the history.
+    let mut counts = std::collections::HashMap::new();
+    for p in study.payments() {
+        *counts.entry(p.sender).or_insert(0u64) += 1;
+    }
+    let (&busiest, &sent) = counts.iter().max_by_key(|&(_, c)| *c).unwrap();
+    let profile = index.profile(busiest);
+    assert_eq!(profile.payments_sent, sent, "profile covers every payment");
+    assert!(profile.first_seen.unwrap() <= profile.last_seen.unwrap());
+    assert!(!profile.top_destinations.is_empty());
+    assert!(!profile.sent_by_currency.is_empty());
+}
+
+#[test]
+fn coarse_observations_still_find_candidates() {
+    // The attacker only knows the day, not the second.
+    let study = study();
+    let spec = ResolutionSpec {
+        time: Some(TimeResolution::Days),
+        ..ResolutionSpec::full()
+    };
+    let index = study.attack_index(spec);
+    let payments = study.payments();
+    let target = payments[payments.len() / 2];
+    let candidates = index.query(&Observation::of(target));
+    assert!(
+        candidates.contains(&target.sender),
+        "day-level observation still shortlists the sender"
+    );
+}
+
+#[test]
+fn sender_metric_dominates_strict_metric_on_real_history() {
+    let study = study();
+    let payments = study.payments();
+    for (label, spec) in ResolutionSpec::figure3_rows() {
+        let strict = ripple_core::deanon::information_gain(payments.iter().copied(), spec);
+        let sender = sender_information_gain(payments.iter().copied(), spec);
+        assert!(
+            sender.fraction() >= strict.fraction() - 1e-12,
+            "{label}: sender IG {} < strict IG {}",
+            sender.fraction(),
+            strict.fraction()
+        );
+    }
+}
+
+#[test]
+fn removing_observation_fields_grows_candidate_sets() {
+    let study = study();
+    let payments = study.payments();
+    let target = payments[payments.len() / 3];
+    let full_index = study.attack_index(ResolutionSpec::full());
+    let no_dest_index = study.attack_index(ResolutionSpec {
+        destination: false,
+        ..ResolutionSpec::full()
+    });
+    let full = full_index.query(&Observation::of(target)).len();
+    let loose = no_dest_index.query(&Observation::of(target)).len();
+    assert!(loose >= full, "dropping a field cannot shrink the candidate set");
+}

@@ -1,0 +1,170 @@
+//! Cross-crate consensus tests: the §IV measurement pipeline end to end,
+//! plus protocol-level failure injection through the message-level engine.
+
+use std::collections::BTreeSet;
+
+use ripple_core::consensus::metrics::{persistent_actives, total_observed};
+use ripple_core::consensus::rounds::{page_hash, RoundEngine};
+use ripple_core::consensus::validator::{Validator, ValidatorProfile};
+use ripple_core::consensus::{Campaign, CollectionPeriod};
+use ripple_core::netsim::NodeId;
+
+#[test]
+fn three_periods_reproduce_figure2_narrative() {
+    let rounds = 2_000;
+    let outcomes: Vec<_> = CollectionPeriod::all()
+        .iter()
+        .map(|p| (p.name(), p.run(rounds, 17)))
+        .collect();
+    let reports: Vec<_> = outcomes.iter().map(|(_, o)| o.report()).collect();
+
+    // December 2015: 3 active non-Labs, 21 signing-but-never-valid.
+    let dec = &reports[0];
+    assert_eq!(dec.observed(), 34);
+    assert_eq!(dec.active(0.5).len(), 8, "R1-R5 plus 3 actives");
+    assert_eq!(dec.never_valid().len(), 21);
+
+    // July 2016: 10 active non-Labs; 5 test-net validators sign in volume
+    // with zero valid pages.
+    let jul = &reports[1];
+    assert_eq!(jul.active(0.5).len(), 15);
+    let testnet: Vec<_> = jul
+        .rows
+        .iter()
+        .filter(|r| r.label.starts_with("testnet.ripple.com"))
+        .collect();
+    assert_eq!(testnet.len(), 5);
+    for row in &testnet {
+        assert!(row.total as f64 > rounds as f64 * 0.7);
+        assert_eq!(row.valid, 0);
+    }
+
+    // November 2016: only 8 active non-Labs; freewallet collapses by an
+    // order of magnitude.
+    let nov = &reports[2];
+    assert_eq!(nov.active(0.5).len(), 13);
+    let fw_jul = jul
+        .rows
+        .iter()
+        .find(|r| r.label == "freewallet1.net")
+        .unwrap()
+        .total;
+    let fw_nov = nov
+        .rows
+        .iter()
+        .find(|r| r.label == "freewallet1.net")
+        .unwrap()
+        .total;
+    assert!(
+        fw_nov * 8 < fw_jul,
+        "freewallet collapse: {fw_jul} -> {fw_nov}"
+    );
+
+    // Churn: exactly 9 persistent actives over ~70 distinct validators.
+    let refs: Vec<_> = reports.iter().collect();
+    assert_eq!(persistent_actives(&refs, 0.0).len(), 9);
+    let seen = total_observed(&refs);
+    assert!((65..=85).contains(&seen), "distinct validators: {seen}");
+}
+
+#[test]
+fn compromising_core_validators_halts_consensus() {
+    // The paper's §IV warning: "a malicious party hijacking or compromising
+    // the majority of these validators could endanger the whole system".
+    let campaign = Campaign::new(CollectionPeriod::December2015.validators())
+        .with_outage(0, 0..500)
+        .with_outage(1, 0..500)
+        .with_outage(2, 0..500);
+    let outcome = campaign.run(1_000, 3);
+    assert!(
+        outcome.failed_rounds >= 500,
+        "3 of 5 Labs validators down must stall quorum: {} failed",
+        outcome.failed_rounds
+    );
+    // After the outage the ledger recovers.
+    assert!(outcome.failed_rounds < 700, "recovery after the outage window");
+}
+
+fn honest(n: usize) -> Vec<Validator> {
+    (0..n)
+        .map(|i| {
+            Validator::new(
+                i,
+                format!("v{i}"),
+                ValidatorProfile::Reliable { availability: 1.0 },
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn round_engine_agrees_on_intersection_under_churny_positions() {
+    // 20 validators. RPCA's avalanche dynamic: once a transaction clears an
+    // iteration's threshold, every honest validator adopts it, so support
+    // snaps to 100% — majority-backed transactions commit, sub-majority
+    // ones are stripped.
+    let n = 20;
+    let mut positions: Vec<BTreeSet<u64>> = vec![BTreeSet::from([1, 2]); n];
+    for p in positions.iter_mut().take(12) {
+        p.insert(60); // 60% support: clears 50%, snowballs to unanimity
+    }
+    for p in positions.iter_mut().take(6) {
+        p.insert(30); // 30% support: dies at the first gate
+    }
+    let mut engine = RoundEngine::new(honest(n));
+    let outcome = engine.run_round(&positions, 5);
+    let (_, set) = outcome.committed.expect("honest majority commits");
+    assert!(set.contains(&1) && set.contains(&2));
+    assert!(!set.contains(&30), "minority tx dropped by thresholds");
+    assert!(set.contains(&60), "majority tx snowballs to inclusion");
+}
+
+#[test]
+fn round_engine_partition_prevents_disagreement() {
+    let n = 10;
+    let mut engine = RoundEngine::new(honest(n));
+    let left: Vec<NodeId> = (0..5).map(NodeId).collect();
+    let right: Vec<NodeId> = (5..10).map(NodeId).collect();
+    engine.network_mut().partition_groups(&left, &right);
+    let mut positions: Vec<BTreeSet<u64>> = vec![BTreeSet::from([1]); n];
+    for p in positions.iter_mut().skip(5) {
+        *p = BTreeSet::from([2]);
+    }
+    let outcome = engine.run_round(&positions, 6);
+    // Safety: under partition, no conflicting transaction set can commit.
+    if let Some((_, set)) = outcome.committed {
+        assert!(
+            set.is_empty(),
+            "a partitioned network may only close empty ledgers, got {set:?}"
+        );
+    }
+}
+
+#[test]
+fn round_engine_validations_are_page_hashes() {
+    let mut engine = RoundEngine::new(honest(4));
+    let positions = vec![BTreeSet::from([7, 8]); 4];
+    let outcome = engine.run_round(&positions, 9);
+    let (hash, set) = outcome.committed.expect("commit");
+    assert_eq!(hash, page_hash(&set));
+    for page in outcome.validations.values() {
+        assert_eq!(*page, hash, "all honest validators signed the same page");
+    }
+}
+
+#[test]
+fn campaign_streams_are_verifiable() {
+    // Every validation in the stream carries a verifiable signature over
+    // the page hash — the property the paper's measurement relies on to
+    // attribute pages to validators.
+    use ripple_core::crypto::SimKeypair;
+    let outcome = CollectionPeriod::December2015.run(50, 21);
+    assert!(!outcome.stream.is_empty());
+    for event in &outcome.stream {
+        assert!(
+            SimKeypair::verify(&event.validator, event.page_hash.as_bytes(), &event.signature),
+            "stream signature must verify for {}",
+            event.label
+        );
+    }
+}

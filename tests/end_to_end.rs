@@ -1,0 +1,285 @@
+//! End-to-end pipeline tests: generate → archive → mine → reproduce every
+//! table/figure shape the paper reports.
+
+use ripple_core::store::{HistoryEvent, Reader};
+use ripple_core::{Currency, Study, SynthConfig};
+
+fn study() -> Study {
+    // One shared mid-sized history keeps the suite fast; individual checks
+    // are shape assertions, not absolute counts.
+    Study::generate(SynthConfig {
+        seed: 99,
+        // The full Market-Maker pool so offer-concentration shares are
+        // measured against the same population as the paper's ranking.
+        market_makers: 230,
+        ..SynthConfig::small(12_000)
+    })
+}
+
+#[test]
+fn archive_round_trips_through_store() {
+    let study = study();
+    let mut buf = Vec::new();
+    let written = study.output().write_archive(&mut buf).expect("write archive");
+    assert_eq!(written as usize, study.output().events.len());
+    let events = Reader::new(buf.as_slice())
+        .expect("valid magic")
+        .read_all()
+        .expect("clean archive");
+    assert_eq!(events.len(), study.output().events.len());
+    let payments = events
+        .iter()
+        .filter(|e| matches!(e, HistoryEvent::Payment(_)))
+        .count();
+    assert_eq!(payments, 12_000);
+}
+
+#[test]
+fn figure3_shape_matches_paper() {
+    let study = study();
+    let rows = study.figure3();
+    let get = |label: &str| {
+        rows.iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, ig)| ig.percent())
+            .unwrap_or_else(|| panic!("row {label} missing"))
+    };
+    // Paper values: 99.83 / 99.83 / 93.78 / 89.86 / 48.84 / 1.28.
+    let full = get("<Am; Tsc; C; D>");
+    assert!(full > 97.0, "full resolution should be near-total: {full}");
+    let no_currency = get("<Am; Tsc; -; D>");
+    assert!(
+        (full - no_currency).abs() < 1.5,
+        "dropping C barely matters: {full} vs {no_currency}"
+    );
+    let no_dest = get("<Am; Tsc; C; ->");
+    assert!(
+        (88.0..=97.0).contains(&no_dest),
+        "dropping D costs a few points: {no_dest}"
+    );
+    let no_amount = get("<- ; Tsc; C; D>");
+    assert!(
+        (82.0..=95.0).contains(&no_amount),
+        "dropping A costs more: {no_amount}"
+    );
+    assert!(no_dest > no_amount, "A carries less than D in our history");
+    let no_time = get("<Am; - ; C; D>");
+    assert!(
+        (35.0..=65.0).contains(&no_time),
+        "dropping T is catastrophic (paper: coin-toss 48.84): {no_time}"
+    );
+    assert!(
+        no_amount - no_time > 20.0,
+        "T must be the highest-gain feature"
+    );
+    let weakest = get("<Al; Tdy; -; ->");
+    assert!(
+        weakest < 25.0,
+        "day-level amount-only fingerprints are nearly useless: {weakest}"
+    );
+    // Full ladder ordering along the paper's paired resolutions.
+    assert!(get("<Am; Tsc; C; D>") >= get("<Aa; Thr; C; D>"));
+    assert!(get("<Aa; Thr; C; D>") >= get("<Al; Tdy; C; D>"));
+    assert!(get("<Al; Tdy; C; D>") >= get("<Al; Tdy; -; ->"));
+}
+
+#[test]
+fn figure4_ranking_matches_paper() {
+    let study = study();
+    let usage = study.figure4();
+    assert_eq!(usage[0].0, Currency::XRP, "XRP tops the list");
+    assert_eq!(usage[1].0, Currency::CCK, "CCK second");
+    assert_eq!(usage[2].0, Currency::MTL, "MTL third");
+    let top_real: Vec<Currency> = usage[3..6].iter().map(|&(c, _)| c).collect();
+    assert!(
+        top_real.contains(&Currency::BTC),
+        "BTC leads the real currencies: {top_real:?}"
+    );
+    // XRP is roughly half of all payments.
+    let xrp_share = usage[0].1 as f64 / 12_000.0;
+    assert!((0.44..0.54).contains(&xrp_share), "XRP share = {xrp_share}");
+    // The ranking spans multiple decades like the paper's log axis.
+    assert!(usage.len() > 20, "long tail of currencies: {}", usage.len());
+    assert!(usage[0].1 / usage.last().unwrap().1.max(1) > 100);
+}
+
+#[test]
+fn figure5_survival_shapes() {
+    let study = study();
+    let curves = study.figure5();
+    let curve = |currency: Option<Currency>| {
+        curves
+            .iter()
+            .find(|(c, _)| *c == currency)
+            .map(|(_, curve)| curve)
+            .expect("curve exists")
+    };
+    let v = |x: f64| ripple_core::Value::from_f64(x);
+    // BTC payments are small (strong currency).
+    assert!(curve(Some(Currency::BTC)).survival(v(1.0)) < 0.6);
+    // CCK mirrors BTC: micro-payments.
+    assert!(curve(Some(Currency::CCK)).survival(v(1.0)) < 0.6);
+    // MTL is the 1e9 cliff.
+    let mtl = curve(Some(Currency::MTL));
+    assert_eq!(mtl.survival(v(1e8)), 1.0);
+    assert_eq!(mtl.survival(v(2e9)), 0.0);
+    // USD and CNY deliver mid-sized amounts.
+    assert!(curve(Some(Currency::USD)).survival(v(1.0)) > 0.8);
+    // The global curve carries MTL's plateau around the spam fraction.
+    let global = curve(None);
+    let plateau = global.survival(v(1e8));
+    assert!(
+        (0.10..0.20).contains(&plateau),
+        "global plateau tracks the MTL fraction: {plateau}"
+    );
+}
+
+#[test]
+fn figure6_histograms_match_paper() {
+    let study = study();
+    let hops = study.figure6a();
+    // Decreasing trend over 1..5.
+    for window in [1usize, 2, 3, 4].windows(2) {
+        let (a, b) = (window[0], window[1]);
+        assert!(
+            hops.get(&a).copied().unwrap_or(0) > hops.get(&b).copied().unwrap_or(0),
+            "hops {a} should outnumber {b}"
+        );
+    }
+    // The MTL spike at exactly 8 dominates everything.
+    let spike = hops.get(&8).copied().unwrap_or(0);
+    assert!(
+        spike > hops.get(&1).copied().unwrap_or(0),
+        "8-hop spam spike dominates: {spike}"
+    );
+    // The crafted 44-hop outlier.
+    assert_eq!(hops.get(&44).copied().unwrap_or(0), 1);
+
+    let parallel = study.figure6b();
+    // Of the non-MTL traffic, 4 parallel paths is the largest bucket.
+    let p = |k: usize| parallel.get(&k).copied().unwrap_or(0);
+    assert!(p(4) > p(2) && p(4) > p(3), "k=4 dominates the organic split");
+    assert!(p(1) > p(2), "unsplit payments outnumber 2-way splits");
+    // The MTL spike at exactly 6 parallel paths.
+    assert!(p(6) > p(2), "6-path spam spike present");
+}
+
+#[test]
+fn table2_bands_match_paper() {
+    let study = study();
+    let report = study.table2().expect("snapshot exists");
+    // Paper: cross-currency 0%, single-currency 36.1%, total 11.2%.
+    assert_eq!(report.stats.cross_delivered, 0, "no bridge without makers");
+    let single = report.stats.single_rate();
+    assert!(
+        (0.15..0.55).contains(&single),
+        "single-currency minority delivers: {single}"
+    );
+    let total = report.stats.total_rate();
+    assert!((0.04..0.25).contains(&total), "total rate: {total}");
+    // Cross-currency dominates the window, as in the paper (68.7%).
+    let cross_share =
+        report.stats.cross_submitted as f64 / report.stats.total_submitted() as f64;
+    assert!((0.5..0.8).contains(&cross_share), "cross share: {cross_share}");
+    assert!(report.offers_stripped > 0);
+    assert!(report.makers_severed > 0);
+}
+
+#[test]
+fn figure7_hub_profile_matches_paper() {
+    let study = study();
+    let report = study.figure7(50);
+    assert_eq!(report.rows.len(), 50);
+    // The two hubs dominate by roughly an order of magnitude.
+    let hubs = &study.output().cast.hubs;
+    assert!(hubs.contains(&report.rows[0].account), "top hop is a hub");
+    assert!(hubs.contains(&report.rows[1].account), "second hop is a hub");
+    let hub_count = report.rows[0].hop_count;
+    let first_non_hub = report
+        .rows
+        .iter()
+        .find(|r| !hubs.contains(&r.account))
+        .expect("non-hub rows exist");
+    assert!(
+        hub_count >= first_non_hub.hop_count * 5 / 2,
+        "hubs dominate: {} vs {}",
+        hub_count,
+        first_non_hub.hop_count
+    );
+    // Gateways in the list have negative balances (they owe deposits) and
+    // extend no trust; they are a strict subset of the 50.
+    let gateways: Vec<_> = report.rows.iter().filter(|r| r.is_gateway).collect();
+    assert!(!gateways.is_empty(), "announced gateways appear in the top 50");
+    assert!(gateways.len() < 50, "common users appear too");
+    for gw in &gateways {
+        assert!(
+            gw.balance_eur.is_negative(),
+            "{} should carry debt: {}",
+            gw.label,
+            gw.balance_eur
+        );
+        assert!(
+            gw.trust_received > gw.trust_given,
+            "{} receives more trust than it gives",
+            gw.label
+        );
+    }
+}
+
+#[test]
+fn offer_concentration_matches_paper() {
+    let study = study();
+    let conc = study.offer_concentration();
+    assert!(conc.total > 5_000);
+    let top10 = conc.top_share(10);
+    let top50 = conc.top_share(50);
+    let top100 = conc.top_share(100);
+    // Paper: 50% / 75% / 87%.
+    assert!((0.40..0.60).contains(&top10), "top-10 share: {top10}");
+    assert!((0.65..0.85).contains(&top50), "top-50 share: {top50}");
+    assert!((0.80..0.95).contains(&top100), "top-100 share: {top100}");
+    assert!(top10 < top50 && top50 < top100);
+}
+
+#[test]
+fn generation_is_deterministic_across_runs() {
+    let a = Study::generate(SynthConfig {
+        seed: 123,
+        ..SynthConfig::small(1_500)
+    });
+    let b = Study::generate(SynthConfig {
+        seed: 123,
+        ..SynthConfig::small(1_500)
+    });
+    let pa: Vec<_> = a.payments();
+    let pb: Vec<_> = b.payments();
+    assert_eq!(pa, pb, "same seed, same history");
+    let c = Study::generate(SynthConfig {
+        seed: 124,
+        ..SynthConfig::small(1_500)
+    });
+    assert_ne!(a.payments(), c.payments(), "different seed, different history");
+}
+
+#[test]
+fn ledger_invariants_hold_after_generation() {
+    let study = study();
+    let state = &study.output().final_state;
+    // Every recorded intermediate hop account exists in the ledger.
+    for payment in study.payments().iter().take(500) {
+        for hop in payment.paths.intermediaries() {
+            assert!(state.account(hop).is_some(), "hop account must exist");
+        }
+        assert!(state.account(&payment.sender).is_some());
+        assert!(state.account(&payment.destination).is_some());
+    }
+    // Pair balances are antisymmetric by construction; spot-check netting
+    // across the busiest gateway.
+    let gw = study.output().cast.gateways[0].account;
+    let cur = study.output().cast.gateways[0].home_currency;
+    let outstanding = state.net_position(gw, cur);
+    assert!(
+        outstanding.is_negative() || outstanding.is_zero(),
+        "issuing gateways cannot hold net credit in their own currency: {outstanding}"
+    );
+}
