@@ -99,10 +99,7 @@ pub fn hub_report<'a>(
                 label,
                 is_gateway,
                 hop_count,
-                trust_received: trust_received
-                    .get(&account)
-                    .copied()
-                    .unwrap_or(Value::ZERO),
+                trust_received: trust_received.get(&account).copied().unwrap_or(Value::ZERO),
                 trust_given: trust_given.get(&account).copied().unwrap_or(Value::ZERO),
                 balance_eur: balance_in_reference(state, account, rates),
             }
@@ -216,9 +213,7 @@ mod tests {
 
     #[test]
     fn ranks_intermediaries_by_frequency() {
-        let records = [rec(vec![acct(3)]),
-            rec(vec![acct(3)]),
-            rec(vec![acct(4)])];
+        let records = [rec(vec![acct(3)]), rec(vec![acct(3)]), rec(vec![acct(4)])];
         let state = simple_state();
         let report = hub_report(
             records.iter(),
@@ -274,9 +269,7 @@ mod tests {
 
     #[test]
     fn top_truncates() {
-        let records = [rec(vec![acct(3)]),
-            rec(vec![acct(4)]),
-            rec(vec![acct(5)])];
+        let records = [rec(vec![acct(3)]), rec(vec![acct(4)]), rec(vec![acct(5)])];
         let state = simple_state();
         let report = hub_report(
             records.iter(),

@@ -88,14 +88,19 @@ mod tests {
             s.create_account(acct(i), Drops::from_xrp(1_000));
         }
         // Deposits: gateway 2 owes sender 1.
-        s.set_trust(acct(1), acct(2), Currency::USD, v("1000")).unwrap();
-        s.ripple_hop(acct(2), acct(1), Currency::USD, v("500")).unwrap();
+        s.set_trust(acct(1), acct(2), Currency::USD, v("1000"))
+            .unwrap();
+        s.ripple_hop(acct(2), acct(1), Currency::USD, v("500"))
+            .unwrap();
         // Dest trusts the gateway (same community).
-        s.set_trust(acct(4), acct(2), Currency::USD, v("1000")).unwrap();
+        s.set_trust(acct(4), acct(2), Currency::USD, v("1000"))
+            .unwrap();
         // Dest accepts MM's EUR.
-        s.set_trust(acct(4), acct(3), Currency::EUR, v("1000")).unwrap();
+        s.set_trust(acct(4), acct(3), Currency::EUR, v("1000"))
+            .unwrap();
         // MM trusts the gateway (can receive the sender's USD).
-        s.set_trust(acct(3), acct(2), Currency::USD, v("1000")).unwrap();
+        s.set_trust(acct(3), acct(2), Currency::USD, v("1000"))
+            .unwrap();
         // MM sells EUR for USD.
         s.place_offer(
             acct(3),
@@ -125,16 +130,20 @@ mod tests {
 
     #[test]
     fn control_replay_delivers() {
-        let window = [payment(Currency::USD, "10", None),
-            payment(Currency::EUR, "5", Some(Currency::USD))];
+        let window = [
+            payment(Currency::USD, "10", None),
+            payment(Currency::EUR, "5", Some(Currency::USD)),
+        ];
         let stats = control_replay(&snapshot(), window.iter());
         assert_eq!(stats.total_delivered(), 2);
     }
 
     #[test]
     fn removal_kills_cross_currency_entirely() {
-        let window = [payment(Currency::EUR, "5", Some(Currency::USD)),
-            payment(Currency::EUR, "7", Some(Currency::USD))];
+        let window = [
+            payment(Currency::EUR, "5", Some(Currency::USD)),
+            payment(Currency::EUR, "7", Some(Currency::USD)),
+        ];
         let report = mm_removal_replay(&snapshot(), &[acct(3)], window.iter());
         assert_eq!(report.stats.cross_submitted, 2);
         assert_eq!(report.stats.cross_delivered, 0);
@@ -154,7 +163,8 @@ mod tests {
         // A second destination only reachable through the MM.
         let mut s = snapshot();
         s.create_account(acct(5), Drops::from_xrp(1_000));
-        s.set_trust(acct(5), acct(3), Currency::USD, v("1000")).unwrap();
+        s.set_trust(acct(5), acct(3), Currency::USD, v("1000"))
+            .unwrap();
         let record = PaymentRecord {
             destination: acct(5),
             ..payment(Currency::USD, "10", None)

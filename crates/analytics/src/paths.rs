@@ -88,10 +88,7 @@ mod tests {
 
     #[test]
     fn every_parallel_path_counts_for_hops() {
-        let records = [rec(vec![
-            vec![acct(3)],
-            vec![acct(3), acct(4), acct(5)],
-        ])];
+        let records = [rec(vec![vec![acct(3)], vec![acct(3), acct(4), acct(5)]])];
         let hops = path_hop_histogram(records.iter());
         assert_eq!(hops.get(&1), Some(&1));
         assert_eq!(hops.get(&3), Some(&1));
@@ -99,9 +96,11 @@ mod tests {
 
     #[test]
     fn parallel_counts_payments_not_paths() {
-        let records = [rec(vec![vec![acct(3)], vec![acct(4)]]),
+        let records = [
             rec(vec![vec![acct(3)], vec![acct(4)]]),
-            rec(vec![vec![acct(3)]])];
+            rec(vec![vec![acct(3)], vec![acct(4)]]),
+            rec(vec![vec![acct(3)]]),
+        ];
         let parallel = parallel_path_histogram(records.iter());
         assert_eq!(parallel.get(&2), Some(&2));
         assert_eq!(parallel.get(&1), Some(&1));

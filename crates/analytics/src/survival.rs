@@ -93,8 +93,9 @@ mod tests {
 
     #[test]
     fn survival_is_monotone_decreasing() {
-        let records: Vec<PaymentRecord> =
-            (1..=100).map(|i| rec(&i.to_string(), Currency::USD)).collect();
+        let records: Vec<PaymentRecord> = (1..=100)
+            .map(|i| rec(&i.to_string(), Currency::USD))
+            .collect();
         let curve = SurvivalCurve::build(records.iter(), Some(Currency::USD));
         let mut prev = 1.1;
         for (_, p) in curve.series() {
@@ -105,8 +106,9 @@ mod tests {
 
     #[test]
     fn survival_at_median_is_half() {
-        let records: Vec<PaymentRecord> =
-            (1..=100).map(|i| rec(&i.to_string(), Currency::USD)).collect();
+        let records: Vec<PaymentRecord> = (1..=100)
+            .map(|i| rec(&i.to_string(), Currency::USD))
+            .collect();
         let curve = SurvivalCurve::build(records.iter(), Some(Currency::USD));
         let p = curve.survival("50".parse().unwrap());
         assert!((p - 0.5).abs() < 0.02, "p = {p}");

@@ -25,9 +25,7 @@ pub struct MonthRow {
 }
 
 /// Monthly activity across the history, in chronological order.
-pub fn monthly_timeline<'a>(
-    payments: impl Iterator<Item = &'a PaymentRecord>,
-) -> Vec<MonthRow> {
+pub fn monthly_timeline<'a>(payments: impl Iterator<Item = &'a PaymentRecord>) -> Vec<MonthRow> {
     let mut months: BTreeMap<(i64, u32), (u64, HashSet<AccountId>)> = BTreeMap::new();
     for p in payments {
         let (year, month, ..) = p.timestamp.to_civil();
@@ -131,15 +129,23 @@ mod tests {
 
     #[test]
     fn timeline_groups_by_month_in_order() {
-        let records = [payment(1, 2014, 3),
+        let records = [
+            payment(1, 2014, 3),
             payment(2, 2014, 3),
             payment(1, 2014, 3),
             payment(1, 2013, 12),
-            payment(3, 2015, 1)];
+            payment(3, 2015, 1),
+        ];
         let rows = monthly_timeline(records.iter());
         assert_eq!(rows.len(), 3);
-        assert_eq!((rows[0].year, rows[0].month, rows[0].payments), (2013, 12, 1));
-        assert_eq!((rows[1].year, rows[1].month, rows[1].payments), (2014, 3, 3));
+        assert_eq!(
+            (rows[0].year, rows[0].month, rows[0].payments),
+            (2013, 12, 1)
+        );
+        assert_eq!(
+            (rows[1].year, rows[1].month, rows[1].payments),
+            (2014, 3, 3)
+        );
         assert_eq!(rows[1].active_senders, 2, "two distinct senders in March");
         assert_eq!((rows[2].year, rows[2].month), (2015, 1));
     }
@@ -147,9 +153,19 @@ mod tests {
     #[test]
     fn user_stats_distinguish_active_from_created() {
         let t = RippleTime::EPOCH;
-        let events = [HistoryEvent::AccountCreated { account: acct(1), timestamp: t },
-            HistoryEvent::AccountCreated { account: acct(2), timestamp: t },
-            HistoryEvent::AccountCreated { account: acct(3), timestamp: t },
+        let events = [
+            HistoryEvent::AccountCreated {
+                account: acct(1),
+                timestamp: t,
+            },
+            HistoryEvent::AccountCreated {
+                account: acct(2),
+                timestamp: t,
+            },
+            HistoryEvent::AccountCreated {
+                account: acct(3),
+                timestamp: t,
+            },
             HistoryEvent::Payment(payment(1, 2014, 1)),
             HistoryEvent::TrustSet {
                 truster: acct(2),
@@ -157,7 +173,8 @@ mod tests {
                 currency: Currency::USD,
                 limit: Value::from_int(10),
                 timestamp: t,
-            }];
+            },
+        ];
         let stats = user_stats(events.iter());
         assert_eq!(stats.total_accounts, 3);
         assert_eq!(stats.active_accounts, 2, "payer and truster");

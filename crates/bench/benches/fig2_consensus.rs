@@ -33,7 +33,7 @@ fn message_level_round(c: &mut Criterion) {
     c.bench_function("fig2_rpca_round_20_validators", |b| {
         b.iter_batched(
             || RoundEngine::new(validators.clone()),
-            |mut engine| engine.run_round(&positions, 7),
+            |mut engine| engine.run_round(&positions, 7).unwrap(),
             BatchSize::SmallInput,
         );
     });

@@ -78,8 +78,18 @@ fn main() {
     }
 
     let history_needed = [
-        "fig3", "fig4", "fig5", "fig6a", "fig6b", "table2", "fig7", "offers",
-        "countermeasure", "archive", "timeline", "all",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6a",
+        "fig6b",
+        "table2",
+        "fig7",
+        "offers",
+        "countermeasure",
+        "archive",
+        "timeline",
+        "all",
     ]
     .contains(&args.experiment.as_str());
     if !history_needed {
@@ -200,7 +210,10 @@ fn fig3(study: &Study) {
     ]
     .into_iter()
     .collect();
-    println!("{:<18} {:>10} {:>12}", "features", "IG (ours)", "IG (paper)");
+    println!(
+        "{:<18} {:>10} {:>12}",
+        "features", "IG (ours)", "IG (paper)"
+    );
     for (label, ig) in study.figure3() {
         let reference = paper
             .get(label)
@@ -214,7 +227,10 @@ fn fig3(study: &Study) {
 fn fig4(study: &Study) {
     println!("== Figure 4: most-used currencies ==\n");
     let usage = study.figure4();
-    print!("{}", ripple_core::analytics::currencies::usage_table(&usage));
+    print!(
+        "{}",
+        ripple_core::analytics::currencies::usage_table(&usage)
+    );
     println!();
 }
 
@@ -343,8 +359,7 @@ fn countermeasure(study: &Study) {
     use ripple_core::deanon::ResolutionSpec;
     use ripple_core::ledger::FeeSchedule;
     println!("== Extension: the Section V wallet-splitting countermeasure ==\n");
-    let records: Vec<ripple_core::PaymentRecord> =
-        study.payments().into_iter().cloned().collect();
+    let records: Vec<ripple_core::PaymentRecord> = study.payments().into_iter().cloned().collect();
     let fees = FeeSchedule::mainnet();
     println!(
         "{:>3} {:>10} {:>10} {:>10} {:>12} {:>12} {:>8} {:>8}",

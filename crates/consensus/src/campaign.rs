@@ -126,9 +126,9 @@ impl Campaign {
                         sha512_half(format!("private:{}:{round}", v.index).as_bytes())
                     }
                     ValidatorProfile::TestNet { .. } => testnet_hash,
-                    ValidatorProfile::Byzantine { .. } => {
-                        sha512_half(format!("byz:{}:{}:{round}", v.index, rng.gen::<u64>()).as_bytes())
-                    }
+                    ValidatorProfile::Byzantine { .. } => sha512_half(
+                        format!("byz:{}:{}:{round}", v.index, rng.gen::<u64>()).as_bytes(),
+                    ),
                 };
                 if page_hash == main_hash && unl.contains(&v.index) {
                     main_signers += 1;
@@ -268,7 +268,11 @@ mod tests {
         ));
         let out = Campaign::new(pop).run(200, 5);
         let report = out.report();
-        let row = report.rows.iter().find(|r| r.label == "evil.example").unwrap();
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.label == "evil.example")
+            .unwrap();
         assert_eq!(row.valid, 0);
         assert_eq!(row.total, 200);
         // The honest quorum is unaffected.

@@ -109,7 +109,10 @@ impl LedgerCloser {
             positions.push(position);
         }
         let seed = self.rng.gen();
-        let round = self.engine.run_round(&positions, seed);
+        let round = self
+            .engine
+            .run_round(&positions, seed)
+            .expect("closer builds one position per validator");
 
         let committed_ids: BTreeSet<u64> = round
             .committed
@@ -197,10 +200,7 @@ mod tests {
         assert_eq!(outcome.page.txs.len(), 2);
         assert_eq!(closer.pool_len(), 0);
         // Fees burned shrink total_drops.
-        assert_eq!(
-            outcome.page.header.total_drops,
-            100_000_000_000_000 - 20
-        );
+        assert_eq!(outcome.page.header.total_drops, 100_000_000_000_000 - 20);
         // Balance moved.
         assert_eq!(
             state

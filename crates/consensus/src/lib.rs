@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod chaos;
 pub mod closer;
 pub mod metrics;
 pub mod rewards;
@@ -48,10 +49,14 @@ pub mod unl;
 pub mod validator;
 
 pub use campaign::{Campaign, CampaignOutcome};
+pub use chaos::{
+    ChaosCampaign, ChaosOutcome, ForkViolation, InvariantChecker, Recovery, RoundRecord,
+    StallWindow,
+};
 pub use closer::{CloseOutcome, LedgerCloser};
 pub use metrics::{ValidatorReport, ValidatorRow};
 pub use rewards::{simulate_reward_economy, EconomyConfig, EconomyOutcome, RewardPolicy};
-pub use rounds::{RoundEngine, RoundOutcome};
+pub use rounds::{RoundEngine, RoundError, RoundOutcome};
 pub use scenario::CollectionPeriod;
 pub use stream::{ValidationEvent, ValidationStream};
 pub use unl::{fork_sweep, run_unl_round, two_clique_unls, UnlRoundOutcome};

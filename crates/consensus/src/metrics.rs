@@ -121,7 +121,12 @@ impl ValidatorReport {
 pub fn persistent_actives(reports: &[&ValidatorReport], fraction: f64) -> Vec<String> {
     let mut sets: Vec<HashSet<&str>> = reports
         .iter()
-        .map(|r| r.active(fraction).into_iter().map(|row| row.label.as_str()).collect())
+        .map(|r| {
+            r.active(fraction)
+                .into_iter()
+                .map(|row| row.label.as_str())
+                .collect()
+        })
         .collect();
     let Some(mut acc) = sets.pop() else {
         return Vec::new();
@@ -174,7 +179,11 @@ mod tests {
     #[test]
     fn never_valid_detects_private_ledgers() {
         let r = report(&[("R1", 100, 100), ("ghost", 100, 0), ("idle", 0, 0)]);
-        let never: Vec<&str> = r.never_valid().iter().map(|row| row.label.as_str()).collect();
+        let never: Vec<&str> = r
+            .never_valid()
+            .iter()
+            .map(|row| row.label.as_str())
+            .collect();
         assert_eq!(never, vec!["ghost"]);
     }
 

@@ -154,9 +154,8 @@ pub fn simulate_reward_economy(
         revenue_per_round: Vec::with_capacity(config.epochs),
         quorum_failure_prob: Vec::with_capacity(config.epochs),
     };
-    let pool_per_round = config.transactions_per_round
-        * config.fee_base_xrp
-        * (policy.tax_bps as f64 / 10_000.0);
+    let pool_per_round =
+        config.transactions_per_round * config.fee_base_xrp * (policy.tax_bps as f64 / 10_000.0);
 
     for _ in 0..config.epochs {
         let revenue = if validators == 0 {
@@ -213,8 +212,7 @@ mod tests {
 
     #[test]
     fn no_reward_economy_shrinks_to_the_core() {
-        let outcome =
-            simulate_reward_economy(RewardPolicy::no_reward(0.01), config(), 1);
+        let outcome = simulate_reward_economy(RewardPolicy::no_reward(0.01), config(), 1);
         assert!(
             outcome.equilibrium_validators() <= config().initial_validators,
             "no revenue, no growth: {}",

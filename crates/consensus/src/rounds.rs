@@ -45,6 +45,35 @@ pub enum Msg {
     },
 }
 
+/// Why a round could not even be started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RoundError {
+    /// `initial_positions` did not provide exactly one set per validator.
+    PositionCountMismatch {
+        /// The validator count.
+        expected: usize,
+        /// The number of positions supplied.
+        actual: usize,
+    },
+    /// The engine has no validators at all.
+    NoValidators,
+}
+
+impl std::fmt::Display for RoundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoundError::PositionCountMismatch { expected, actual } => write!(
+                f,
+                "one initial position per validator: expected {expected}, got {actual}"
+            ),
+            RoundError::NoValidators => write!(f, "cannot run a round with zero validators"),
+        }
+    }
+}
+
+impl std::error::Error for RoundError {}
+
 /// Outcome of a single consensus round.
 #[derive(Debug, Clone)]
 pub struct RoundOutcome {
@@ -93,9 +122,25 @@ impl RoundEngine {
     }
 
     /// Access to the underlying network for failure injection (partitions,
-    /// crashes, per-node latency).
+    /// crashes, per-node latency, fault plans).
     pub fn network_mut(&mut self) -> &mut Network<Msg> {
         &mut self.network
+    }
+
+    /// Read-only access to the underlying network (clock, drop counters).
+    pub fn network(&self) -> &Network<Msg> {
+        &self.network
+    }
+
+    /// How much virtual time one round occupies. Rounds are fixed-duration:
+    /// each proposal iteration and the validation phase runs to its
+    /// deadline, so round `r` spans exactly
+    /// `[r · round_duration, (r + 1) · round_duration)` — which is what
+    /// makes timed [`FaultPlan`](ripple_netsim::FaultPlan) events land in
+    /// predictable rounds.
+    pub fn round_duration(&self) -> SimTime {
+        let phases = (RPCA_THRESHOLDS.len() + 1) as u64;
+        SimTime::from_millis(self.iteration_timeout.as_millis() * phases)
     }
 
     /// Overrides the per-iteration proposal deadline.
@@ -116,15 +161,25 @@ impl RoundEngine {
     /// Runs one full round from the given initial positions (one candidate
     /// transaction set per validator).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `initial_positions.len()` differs from the validator count.
-    pub fn run_round(&mut self, initial_positions: &[BTreeSet<u64>], seed: u64) -> RoundOutcome {
-        assert_eq!(
-            initial_positions.len(),
-            self.validators.len(),
-            "one initial position per validator"
-        );
+    /// [`RoundError::PositionCountMismatch`] if `initial_positions.len()`
+    /// differs from the validator count; [`RoundError::NoValidators`] for
+    /// an empty engine.
+    pub fn run_round(
+        &mut self,
+        initial_positions: &[BTreeSet<u64>],
+        seed: u64,
+    ) -> Result<RoundOutcome, RoundError> {
+        if self.validators.is_empty() {
+            return Err(RoundError::NoValidators);
+        }
+        if initial_positions.len() != self.validators.len() {
+            return Err(RoundError::PositionCountMismatch {
+                expected: self.validators.len(),
+                actual: initial_positions.len(),
+            });
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let n = self.validators.len();
         let mut positions: Vec<BTreeSet<u64>> = initial_positions.to_vec();
@@ -188,6 +243,10 @@ impl RoundEngine {
                     }
                 }
             }
+            // Idle out the remainder of the iteration window so every
+            // iteration occupies exactly `iteration_timeout` of virtual
+            // time (see `round_duration`).
+            self.network.advance_to(deadline);
 
             // Update positions: keep a transaction iff enough of the UNL
             // (peers + self) proposed it.
@@ -198,7 +257,10 @@ impl RoundEngine {
                 if self.network.is_crashed(NodeId(v)) {
                     continue;
                 }
-                if matches!(self.validators[v].profile, ValidatorProfile::Byzantine { .. }) {
+                if matches!(
+                    self.validators[v].profile,
+                    ValidatorProfile::Byzantine { .. }
+                ) {
                     continue; // byzantine nodes keep their own plans
                 }
                 let mut support: HashMap<u64, usize> = HashMap::new();
@@ -242,6 +304,7 @@ impl RoundEngine {
             }
         }
         let _ = validation_messages_seen;
+        self.network.advance_to(deadline);
 
         // Tally.
         let mut tally: HashMap<Digest256, usize> = HashMap::new();
@@ -266,11 +329,24 @@ impl RoundEngine {
             None => (None, 0.0),
         };
 
-        RoundOutcome {
+        Ok(RoundOutcome {
             committed,
             validations,
             agreement,
-        }
+        })
+    }
+
+    /// Quorum size in validators (ceil of the quorum fraction).
+    pub fn quorum_needed(&self) -> usize {
+        (self.quorum * self.validators.len() as f64).ceil() as usize
+    }
+
+    /// Which validators are honest (not byzantine) by profile.
+    pub fn honest_mask(&self) -> Vec<bool> {
+        self.validators
+            .iter()
+            .map(|v| !matches!(v.profile, ValidatorProfile::Byzantine { .. }))
+            .collect()
     }
 }
 
@@ -307,7 +383,7 @@ mod tests {
     #[test]
     fn unanimous_positions_commit() {
         let mut engine = RoundEngine::new(honest(5));
-        let outcome = engine.run_round(&positions(5, &[1, 2, 3]), 1);
+        let outcome = engine.run_round(&positions(5, &[1, 2, 3]), 1).unwrap();
         let (_, set) = outcome.committed.expect("should commit");
         assert_eq!(set, [1, 2, 3].into_iter().collect());
         assert_eq!(outcome.agreement, 1.0);
@@ -320,7 +396,7 @@ mod tests {
         init[0].insert(99);
         init[1].insert(99);
         let mut engine = RoundEngine::new(honest(5));
-        let outcome = engine.run_round(&init, 2);
+        let outcome = engine.run_round(&init, 2).unwrap();
         let (_, set) = outcome.committed.expect("should commit");
         assert!(!set.contains(&99), "disputed tx should be dropped");
         assert!(set.contains(&1) && set.contains(&2));
@@ -334,7 +410,7 @@ mod tests {
             p.insert(7);
         }
         let mut engine = RoundEngine::new(honest(5));
-        let outcome = engine.run_round(&init, 3);
+        let outcome = engine.run_round(&init, 3).unwrap();
         let (_, set) = outcome.committed.expect("should commit");
         assert!(set.contains(&7));
     }
@@ -344,21 +420,27 @@ mod tests {
         let mut vals = honest(5);
         vals[4] = Validator::new(4, "byz", ValidatorProfile::Byzantine { availability: 1.0 });
         let mut engine = RoundEngine::new(vals);
-        let outcome = engine.run_round(&positions(5, &[1, 2, 3]), 4);
+        let outcome = engine.run_round(&positions(5, &[1, 2, 3]), 4).unwrap();
         // 4 honest validators (80%) agree: exactly at quorum.
-        assert!(outcome.committed.is_some(), "agreement = {}", outcome.agreement);
+        assert!(
+            outcome.committed.is_some(),
+            "agreement = {}",
+            outcome.agreement
+        );
     }
 
     #[test]
     fn two_byzantine_of_five_block_quorum() {
         let mut vals = honest(5);
         for i in [3, 4] {
-            vals[i] = Validator::new(i, format!("byz{i}"), ValidatorProfile::Byzantine {
-                availability: 1.0,
-            });
+            vals[i] = Validator::new(
+                i,
+                format!("byz{i}"),
+                ValidatorProfile::Byzantine { availability: 1.0 },
+            );
         }
         let mut engine = RoundEngine::new(vals);
-        let outcome = engine.run_round(&positions(5, &[1, 2, 3]), 5);
+        let outcome = engine.run_round(&positions(5, &[1, 2, 3]), 5).unwrap();
         assert!(outcome.committed.is_none(), "3/5 honest cannot reach 80%");
         assert!(outcome.agreement <= 0.6 + f64::EPSILON);
     }
@@ -366,15 +448,14 @@ mod tests {
     #[test]
     fn partition_halts_consensus() {
         let mut engine = RoundEngine::new(honest(5));
-        engine.network_mut().partition_groups(
-            &[NodeId(0), NodeId(1), NodeId(2)],
-            &[NodeId(3), NodeId(4)],
-        );
+        engine
+            .network_mut()
+            .partition_groups(&[NodeId(0), NodeId(1), NodeId(2)], &[NodeId(3), NodeId(4)]);
         // Groups start from different positions; neither can reach 80%.
         let mut init = positions(5, &[1]);
         init[3] = [2u64].into_iter().collect();
         init[4] = [2u64].into_iter().collect();
-        let outcome = engine.run_round(&init, 6);
+        let outcome = engine.run_round(&init, 6).unwrap();
         // Neither side can gather 80% support for its transactions, so the
         // escalating thresholds strip them all: consensus either fails or
         // (as on the real network) closes an *empty* ledger — no disputed
@@ -389,7 +470,7 @@ mod tests {
     fn crashed_minority_does_not_block() {
         let mut engine = RoundEngine::new(honest(5));
         engine.network_mut().crash(NodeId(4));
-        let outcome = engine.run_round(&positions(5, &[1, 2]), 7);
+        let outcome = engine.run_round(&positions(5, &[1, 2]), 7).unwrap();
         assert!(outcome.committed.is_some());
         assert!(!outcome.validations.contains_key(&4));
     }
@@ -400,13 +481,14 @@ mod tests {
         engine.network_mut().crash(NodeId(2));
         engine.network_mut().crash(NodeId(3));
         engine.network_mut().crash(NodeId(4));
-        let outcome = engine.run_round(&positions(5, &[1]), 8);
+        let outcome = engine.run_round(&positions(5, &[1]), 8).unwrap();
         assert!(outcome.committed.is_none());
     }
 
     #[test]
     fn slow_validator_misses_iterations_but_quorum_holds() {
-        let mut engine = RoundEngine::new(honest(5)).with_iteration_timeout(SimTime::from_millis(200));
+        let mut engine =
+            RoundEngine::new(honest(5)).with_iteration_timeout(SimTime::from_millis(200));
         engine
             .network_mut()
             .set_node_uplink_latency(NodeId(4), LatencyModel::Fixed(SimTime::from_millis(5_000)));
@@ -415,7 +497,7 @@ mod tests {
         // validation still counts since tallying is direct).
         let mut init = positions(5, &[1, 2]);
         init[4].insert(9);
-        let outcome = engine.run_round(&init, 9);
+        let outcome = engine.run_round(&init, 9).unwrap();
         let (_, set) = outcome.committed.expect("should commit");
         assert!(!set.contains(&9));
     }
@@ -429,9 +511,43 @@ mod tests {
             p.insert(1_000 + i as u64);
         }
         let mut engine = RoundEngine::new(honest(5));
-        let outcome = engine.run_round(&init, 10);
+        let outcome = engine.run_round(&init, 10).unwrap();
         let (_, set) = outcome.committed.expect("should commit");
         assert_eq!(set, core.into_iter().collect());
+    }
+
+    #[test]
+    fn position_count_mismatch_is_an_error_not_a_panic() {
+        let mut engine = RoundEngine::new(honest(5));
+        let err = engine.run_round(&positions(3, &[1]), 1).unwrap_err();
+        assert_eq!(
+            err,
+            RoundError::PositionCountMismatch {
+                expected: 5,
+                actual: 3
+            }
+        );
+        assert!(err.to_string().contains("expected 5, got 3"));
+    }
+
+    #[test]
+    fn empty_engine_is_an_error() {
+        let mut engine = RoundEngine::new(Vec::new());
+        assert_eq!(
+            engine.run_round(&[], 1).unwrap_err(),
+            RoundError::NoValidators
+        );
+    }
+
+    #[test]
+    fn rounds_are_fixed_duration() {
+        let mut engine =
+            RoundEngine::new(honest(5)).with_iteration_timeout(SimTime::from_millis(100));
+        assert_eq!(engine.round_duration(), SimTime::from_millis(500));
+        engine.run_round(&positions(5, &[1]), 1).unwrap();
+        assert_eq!(engine.network().now(), SimTime::from_millis(500));
+        engine.run_round(&positions(5, &[2]), 2).unwrap();
+        assert_eq!(engine.network().now(), SimTime::from_millis(1_000));
     }
 
     #[test]

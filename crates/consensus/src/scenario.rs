@@ -67,7 +67,8 @@ fn shared_anon(validators: &mut Vec<Validator>, availability: f64) {
 fn anon(validators: &mut Vec<Validator>, salt: &str, n: usize, profile: ValidatorProfile) {
     for k in 0..n {
         let index = validators.len();
-        let keys = ripple_crypto::SimKeypair::from_seed(format!("anon:{salt}:{index}:{k}").as_bytes());
+        let keys =
+            ripple_crypto::SimKeypair::from_seed(format!("anon:{salt}:{index}:{k}").as_bytes());
         validators.push(Validator {
             index,
             label: keys.public_key().node_short(),
@@ -138,18 +139,51 @@ impl CollectionPeriod {
                     },
                 );
                 // 21 desynced / private-ledger validators.
-                named(&mut v, "xagate.com", ValidatorProfile::Desynced { availability: 0.7 });
-                anon(&mut v, "dec2015", 20, ValidatorProfile::Desynced { availability: 0.65 });
+                named(
+                    &mut v,
+                    "xagate.com",
+                    ValidatorProfile::Desynced { availability: 0.7 },
+                );
+                anon(
+                    &mut v,
+                    "dec2015",
+                    20,
+                    ValidatorProfile::Desynced { availability: 0.65 },
+                );
             }
             CollectionPeriod::July2016 => {
                 // 10 active: 4 shared anonymous + 6 named/anonymous.
                 shared_anon(&mut v, 0.93);
-                named(&mut v, "bougalis.net", ValidatorProfile::Reliable { availability: 0.97 });
-                named(&mut v, "bougalis.net (2)", ValidatorProfile::Reliable { availability: 0.96 });
-                named(&mut v, "freewallet1.net", ValidatorProfile::Reliable { availability: 0.88 });
-                named(&mut v, "freewallet2.net", ValidatorProfile::Reliable { availability: 0.86 });
-                named(&mut v, "mduo13.com", ValidatorProfile::Reliable { availability: 0.82 });
-                named(&mut v, "youwant.to", ValidatorProfile::Reliable { availability: 0.8 });
+                named(
+                    &mut v,
+                    "bougalis.net",
+                    ValidatorProfile::Reliable { availability: 0.97 },
+                );
+                named(
+                    &mut v,
+                    "bougalis.net (2)",
+                    ValidatorProfile::Reliable { availability: 0.96 },
+                );
+                named(
+                    &mut v,
+                    "freewallet1.net",
+                    ValidatorProfile::Reliable { availability: 0.88 },
+                );
+                named(
+                    &mut v,
+                    "freewallet2.net",
+                    ValidatorProfile::Reliable { availability: 0.86 },
+                );
+                named(
+                    &mut v,
+                    "mduo13.com",
+                    ValidatorProfile::Reliable { availability: 0.82 },
+                );
+                named(
+                    &mut v,
+                    "youwant.to",
+                    ValidatorProfile::Reliable { availability: 0.8 },
+                );
                 // 5 test-net validators (~200k pages, none valid on main).
                 for i in 1..=5 {
                     named(
@@ -159,9 +193,22 @@ impl CollectionPeriod {
                     );
                 }
                 // Remaining observed: desynced or barely-alive validators.
-                named(&mut v, "rippled.media.mit.edu", ValidatorProfile::Desynced { availability: 0.6 });
-                named(&mut v, "rippled.mr.exchange", ValidatorProfile::Desynced { availability: 0.55 });
-                anon(&mut v, "jul2016", 6, ValidatorProfile::Desynced { availability: 0.5 });
+                named(
+                    &mut v,
+                    "rippled.media.mit.edu",
+                    ValidatorProfile::Desynced { availability: 0.6 },
+                );
+                named(
+                    &mut v,
+                    "rippled.mr.exchange",
+                    ValidatorProfile::Desynced { availability: 0.55 },
+                );
+                anon(
+                    &mut v,
+                    "jul2016",
+                    6,
+                    ValidatorProfile::Desynced { availability: 0.5 },
+                );
                 anon(
                     &mut v,
                     "jul2016",
@@ -175,8 +222,17 @@ impl CollectionPeriod {
             CollectionPeriod::November2016 => {
                 // Only 8 active now: 4 shared anonymous + 4 others.
                 shared_anon(&mut v, 0.9);
-                named(&mut v, "bougalis.net", ValidatorProfile::Reliable { availability: 0.9 });
-                anon(&mut v, "nov2016", 3, ValidatorProfile::Reliable { availability: 0.85 });
+                named(
+                    &mut v,
+                    "bougalis.net",
+                    ValidatorProfile::Reliable { availability: 0.9 },
+                );
+                anon(
+                    &mut v,
+                    "nov2016",
+                    3,
+                    ValidatorProfile::Reliable { availability: 0.85 },
+                );
                 // freewallet1/2 collapse to ~an order of magnitude fewer
                 // pages (paper: "less than 20 000 ledger pages" vs +200k).
                 // Present for an order of magnitude fewer rounds, but still
@@ -206,12 +262,37 @@ impl CollectionPeriod {
                         ValidatorProfile::TestNet { availability: 0.85 },
                     );
                 }
-                named(&mut v, "awsstatic.com/fin-serv", ValidatorProfile::Desynced { availability: 0.6 });
-                named(&mut v, "duke67.com", ValidatorProfile::Desynced { availability: 0.55 });
-                named(&mut v, "paleorbglow.com", ValidatorProfile::Desynced { availability: 0.5 });
-                named(&mut v, "rippled.media.mit.edu", ValidatorProfile::Desynced { availability: 0.6 });
-                named(&mut v, "rippled.mr.exchange", ValidatorProfile::Desynced { availability: 0.5 });
-                anon(&mut v, "nov2016", 9, ValidatorProfile::Desynced { availability: 0.45 });
+                named(
+                    &mut v,
+                    "awsstatic.com/fin-serv",
+                    ValidatorProfile::Desynced { availability: 0.6 },
+                );
+                named(
+                    &mut v,
+                    "duke67.com",
+                    ValidatorProfile::Desynced { availability: 0.55 },
+                );
+                named(
+                    &mut v,
+                    "paleorbglow.com",
+                    ValidatorProfile::Desynced { availability: 0.5 },
+                );
+                named(
+                    &mut v,
+                    "rippled.media.mit.edu",
+                    ValidatorProfile::Desynced { availability: 0.6 },
+                );
+                named(
+                    &mut v,
+                    "rippled.mr.exchange",
+                    ValidatorProfile::Desynced { availability: 0.5 },
+                );
+                anon(
+                    &mut v,
+                    "nov2016",
+                    9,
+                    ValidatorProfile::Desynced { availability: 0.45 },
+                );
                 anon(
                     &mut v,
                     "nov2016",
@@ -337,7 +418,11 @@ mod tests {
         let jul = CollectionPeriod::July2016.run(1_000, 13).report();
         let nov = CollectionPeriod::November2016.run(1_000, 13).report();
         let get = |r: &crate::metrics::ValidatorReport, l: &str| {
-            r.rows.iter().find(|row| row.label == l).map(|row| row.total).unwrap_or(0)
+            r.rows
+                .iter()
+                .find(|row| row.label == l)
+                .map(|row| row.total)
+                .unwrap_or(0)
         };
         let jul_fw = get(&jul, "freewallet1.net");
         let nov_fw = get(&nov, "freewallet1.net");

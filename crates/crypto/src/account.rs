@@ -70,12 +70,14 @@ impl AccountId {
     /// [`DecodeError::BadLength`] if the payload is not 20 bytes.
     pub fn from_base58(s: &str) -> Result<Self, DecodeError> {
         let payload = check_decode(VERSION_ACCOUNT_ID, s)?;
-        let bytes: [u8; 20] = payload.as_slice().try_into().map_err(|_| {
-            DecodeError::BadLength {
-                expected: 20,
-                actual: payload.len(),
-            }
-        })?;
+        let bytes: [u8; 20] =
+            payload
+                .as_slice()
+                .try_into()
+                .map_err(|_| DecodeError::BadLength {
+                    expected: 20,
+                    actual: payload.len(),
+                })?;
         Ok(AccountId(bytes))
     }
 

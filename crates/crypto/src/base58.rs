@@ -71,10 +71,7 @@ pub fn decode_raw(s: &str) -> Result<Vec<u8>, DecodeError> {
     for (i, &c) in RIPPLE_ALPHABET.iter().enumerate() {
         index[c as usize] = i as u8;
     }
-    let zeros = s
-        .bytes()
-        .take_while(|&b| b == RIPPLE_ALPHABET[0])
-        .count();
+    let zeros = s.bytes().take_while(|&b| b == RIPPLE_ALPHABET[0]).count();
     let mut bytes: Vec<u8> = Vec::with_capacity(s.len() * 733 / 1000 + 1);
     for c in s.chars() {
         let v = if (c as usize) < 128 {
@@ -207,10 +204,7 @@ mod tests {
     #[test]
     fn invalid_character_reported() {
         // '0', 'O', 'I' and 'l' are all absent from the Ripple alphabet.
-        assert_eq!(
-            decode_raw("r0"),
-            Err(DecodeError::InvalidCharacter('0'))
-        );
+        assert_eq!(decode_raw("r0"), Err(DecodeError::InvalidCharacter('0')));
     }
 
     proptest! {

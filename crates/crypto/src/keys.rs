@@ -18,9 +18,7 @@ use crate::hash::{sha512, sha512_half, Digest512};
 use serde::{Deserialize, Serialize};
 
 /// A 32-byte public key for the simulated scheme.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PublicKey([u8; 32]);
 
 impl PublicKey {
@@ -66,6 +64,9 @@ impl AsRef<[u8]> for PublicKey {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SimSignature(#[serde(with = "sig_bytes")] [u8; 64]);
 
+// Referenced via `#[serde(with = ...)]`; the vendored offline serde derive
+// expands to nothing, so the helpers look dead to rustc.
+#[allow(dead_code)]
 mod sig_bytes {
     use serde::de::Error;
     use serde::{Deserialize, Deserializer, Serializer};

@@ -306,7 +306,10 @@ mod tests {
         assert_eq!(profile.payments_sent, 4);
         assert_eq!(profile.payments_received, 1);
         // Favourite place: the bar, twice.
-        assert_eq!(profile.top_destinations[0], (AccountId::from_bytes([9; 20]), 2));
+        assert_eq!(
+            profile.top_destinations[0],
+            (AccountId::from_bytes([9; 20]), 2)
+        );
         // USD dominates his outflow.
         assert_eq!(profile.sent_by_currency[0].0, Currency::USD);
         assert_eq!(

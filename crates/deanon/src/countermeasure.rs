@@ -213,10 +213,8 @@ pub fn link_wallets_by_habit(
         let root = find(&mut parent, wallet);
         clusters_map.entry(root).or_default().push(wallet);
     }
-    let clusters: Vec<Vec<AccountId>> = clusters_map
-        .into_values()
-        .filter(|c| c.len() > 1)
-        .collect();
+    let clusters: Vec<Vec<AccountId>> =
+        clusters_map.into_values().filter(|c| c.len() > 1).collect();
 
     // Score proposed pairs against ground truth.
     let mut proposed_pairs = 0u64;
@@ -317,7 +315,10 @@ mod tests {
         let owner = AccountId::from_bytes([1; 20]);
         assert_eq!(wallet_of(owner, 0), wallet_of(owner, 0));
         assert_ne!(wallet_of(owner, 0), wallet_of(owner, 1));
-        assert_ne!(wallet_of(owner, 0), wallet_of(AccountId::from_bytes([2; 20]), 0));
+        assert_ne!(
+            wallet_of(owner, 0),
+            wallet_of(AccountId::from_bytes([2; 20]), 0)
+        );
     }
 
     #[test]
@@ -363,7 +364,8 @@ mod tests {
     fn habits_relink_the_wallets() {
         let records = history();
         let k = 3;
-        let (split, _) = split_wallets(&records, k, ResolutionSpec::full(), &FeeSchedule::mainnet());
+        let (split, _) =
+            split_wallets(&records, k, ResolutionSpec::full(), &FeeSchedule::mainnet());
         let truth = ground_truth(&records, k);
         // The bound must admit a user's own k wallets but reject broader
         // crowds.
@@ -385,20 +387,30 @@ mod tests {
     fn popular_destinations_are_not_evidence() {
         let records = history();
         let k = 3;
-        let (split, _) = split_wallets(&records, k, ResolutionSpec::full(), &FeeSchedule::mainnet());
+        let (split, _) =
+            split_wallets(&records, k, ResolutionSpec::full(), &FeeSchedule::mainnet());
         let truth = ground_truth(&records, k);
         // With the popularity bound disabled (huge threshold), the shared
         // menu price at destination 200 merges unrelated users: precision
         // collapses relative to the bounded heuristic.
         let naive = link_wallets_by_habit(&split, &truth, usize::MAX);
         let careful = link_wallets_by_habit(&split, &truth, k);
-        assert!(careful.precision > naive.precision,
-                "careful {} vs naive {}", careful.precision, naive.precision);
+        assert!(
+            careful.precision > naive.precision,
+            "careful {} vs naive {}",
+            careful.precision,
+            naive.precision
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least one wallet")]
     fn zero_wallets_rejected() {
-        let _ = split_wallets(&history(), 0, ResolutionSpec::full(), &FeeSchedule::mainnet());
+        let _ = split_wallets(
+            &history(),
+            0,
+            ResolutionSpec::full(),
+            &FeeSchedule::mainnet(),
+        );
     }
 }

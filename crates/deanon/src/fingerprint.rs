@@ -47,16 +47,37 @@ impl ResolutionSpec {
             }
         };
         vec![
-            ("<Am; Tsc; C; D>", spec(Some(A::Maximum), Some(T::Seconds), true, true)),
-            ("<Am; Tsc; -; D>", spec(Some(A::Maximum), Some(T::Seconds), false, true)),
-            ("<Am; Tsc; C; ->", spec(Some(A::Maximum), Some(T::Seconds), true, false)),
+            (
+                "<Am; Tsc; C; D>",
+                spec(Some(A::Maximum), Some(T::Seconds), true, true),
+            ),
+            (
+                "<Am; Tsc; -; D>",
+                spec(Some(A::Maximum), Some(T::Seconds), false, true),
+            ),
+            (
+                "<Am; Tsc; C; ->",
+                spec(Some(A::Maximum), Some(T::Seconds), true, false),
+            ),
             ("<- ; Tsc; C; D>", spec(None, Some(T::Seconds), true, true)),
-            ("<Ah; Tmn; C; D>", spec(Some(A::High), Some(T::Minutes), true, true)),
-            ("<Aa; Thr; C; D>", spec(Some(A::Average), Some(T::Hours), true, true)),
-            ("<Al; Tdy; C; D>", spec(Some(A::Low), Some(T::Days), true, true)),
+            (
+                "<Ah; Tmn; C; D>",
+                spec(Some(A::High), Some(T::Minutes), true, true),
+            ),
+            (
+                "<Aa; Thr; C; D>",
+                spec(Some(A::Average), Some(T::Hours), true, true),
+            ),
+            (
+                "<Al; Tdy; C; D>",
+                spec(Some(A::Low), Some(T::Days), true, true),
+            ),
             ("<Am; - ; C; D>", spec(Some(A::Maximum), None, true, true)),
             ("<Am; - ; -; ->", spec(Some(A::Maximum), None, false, false)),
-            ("<Al; Tdy; -; ->", spec(Some(A::Low), Some(T::Days), false, false)),
+            (
+                "<Al; Tdy; -; ->",
+                spec(Some(A::Low), Some(T::Days), false, false),
+            ),
         ]
     }
 

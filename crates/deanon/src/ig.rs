@@ -109,22 +109,18 @@ pub fn sender_information_gain<'a>(
 /// analysis.
 pub fn figure3(records: &[&PaymentRecord]) -> Vec<(&'static str, IgResult)> {
     let rows = ResolutionSpec::figure3_rows();
-    let mut out: Vec<Option<(&'static str, IgResult)>> = vec![None; rows.len()];
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(rows.len());
-        for (label, spec) in rows {
-            handles.push(
-                scope.spawn(move |_| (label, information_gain(records.iter().copied(), spec))),
-            );
-        }
-        for (slot, handle) in out.iter_mut().zip(handles) {
-            *slot = Some(handle.join().expect("IG worker must not panic"));
-        }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = rows
+            .into_iter()
+            .map(|(label, spec)| {
+                scope.spawn(move || (label, information_gain(records.iter().copied(), spec)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("IG worker must not panic"))
+            .collect()
     })
-    .expect("scoped threads join cleanly");
-    out.into_iter()
-        .map(|row| row.expect("every slot filled"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -152,9 +148,11 @@ mod tests {
 
     #[test]
     fn distinct_fingerprints_are_unique() {
-        let records = [rec(1, "100", 10, 5),
+        let records = [
+            rec(1, "100", 10, 5),
             rec(2, "200", 20, 6),
-            rec(3, "300", 30, 7)];
+            rec(3, "300", 30, 7),
+        ];
         let ig = information_gain(records.iter(), ResolutionSpec::full());
         assert_eq!(ig.unique, 3);
         assert_eq!(ig.percent(), 100.0);
@@ -184,11 +182,13 @@ mod tests {
 
     #[test]
     fn sender_metric_dominates_strict_metric() {
-        let records = [rec(1, "100", 10, 5),
+        let records = [
+            rec(1, "100", 10, 5),
             rec(1, "100", 10, 5),
             rec(2, "200", 20, 5),
             rec(3, "200", 20, 5),
-            rec(4, "300", 30, 5)];
+            rec(4, "300", 30, 5),
+        ];
         for (_, spec) in ResolutionSpec::figure3_rows() {
             let strict = information_gain(records.iter(), spec).fraction();
             let sender = sender_information_gain(records.iter(), spec).fraction();

@@ -211,20 +211,26 @@ mod tests {
         // the closest tens".
         let v: Value = "47".parse().unwrap();
         assert_eq!(
-            AmountResolution::Maximum.round(Currency::EUR, v).to_string(),
+            AmountResolution::Maximum
+                .round(Currency::EUR, v)
+                .to_string(),
             "50"
         );
         // "for BTC […] Am, rounding to the closest thousandth".
         let v: Value = "0.0154".parse().unwrap();
         assert_eq!(
-            AmountResolution::Maximum.round(Currency::BTC, v).to_string(),
+            AmountResolution::Maximum
+                .round(Currency::BTC, v)
+                .to_string(),
             "0.015"
         );
         // MTL spam amounts of order 1e9 survive weak-group rounding with
         // plenty of distinct buckets.
         let v: Value = "1234567890".parse().unwrap();
         assert_eq!(
-            AmountResolution::Maximum.round(Currency::MTL, v).to_string(),
+            AmountResolution::Maximum
+                .round(Currency::MTL, v)
+                .to_string(),
             "1234600000"
         );
     }

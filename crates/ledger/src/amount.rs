@@ -346,7 +346,13 @@ impl IouAmount {
 
 impl std::fmt::Display for IouAmount {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} {}/{}", self.value, self.currency, self.issuer.short())
+        write!(
+            f,
+            "{} {}/{}",
+            self.value,
+            self.currency,
+            self.issuer.short()
+        )
     }
 }
 

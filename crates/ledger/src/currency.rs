@@ -21,9 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(Currency::code("USD").to_string(), "USD");
 /// assert!(!Currency::code("CCK").is_iso4217());
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Currency([u8; 3]);
 
 impl Currency {
@@ -94,8 +92,21 @@ impl Currency {
     pub fn is_iso4217(&self) -> bool {
         matches!(
             &self.0,
-            b"USD" | b"EUR" | b"CNY" | b"JPY" | b"GBP" | b"AUD" | b"KRW" | b"CAD" | b"NZD"
-                | b"MXN" | b"BRL" | b"ILS" | b"XAU" | b"XAG" | b"XPT"
+            b"USD"
+                | b"EUR"
+                | b"CNY"
+                | b"JPY"
+                | b"GBP"
+                | b"AUD"
+                | b"KRW"
+                | b"CAD"
+                | b"NZD"
+                | b"MXN"
+                | b"BRL"
+                | b"ILS"
+                | b"XAU"
+                | b"XAG"
+                | b"XPT"
         )
     }
 }

@@ -147,7 +147,11 @@ mod tests {
     #[test]
     fn fees_reduce_total_drops() {
         let g = LedgerPage::genesis(RippleTime::EPOCH, 1_000);
-        let p2 = LedgerPage::next(&g, vec![tx(b"a", 10), tx(b"b", 15)], RippleTime::from_seconds(5));
+        let p2 = LedgerPage::next(
+            &g,
+            vec![tx(b"a", 10), tx(b"b", 15)],
+            RippleTime::from_seconds(5),
+        );
         assert_eq!(p2.header.total_drops, 975);
     }
 
@@ -155,10 +159,7 @@ mod tests {
     fn tx_root_depends_on_order() {
         let a = tx(b"a", 10);
         let b = tx(b"b", 10);
-        assert_ne!(
-            tx_root(&[a.clone(), b.clone()]),
-            tx_root(&[b, a])
-        );
+        assert_ne!(tx_root(&[a.clone(), b.clone()]), tx_root(&[b, a]));
     }
 
     #[test]

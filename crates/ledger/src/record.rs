@@ -153,10 +153,7 @@ mod tests {
 
     #[test]
     fn hop_counting() {
-        let s = PathSummary::from_paths(vec![
-            vec![acct(3)],
-            vec![acct(3), acct(4), acct(5)],
-        ]);
+        let s = PathSummary::from_paths(vec![vec![acct(3)], vec![acct(3), acct(4), acct(5)]]);
         assert_eq!(s.parallel_paths(), 2);
         assert_eq!(s.max_intermediate_hops(), 3);
         assert_eq!(s.intermediaries().count(), 4);

@@ -304,12 +304,14 @@ impl LedgerState {
 
     /// Iterates over all trust lines.
     pub fn trust_lines(&self) -> impl Iterator<Item = TrustLine> + '_ {
-        self.trust.iter().map(|(&(truster, trustee, currency), &limit)| TrustLine {
-            truster,
-            trustee,
-            currency,
-            limit,
-        })
+        self.trust
+            .iter()
+            .map(|(&(truster, trustee, currency), &limit)| TrustLine {
+                truster,
+                trustee,
+                currency,
+                limit,
+            })
     }
 
     /// How much of `counterparty`'s debt `holder` currently holds (negative
@@ -353,7 +355,7 @@ impl LedgerState {
     pub fn hop_capacity(&self, from: AccountId, to: AccountId, currency: Currency) -> Value {
         let limit = self.trust_limit(to, from, currency);
         let held = self.iou_balance(to, from, currency); // `to`'s claim on `from`
-        // `to` can accept IOUs until its claim on `from` reaches the limit.
+                                                         // `to` can accept IOUs until its claim on `from` reaches the limit.
         limit - held
     }
 
@@ -413,7 +415,11 @@ impl LedgerState {
     ) {
         let (key, flipped) = pair_key(holder, counterparty, currency);
         let entry = self.balances.entry(key).or_insert(Value::ZERO);
-        *entry = if flipped { *entry - delta } else { *entry + delta };
+        *entry = if flipped {
+            *entry - delta
+        } else {
+            *entry + delta
+        };
         if entry.is_zero() {
             self.balances.remove(&key);
         }
@@ -453,10 +459,7 @@ impl LedgerState {
             .accounts
             .get_mut(&from)
             .ok_or(LedgerError::NoSuchAccount(from))?;
-        let spendable = root
-            .balance
-            .checked_sub(reserve)
-            .unwrap_or(Drops::ZERO);
+        let spendable = root.balance.checked_sub(reserve).unwrap_or(Drops::ZERO);
         if amount > spendable {
             return Err(LedgerError::InsufficientXrp {
                 account: from,
@@ -786,7 +789,8 @@ mod tests {
     #[test]
     fn xrp_transfer_moves_balance() {
         let mut s = funded_state(2);
-        s.xrp_transfer(acct(1), acct(2), Drops::from_xrp(10)).unwrap();
+        s.xrp_transfer(acct(1), acct(2), Drops::from_xrp(10))
+            .unwrap();
         assert_eq!(s.account(&acct(1)).unwrap().balance, Drops::from_xrp(990));
         assert_eq!(s.account(&acct(2)).unwrap().balance, Drops::from_xrp(1_010));
     }
@@ -799,7 +803,8 @@ mod tests {
             .xrp_transfer(acct(1), acct(2), Drops::from_xrp(990))
             .unwrap_err();
         assert!(matches!(err, LedgerError::InsufficientXrp { .. }));
-        s.xrp_transfer(acct(1), acct(2), Drops::from_xrp(980)).unwrap();
+        s.xrp_transfer(acct(1), acct(2), Drops::from_xrp(980))
+            .unwrap();
     }
 
     #[test]
@@ -867,10 +872,14 @@ mod tests {
         // A trusts B for 10, B trusts C for 20 => C can pay A up to 10 via B.
         let mut s = funded_state(3);
         let (a, b, c) = (acct(1), acct(2), acct(3));
-        s.set_trust(a, b, Currency::USD, "10".parse().unwrap()).unwrap();
-        s.set_trust(b, c, Currency::USD, "20".parse().unwrap()).unwrap();
-        s.ripple_hop(c, b, Currency::USD, "10".parse().unwrap()).unwrap();
-        s.ripple_hop(b, a, Currency::USD, "10".parse().unwrap()).unwrap();
+        s.set_trust(a, b, Currency::USD, "10".parse().unwrap())
+            .unwrap();
+        s.set_trust(b, c, Currency::USD, "20".parse().unwrap())
+            .unwrap();
+        s.ripple_hop(c, b, Currency::USD, "10".parse().unwrap())
+            .unwrap();
+        s.ripple_hop(b, a, Currency::USD, "10".parse().unwrap())
+            .unwrap();
         assert_eq!(s.iou_balance(a, b, Currency::USD), "10".parse().unwrap());
         assert_eq!(s.iou_balance(b, c, Currency::USD), "10".parse().unwrap());
         // B's net position is zero: owed 10 by C, owes 10 to A.
@@ -888,7 +897,8 @@ mod tests {
         s.set_trust(acct(1), acct(2), Currency::USD, "20".parse().unwrap())
             .unwrap();
         assert_eq!(s.account(&acct(1)).unwrap().owner_count, 1);
-        s.set_trust(acct(1), acct(2), Currency::USD, Value::ZERO).unwrap();
+        s.set_trust(acct(1), acct(2), Currency::USD, Value::ZERO)
+            .unwrap();
         assert_eq!(s.account(&acct(1)).unwrap().owner_count, 0);
     }
 
@@ -961,10 +971,7 @@ mod tests {
             Drops::new(100_000_000 - 1_000_000 - 10)
         );
         // Replaying the same sequence fails.
-        assert!(matches!(
-            s.apply(&tx),
-            Err(LedgerError::BadSequence { .. })
-        ));
+        assert!(matches!(s.apply(&tx), Err(LedgerError::BadSequence { .. })));
     }
 
     #[test]
@@ -1068,10 +1075,7 @@ mod tests {
         let mut s = LedgerState::new();
         let tx = Transaction::build(ghost, 1, Drops::new(10), TxKind::AccountSet { flags: 0 })
             .signed(&keys);
-        assert!(matches!(
-            s.apply(&tx),
-            Err(LedgerError::NoSuchAccount(_))
-        ));
+        assert!(matches!(s.apply(&tx), Err(LedgerError::NoSuchAccount(_))));
     }
 
     #[test]
@@ -1133,11 +1137,7 @@ mod tests {
             Drops::new(10),
             TxKind::Payment {
                 destination: acct(2),
-                amount: Amount::Iou(IouAmount::new(
-                    "20".parse().unwrap(),
-                    Currency::USD,
-                    sender,
-                )),
+                amount: Amount::Iou(IouAmount::new("20".parse().unwrap(), Currency::USD, sender)),
                 send_max: None,
                 paths: Vec::new(),
             },

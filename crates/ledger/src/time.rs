@@ -53,7 +53,14 @@ impl RippleTime {
     ///
     /// Panics if the date is before 2000-01-01 or the fields are out of range
     /// (month 1–12, day valid for month, hour < 24, minute/second < 60).
-    pub fn from_ymd_hms(year: i64, month: u32, day: u32, hour: u32, minute: u32, second: u32) -> Self {
+    pub fn from_ymd_hms(
+        year: i64,
+        month: u32,
+        day: u32,
+        hour: u32,
+        minute: u32,
+        second: u32,
+    ) -> Self {
         assert!((1..=12).contains(&month), "month out of range: {month}");
         assert!(hour < 24 && minute < 60 && second < 60, "time out of range");
         let days = days_from_civil(year, month, day) - RIPPLE_EPOCH_DAYS_FROM_UNIX;

@@ -295,8 +295,13 @@ mod tests {
         let account = AccountId::from_public_key(&keys.public_key());
         let t1 = Transaction::build(account, 1, Drops::new(10), TxKind::AccountSet { flags: 0 })
             .signed(&keys);
-        let t2 = Transaction::build(account, 1, Drops::new(10), TxKind::OfferCancel { offer_seq: 0 })
-            .signed(&keys);
+        let t2 = Transaction::build(
+            account,
+            1,
+            Drops::new(10),
+            TxKind::OfferCancel { offer_seq: 0 },
+        )
+        .signed(&keys);
         assert_ne!(t1.canonical_bytes(), t2.canonical_bytes());
         assert_ne!(t1.hash(), t2.hash());
     }

@@ -28,10 +28,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod latency;
 pub mod network;
 pub mod sim;
 
+pub use faults::{FaultEvent, FaultPlan};
 pub use latency::LatencyModel;
-pub use network::{Delivery, Network, NodeId};
+pub use network::{Delivery, DeliveryFate, Network, NodeId};
 pub use sim::{SimTime, Simulation};

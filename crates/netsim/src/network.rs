@@ -5,6 +5,7 @@ use std::collections::{HashMap, HashSet};
 
 use rand::Rng;
 
+use crate::faults::{FaultEvent, FaultPlan};
 use crate::latency::LatencyModel;
 use crate::sim::{SimTime, Simulation};
 
@@ -29,6 +30,31 @@ pub struct Delivery<M> {
     pub msg: M,
 }
 
+/// The fate decided for a single message at send time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeliveryFate {
+    /// Enqueued; will arrive after `latency`.
+    Delivered {
+        /// Sampled one-way latency, fault modifiers included.
+        latency: SimTime,
+    },
+    /// Dropped: the sender is crashed.
+    SenderCrashed,
+    /// Dropped: the receiver is crashed.
+    ReceiverCrashed,
+    /// Dropped: the link is partitioned.
+    Partitioned,
+    /// Dropped: probabilistic loss on the link.
+    Lost,
+}
+
+impl DeliveryFate {
+    /// Whether the message survives to be delivered.
+    pub fn is_delivered(self) -> bool {
+        matches!(self, DeliveryFate::Delivered { .. })
+    }
+}
+
 /// A simulated network of `n` nodes.
 ///
 /// Messages are routed through the internal [`Simulation`]; call
@@ -45,6 +71,7 @@ pub struct Network<M> {
     default_loss: f64,
     partitioned: HashSet<(NodeId, NodeId)>,
     crashed: HashSet<NodeId>,
+    plan: Option<FaultPlan>,
     sent: u64,
     dropped: u64,
 }
@@ -62,6 +89,7 @@ impl<M> Network<M> {
             default_loss: 0.0,
             partitioned: HashSet::new(),
             crashed: HashSet::new(),
+            plan: None,
             sent: 0,
             dropped: 0,
         }
@@ -137,6 +165,17 @@ impl<M> Network<M> {
         self.partitioned.clear();
     }
 
+    /// Heals the partition between `a` and `b` only, in both directions.
+    pub fn heal_pair(&mut self, a: NodeId, b: NodeId) {
+        self.partitioned.remove(&(a, b));
+        self.partitioned.remove(&(b, a));
+    }
+
+    /// Whether `a` and `b` are currently partitioned from each other.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.partitioned.contains(&(a, b))
+    }
+
     /// Crashes a node: all traffic to and from it is dropped.
     pub fn crash(&mut self, node: NodeId) {
         self.crashed.insert(node);
@@ -152,29 +191,105 @@ impl<M> Network<M> {
         self.crashed.contains(&node)
     }
 
-    /// Sends `msg` from `from` to `to`, sampling latency/loss with `rng`.
-    /// Returns `true` if the message was enqueued (not dropped).
-    pub fn send<R: Rng + ?Sized>(&mut self, from: NodeId, to: NodeId, msg: M, rng: &mut R) -> bool {
-        self.sent += 1;
-        if self.crashed.contains(&from)
-            || self.crashed.contains(&to)
-            || self.partitioned.contains(&(from, to))
-        {
-            self.dropped += 1;
-            return false;
+    /// Installs a timed fault schedule. Its discrete events (partitions,
+    /// heals, crashes, restarts) fire as virtual time reaches them; its
+    /// window events modulate loss and latency while active. Installing a
+    /// plan also enables delivery-time fault checks: a message in flight
+    /// when its endpoint crashes or its link partitions is dropped at the
+    /// receiver, not just at the sender.
+    pub fn install_plan(&mut self, plan: FaultPlan) {
+        self.plan = Some(plan);
+        self.apply_faults_until(self.sim.now());
+    }
+
+    /// The installed fault plan, if any.
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Fires every discrete fault event due at or before `now`.
+    fn apply_faults_until(&mut self, now: SimTime) {
+        let Some(plan) = self.plan.as_mut() else {
+            return;
+        };
+        for event in plan.take_due(now) {
+            match event {
+                FaultEvent::PartitionAt { left, right, .. } => {
+                    self.partition_groups(&left, &right);
+                }
+                FaultEvent::HealAt { .. } => self.heal(),
+                FaultEvent::CrashAt { node, .. } => self.crash(node),
+                FaultEvent::RestartAt { node, .. } => self.restart(node),
+                // Window and permanent events are queried per message.
+                FaultEvent::LossBurst { .. }
+                | FaultEvent::DelaySpike { .. }
+                | FaultEvent::ClockSkew { .. } => {}
+            }
         }
-        let loss = self.loss.get(&(from, to)).copied().unwrap_or(self.default_loss);
+    }
+
+    /// Decides what happens to a message from `from` to `to` sent now:
+    /// the single authority for crash, partition, and loss checks.
+    ///
+    /// The effective loss probability is the link's configured loss (or
+    /// the default) plus any active [`FaultPlan`] burst, clamped to
+    /// `[0, 1]`; the latency is the link model's sample plus any active
+    /// delay spike and the sender's clock skew.
+    pub fn delivery_fate<R: Rng + ?Sized>(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        rng: &mut R,
+    ) -> DeliveryFate {
+        if self.crashed.contains(&from) {
+            return DeliveryFate::SenderCrashed;
+        }
+        if self.crashed.contains(&to) {
+            return DeliveryFate::ReceiverCrashed;
+        }
+        if self.partitioned.contains(&(from, to)) {
+            return DeliveryFate::Partitioned;
+        }
+        let now = self.sim.now();
+        let base = self
+            .loss
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_loss);
+        let extra = self.plan.as_ref().map_or(0.0, |p| p.extra_loss(now));
+        let loss = (base + extra).clamp(0.0, 1.0);
         if loss > 0.0 && rng.gen_bool(loss) {
-            self.dropped += 1;
-            return false;
+            return DeliveryFate::Lost;
         }
         let latency = self
             .link_latency
             .get(&(from, to))
             .unwrap_or(&self.default_latency)
             .sample(rng);
-        self.sim.schedule_in(latency, Delivery { from, to, msg });
-        true
+        let extra = self
+            .plan
+            .as_ref()
+            .map_or(SimTime::ZERO, |p| p.extra_delay(now, from));
+        DeliveryFate::Delivered {
+            latency: latency + extra,
+        }
+    }
+
+    /// Sends `msg` from `from` to `to`, sampling latency/loss with `rng`.
+    /// Returns `true` if the message was enqueued (not dropped).
+    pub fn send<R: Rng + ?Sized>(&mut self, from: NodeId, to: NodeId, msg: M, rng: &mut R) -> bool {
+        self.apply_faults_until(self.sim.now());
+        self.sent += 1;
+        match self.delivery_fate(from, to, rng) {
+            DeliveryFate::Delivered { latency } => {
+                self.sim.schedule_in(latency, Delivery { from, to, msg });
+                true
+            }
+            _ => {
+                self.dropped += 1;
+                false
+            }
+        }
     }
 
     /// Broadcasts `msg` from `from` to every other node.
@@ -201,14 +316,51 @@ impl<M> Network<M> {
         );
     }
 
+    /// Whether a popped delivery must be discarded by delivery-time fault
+    /// state. Only remote messages are affected — local timers fire even
+    /// on crashed nodes, so actors can observe their own restart.
+    fn blocked_at_delivery(&self, d: &Delivery<M>) -> bool {
+        d.from != d.to
+            && (self.crashed.contains(&d.from)
+                || self.crashed.contains(&d.to)
+                || self.partitioned.contains(&(d.from, d.to)))
+    }
+
     /// Advances to the next delivery.
+    ///
+    /// With a [`FaultPlan`] installed, due fault events fire first and
+    /// messages in flight across a crash or partition are dropped at
+    /// delivery time.
     pub fn step(&mut self) -> Option<(SimTime, Delivery<M>)> {
-        self.sim.step()
+        loop {
+            let (at, delivery) = self.sim.step()?;
+            self.apply_faults_until(at);
+            if self.plan.is_some() && self.blocked_at_delivery(&delivery) {
+                self.dropped += 1;
+                continue;
+            }
+            return Some((at, delivery));
+        }
     }
 
     /// Advances to the next delivery at or before `deadline`.
     pub fn step_until(&mut self, deadline: SimTime) -> Option<(SimTime, Delivery<M>)> {
-        self.sim.step_until(deadline)
+        loop {
+            let (at, delivery) = self.sim.step_until(deadline)?;
+            self.apply_faults_until(at);
+            if self.plan.is_some() && self.blocked_at_delivery(&delivery) {
+                self.dropped += 1;
+                continue;
+            }
+            return Some((at, delivery));
+        }
+    }
+
+    /// Advances the clock to `t` with no deliveries (idle time), firing
+    /// any fault events due on the way. Never moves backwards.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.sim.advance_to(t);
+        self.apply_faults_until(self.sim.now());
     }
 
     /// Number of in-flight messages.
@@ -317,6 +469,159 @@ mod tests {
         assert_eq!(at, SimTime::from_millis(30));
         assert_eq!(d.msg, "tick");
         assert_eq!(d.from, d.to);
+    }
+
+    #[test]
+    fn delivery_fate_names_the_cause() {
+        let mut rng = rng();
+        let mut net: Network<()> = Network::new(3);
+        net.crash(NodeId(0));
+        assert_eq!(
+            net.delivery_fate(NodeId(0), NodeId(1), &mut rng),
+            DeliveryFate::SenderCrashed
+        );
+        assert_eq!(
+            net.delivery_fate(NodeId(1), NodeId(0), &mut rng),
+            DeliveryFate::ReceiverCrashed
+        );
+        net.restart(NodeId(0));
+        net.partition(NodeId(0), NodeId(1));
+        assert_eq!(
+            net.delivery_fate(NodeId(0), NodeId(1), &mut rng),
+            DeliveryFate::Partitioned
+        );
+        // Crash takes precedence over partition, matching the legacy
+        // check order.
+        net.crash(NodeId(0));
+        assert_eq!(
+            net.delivery_fate(NodeId(0), NodeId(1), &mut rng),
+            DeliveryFate::SenderCrashed
+        );
+        assert!(net
+            .delivery_fate(NodeId(1), NodeId(2), &mut rng)
+            .is_delivered());
+    }
+
+    #[test]
+    fn loss_probabilities_clamp_and_compose() {
+        let mut rng = rng();
+        let mut net: Network<()> = Network::new(2);
+        // Out-of-range settings clamp instead of panicking in gen_bool.
+        net.set_default_loss(-0.5);
+        assert!(net
+            .delivery_fate(NodeId(0), NodeId(1), &mut rng)
+            .is_delivered());
+        net.set_default_loss(7.0);
+        assert_eq!(
+            net.delivery_fate(NodeId(0), NodeId(1), &mut rng),
+            DeliveryFate::Lost
+        );
+        // A per-link override beats the default entirely.
+        net.set_link_loss(NodeId(0), NodeId(1), 0.0);
+        assert!(net
+            .delivery_fate(NodeId(0), NodeId(1), &mut rng)
+            .is_delivered());
+        net.set_link_loss(NodeId(0), NodeId(1), 3.0);
+        assert_eq!(
+            net.delivery_fate(NodeId(0), NodeId(1), &mut rng),
+            DeliveryFate::Lost
+        );
+    }
+
+    #[test]
+    fn loss_burst_stacks_on_link_loss_and_clamps() {
+        let mut rng = rng();
+        let mut net: Network<()> = Network::new(2);
+        net.set_link_loss(NodeId(0), NodeId(1), 0.6);
+        net.install_plan(FaultPlan::new().loss_burst(SimTime::ZERO, SimTime::from_secs(10), 0.9));
+        // 0.6 + 0.9 clamps to 1.0: every send inside the burst is lost.
+        for _ in 0..50 {
+            assert_eq!(
+                net.delivery_fate(NodeId(0), NodeId(1), &mut rng),
+                DeliveryFate::Lost
+            );
+        }
+    }
+
+    #[test]
+    fn heal_pair_leaves_other_partitions_in_force() {
+        let mut rng = rng();
+        let mut net: Network<()> = Network::new(3);
+        net.partition(NodeId(0), NodeId(1));
+        net.partition(NodeId(0), NodeId(2));
+        net.heal_pair(NodeId(1), NodeId(0));
+        assert!(!net.is_partitioned(NodeId(0), NodeId(1)));
+        assert!(net.send(NodeId(0), NodeId(1), (), &mut rng));
+        assert!(net.is_partitioned(NodeId(0), NodeId(2)));
+        assert!(!net.send(NodeId(0), NodeId(2), (), &mut rng));
+    }
+
+    #[test]
+    fn plan_crash_fires_when_time_reaches_it() {
+        let mut rng = rng();
+        let mut net: Network<u8> = Network::new(2);
+        net.set_default_latency(LatencyModel::Fixed(SimTime::from_millis(10)));
+        net.install_plan(
+            FaultPlan::new()
+                .crash_at(SimTime::from_millis(50), NodeId(1))
+                .restart_at(SimTime::from_millis(100), NodeId(1)),
+        );
+        // Before the crash time, traffic flows.
+        assert!(net.send(NodeId(0), NodeId(1), 1, &mut rng));
+        assert!(net.step().is_some());
+        // Move past the crash: sends to node 1 now fail.
+        net.advance_to(SimTime::from_millis(60));
+        assert!(net.is_crashed(NodeId(1)));
+        assert!(!net.send(NodeId(0), NodeId(1), 2, &mut rng));
+        // Past the restart, the node is reachable again.
+        net.advance_to(SimTime::from_millis(100));
+        assert!(!net.is_crashed(NodeId(1)));
+        assert!(net.send(NodeId(0), NodeId(1), 3, &mut rng));
+    }
+
+    #[test]
+    fn in_flight_message_dropped_when_receiver_crashes_before_delivery() {
+        let mut rng = rng();
+        let mut net: Network<u8> = Network::new(2);
+        net.set_default_latency(LatencyModel::Fixed(SimTime::from_millis(100)));
+        net.install_plan(FaultPlan::new().crash_at(SimTime::from_millis(50), NodeId(1)));
+        // Sent at t=0 (arrives t=100), but node 1 dies at t=50.
+        assert!(net.send(NodeId(0), NodeId(1), 9, &mut rng));
+        assert!(net.step().is_none(), "delivery must be suppressed");
+        assert_eq!(net.dropped(), 1);
+    }
+
+    #[test]
+    fn delay_spike_slows_messages_inside_its_window() {
+        let mut rng = rng();
+        let mut net: Network<u8> = Network::new(2);
+        net.set_default_latency(LatencyModel::Fixed(SimTime::from_millis(10)));
+        net.install_plan(FaultPlan::new().delay_spike(
+            SimTime::ZERO,
+            SimTime::from_millis(30),
+            SimTime::from_millis(500),
+        ));
+        net.send(NodeId(0), NodeId(1), 1, &mut rng);
+        let (at, _) = net.step().unwrap();
+        assert_eq!(at, SimTime::from_millis(510));
+        // Outside the window, latency returns to the base model.
+        net.send(NodeId(0), NodeId(1), 2, &mut rng);
+        let (at, _) = net.step().unwrap();
+        assert_eq!(at, SimTime::from_millis(520));
+    }
+
+    #[test]
+    fn clock_skew_delays_only_the_skewed_sender() {
+        let mut rng = rng();
+        let mut net: Network<u8> = Network::new(3);
+        net.set_default_latency(LatencyModel::Fixed(SimTime::from_millis(10)));
+        net.install_plan(FaultPlan::new().clock_skew(NodeId(0), SimTime::from_millis(200)));
+        net.send(NodeId(0), NodeId(2), 0, &mut rng);
+        net.send(NodeId(1), NodeId(2), 1, &mut rng);
+        let (t_first, d_first) = net.step().unwrap();
+        assert_eq!((t_first.as_millis(), d_first.msg), (10, 1));
+        let (t_second, d_second) = net.step().unwrap();
+        assert_eq!((t_second.as_millis(), d_second.msg), (210, 0));
     }
 
     #[test]

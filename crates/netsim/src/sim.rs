@@ -156,9 +156,12 @@ impl<E> Simulation<E> {
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
+    ///
+    /// The clock never rewinds: if [`Simulation::advance_to`] moved `now`
+    /// past a pending event, that event still pops but `now` stays put.
     pub fn step(&mut self) -> Option<(SimTime, E)> {
         let Reverse(entry) = self.queue.pop()?;
-        self.now = entry.at;
+        self.now = self.now.max(entry.at);
         Some((entry.at, entry.event))
     }
 
@@ -168,6 +171,12 @@ impl<E> Simulation<E> {
             Some(Reverse(entry)) if entry.at <= deadline => self.step(),
             _ => None,
         }
+    }
+
+    /// Advances the clock to `t` without delivering anything (idle time).
+    /// Moving backwards is a no-op: the clock is monotone.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
     }
 }
 

@@ -173,20 +173,29 @@ mod tests {
             .insert(acct(1), 1, v("1000"), Rate::new(1, 1));
         // (USD, EUR): someone sells USD cheap in EUR terms — i.e. buys EUR
         // dear: 1 USD costs 0.9 EUR => selling 1 EUR nets ~1.11 USD.
-        books
-            .book_mut(Currency::USD, Currency::EUR)
-            .insert(acct(2), 1, v("1000"), Rate::new(9, 10));
+        books.book_mut(Currency::USD, Currency::EUR).insert(
+            acct(2),
+            1,
+            v("1000"),
+            Rate::new(9, 10),
+        );
         books
     }
 
     fn consistent_books() -> BookSet {
         let mut books = BookSet::new();
-        books
-            .book_mut(Currency::EUR, Currency::USD)
-            .insert(acct(1), 1, v("1000"), Rate::new(11, 10));
-        books
-            .book_mut(Currency::USD, Currency::EUR)
-            .insert(acct(2), 1, v("1000"), Rate::new(10, 11));
+        books.book_mut(Currency::EUR, Currency::USD).insert(
+            acct(1),
+            1,
+            v("1000"),
+            Rate::new(11, 10),
+        );
+        books.book_mut(Currency::USD, Currency::EUR).insert(
+            acct(2),
+            1,
+            v("1000"),
+            Rate::new(10, 11),
+        );
         books
     }
 
@@ -195,7 +204,11 @@ mod tests {
         let books = skewed_books();
         let found = find_two_leg(&books, &[Currency::EUR, Currency::USD]);
         assert_eq!(found.len(), 1);
-        assert!(found[0].profit_rate() > 0.1, "rate = {}", found[0].profit_rate());
+        assert!(
+            found[0].profit_rate() > 0.1,
+            "rate = {}",
+            found[0].profit_rate()
+        );
         assert_eq!(found[0].cycle.len(), 3);
     }
 
@@ -238,17 +251,20 @@ mod tests {
             .book_mut(Currency::BTC, Currency::USD)
             .insert(acct(1), 1, v("10"), Rate::new(100, 1));
         // (EUR, BTC): 1 EUR costs 0.011 BTC => 1 BTC buys ~90.9 EUR.
-        books
-            .book_mut(Currency::EUR, Currency::BTC)
-            .insert(acct(2), 1, v("1000"), Rate::new(11, 1000));
-        // (USD, EUR): 1 USD costs 0.85 EUR => 90.9 EUR buys ~107 USD.
-        books
-            .book_mut(Currency::USD, Currency::EUR)
-            .insert(acct(3), 1, v("1000"), Rate::new(85, 100));
-        let found = find_triangular(
-            &books,
-            &[Currency::USD, Currency::EUR, Currency::BTC],
+        books.book_mut(Currency::EUR, Currency::BTC).insert(
+            acct(2),
+            1,
+            v("1000"),
+            Rate::new(11, 1000),
         );
+        // (USD, EUR): 1 USD costs 0.85 EUR => 90.9 EUR buys ~107 USD.
+        books.book_mut(Currency::USD, Currency::EUR).insert(
+            acct(3),
+            1,
+            v("1000"),
+            Rate::new(85, 100),
+        );
+        let found = find_triangular(&books, &[Currency::USD, Currency::EUR, Currency::BTC]);
         assert!(!found.is_empty());
         let best = &found[0];
         assert!(best.multiplier > 1.0);

@@ -225,8 +225,12 @@ impl BookSet {
             let (gets_cur, gets_val) = flatten(&offer.taker_gets);
             let (pays_cur, pays_val) = flatten(&offer.taker_pays);
             if let Some(rate) = Rate::from_amounts(pays_val, gets_val) {
-                set.book_mut(gets_cur, pays_cur)
-                    .insert(offer.owner, offer.offer_seq, gets_val, rate);
+                set.book_mut(gets_cur, pays_cur).insert(
+                    offer.owner,
+                    offer.offer_seq,
+                    gets_val,
+                    rate,
+                );
             }
         }
         set
@@ -261,10 +265,13 @@ impl BookSet {
     ///
     /// "XRPs can be used as a universal bridge between markets — any
     /// currency to XRP, then from XRP to any other currency." (§III.C)
-    pub fn quote_with_bridge(&self, base: Currency, quote: Currency, amount: Value) -> Option<(Value, bool)> {
-        let direct = self
-            .book(base, quote)
-            .and_then(|b| b.quote_buy(amount));
+    pub fn quote_with_bridge(
+        &self,
+        base: Currency,
+        quote: Currency,
+        amount: Value,
+    ) -> Option<(Value, bool)> {
+        let direct = self.book(base, quote).and_then(|b| b.quote_buy(amount));
         let bridged = if base != Currency::XRP && quote != Currency::XRP {
             self.book(base, Currency::XRP)
                 .and_then(|leg1| leg1.quote_buy(amount))

@@ -92,11 +92,7 @@ impl RateTable {
 fn invert(rate: Rate) -> Rate {
     // Safe: Rate's invariants guarantee positivity.
     let f = rate.to_f64();
-    Rate::from_amounts(
-        Value::from_f64(1.0),
-        Value::from_f64(f),
-    )
-    .unwrap_or(Rate::UNIT)
+    Rate::from_amounts(Value::from_f64(1.0), Value::from_f64(f)).unwrap_or(Rate::UNIT)
 }
 
 #[cfg(test)]

@@ -445,8 +445,14 @@ impl PaymentEngine {
         for part in &fill.parts {
             match self.route_leg(state, &mut undo, request.sender, part.owner, src, part.paid) {
                 Ok(src_hops) => {
-                    match self.route_leg(state, &mut undo, part.owner, request.destination, dst, part.taken)
-                    {
+                    match self.route_leg(
+                        state,
+                        &mut undo,
+                        part.owner,
+                        request.destination,
+                        dst,
+                        part.taken,
+                    ) {
                         Ok(dst_hops) => {
                             consume_offer(state, &mut undo, part, dst, src)?;
                             let mut hops = src_hops;
@@ -520,7 +526,11 @@ impl PaymentEngine {
         let mut source_cost = Value::ZERO;
 
         // Greedy pairing of leg-1 parts with leg-2 parts.
-        let mut leg2 = fill2.parts.iter().copied().collect::<std::collections::VecDeque<_>>();
+        let mut leg2 = fill2
+            .parts
+            .iter()
+            .copied()
+            .collect::<std::collections::VecDeque<_>>();
         let mut leg2_head_left = leg2.front().map(|p| p.taken).unwrap_or(Value::ZERO);
 
         let result: Result<(), PaymentError> = (|| {
@@ -548,8 +558,14 @@ impl PaymentEngine {
                         )
                     };
                     // sender →(src)→ MM2
-                    let src_hops =
-                        self.route_leg(state, &mut undo, request.sender, part2.owner, src, src_cost)?;
+                    let src_hops = self.route_leg(
+                        state,
+                        &mut undo,
+                        request.sender,
+                        part2.owner,
+                        src,
+                        src_cost,
+                    )?;
                     // MM2 →(XRP)→ MM1
                     let drops = value_to_drops(take_xrp)?;
                     state
@@ -799,8 +815,10 @@ mod tests {
         for i in 1..=3 {
             s.create_account(acct(i), Drops::from_xrp(100));
         }
-        s.set_trust(acct(2), acct(1), Currency::USD, v("10")).unwrap();
-        s.set_trust(acct(3), acct(2), Currency::USD, v("10")).unwrap();
+        s.set_trust(acct(2), acct(1), Currency::USD, v("10"))
+            .unwrap();
+        s.set_trust(acct(3), acct(2), Currency::USD, v("10"))
+            .unwrap();
         let done = PaymentEngine::new()
             .pay(&mut s, &request(1, 3, Currency::USD, "7"))
             .unwrap();
@@ -816,8 +834,10 @@ mod tests {
             s.create_account(acct(i), Drops::from_xrp(100));
         }
         for hub in [2u8, 3] {
-            s.set_trust(acct(hub), acct(1), Currency::USD, v("10")).unwrap();
-            s.set_trust(acct(4), acct(hub), Currency::USD, v("10")).unwrap();
+            s.set_trust(acct(hub), acct(1), Currency::USD, v("10"))
+                .unwrap();
+            s.set_trust(acct(4), acct(hub), Currency::USD, v("10"))
+                .unwrap();
         }
         let done = PaymentEngine::new()
             .pay(&mut s, &request(1, 4, Currency::USD, "15"))
@@ -835,7 +855,8 @@ mod tests {
         for i in 1..=3 {
             s.create_account(acct(i), Drops::from_xrp(100));
         }
-        s.set_trust(acct(2), acct(1), Currency::USD, v("10")).unwrap();
+        s.set_trust(acct(2), acct(1), Currency::USD, v("10"))
+            .unwrap();
         // Missing leg 2->3: payment must fail and state stay clean.
         let err = PaymentEngine::new()
             .pay(&mut s, &request(1, 3, Currency::USD, "7"))
@@ -890,7 +911,8 @@ mod tests {
         for i in 1..=3 {
             s.create_account(acct(i), Drops::from_xrp(100));
         }
-        s.set_trust(acct(2), acct(1), Currency::USD, v("100")).unwrap();
+        s.set_trust(acct(2), acct(1), Currency::USD, v("100"))
+            .unwrap();
         let req = PaymentRequest {
             sender: acct(1),
             destination: acct(3),
@@ -912,7 +934,8 @@ mod tests {
         }
         let (sender, mm_xrp, mm_eur, dest) = (acct(1), acct(2), acct(3), acct(4));
         // mm_xrp sells XRP for USD (trusts sender's USD directly).
-        s.set_trust(mm_xrp, sender, Currency::USD, v("100000")).unwrap();
+        s.set_trust(mm_xrp, sender, Currency::USD, v("100000"))
+            .unwrap();
         s.place_offer(
             mm_xrp,
             1,
@@ -921,7 +944,8 @@ mod tests {
         )
         .unwrap();
         // mm_eur sells EUR for XRP; dest trusts mm_eur's EUR.
-        s.set_trust(dest, mm_eur, Currency::EUR, v("100000")).unwrap();
+        s.set_trust(dest, mm_eur, Currency::EUR, v("100000"))
+            .unwrap();
         s.place_offer(
             mm_eur,
             1,
@@ -954,8 +978,10 @@ mod tests {
         for i in 1..=3 {
             s.create_account(acct(i), Drops::from_xrp(100));
         }
-        s.set_trust(acct(2), acct(1), Currency::USD, v("1000")).unwrap();
-        s.set_trust(acct(3), acct(2), Currency::USD, v("1000")).unwrap();
+        s.set_trust(acct(2), acct(1), Currency::USD, v("1000"))
+            .unwrap();
+        s.set_trust(acct(3), acct(2), Currency::USD, v("1000"))
+            .unwrap();
         let mut fees = crate::fees::TransferFees::new();
         fees.set(acct(2), 200); // the gateway keeps 2%
         let engine = PaymentEngine::new().with_transfer_fees(fees);
@@ -976,8 +1002,10 @@ mod tests {
         for i in 1..=3 {
             s.create_account(acct(i), Drops::from_xrp(100));
         }
-        s.set_trust(acct(2), acct(1), Currency::USD, v("1000")).unwrap();
-        s.set_trust(acct(3), acct(2), Currency::USD, v("1000")).unwrap();
+        s.set_trust(acct(2), acct(1), Currency::USD, v("1000"))
+            .unwrap();
+        s.set_trust(acct(3), acct(2), Currency::USD, v("1000"))
+            .unwrap();
         let mut fees = crate::fees::TransferFees::new();
         fees.set(acct(2), 500);
         let engine = PaymentEngine::new().with_transfer_fees(fees);
@@ -1017,7 +1045,11 @@ mod tests {
         };
         let err = PaymentEngine::new().pay(&mut s, &req).unwrap_err();
         assert!(matches!(err, PaymentError::SendMaxExceeded { .. }));
-        assert_eq!(s.offer(mm, 1).unwrap().taker_gets.value(), v("500"), "untouched");
+        assert_eq!(
+            s.offer(mm, 1).unwrap().taker_gets.value(),
+            v("500"),
+            "untouched"
+        );
         // A workable cap goes through.
         req.send_max = Some(v("110"));
         let done = PaymentEngine::new().pay(&mut s, &req).unwrap();
@@ -1029,7 +1061,8 @@ mod tests {
         let mut s = LedgerState::new();
         s.create_account(acct(1), Drops::from_xrp(100));
         s.create_account(acct(2), Drops::from_xrp(100));
-        s.set_trust(acct(2), acct(1), Currency::USD, v("100")).unwrap();
+        s.set_trust(acct(2), acct(1), Currency::USD, v("100"))
+            .unwrap();
         let req = PaymentRequest {
             sender: acct(1),
             destination: acct(2),

@@ -148,7 +148,11 @@ pub fn find_cheapest_path(
     heap.push(Reverse(Key(COST_BASE, 0, sender)));
 
     while let Some(Reverse(Key(cost, hops, node))) = heap.pop() {
-        if best.get(&node).map(|&(c, h)| (c, h) != (cost, hops)).unwrap_or(true) {
+        if best
+            .get(&node)
+            .map(|&(c, h)| (c, h) != (cost, hops))
+            .unwrap_or(true)
+        {
             continue; // stale entry
         }
         if node == destination {
@@ -243,12 +247,17 @@ mod tests {
             s.create_account(acct(i), Drops::from_xrp(100));
         }
         // Route A: 1 -> 2 -> 4.
-        s.set_trust(acct(2), acct(1), Currency::USD, v("1000")).unwrap();
-        s.set_trust(acct(4), acct(2), Currency::USD, v("1000")).unwrap();
+        s.set_trust(acct(2), acct(1), Currency::USD, v("1000"))
+            .unwrap();
+        s.set_trust(acct(4), acct(2), Currency::USD, v("1000"))
+            .unwrap();
         // Route B: 1 -> 3 -> 5 -> 4.
-        s.set_trust(acct(3), acct(1), Currency::USD, v("1000")).unwrap();
-        s.set_trust(acct(5), acct(3), Currency::USD, v("1000")).unwrap();
-        s.set_trust(acct(4), acct(5), Currency::USD, v("1000")).unwrap();
+        s.set_trust(acct(3), acct(1), Currency::USD, v("1000"))
+            .unwrap();
+        s.set_trust(acct(5), acct(3), Currency::USD, v("1000"))
+            .unwrap();
+        s.set_trust(acct(4), acct(5), Currency::USD, v("1000"))
+            .unwrap();
         s
     }
 
@@ -299,9 +308,12 @@ mod tests {
             s.create_account(acct(i), Drops::from_xrp(100));
         }
         // Single chain 1 -> 2 -> 3 -> 4 with fees on both intermediaries.
-        s.set_trust(acct(2), acct(1), Currency::USD, v("1000")).unwrap();
-        s.set_trust(acct(3), acct(2), Currency::USD, v("1000")).unwrap();
-        s.set_trust(acct(4), acct(3), Currency::USD, v("1000")).unwrap();
+        s.set_trust(acct(2), acct(1), Currency::USD, v("1000"))
+            .unwrap();
+        s.set_trust(acct(3), acct(2), Currency::USD, v("1000"))
+            .unwrap();
+        s.set_trust(acct(4), acct(3), Currency::USD, v("1000"))
+            .unwrap();
         let mut fees = TransferFees::new();
         fees.set(acct(2), 100); // 1%
         fees.set(acct(3), 200); // 2%
@@ -326,8 +338,10 @@ mod tests {
             s.create_account(acct(i), Drops::from_xrp(100));
         }
         // 1 -> 2 -> 3, but the first leg can only carry 100 gross.
-        s.set_trust(acct(2), acct(1), Currency::USD, v("100")).unwrap();
-        s.set_trust(acct(3), acct(2), Currency::USD, v("1000")).unwrap();
+        s.set_trust(acct(2), acct(1), Currency::USD, v("100"))
+            .unwrap();
+        s.set_trust(acct(3), acct(2), Currency::USD, v("1000"))
+            .unwrap();
         let mut fees = TransferFees::new();
         fees.set(acct(2), 1_000); // 10%: 100 net needs 110 gross
         let result = find_cheapest_path(

@@ -50,11 +50,7 @@ impl Residual {
         currency: Currency,
     ) -> Value {
         let live = state.hop_capacity(from, to, currency);
-        let used = self
-            .used
-            .get(&(from, to))
-            .copied()
-            .unwrap_or(Value::ZERO);
+        let used = self.used.get(&(from, to)).copied().unwrap_or(Value::ZERO);
         live - used
     }
 
@@ -135,10 +131,7 @@ pub fn find_payment_paths(
                 if parent.contains_key(&next) {
                     continue;
                 }
-                if residual
-                    .capacity(state, node, next, currency)
-                    .is_positive()
-                {
+                if residual.capacity(state, node, next, currency).is_positive() {
                     parent.insert(next, node);
                     queue.push_back((next, depth + 1));
                 }
@@ -206,15 +199,24 @@ mod tests {
         for i in 1..=3 {
             s.create_account(acct(i), Drops::from_xrp(100));
         }
-        s.set_trust(acct(2), acct(1), Currency::USD, v("10")).unwrap();
-        s.set_trust(acct(3), acct(2), Currency::USD, v("10")).unwrap();
+        s.set_trust(acct(2), acct(1), Currency::USD, v("10"))
+            .unwrap();
+        s.set_trust(acct(3), acct(2), Currency::USD, v("10"))
+            .unwrap();
         s
     }
 
     #[test]
     fn finds_single_shortest_path() {
         let s = chain_state();
-        let paths = find_payment_paths(&s, acct(1), acct(3), Currency::USD, v("5"), PathLimits::default());
+        let paths = find_payment_paths(
+            &s,
+            acct(1),
+            acct(3),
+            Currency::USD,
+            v("5"),
+            PathLimits::default(),
+        );
         assert_eq!(paths.len(), 1);
         assert_eq!(paths[0].intermediates, vec![acct(2)]);
         assert_eq!(paths[0].amount, v("5"));
@@ -223,7 +225,14 @@ mod tests {
     #[test]
     fn no_path_without_trust() {
         let s = chain_state();
-        let paths = find_payment_paths(&s, acct(3), acct(1), Currency::USD, v("1"), PathLimits::default());
+        let paths = find_payment_paths(
+            &s,
+            acct(3),
+            acct(1),
+            Currency::USD,
+            v("1"),
+            PathLimits::default(),
+        );
         assert!(paths.is_empty(), "trust is unidirectional");
     }
 
@@ -235,10 +244,19 @@ mod tests {
             s.create_account(acct(i), Drops::from_xrp(100));
         }
         for hub in [2u8, 3] {
-            s.set_trust(acct(hub), acct(1), Currency::USD, v("10")).unwrap();
-            s.set_trust(acct(4), acct(hub), Currency::USD, v("10")).unwrap();
+            s.set_trust(acct(hub), acct(1), Currency::USD, v("10"))
+                .unwrap();
+            s.set_trust(acct(4), acct(hub), Currency::USD, v("10"))
+                .unwrap();
         }
-        let paths = find_payment_paths(&s, acct(1), acct(4), Currency::USD, v("15"), PathLimits::default());
+        let paths = find_payment_paths(
+            &s,
+            acct(1),
+            acct(4),
+            Currency::USD,
+            v("15"),
+            PathLimits::default(),
+        );
         assert_eq!(paths.len(), 2);
         assert_eq!(carried(&paths), v("15"));
         let hops: Vec<usize> = paths.iter().map(|p| p.intermediates.len()).collect();
@@ -248,7 +266,14 @@ mod tests {
     #[test]
     fn partial_when_liquidity_short() {
         let s = chain_state();
-        let paths = find_payment_paths(&s, acct(1), acct(3), Currency::USD, v("25"), PathLimits::default());
+        let paths = find_payment_paths(
+            &s,
+            acct(1),
+            acct(3),
+            Currency::USD,
+            v("25"),
+            PathLimits::default(),
+        );
         assert_eq!(carried(&paths), v("10"), "only 10 available");
     }
 
@@ -260,7 +285,8 @@ mod tests {
             s.create_account(acct(i), Drops::from_xrp(100));
         }
         for i in 1..=4u8 {
-            s.set_trust(acct(i + 1), acct(i), Currency::USD, v("10")).unwrap();
+            s.set_trust(acct(i + 1), acct(i), Currency::USD, v("10"))
+                .unwrap();
         }
         let tight = PathLimits {
             max_paths: 1,
@@ -284,8 +310,10 @@ mod tests {
         s.create_account(acct(9), Drops::from_xrp(100));
         for hub in 2..=4u8 {
             s.create_account(acct(hub), Drops::from_xrp(100));
-            s.set_trust(acct(hub), acct(1), Currency::USD, v("10")).unwrap();
-            s.set_trust(acct(9), acct(hub), Currency::USD, v("10")).unwrap();
+            s.set_trust(acct(hub), acct(1), Currency::USD, v("10"))
+                .unwrap();
+            s.set_trust(acct(9), acct(hub), Currency::USD, v("10"))
+                .unwrap();
         }
         let limits = PathLimits {
             max_paths: 2,
@@ -301,11 +329,19 @@ mod tests {
         let mut s = chain_state();
         // Prime debt: 2 already owes 1 five USD (1 holds 2's IOUs)... i.e.
         // push value 2 -> 1 requires 1 trusts 2; add it and move 5.
-        s.set_trust(acct(1), acct(2), Currency::USD, v("5")).unwrap();
-        s.ripple_hop(acct(2), acct(1), Currency::USD, v("5")).unwrap();
+        s.set_trust(acct(1), acct(2), Currency::USD, v("5"))
+            .unwrap();
+        s.ripple_hop(acct(2), acct(1), Currency::USD, v("5"))
+            .unwrap();
         // Now capacity 1->2 is limit(2->1)=10 plus netting 5 = 15.
-        let paths =
-            find_payment_paths(&s, acct(1), acct(3), Currency::USD, v("10"), PathLimits::default());
+        let paths = find_payment_paths(
+            &s,
+            acct(1),
+            acct(3),
+            Currency::USD,
+            v("10"),
+            PathLimits::default(),
+        );
         // Bottleneck is still the 2->3 leg (10).
         assert_eq!(carried(&paths), v("10"));
     }
@@ -315,8 +351,16 @@ mod tests {
         let mut s = LedgerState::new();
         s.create_account(acct(1), Drops::from_xrp(100));
         s.create_account(acct(2), Drops::from_xrp(100));
-        s.set_trust(acct(2), acct(1), Currency::USD, v("10")).unwrap();
-        let paths = find_payment_paths(&s, acct(1), acct(2), Currency::USD, v("3"), PathLimits::default());
+        s.set_trust(acct(2), acct(1), Currency::USD, v("10"))
+            .unwrap();
+        let paths = find_payment_paths(
+            &s,
+            acct(1),
+            acct(2),
+            Currency::USD,
+            v("3"),
+            PathLimits::default(),
+        );
         assert_eq!(paths.len(), 1);
         assert!(paths[0].intermediates.is_empty());
     }

@@ -147,9 +147,12 @@ mod tests {
         for i in 1..=3 {
             s.create_account(acct(i), Drops::from_xrp(1_000));
         }
-        s.set_trust(acct(2), acct(1), Currency::USD, v("1000")).unwrap();
-        s.set_trust(acct(3), acct(2), Currency::USD, v("1000")).unwrap();
-        s.set_trust(acct(3), acct(2), Currency::EUR, v("1000")).unwrap();
+        s.set_trust(acct(2), acct(1), Currency::USD, v("1000"))
+            .unwrap();
+        s.set_trust(acct(3), acct(2), Currency::USD, v("1000"))
+            .unwrap();
+        s.set_trust(acct(3), acct(2), Currency::EUR, v("1000"))
+            .unwrap();
         s.place_offer(
             acct(2),
             1,
@@ -219,7 +222,10 @@ mod tests {
             &[single("600"), single("600")],
         );
         assert_eq!(stats.single_submitted, 2);
-        assert_eq!(stats.single_delivered, 1, "second must fail on spent capacity");
+        assert_eq!(
+            stats.single_delivered, 1,
+            "second must fail on spent capacity"
+        );
     }
 
     #[test]

@@ -279,10 +279,7 @@ mod tests {
             amount: "0.003".parse().unwrap(),
             timestamp: RippleTime::from_seconds(123_456),
             ledger_seq: 42,
-            paths: PathSummary::from_paths(vec![
-                vec![AccountId::from_bytes([4; 20])],
-                vec![],
-            ]),
+            paths: PathSummary::from_paths(vec![vec![AccountId::from_bytes([4; 20])], vec![]]),
             cross_currency: true,
             source_currency: Some(Currency::USD),
         }

@@ -212,11 +212,19 @@ mod tests {
         let buf = archive(&[10, 20, 30]);
         let index = ArchiveIndex::build(&buf, 1).unwrap();
         assert!(index
-            .scan_range(&buf, RippleTime::from_seconds(100), RippleTime::from_seconds(200))
+            .scan_range(
+                &buf,
+                RippleTime::from_seconds(100),
+                RippleTime::from_seconds(200)
+            )
             .unwrap()
             .is_empty());
         assert!(index
-            .scan_range(&buf, RippleTime::from_seconds(5), RippleTime::from_seconds(10))
+            .scan_range(
+                &buf,
+                RippleTime::from_seconds(5),
+                RippleTime::from_seconds(10)
+            )
             .unwrap()
             .is_empty());
     }
@@ -227,7 +235,11 @@ mod tests {
         let buf = archive(&[10, 10, 10, 20, 20]);
         let index = ArchiveIndex::build(&buf, 2).unwrap();
         let got = index
-            .scan_range(&buf, RippleTime::from_seconds(10), RippleTime::from_seconds(11))
+            .scan_range(
+                &buf,
+                RippleTime::from_seconds(10),
+                RippleTime::from_seconds(11),
+            )
             .unwrap();
         assert_eq!(got.len(), 3);
     }

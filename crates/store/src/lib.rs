@@ -54,12 +54,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod codec;
 pub mod crc;
 pub mod event;
 pub mod index;
 pub mod stream;
 
+pub use chaos::{corrupt_bytes, CorruptingWriter, CorruptionOp, CorruptionPlan};
 pub use event::HistoryEvent;
 pub use index::ArchiveIndex;
-pub use stream::{Reader, StoreError, Writer};
+pub use stream::{ReadMode, Reader, RecoveryStats, StoreError, Writer};

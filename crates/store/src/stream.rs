@@ -121,21 +121,100 @@ impl<W: Write> Writer<W> {
     }
 }
 
+/// How the [`Reader`] reacts to structurally invalid data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadMode {
+    /// Abort with [`StoreError::Corrupt`] at the first bad frame (the
+    /// historical behaviour, and the default).
+    #[default]
+    Strict,
+    /// Resynchronize: scan forward byte-by-byte for the next frame whose
+    /// CRC and payload both validate, salvaging every intact record after
+    /// a corrupt region. Skipped bytes and corrupt regions are tallied in
+    /// [`RecoveryStats`].
+    Resync,
+}
+
+/// Salvage counters maintained by a [`ReadMode::Resync`] reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Records successfully decoded.
+    pub records: u64,
+    /// Bytes discarded while hunting for the next valid frame.
+    pub skipped_bytes: u64,
+    /// Contiguous corrupt regions crossed (one torn write or burst of bit
+    /// flips counts once, however many bytes it ruined).
+    pub corrupt_regions: u64,
+}
+
+/// Outcome of attempting to parse one frame at the current cursor.
+enum Frame {
+    /// Clean end of archive: zero unconsumed bytes remain.
+    Eof,
+    /// A valid record: the event plus the frame's total size in bytes.
+    Ok(Box<HistoryEvent>, usize),
+    /// Source ended mid-frame.
+    Truncated,
+    /// Length prefix above [`MAX_PAYLOAD`].
+    Oversize(u32),
+    /// Frame CRC does not match its contents.
+    BadCrc,
+    /// CRC passed but the payload would not decode.
+    BadPayload(StoreError),
+}
+
 /// Streaming archive reader.
+///
+/// [`Reader::new`] opens in [`ReadMode::Strict`]; [`Reader::recovering`]
+/// opens in [`ReadMode::Resync`], which rides over corrupt regions
+/// (torn writes, bit flips, truncated tails) and salvages every record
+/// that still frames and decodes cleanly.
 #[derive(Debug)]
 pub struct Reader<R: Read> {
     source: R,
+    mode: ReadMode,
+    buf: Vec<u8>,
+    pos: usize,
+    source_eof: bool,
     records: u64,
+    skipped_bytes: u64,
+    corrupt_regions: u64,
+    in_corrupt_region: bool,
 }
 
+/// Read chunk size for the internal buffer.
+const FILL_CHUNK: usize = 64 * 1024;
+
 impl<R: Read> Reader<R> {
-    /// Opens an archive, validating the magic.
+    /// Opens an archive in strict mode, validating the magic.
     ///
     /// # Errors
     ///
     /// [`StoreError::Corrupt`] if the magic does not match;
     /// [`StoreError::Io`] on read failure.
-    pub fn new(mut source: R) -> Result<Reader<R>, StoreError> {
+    pub fn new(source: R) -> Result<Reader<R>, StoreError> {
+        Reader::with_mode(source, ReadMode::Strict)
+    }
+
+    /// Opens an archive in [`ReadMode::Resync`]: mid-stream corruption is
+    /// skipped rather than fatal.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] if the magic does not match;
+    /// [`StoreError::Io`] on read failure. (A missing or damaged magic
+    /// means there is no evidence the input is an archive at all, so even
+    /// resync mode refuses it.)
+    pub fn recovering(source: R) -> Result<Reader<R>, StoreError> {
+        Reader::with_mode(source, ReadMode::Resync)
+    }
+
+    /// Opens an archive with an explicit [`ReadMode`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Reader::new`].
+    pub fn with_mode(mut source: R, mode: ReadMode) -> Result<Reader<R>, StoreError> {
         let mut magic = [0u8; 8];
         source.read_exact(&mut magic).map_err(|e| {
             if e.kind() == io::ErrorKind::UnexpectedEof {
@@ -147,64 +226,148 @@ impl<R: Read> Reader<R> {
         if &magic != MAGIC {
             return Err(StoreError::corrupt("bad archive magic"));
         }
-        Ok(Reader { source, records: 0 })
+        Ok(Reader {
+            source,
+            mode,
+            buf: Vec::new(),
+            pos: 0,
+            source_eof: false,
+            records: 0,
+            skipped_bytes: 0,
+            corrupt_regions: 0,
+            in_corrupt_region: false,
+        })
     }
 
-    /// Reads the next event, or `None` at a clean end of archive.
+    /// The reader's corruption-handling mode.
+    pub fn mode(&self) -> ReadMode {
+        self.mode
+    }
+
+    /// Bytes currently unconsumed in the internal buffer.
+    fn available(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pulls from the source until at least `n` bytes are buffered or the
+    /// source is exhausted.
+    fn fill_to(&mut self, n: usize) -> Result<(), StoreError> {
+        while !self.source_eof && self.available() < n {
+            let start = self.buf.len();
+            self.buf.resize(start + FILL_CHUNK, 0);
+            let got = self.source.read(&mut self.buf[start..])?;
+            self.buf.truncate(start + got);
+            if got == 0 {
+                self.source_eof = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Attempts to parse one frame at the cursor without consuming it.
+    fn parse_frame(&mut self) -> Result<Frame, StoreError> {
+        self.fill_to(5)?;
+        if self.available() == 0 {
+            return Ok(Frame::Eof);
+        }
+        if self.available() < 5 {
+            return Ok(Frame::Truncated);
+        }
+        let head = &self.buf[self.pos..self.pos + 5];
+        let tag = head[0];
+        let len = u32::from_be_bytes(head[1..5].try_into().expect("4-byte slice"));
+        if len > MAX_PAYLOAD {
+            return Ok(Frame::Oversize(len));
+        }
+        let frame_len = 5 + len as usize + 4;
+        self.fill_to(frame_len)?;
+        if self.available() < frame_len {
+            return Ok(Frame::Truncated);
+        }
+        let framed = &self.buf[self.pos..self.pos + 5 + len as usize];
+        let crc_bytes = &self.buf[self.pos + 5 + len as usize..self.pos + frame_len];
+        let stored_crc = u32::from_be_bytes(crc_bytes.try_into().expect("4-byte slice"));
+        if crc32(framed) != stored_crc {
+            return Ok(Frame::BadCrc);
+        }
+        let payload = &framed[5..];
+        match HistoryEvent::decode_payload(tag, payload) {
+            Ok(event) => Ok(Frame::Ok(Box::new(event), frame_len)),
+            Err(e) => Ok(Frame::BadPayload(e)),
+        }
+    }
+
+    /// Consumes `frame_len` bytes and compacts the buffer when the dead
+    /// prefix grows large.
+    fn consume(&mut self, frame_len: usize) {
+        self.pos += frame_len;
+        if self.pos >= FILL_CHUNK {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Reads the next event, or `None` at the end of the archive.
     ///
     /// # Errors
     ///
-    /// [`StoreError::Corrupt`] on CRC mismatch, truncation mid-record, or a
-    /// malformed payload.
+    /// In [`ReadMode::Strict`], [`StoreError::Corrupt`] on CRC mismatch,
+    /// truncation mid-record, or a malformed payload. In
+    /// [`ReadMode::Resync`] those conditions skip forward instead (tallied
+    /// in [`Reader::stats`]); only I/O errors surface.
     pub fn next_event(&mut self) -> Result<Option<HistoryEvent>, StoreError> {
-        let mut tag_buf = [0u8; 1];
-        match self.source.read_exact(&mut tag_buf) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(StoreError::Io(e)),
-        }
-        let mut len_buf = [0u8; 4];
-        self.read_fully(&mut len_buf)?;
-        let len = u32::from_be_bytes(len_buf);
-        if len > MAX_PAYLOAD {
-            return Err(StoreError::corrupt(format!(
-                "payload length {len} exceeds cap {MAX_PAYLOAD}"
-            )));
-        }
-        let mut payload = vec![0u8; len as usize];
-        self.read_fully(&mut payload)?;
-        let mut crc_buf = [0u8; 4];
-        self.read_fully(&mut crc_buf)?;
-        let stored_crc = u32::from_be_bytes(crc_buf);
-
-        let mut framed = Vec::with_capacity(5 + payload.len());
-        framed.push(tag_buf[0]);
-        framed.extend_from_slice(&len_buf);
-        framed.extend_from_slice(&payload);
-        if crc32(&framed) != stored_crc {
-            return Err(StoreError::corrupt(format!(
-                "CRC mismatch in record {}",
-                self.records
-            )));
-        }
-        let event = HistoryEvent::decode_payload(tag_buf[0], &payload)?;
-        self.records += 1;
-        Ok(Some(event))
-    }
-
-    fn read_fully(&mut self, buf: &mut [u8]) -> Result<(), StoreError> {
-        self.source.read_exact(buf).map_err(|e| {
-            if e.kind() == io::ErrorKind::UnexpectedEof {
-                StoreError::corrupt("archive truncated mid-record")
-            } else {
-                StoreError::Io(e)
+        loop {
+            let frame = self.parse_frame()?;
+            match frame {
+                Frame::Eof => return Ok(None),
+                Frame::Ok(event, frame_len) => {
+                    self.consume(frame_len);
+                    self.records += 1;
+                    self.in_corrupt_region = false;
+                    return Ok(Some(*event));
+                }
+                Frame::Truncated if self.mode == ReadMode::Strict => {
+                    return Err(StoreError::corrupt("archive truncated mid-record"));
+                }
+                Frame::Oversize(len) if self.mode == ReadMode::Strict => {
+                    return Err(StoreError::corrupt(format!(
+                        "payload length {len} exceeds cap {MAX_PAYLOAD}"
+                    )));
+                }
+                Frame::BadCrc if self.mode == ReadMode::Strict => {
+                    return Err(StoreError::corrupt(format!(
+                        "CRC mismatch in record {}",
+                        self.records
+                    )));
+                }
+                Frame::BadPayload(e) if self.mode == ReadMode::Strict => return Err(e),
+                // Resync: shift one byte and rescan for the next frame
+                // boundary that validates end to end.
+                Frame::Truncated | Frame::Oversize(_) | Frame::BadCrc | Frame::BadPayload(_) => {
+                    if !self.in_corrupt_region {
+                        self.in_corrupt_region = true;
+                        self.corrupt_regions += 1;
+                    }
+                    self.consume(1);
+                    self.skipped_bytes += 1;
+                }
             }
-        })
+        }
     }
 
     /// Number of records read so far.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Salvage counters (all zero for a clean archive or strict mode
+    /// before any error).
+    pub fn stats(&self) -> RecoveryStats {
+        RecoveryStats {
+            records: self.records,
+            skipped_bytes: self.skipped_bytes,
+            corrupt_regions: self.corrupt_regions,
+        }
     }
 
     /// Drains the remaining events into a vector.
@@ -218,6 +381,21 @@ impl<R: Read> Reader<R> {
             out.push(event);
         }
         Ok(out)
+    }
+
+    /// Drains the remaining events, also returning the salvage counters —
+    /// the natural endpoint for a [`ReadMode::Resync`] read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error encountered (I/O only, in resync mode).
+    pub fn read_all_with_stats(mut self) -> Result<(Vec<HistoryEvent>, RecoveryStats), StoreError> {
+        let mut out = Vec::new();
+        while let Some(event) = self.next_event()? {
+            out.push(event);
+        }
+        let stats = self.stats();
+        Ok((out, stats))
     }
 }
 
@@ -275,7 +453,10 @@ mod tests {
             Reader::new(&b"NOTMAGIC"[..]),
             Err(StoreError::Corrupt(_))
         ));
-        assert!(matches!(Reader::new(&b"RP"[..]), Err(StoreError::Corrupt(_))));
+        assert!(matches!(
+            Reader::new(&b"RP"[..]),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -322,6 +503,218 @@ mod tests {
         assert_eq!(reader.records(), 5);
     }
 
+    /// Byte range `(start, end)` of each record frame in `archive(events)`.
+    fn frame_bounds(events: &[HistoryEvent]) -> Vec<(usize, usize)> {
+        let mut start = MAGIC.len();
+        let mut out = Vec::new();
+        for e in events {
+            let len = archive(std::slice::from_ref(e)).len() - MAGIC.len();
+            out.push((start, start + len));
+            start += len;
+        }
+        out
+    }
+
+    #[test]
+    fn resync_reader_on_clean_archive_matches_strict() {
+        let events: Vec<HistoryEvent> = (0..10).map(payment).collect();
+        let buf = archive(&events);
+        let (back, stats) = Reader::recovering(buf.as_slice())
+            .unwrap()
+            .read_all_with_stats()
+            .unwrap();
+        assert_eq!(back, events);
+        assert_eq!(
+            stats,
+            RecoveryStats {
+                records: 10,
+                skipped_bytes: 0,
+                corrupt_regions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn resync_skips_bit_flipped_record_and_salvages_the_rest() {
+        let events: Vec<HistoryEvent> = (0..10).map(payment).collect();
+        let buf = archive(&events);
+        let bounds = frame_bounds(&events);
+        // Flip one payload bit inside record 3.
+        let (start3, end3) = bounds[3];
+        let plan = crate::chaos::CorruptionPlan::new().flip_bit((start3 + 10) as u64, 2);
+        let bad = crate::chaos::corrupt_bytes(&buf, &plan);
+
+        // Strict mode: hard error at record 3.
+        let mut strict = Reader::new(bad.as_slice()).unwrap();
+        for _ in 0..3 {
+            assert!(strict.next_event().unwrap().is_some());
+        }
+        let err = strict.next_event().unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(msg) if msg.contains("CRC mismatch")));
+
+        // Resync mode: every record except #3 is salvaged, and exactly its
+        // frame is skipped as one corrupt region.
+        let (back, stats) = Reader::recovering(bad.as_slice())
+            .unwrap()
+            .read_all_with_stats()
+            .unwrap();
+        let expected: Vec<HistoryEvent> = events
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 3)
+            .map(|(_, e)| e.clone())
+            .collect();
+        assert_eq!(back, expected);
+        assert_eq!(stats.records, 9);
+        assert_eq!(stats.skipped_bytes as usize, end3 - start3);
+        assert_eq!(stats.corrupt_regions, 1);
+    }
+
+    #[test]
+    fn resync_rides_over_torn_write_spanning_two_records() {
+        let events: Vec<HistoryEvent> = (0..8).map(payment).collect();
+        let buf = archive(&events);
+        let bounds = frame_bounds(&events);
+        // Drop a range straddling the record 2 → 3 boundary, destroying
+        // both. The hole starts mid-payload: payment frames all share the
+        // same tag and length bytes, so a hole aligned to the header would
+        // splice frame 2's header onto frame 3's remainder and reconstitute
+        // record 3 byte-for-byte (which resync would rightly salvage).
+        let hole_start = bounds[2].0 + 12;
+        let hole_end = bounds[3].0 + 12;
+        let plan = crate::chaos::CorruptionPlan::new()
+            .drop_range(hole_start as u64, (hole_end - hole_start) as u64);
+        let bad = crate::chaos::corrupt_bytes(&buf, &plan);
+
+        let (back, stats) = Reader::recovering(bad.as_slice())
+            .unwrap()
+            .read_all_with_stats()
+            .unwrap();
+        let expected: Vec<HistoryEvent> = events
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 2 && *i != 3)
+            .map(|(_, e)| e.clone())
+            .collect();
+        assert_eq!(back, expected, "records outside the hole must all survive");
+        assert_eq!(stats.records, 6);
+        assert_eq!(stats.corrupt_regions, 1, "one hole is one region");
+        // What remains of frames 2+3 after the drop is exactly what gets skipped.
+        let ruined = (bounds[3].1 - bounds[2].0) - (hole_end - hole_start);
+        assert_eq!(stats.skipped_bytes as usize, ruined);
+    }
+
+    #[test]
+    fn resync_treats_truncated_tail_as_end_of_archive() {
+        let events: Vec<HistoryEvent> = (0..5).map(payment).collect();
+        let buf = archive(&events);
+        let cut = buf.len() - 3;
+        let plan = crate::chaos::CorruptionPlan::new().truncate_at(cut as u64);
+        let bad = crate::chaos::corrupt_bytes(&buf, &plan);
+
+        // Strict still errors...
+        let mut strict = Reader::new(bad.as_slice()).unwrap();
+        for _ in 0..4 {
+            assert!(strict.next_event().unwrap().is_some());
+        }
+        assert!(matches!(
+            strict.next_event(),
+            Err(StoreError::Corrupt(msg)) if msg.contains("truncated")
+        ));
+
+        // ...resync returns the intact prefix without error.
+        let (back, stats) = Reader::recovering(bad.as_slice())
+            .unwrap()
+            .read_all_with_stats()
+            .unwrap();
+        assert_eq!(back, events[..4]);
+        assert_eq!(stats.records, 4);
+        assert_eq!(stats.corrupt_regions, 1);
+        let last_len = frame_bounds(&events)[4];
+        assert_eq!(stats.skipped_bytes as usize, (last_len.1 - last_len.0) - 3);
+    }
+
+    #[test]
+    fn resync_recovers_all_uncorrupted_records_under_combined_damage() {
+        let events: Vec<HistoryEvent> = (0..20).map(payment).collect();
+        let buf = archive(&events);
+        let bounds = frame_bounds(&events);
+        // Ruin records 1, 7 (bit flips), 12–13 (torn write), and 19 (truncation).
+        let plan = crate::chaos::CorruptionPlan::new()
+            .flip_bit((bounds[1].0 + 6) as u64, 0)
+            .flip_bit((bounds[7].0 + 9) as u64, 7)
+            .drop_range(
+                (bounds[12].0 + 20) as u64,
+                (bounds[13].0 - bounds[12].0) as u64,
+            )
+            .truncate_at((bounds[19].0 + 5) as u64);
+        let bad = crate::chaos::corrupt_bytes(&buf, &plan);
+
+        let (back, stats) = Reader::recovering(bad.as_slice())
+            .unwrap()
+            .read_all_with_stats()
+            .unwrap();
+        let lost = [1usize, 7, 12, 13, 19];
+        let expected: Vec<HistoryEvent> = events
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !lost.contains(i))
+            .map(|(_, e)| e.clone())
+            .collect();
+        assert_eq!(back, expected, "every uncorrupted record must be salvaged");
+        assert_eq!(stats.records, 15);
+        assert_eq!(stats.corrupt_regions, 4);
+    }
+
+    #[test]
+    fn empty_input_errors_in_both_modes() {
+        assert!(matches!(
+            Reader::new(&b""[..]),
+            Err(StoreError::Corrupt(msg)) if msg.contains("shorter than its magic")
+        ));
+        assert!(matches!(
+            Reader::recovering(&b""[..]),
+            Err(StoreError::Corrupt(msg)) if msg.contains("shorter than its magic")
+        ));
+    }
+
+    #[test]
+    fn magic_only_archive_is_empty_in_both_modes() {
+        let buf = MAGIC.to_vec();
+        assert!(Reader::new(buf.as_slice())
+            .unwrap()
+            .read_all()
+            .unwrap()
+            .is_empty());
+        let (back, stats) = Reader::recovering(buf.as_slice())
+            .unwrap()
+            .read_all_with_stats()
+            .unwrap();
+        assert!(back.is_empty());
+        assert_eq!(stats, RecoveryStats::default());
+    }
+
+    #[test]
+    fn resync_still_requires_valid_magic() {
+        assert!(matches!(
+            Reader::recovering(&b"NOTMAGIC-and-more"[..]),
+            Err(StoreError::Corrupt(msg)) if msg.contains("bad archive magic")
+        ));
+    }
+
+    #[test]
+    fn reader_mode_is_reported() {
+        let buf = archive(&[]);
+        assert_eq!(
+            Reader::new(buf.as_slice()).unwrap().mode(),
+            ReadMode::Strict
+        );
+        assert_eq!(
+            Reader::recovering(buf.as_slice()).unwrap().mode(),
+            ReadMode::Resync
+        );
+    }
+
     #[test]
     fn mixed_event_kinds_round_trip() {
         let events = vec![
@@ -339,6 +732,9 @@ mod tests {
             },
         ];
         let buf = archive(&events);
-        assert_eq!(Reader::new(buf.as_slice()).unwrap().read_all().unwrap(), events);
+        assert_eq!(
+            Reader::new(buf.as_slice()).unwrap().read_all().unwrap(),
+            events
+        );
     }
 }

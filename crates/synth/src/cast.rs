@@ -146,15 +146,14 @@ impl Cast {
         // Communities share home currencies in pairs (c and c+4 both use
         // majors[c % 4]) so that single-currency *cross-community* payments
         // exist — the traffic class whose fate Table II hinges on.
-        let community_currency: Vec<Currency> = (0..config.communities)
-            .map(|c| majors[c % 4])
-            .collect();
+        let community_currency: Vec<Currency> =
+            (0..config.communities).map(|c| majors[c % 4]).collect();
 
         let balance_dist = LogNormal::with_median(500.0, 1.0);
         let create = |state: &mut LedgerState,
-                          events: &mut Vec<HistoryEvent>,
-                          rng: &mut StdRng,
-                          seed: &str|
+                      events: &mut Vec<HistoryEvent>,
+                      rng: &mut StdRng,
+                      seed: &str|
          -> AccountId {
             let id = account(seed);
             let xrp = balance_dist.sample(rng).clamp(50.0, 1_000_000.0) as u64;
@@ -203,7 +202,15 @@ impl Cast {
         for m in 0..config.market_makers {
             let id = create(state, events, rng, &format!("mm:{m}"));
             for gw in &gateways {
-                set_trust(state, events, id, gw.account, gw.home_currency, infra_limit(), t0);
+                set_trust(
+                    state,
+                    events,
+                    id,
+                    gw.account,
+                    gw.home_currency,
+                    infra_limit(),
+                    t0,
+                );
             }
             market_makers.push(id);
         }
@@ -221,7 +228,15 @@ impl Cast {
                 timestamp: t0,
             });
             for gw in gateways.iter().filter(|g| g.community % 4 == 0) {
-                set_trust(state, events, hub, gw.account, gw.home_currency, infra_limit(), t0);
+                set_trust(
+                    state,
+                    events,
+                    hub,
+                    gw.account,
+                    gw.home_currency,
+                    infra_limit(),
+                    t0,
+                );
             }
         }
 
@@ -285,7 +300,15 @@ impl Cast {
             }
             // Wire trust: attacker -> chain[0] -> ... -> chain[7] -> sink.
             let huge = Value::from_int(1_000_000_000_000_000_000);
-            set_trust(state, events, chain[0], mtl_attacker, Currency::MTL, huge, t0);
+            set_trust(
+                state,
+                events,
+                chain[0],
+                mtl_attacker,
+                Currency::MTL,
+                huge,
+                t0,
+            );
             for pair in chain.windows(2) {
                 set_trust(state, events, pair[1], pair[0], Currency::MTL, huge, t0);
             }

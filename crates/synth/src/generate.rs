@@ -8,9 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ripple_crypto::{sha512_half, AccountId};
-use ripple_ledger::{
-    Currency, Drops, LedgerState, PathSummary, PaymentRecord, RippleTime, Value,
-};
+use ripple_ledger::{Currency, Drops, LedgerState, PathSummary, PaymentRecord, RippleTime, Value};
 use ripple_orderbook::{Rate, RateTable};
 use ripple_store::{HistoryEvent, StoreError, Writer};
 
@@ -178,8 +176,7 @@ impl Generator {
                 || rng.gen_bool(config.same_page_prob);
             if !same_page {
                 let remaining_payments = (config.payments - generated).max(1) as f64;
-                let advance_rate =
-                    (advances as f64 / (generated.max(1) as f64)).clamp(0.05, 1.0);
+                let advance_rate = (advances as f64 / (generated.max(1) as f64)).clamp(0.05, 1.0);
                 let remaining_span = (config.end.seconds().saturating_sub(now.seconds())) as f64;
                 let mean_gap = (remaining_span / (remaining_payments * advance_rate)).max(1.0);
                 let gap = exp_sample(&mut rng, mean_gap).max(page as f64);
@@ -209,7 +206,13 @@ impl Generator {
             if !probe_emitted && generated >= config.payments / 2 && kind == PaymentKind::Iou {
                 probe_emitted = true;
                 let record = self.gen_long_chain_probe(
-                    &cast, &mut state, &mut events, &mut rng, now, ledger_seq, generated,
+                    &cast,
+                    &mut state,
+                    &mut events,
+                    &mut rng,
+                    now,
+                    ledger_seq,
+                    generated,
                 );
                 events.push(HistoryEvent::Payment(record));
                 generated += 1;
@@ -236,42 +239,28 @@ impl Generator {
                         None
                     };
                     self.gen_xrp_regular(
-                    &cast,
-                    onetime,
-                    &user_zipf,
-                    &merchant_zipf,
-                    &menus,
-                    &mut habits,
-                    &mut state,
-                    treasury,
-                    &mut rng,
-                    now,
-                    ledger_seq,
-                    generated,
-                )
-                }
-                PaymentKind::XrpSpin => self.gen_spin(
-                    &cast,
-                    &user_zipf,
-                    &mut state,
-                    treasury,
-                    &mut rng,
-                    now,
-                    ledger_seq,
-                    generated,
-                ),
-                PaymentKind::XrpZeroBounce => {
-                    let outbound = zero_outbound;
-                    zero_outbound = !zero_outbound;
-                    self.gen_zero_bounce(
                         &cast,
-                        outbound,
+                        onetime,
+                        &user_zipf,
+                        &merchant_zipf,
+                        &menus,
+                        &mut habits,
                         &mut state,
                         treasury,
                         &mut rng,
                         now,
                         ledger_seq,
                         generated,
+                    )
+                }
+                PaymentKind::XrpSpin => self.gen_spin(
+                    &cast, &user_zipf, &mut state, treasury, &mut rng, now, ledger_seq, generated,
+                ),
+                PaymentKind::XrpZeroBounce => {
+                    let outbound = zero_outbound;
+                    zero_outbound = !zero_outbound;
+                    self.gen_zero_bounce(
+                        &cast, outbound, &mut state, treasury, &mut rng, now, ledger_seq, generated,
                     )
                 }
                 PaymentKind::Mtl => self.gen_mtl(
@@ -302,26 +291,24 @@ impl Generator {
                     ledger_seq,
                     generated,
                 ),
-                PaymentKind::Iou => {
-                    self.gen_iou(
-                        &cast,
-                        None,
-                        &iou_mix,
-                        &user_zipf,
-                        &merchant_zipf,
-                        &mm_zipf,
-                        &parallel_dist,
-                        &menus,
-                        &mut habits,
-                        &rates,
-                        &mut state,
-                        &mut events,
-                        &mut rng,
-                        now,
-                        ledger_seq,
-                        generated,
-                    )
-                }
+                PaymentKind::Iou => self.gen_iou(
+                    &cast,
+                    None,
+                    &iou_mix,
+                    &user_zipf,
+                    &merchant_zipf,
+                    &mm_zipf,
+                    &parallel_dist,
+                    &menus,
+                    &mut habits,
+                    &rates,
+                    &mut state,
+                    &mut events,
+                    &mut rng,
+                    now,
+                    ledger_seq,
+                    generated,
+                ),
             };
             events.push(HistoryEvent::Payment(record));
             generated += 1;
@@ -394,8 +381,19 @@ impl Generator {
         state
             .xrp_transfer_unchecked(sender, destination, drops)
             .expect("topped-up sender can pay");
-        record(index, sender, destination, Currency::XRP, None, amount, now, ledger_seq,
-               PathSummary::direct(), false, None)
+        record(
+            index,
+            sender,
+            destination,
+            Currency::XRP,
+            None,
+            amount,
+            now,
+            ledger_seq,
+            PathSummary::direct(),
+            false,
+            None,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -419,8 +417,19 @@ impl Generator {
         state
             .xrp_transfer_unchecked(sender, cast.spin, drops)
             .expect("topped-up sender can bet");
-        record(index, sender, cast.spin, Currency::XRP, None, Value::from_int(bet as i64),
-               now, ledger_seq, PathSummary::direct(), false, None)
+        record(
+            index,
+            sender,
+            cast.spin,
+            Currency::XRP,
+            None,
+            Value::from_int(bet as i64),
+            now,
+            ledger_seq,
+            PathSummary::direct(),
+            false,
+            None,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -449,8 +458,19 @@ impl Generator {
         state
             .xrp_transfer_unchecked(sender, destination, drops)
             .expect("dust fits");
-        record(index, sender, destination, Currency::XRP, None, dust, now, ledger_seq,
-               PathSummary::direct(), false, None)
+        record(
+            index,
+            sender,
+            destination,
+            Currency::XRP,
+            None,
+            dust,
+            now,
+            ledger_seq,
+            PathSummary::direct(),
+            false,
+            None,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -476,15 +496,35 @@ impl Generator {
             hops.extend_from_slice(chain);
             hops.push(sink);
             for pair in hops.windows(2) {
-                ensure_hop(state, events, cast, pair[0], pair[1], Currency::MTL, share, now);
+                ensure_hop(
+                    state,
+                    events,
+                    cast,
+                    pair[0],
+                    pair[1],
+                    Currency::MTL,
+                    share,
+                    now,
+                );
                 state
                     .ripple_hop(pair[0], pair[1], Currency::MTL, share)
                     .expect("MTL chain capacity was ensured");
             }
             paths.push(chain.clone());
         }
-        record(index, cast.mtl_attacker, sink, Currency::MTL, Some(cast.mtl_attacker),
-               amount, now, ledger_seq, PathSummary::from_paths(paths), false, None)
+        record(
+            index,
+            cast.mtl_attacker,
+            sink,
+            Currency::MTL,
+            Some(cast.mtl_attacker),
+            amount,
+            now,
+            ledger_seq,
+            PathSummary::from_paths(paths),
+            false,
+            None,
+        )
     }
 
     /// The 44-intermediate curiosity: a deliberately crafted chain through
@@ -506,8 +546,7 @@ impl Generator {
         let mut hops = Vec::with_capacity(44);
         for i in 0..44 {
             let id = AccountId::from_public_key(
-                &ripple_crypto::SimKeypair::from_seed(format!("probe:{i}").as_bytes())
-                    .public_key(),
+                &ripple_crypto::SimKeypair::from_seed(format!("probe:{i}").as_bytes()).public_key(),
             );
             state.create_account(id, Drops::ZERO);
             events.push(HistoryEvent::AccountCreated {
@@ -524,9 +563,30 @@ impl Generator {
             account: destination,
             timestamp: now,
         });
-        apply_chain(state, events, cast, sender, destination, &hops, currency, amount, now);
-        record(index, sender, destination, currency, hops.last().copied(), amount, now,
-               ledger_seq, PathSummary::from_paths(vec![hops]), false, None)
+        apply_chain(
+            state,
+            events,
+            cast,
+            sender,
+            destination,
+            &hops,
+            currency,
+            amount,
+            now,
+        );
+        record(
+            index,
+            sender,
+            destination,
+            currency,
+            hops.last().copied(),
+            amount,
+            now,
+            ledger_seq,
+            PathSummary::from_paths(vec![hops]),
+            false,
+            None,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -558,23 +618,55 @@ impl Generator {
             // Same community: one (or two) shared-gateway paths.
             let currency = forced_currency.unwrap_or(src_currency);
             let (destination, amount) = self.pick_destination_and_amount(
-                cast, sender, currency, user_zipf, merchant_zipf, menus, habits, rng,
+                cast,
+                sender,
+                currency,
+                user_zipf,
+                merchant_zipf,
+                menus,
+                habits,
+                rng,
             );
             let destination = pin_to_community(cast, destination, sender, sender_community, rng);
             let gws: Vec<AccountId> = cast
                 .community_gateways(sender_community)
                 .map(|g| g.account)
                 .collect();
-            let k = if rng.gen_bool(0.3) { 2.min(gws.len()) } else { 1 };
+            let k = if rng.gen_bool(0.3) {
+                2.min(gws.len())
+            } else {
+                1
+            };
             let share = Value::from_raw(amount.raw() / k as i128).max_one();
             let mut paths = Vec::new();
             for gw in gws.iter().take(k) {
                 let hops = vec![*gw];
-                apply_chain(state, events, cast, sender, destination, &hops, currency, share, now);
+                apply_chain(
+                    state,
+                    events,
+                    cast,
+                    sender,
+                    destination,
+                    &hops,
+                    currency,
+                    share,
+                    now,
+                );
                 paths.push(hops);
             }
-            return record(index, sender, destination, currency, Some(gws[0]), amount, now,
-                          ledger_seq, PathSummary::from_paths(paths), false, None);
+            return record(
+                index,
+                sender,
+                destination,
+                currency,
+                Some(gws[0]),
+                amount,
+                now,
+                ledger_seq,
+                PathSummary::from_paths(paths),
+                false,
+                None,
+            );
         }
 
         // Routed payment (cross-community and/or cross-currency).
@@ -610,7 +702,14 @@ impl Generator {
             }
         });
         let (destination, amount) = self.pick_destination_and_amount(
-            cast, sender, currency, user_zipf, merchant_zipf, menus, habits, rng,
+            cast,
+            sender,
+            currency,
+            user_zipf,
+            merchant_zipf,
+            menus,
+            habits,
+            rng,
         );
         let destination = pin_to_community(cast, destination, sender, dst_community, rng);
 
@@ -1244,7 +1343,9 @@ mod tests {
         let out = small_output(2_000, 6);
         let iou: Vec<&PaymentRecord> = out
             .payments()
-            .filter(|p| !p.currency.is_xrp() && p.currency != Currency::MTL && p.currency != Currency::CCK)
+            .filter(|p| {
+                !p.currency.is_xrp() && p.currency != Currency::MTL && p.currency != Currency::CCK
+            })
             .collect();
         let cross = iou.iter().filter(|p| p.cross_currency).count() as f64;
         let frac = cross / iou.len().max(1) as f64;

@@ -11,9 +11,7 @@
 //! ```
 
 use ripple_core::ledger::Currency;
-use ripple_core::orderbook::{
-    execute_two_leg, find_triangular, find_two_leg, BookSet, Rate,
-};
+use ripple_core::orderbook::{execute_two_leg, find_triangular, find_two_leg, BookSet, Rate};
 use ripple_core::AccountId;
 
 fn main() {
@@ -22,23 +20,38 @@ fn main() {
     let mm = |n: u8| AccountId::from_bytes([n; 20]);
 
     // EUR/USD: one maker sells EUR at 1.02 USD…
-    books
-        .book_mut(Currency::EUR, Currency::USD)
-        .insert(mm(1), 1, "5000".parse().unwrap(), Rate::new(102, 100));
+    books.book_mut(Currency::EUR, Currency::USD).insert(
+        mm(1),
+        1,
+        "5000".parse().unwrap(),
+        Rate::new(102, 100),
+    );
     // …while another effectively *buys* EUR at 1.08 (sells USD at 0.925).
-    books
-        .book_mut(Currency::USD, Currency::EUR)
-        .insert(mm(2), 1, "5000".parse().unwrap(), Rate::new(925, 1000));
+    books.book_mut(Currency::USD, Currency::EUR).insert(
+        mm(2),
+        1,
+        "5000".parse().unwrap(),
+        Rate::new(925, 1000),
+    );
     // And a BTC triangle with a small skew.
-    books
-        .book_mut(Currency::BTC, Currency::USD)
-        .insert(mm(3), 1, "10".parse().unwrap(), Rate::new(230, 1));
-    books
-        .book_mut(Currency::EUR, Currency::BTC)
-        .insert(mm(4), 1, "3000".parse().unwrap(), Rate::new(45, 10_000));
-    books
-        .book_mut(Currency::USD, Currency::EUR)
-        .insert(mm(5), 2, "3000".parse().unwrap(), Rate::new(93, 100));
+    books.book_mut(Currency::BTC, Currency::USD).insert(
+        mm(3),
+        1,
+        "10".parse().unwrap(),
+        Rate::new(230, 1),
+    );
+    books.book_mut(Currency::EUR, Currency::BTC).insert(
+        mm(4),
+        1,
+        "3000".parse().unwrap(),
+        Rate::new(45, 10_000),
+    );
+    books.book_mut(Currency::USD, Currency::EUR).insert(
+        mm(5),
+        2,
+        "3000".parse().unwrap(),
+        Rate::new(93, 100),
+    );
 
     println!("scanning for two-leg skews...");
     let currencies = [Currency::USD, Currency::EUR, Currency::BTC];
@@ -61,7 +74,12 @@ fn main() {
     }
 
     println!("\nexecuting the EUR/USD cycle with a 2000 USD budget...");
-    match execute_two_leg(&mut books, Currency::EUR, Currency::USD, "2000".parse().unwrap()) {
+    match execute_two_leg(
+        &mut books,
+        Currency::EUR,
+        Currency::USD,
+        "2000".parse().unwrap(),
+    ) {
         Some(result) => {
             println!(
                 "  spent {} USD, received {} USD -> profit {} USD",

@@ -24,9 +24,8 @@ fn main() {
     // Bob and his habits: a latte at the same bar most mornings.
     let bob_keys = crypto::SimKeypair::from_seed(b"bob-the-latte-guy");
     let bob = AccountId::from_public_key(&bob_keys.public_key());
-    let bar = AccountId::from_public_key(
-        &crypto::SimKeypair::from_seed(b"the-corner-bar").public_key(),
-    );
+    let bar =
+        AccountId::from_public_key(&crypto::SimKeypair::from_seed(b"the-corner-bar").public_key());
     let latte_moment = RippleTime::from_ymd_hms(2015, 8, 24, 8, 3, 20);
 
     let mut records: Vec<PaymentRecord> = study.payments().into_iter().cloned().collect();
@@ -47,11 +46,24 @@ fn main() {
     };
     // Bob's financial life: lattes, rent, a BTC buy.
     bob_payment("4.5", latte_moment, bar, Currency::USD);
-    bob_payment("4.5", RippleTime::from_ymd_hms(2015, 8, 21, 8, 1, 5), bar, Currency::USD);
-    bob_payment("850", RippleTime::from_ymd_hms(2015, 8, 1, 9, 0, 0),
-                AccountId::from_bytes([77; 20]), Currency::USD);
-    bob_payment("0.35", RippleTime::from_ymd_hms(2015, 8, 14, 20, 15, 9),
-                AccountId::from_bytes([78; 20]), Currency::BTC);
+    bob_payment(
+        "4.5",
+        RippleTime::from_ymd_hms(2015, 8, 21, 8, 1, 5),
+        bar,
+        Currency::USD,
+    );
+    bob_payment(
+        "850",
+        RippleTime::from_ymd_hms(2015, 8, 1, 9, 0, 0),
+        AccountId::from_bytes([77; 20]),
+        Currency::USD,
+    );
+    bob_payment(
+        "0.35",
+        RippleTime::from_ymd_hms(2015, 8, 14, 20, 15, 9),
+        AccountId::from_bytes([78; 20]),
+        Currency::BTC,
+    );
 
     // Alice builds the index from PUBLIC data only.
     println!("indexing {} public payments...", records.len());

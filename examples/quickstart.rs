@@ -40,10 +40,20 @@ fn main() {
             },
         )
         .expect("C pays A through B");
-    println!("C paid A {} {} via {} intermediate hop(s)", done.delivered, done.currency,
-             done.paths[0].len());
-    println!("A now holds {} of B's IOUs", state.iou_balance(a, b, Currency::USD));
-    println!("B now holds {} of C's IOUs\n", state.iou_balance(b, c, Currency::USD));
+    println!(
+        "C paid A {} {} via {} intermediate hop(s)",
+        done.delivered,
+        done.currency,
+        done.paths[0].len()
+    );
+    println!(
+        "A now holds {} of B's IOUs",
+        state.iou_balance(a, b, Currency::USD)
+    );
+    println!(
+        "B now holds {} of C's IOUs\n",
+        state.iou_balance(b, c, Currency::USD)
+    );
 
     // --- 2. A pocket-sized study -----------------------------------------
     println!("generating a 5k-payment synthetic history...");

@@ -100,5 +100,8 @@ fn removing_observation_fields_grows_candidate_sets() {
     });
     let full = full_index.query(&Observation::of(target)).len();
     let loose = no_dest_index.query(&Observation::of(target)).len();
-    assert!(loose >= full, "dropping a field cannot shrink the candidate set");
+    assert!(
+        loose >= full,
+        "dropping a field cannot shrink the candidate set"
+    );
 }

@@ -82,7 +82,10 @@ fn compromising_core_validators_halts_consensus() {
         outcome.failed_rounds
     );
     // After the outage the ledger recovers.
-    assert!(outcome.failed_rounds < 700, "recovery after the outage window");
+    assert!(
+        outcome.failed_rounds < 700,
+        "recovery after the outage window"
+    );
 }
 
 fn honest(n: usize) -> Vec<Validator> {
@@ -112,7 +115,7 @@ fn round_engine_agrees_on_intersection_under_churny_positions() {
         p.insert(30); // 30% support: dies at the first gate
     }
     let mut engine = RoundEngine::new(honest(n));
-    let outcome = engine.run_round(&positions, 5);
+    let outcome = engine.run_round(&positions, 5).unwrap();
     let (_, set) = outcome.committed.expect("honest majority commits");
     assert!(set.contains(&1) && set.contains(&2));
     assert!(!set.contains(&30), "minority tx dropped by thresholds");
@@ -130,7 +133,7 @@ fn round_engine_partition_prevents_disagreement() {
     for p in positions.iter_mut().skip(5) {
         *p = BTreeSet::from([2]);
     }
-    let outcome = engine.run_round(&positions, 6);
+    let outcome = engine.run_round(&positions, 6).unwrap();
     // Safety: under partition, no conflicting transaction set can commit.
     if let Some((_, set)) = outcome.committed {
         assert!(
@@ -144,7 +147,7 @@ fn round_engine_partition_prevents_disagreement() {
 fn round_engine_validations_are_page_hashes() {
     let mut engine = RoundEngine::new(honest(4));
     let positions = vec![BTreeSet::from([7, 8]); 4];
-    let outcome = engine.run_round(&positions, 9);
+    let outcome = engine.run_round(&positions, 9).unwrap();
     let (hash, set) = outcome.committed.expect("commit");
     assert_eq!(hash, page_hash(&set));
     for page in outcome.validations.values() {
@@ -162,7 +165,11 @@ fn campaign_streams_are_verifiable() {
     assert!(!outcome.stream.is_empty());
     for event in &outcome.stream {
         assert!(
-            SimKeypair::verify(&event.validator, event.page_hash.as_bytes(), &event.signature),
+            SimKeypair::verify(
+                &event.validator,
+                event.page_hash.as_bytes(),
+                &event.signature
+            ),
             "stream signature must verify for {}",
             event.label
         );

@@ -20,7 +20,10 @@ fn study() -> Study {
 fn archive_round_trips_through_store() {
     let study = study();
     let mut buf = Vec::new();
-    let written = study.output().write_archive(&mut buf).expect("write archive");
+    let written = study
+        .output()
+        .write_archive(&mut buf)
+        .expect("write archive");
     assert_eq!(written as usize, study.output().events.len());
     let events = Reader::new(buf.as_slice())
         .expect("valid magic")
@@ -158,7 +161,10 @@ fn figure6_histograms_match_paper() {
     let parallel = study.figure6b();
     // Of the non-MTL traffic, 4 parallel paths is the largest bucket.
     let p = |k: usize| parallel.get(&k).copied().unwrap_or(0);
-    assert!(p(4) > p(2) && p(4) > p(3), "k=4 dominates the organic split");
+    assert!(
+        p(4) > p(2) && p(4) > p(3),
+        "k=4 dominates the organic split"
+    );
     assert!(p(1) > p(2), "unsplit payments outnumber 2-way splits");
     // The MTL spike at exactly 6 parallel paths.
     assert!(p(6) > p(2), "6-path spam spike present");
@@ -178,9 +184,11 @@ fn table2_bands_match_paper() {
     let total = report.stats.total_rate();
     assert!((0.04..0.25).contains(&total), "total rate: {total}");
     // Cross-currency dominates the window, as in the paper (68.7%).
-    let cross_share =
-        report.stats.cross_submitted as f64 / report.stats.total_submitted() as f64;
-    assert!((0.5..0.8).contains(&cross_share), "cross share: {cross_share}");
+    let cross_share = report.stats.cross_submitted as f64 / report.stats.total_submitted() as f64;
+    assert!(
+        (0.5..0.8).contains(&cross_share),
+        "cross share: {cross_share}"
+    );
     assert!(report.offers_stripped > 0);
     assert!(report.makers_severed > 0);
 }
@@ -193,7 +201,10 @@ fn figure7_hub_profile_matches_paper() {
     // The two hubs dominate by roughly an order of magnitude.
     let hubs = &study.output().cast.hubs;
     assert!(hubs.contains(&report.rows[0].account), "top hop is a hub");
-    assert!(hubs.contains(&report.rows[1].account), "second hop is a hub");
+    assert!(
+        hubs.contains(&report.rows[1].account),
+        "second hop is a hub"
+    );
     let hub_count = report.rows[0].hop_count;
     let first_non_hub = report
         .rows
@@ -209,7 +220,10 @@ fn figure7_hub_profile_matches_paper() {
     // Gateways in the list have negative balances (they owe deposits) and
     // extend no trust; they are a strict subset of the 50.
     let gateways: Vec<_> = report.rows.iter().filter(|r| r.is_gateway).collect();
-    assert!(!gateways.is_empty(), "announced gateways appear in the top 50");
+    assert!(
+        !gateways.is_empty(),
+        "announced gateways appear in the top 50"
+    );
     assert!(gateways.len() < 50, "common users appear too");
     for gw in &gateways {
         assert!(
@@ -258,7 +272,11 @@ fn generation_is_deterministic_across_runs() {
         seed: 124,
         ..SynthConfig::small(1_500)
     });
-    assert_ne!(a.payments(), c.payments(), "different seed, different history");
+    assert_ne!(
+        a.payments(),
+        c.payments(),
+        "different seed, different history"
+    );
 }
 
 #[test]

@@ -92,7 +92,10 @@ fn transfer_fees_route_payments_on_generated_topology() {
     match result {
         Ok(done) => {
             assert!(done.source_cost >= done.delivered, "tolls are non-negative");
-            if done.paths[0].iter().any(|hop| cast.gateways.iter().any(|g| g.account == *hop)) {
+            if done.paths[0]
+                .iter()
+                .any(|hop| cast.gateways.iter().any(|g| g.account == *hop))
+            {
                 assert!(
                     done.source_cost > done.delivered,
                     "routing through a tolled gateway must cost extra"
@@ -135,8 +138,7 @@ fn wallet_split_on_generated_history_has_expected_tradeoffs() {
 #[test]
 fn reward_economy_composes_with_campaign_robustness() {
     use ripple_core::consensus::{
-        simulate_reward_economy, Campaign, EconomyConfig, RewardPolicy, Validator,
-        ValidatorProfile,
+        simulate_reward_economy, Campaign, EconomyConfig, RewardPolicy, Validator, ValidatorProfile,
     };
     // Grow the validator set with a funded reward policy…
     let outcome = simulate_reward_economy(
@@ -154,7 +156,11 @@ fn reward_economy_composes_with_campaign_robustness() {
     let build = |n: usize| -> Vec<Validator> {
         (0..n)
             .map(|i| {
-                Validator::new(i, format!("v{i}"), ValidatorProfile::Reliable { availability: 1.0 })
+                Validator::new(
+                    i,
+                    format!("v{i}"),
+                    ValidatorProfile::Reliable { availability: 1.0 },
+                )
             })
             .collect()
     };

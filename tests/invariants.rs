@@ -127,7 +127,10 @@ fn random_payment_storm_preserves_invariants() {
         assert_iou_zero_sum(&state, &[Currency::USD]);
     }
     assert!(successes > 50, "storm should deliver: {successes}");
-    assert!(failures > 50, "storm should also hit capacity walls: {failures}");
+    assert!(
+        failures > 50,
+        "storm should also hit capacity walls: {failures}"
+    );
 }
 
 #[test]

@@ -1,0 +1,138 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the API subset the workspace's property tests use: the
+//! [`proptest!`] macro, integer-range and [`arbitrary::any`] strategies,
+//! [`collection::vec`], `prop_assert!`/`prop_assert_eq!`, and
+//! `ProptestConfig::with_cases`. Each property runs for a configurable
+//! number of deterministically seeded cases. Unlike the real crate there
+//! is no shrinking: a failing case panics with the offending inputs
+//! un-minimized (the case index is deterministic, so failures reproduce).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests.
+///
+/// Supported grammar (a subset of the real crate's):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]   // optional
+///     #[test]
+///     fn prop(x in 0u64..100, bytes in any::<[u8; 20]>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )* ) => { $(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            for case in 0..config.cases {
+                let mut __proptest_rng =
+                    $crate::test_runner::case_rng(stringify!($name), case);
+                $(
+                    let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __proptest_rng);
+                )+
+                $body
+            }
+        }
+    )* };
+}
+
+/// Asserts a condition inside a property (stub: delegates to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (stub: delegates to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property (stub: delegates to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 5u32..10, y in -3i64..=3) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-3..=3).contains(&y));
+        }
+
+        #[test]
+        fn any_and_vec_compose(bytes in crate::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!(bytes.len() >= 2 && bytes.len() < 6);
+        }
+
+        #[test]
+        fn arrays_generate(seed in any::<[u8; 20]>()) {
+            prop_assert_eq!(seed.len(), 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        #[test]
+        fn config_is_honoured(x in 0u8..=255) {
+            // Three cases run; each draw is a valid u8 by construction.
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..10)
+            .map(|c| {
+                let mut rng = crate::test_runner::case_rng("det", c);
+                Strategy::generate(&(0u64..1_000_000), &mut rng)
+            })
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|c| {
+                let mut rng = crate::test_runner::case_rng("det", c);
+                Strategy::generate(&(0u64..1_000_000), &mut rng)
+            })
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,32 @@
+//! Value-generation strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, SampleUniform};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}

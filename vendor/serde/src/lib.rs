@@ -1,0 +1,104 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! just enough of serde's trait surface for the workspace to compile: the
+//! [`Serialize`]/[`Deserialize`] traits, the [`Serializer`]/
+//! [`Deserializer`] driver traits, and `de::Error`/`ser::Error`. No data
+//! format ships with the workspace, so none of these are ever driven at
+//! runtime; the `derive` feature expands to *empty* impl blocks (see
+//! `serde_derive`). If a real serialization backend is ever added, replace
+//! this stub with the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can describe itself to a [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type constructible from a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the deserializer's error.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Driver for serialization (format side).
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Serialization error.
+    type Error: ser::Error;
+
+    /// Serializes a byte slice.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Driver for deserialization (format side).
+pub trait Deserializer<'de>: Sized {
+    /// Deserialization error.
+    type Error: de::Error;
+}
+
+/// Serialization-side error support.
+pub mod ser {
+    use super::Display;
+
+    /// Errors producible by a [`crate::Serializer`].
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error support.
+pub mod de {
+    use super::Display;
+
+    pub use super::{Deserialize, Deserializer};
+
+    /// Errors producible by a [`crate::Deserializer`].
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+macro_rules! stub_deserialize {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(_: D) -> Result<Self, D::Error> {
+                Err(de::Error::custom(concat!(
+                    "serde stub cannot deserialize ",
+                    stringify!($t),
+                )))
+            }
+        }
+    )*};
+}
+
+stub_deserialize!(u8, u16, u32, u64, i8, i16, i32, i64, bool, f32, f64, String);
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(_: D) -> Result<Self, D::Error> {
+        Err(de::Error::custom("serde stub cannot deserialize sequences"))
+    }
+}

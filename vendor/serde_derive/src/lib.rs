@@ -1,0 +1,22 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace's `serde` is a trait-only stub (no data formats), so the
+//! derives don't need to generate impls — they only need to *exist* so
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attributes
+//! parse. Each derive expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers); expands
+/// to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers);
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
