@@ -2,7 +2,9 @@
 //! computation over a generated history.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ripple_core::deanon::{information_gain, DeanonIndex, Observation, ResolutionSpec};
+use ripple_core::deanon::{
+    figure3_sweep, information_gain, DeanonIndex, EngineConfig, Observation, ResolutionSpec,
+};
 use ripple_core::{Study, SynthConfig};
 
 fn history() -> Study {
@@ -22,6 +24,38 @@ fn information_gain_rows(c: &mut Criterion) {
     });
     group.bench_function("all_10_rows_20k", |b| {
         b.iter(|| ripple_core::deanon::ig::figure3(&payments));
+    });
+    group.finish();
+}
+
+fn sweep_engine(c: &mut Criterion) {
+    let study = history();
+    let payments = study.payments();
+    let mut group = c.benchmark_group("fig3_engine");
+    group.sample_size(10);
+    // The old shape of the sweep: ten independent passes, one per spec,
+    // each recomputing every coarsening and hashing full-width keys.
+    group.bench_function("serial_10pass_20k", |b| {
+        b.iter(|| {
+            ResolutionSpec::figure3_rows()
+                .into_iter()
+                .map(|(_, spec)| information_gain(payments.iter().copied(), spec).unique)
+                .sum::<u64>()
+        });
+    });
+    group.bench_function("sharded_single_pass_20k", |b| {
+        b.iter(|| figure3_sweep(&payments, EngineConfig::default()));
+    });
+    group.bench_function("single_shard_single_pass_20k", |b| {
+        b.iter(|| {
+            figure3_sweep(
+                &payments,
+                EngineConfig {
+                    shards: 1,
+                    merge_ranges: 1,
+                },
+            )
+        });
     });
     group.finish();
 }
@@ -51,5 +85,5 @@ fn attack_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, information_gain_rows, attack_queries);
+criterion_group!(benches, information_gain_rows, sweep_engine, attack_queries);
 criterion_main!(benches);

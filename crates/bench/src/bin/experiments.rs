@@ -1,27 +1,61 @@
 //! Regenerates every table and figure of the paper as text output.
 //!
 //! ```text
-//! experiments [EXPERIMENT] [--payments N] [--seed S] [--rounds R]
+//! experiments [EXPERIMENT] [--payments N] [--seed S] [--rounds R] [--shards S]
 //! ```
 //!
-//! `EXPERIMENT` is one of `fig2`, `table1`, `fig3`, `fig4`, `fig5`,
-//! `fig6a`, `fig6b`, `table2`, `fig7`, `offers`, or `all` (default) — plus
+//! `EXPERIMENT` is one of the paper studies `fig2`, `table1`, `fig3`,
+//! `fig4`, `fig5`, `fig6a`, `fig6b`, `table2`, `fig7`, `offers`, or one of
 //! the extension studies `rewards` (§IV's proposed validator-reward
 //! system), `countermeasure` (§V's wallet-splitting discussion), `unl`
-//! (UNL-overlap fork analysis) and `archive` (raw parse throughput).
+//! (UNL-overlap fork analysis), `archive` (raw parse throughput) and
+//! `timeline` (payment/population trends). `all` (the default) runs every
+//! paper study **and** every extension study, in that order.
+//!
+//! `fig3` additionally writes `BENCH_fig3.json` — a machine-readable dump
+//! of the sharded IG engine's row metrics and throughput (see
+//! EXPERIMENTS.md §E3 for the schema).
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use ripple_core::consensus::metrics::{persistent_actives, total_observed};
-use ripple_core::deanon::{AmountResolution, CurrencyStrength};
+use ripple_core::deanon::{
+    information_gain, sender_information_gain, AmountResolution, CurrencyStrength,
+};
 use ripple_core::ledger::Value;
-use ripple_core::{CollectionPeriod, Currency, Study, SynthConfig};
+use ripple_core::{CollectionPeriod, Currency, EngineConfig, ResolutionSpec, Study, SynthConfig};
+
+/// The paper's own tables and figures, in presentation order.
+const PAPER_STUDIES: &[&str] = &[
+    "fig2", "table1", "fig3", "fig4", "fig5", "fig6a", "fig6b", "table2", "fig7", "offers",
+];
+
+/// Studies that go beyond the paper. `all` runs these too, after the paper
+/// set.
+const EXTENSION_STUDIES: &[&str] = &["rewards", "unl", "countermeasure", "archive", "timeline"];
+
+/// Studies that require a generated payment history.
+const NEEDS_HISTORY: &[&str] = &[
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "table2",
+    "fig7",
+    "offers",
+    "countermeasure",
+    "archive",
+    "timeline",
+];
 
 struct Args {
     experiment: String,
     payments: usize,
     seed: u64,
     rounds: u64,
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -30,6 +64,7 @@ fn parse_args() -> Args {
         payments: 100_000,
         seed: 20130101,
         rounds: 5_000,
+        shards: 0,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -52,9 +87,27 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .expect("--rounds needs a number");
             }
+            "--shards" => {
+                args.shards = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards needs a number");
+            }
             other if !other.starts_with('-') => args.experiment = other.to_string(),
             other => panic!("unknown flag {other}"),
         }
+    }
+    if args.experiment != "all"
+        && !PAPER_STUDIES.contains(&args.experiment.as_str())
+        && !EXTENSION_STUDIES.contains(&args.experiment.as_str())
+    {
+        eprintln!(
+            "unknown experiment `{}`; valid: all, {}, {}",
+            args.experiment,
+            PAPER_STUDIES.join(", "),
+            EXTENSION_STUDIES.join(", ")
+        );
+        std::process::exit(2);
     }
     args
 }
@@ -63,35 +116,23 @@ fn main() {
     let args = parse_args();
     let wants = |name: &str| args.experiment == "all" || args.experiment == name;
 
-    // Fig. 2 needs no history, only the consensus simulator.
+    // Studies that need no payment history: the consensus simulator and
+    // the static rounding grid.
     if wants("fig2") {
         fig2(args.rounds, args.seed);
     }
     if wants("table1") {
         table1();
     }
-    if wants("rewards") || args.experiment == "rewards" {
+    if wants("rewards") {
         rewards();
     }
-    if args.experiment == "unl" {
+    if wants("unl") {
         unl();
     }
 
-    let history_needed = [
-        "fig3",
-        "fig4",
-        "fig5",
-        "fig6a",
-        "fig6b",
-        "table2",
-        "fig7",
-        "offers",
-        "countermeasure",
-        "archive",
-        "timeline",
-        "all",
-    ]
-    .contains(&args.experiment.as_str());
+    let history_needed =
+        args.experiment == "all" || NEEDS_HISTORY.contains(&args.experiment.as_str());
     if !history_needed {
         return;
     }
@@ -109,7 +150,7 @@ fn main() {
     eprintln!("history ready: {} events", study.output().events.len());
 
     if wants("fig3") {
-        fig3(&study);
+        fig3(&study, &args);
     }
     if wants("fig4") {
         fig4(&study);
@@ -135,7 +176,7 @@ fn main() {
     if wants("countermeasure") {
         countermeasure(&study);
     }
-    if args.experiment == "archive" {
+    if wants("archive") {
         archive(&study);
     }
     if wants("timeline") {
@@ -198,7 +239,7 @@ fn table1() {
     println!();
 }
 
-fn fig3(study: &Study) {
+fn fig3(study: &Study, args: &Args) {
     println!("== Figure 3: information gain per feature/resolution list ==\n");
     let paper: HashMap<&str, f64> = [
         ("<Am; Tsc; C; D>", 99.83),
@@ -210,18 +251,127 @@ fn fig3(study: &Study) {
     ]
     .into_iter()
     .collect();
-    println!(
-        "{:<18} {:>10} {:>12}",
-        "features", "IG (ours)", "IG (paper)"
+
+    let sweep = study.figure3_sweep(EngineConfig {
+        shards: args.shards,
+        merge_ranges: 0,
+    });
+
+    // Serial per-spec baseline: the pre-engine shape of the sweep — one
+    // full pass per (spec, metric), recomputing every coarsening and
+    // hashing full-width fingerprint keys each time. The checksum doubles
+    // as an equivalence assert and keeps the passes from being optimized
+    // out.
+    let payments = study.payments();
+    let t_serial = Instant::now();
+    let mut serial_checksum = 0u64;
+    for (_, spec) in ResolutionSpec::figure3_rows() {
+        serial_checksum += information_gain(payments.iter().copied(), spec).unique;
+        serial_checksum += sender_information_gain(payments.iter().copied(), spec).unique;
+    }
+    let serial_secs = t_serial.elapsed().as_secs_f64();
+    assert_eq!(
+        serial_checksum,
+        sweep
+            .rows
+            .iter()
+            .map(|r| r.strict.unique + r.sender.unique)
+            .sum::<u64>(),
+        "engine and serial sweeps must agree"
     );
-    for (label, ig) in study.figure3() {
+
+    println!(
+        "{:<18} {:>10} {:>11} {:>12}",
+        "features", "IG (ours)", "IG (sndr)", "IG (paper)"
+    );
+    for row in &sweep.rows {
         let reference = paper
-            .get(label)
+            .get(row.label)
             .map(|p| format!("{p:.2}%"))
             .unwrap_or_else(|| "-".to_string());
-        println!("{label:<18} {:>9.2}% {reference:>12}", ig.percent());
+        println!(
+            "{:<18} {:>9.2}% {:>10.2}% {reference:>12}",
+            row.label,
+            row.strict.percent(),
+            row.sender.percent()
+        );
     }
-    println!();
+    let stats = &sweep.stats;
+    let speedup = if stats.total_secs > 0.0 {
+        serial_secs / stats.total_secs
+    } else {
+        0.0
+    };
+    println!(
+        "\nengine: {} payments x 10 specs in {:.3}s (scan {:.3}s, merge {:.3}s) \
+         = {:.0} payments/s | {} shards, {} ranges, peak {} classes",
+        stats.payments,
+        stats.total_secs,
+        stats.scan_secs,
+        stats.merge_secs,
+        stats.payments_per_sec(),
+        stats.shards,
+        stats.merge_ranges,
+        stats.peak_classes
+    );
+    println!(
+        "serial per-spec baseline (strict+sender, 20 passes): {serial_secs:.3}s \
+         -> speedup {speedup:.1}x\n"
+    );
+
+    let json = fig3_json(args, &sweep, serial_secs, speedup);
+    match std::fs::write("BENCH_fig3.json", json) {
+        Ok(()) => eprintln!("wrote BENCH_fig3.json"),
+        Err(err) => eprintln!("could not write BENCH_fig3.json: {err}"),
+    }
+}
+
+/// Serializes the sweep into the `BENCH_fig3.json` schema documented in
+/// EXPERIMENTS.md §E3. Hand-rolled: the workspace's vendored serde has no
+/// JSON backend, and the schema is flat.
+fn fig3_json(
+    args: &Args,
+    sweep: &ripple_core::Fig3Sweep,
+    serial_secs: f64,
+    speedup: f64,
+) -> String {
+    let stats = &sweep.stats;
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"fig3\",\n");
+    out.push_str(&format!("  \"payments\": {},\n", stats.payments));
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str("  \"engine\": {\n");
+    out.push_str(&format!("    \"shards\": {},\n", stats.shards));
+    out.push_str(&format!("    \"merge_ranges\": {},\n", stats.merge_ranges));
+    out.push_str(&format!("    \"scan_secs\": {:.6},\n", stats.scan_secs));
+    out.push_str(&format!("    \"merge_secs\": {:.6},\n", stats.merge_secs));
+    out.push_str(&format!("    \"total_secs\": {:.6},\n", stats.total_secs));
+    out.push_str(&format!(
+        "    \"payments_per_sec\": {:.1},\n",
+        stats.payments_per_sec()
+    ));
+    out.push_str(&format!("    \"peak_classes\": {}\n", stats.peak_classes));
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"serial_sweep_secs\": {serial_secs:.6},\n"));
+    out.push_str(&format!("  \"speedup_vs_serial\": {speedup:.2},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in sweep.rows.iter().enumerate() {
+        let comma = if i + 1 == sweep.rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"total\": {}, \"strict_unique\": {}, \
+             \"strict_percent\": {:.4}, \"sender_unique\": {}, \
+             \"sender_percent\": {:.4}, \"classes\": {}}}{comma}\n",
+            row.label,
+            row.strict.total,
+            row.strict.unique,
+            row.strict.percent(),
+            row.sender.unique,
+            row.sender.percent(),
+            row.classes
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn fig4(study: &Study) {

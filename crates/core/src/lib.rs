@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, OnceLock};
 
 pub use ripple_analytics as analytics;
 pub use ripple_consensus as consensus;
@@ -48,7 +49,9 @@ pub use ripple_synth as synth;
 pub use ripple_analytics::{MmRemovalReport, OfferConcentration};
 pub use ripple_consensus::{CollectionPeriod, ValidatorReport};
 pub use ripple_crypto::AccountId;
-pub use ripple_deanon::{DeanonIndex, IgResult, Observation, ResolutionSpec};
+pub use ripple_deanon::{
+    DeanonIndex, EngineConfig, Fig3Sweep, IgResult, Observation, ResolutionSpec,
+};
 pub use ripple_ledger::{Currency, PaymentRecord, Value};
 pub use ripple_orderbook::RateTable;
 pub use ripple_synth::{Generator, SynthConfig, SynthOutput};
@@ -58,6 +61,7 @@ pub use ripple_synth::{Generator, SynthConfig, SynthOutput};
 #[derive(Debug)]
 pub struct Study {
     output: SynthOutput,
+    payment_arena: OnceLock<Arc<[PaymentRecord]>>,
 }
 
 impl Study {
@@ -65,12 +69,16 @@ impl Study {
     pub fn generate(config: SynthConfig) -> Study {
         Study {
             output: Generator::new(config).run(),
+            payment_arena: OnceLock::new(),
         }
     }
 
     /// Wraps an existing generation run.
     pub fn from_output(output: SynthOutput) -> Study {
-        Study { output }
+        Study {
+            output,
+            payment_arena: OnceLock::new(),
+        }
     }
 
     /// The underlying generation run.
@@ -81,6 +89,16 @@ impl Study {
     /// The payment records, in time order.
     pub fn payments(&self) -> Vec<&PaymentRecord> {
         self.output.payments().collect()
+    }
+
+    /// The payment records as a shared arena. The arena is materialized on
+    /// first use and then shared: ten attack indexes (one per Figure 3 row)
+    /// hold one copy of the history between them instead of cloning it per
+    /// spec.
+    pub fn payment_arena(&self) -> Arc<[PaymentRecord]> {
+        self.payment_arena
+            .get_or_init(|| self.output.payments().cloned().collect())
+            .clone()
     }
 
     /// E1 — Figure 2: runs the three collection periods for `rounds`
@@ -99,6 +117,14 @@ impl Study {
     pub fn figure3(&self) -> Vec<(&'static str, IgResult)> {
         let records = self.payments();
         ripple_deanon::ig::figure3(&records)
+    }
+
+    /// E3/E12 — Figure 3 via the sharded single-pass engine: every row's
+    /// strict *and* sender metric in one scan, plus throughput telemetry
+    /// (payments/sec, per-phase wall time, peak class count).
+    pub fn figure3_sweep(&self, config: EngineConfig) -> Fig3Sweep {
+        let records = self.payments();
+        ripple_deanon::figure3_sweep(&records, config)
     }
 
     /// E4 — Figure 4: ranked currency usage.
@@ -201,7 +227,9 @@ impl Study {
     }
 
     /// Builds the de-anonymization attack index at the given resolution.
+    /// Indexes built through this method share one record arena (see
+    /// [`Study::payment_arena`]).
     pub fn attack_index(&self, spec: ResolutionSpec) -> DeanonIndex {
-        DeanonIndex::build(self.output.payments(), spec)
+        DeanonIndex::build_shared(self.payment_arena(), spec)
     }
 }

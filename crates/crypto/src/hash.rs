@@ -517,6 +517,75 @@ pub fn sha512_half(data: &[u8]) -> Digest256 {
     sha512(data).first_half()
 }
 
+/// Computes a fast, non-cryptographic 128-bit fingerprint of `data`
+/// (MurmurHash3 x64-128). Collision probability between any two distinct
+/// inputs is ~2⁻¹²⁸, so the digest can stand in for the full input as a
+/// hash-map key in analytics pipelines — but it offers no preimage
+/// resistance and must never gate anything security-relevant; use
+/// [`sha512_half`] for object identities.
+///
+/// # Examples
+///
+/// ```
+/// let a = ripple_crypto::mix128(b"fingerprint tuple");
+/// let b = ripple_crypto::mix128(b"fingerprint tuple");
+/// assert_eq!(a, b);
+/// assert_ne!(a, ripple_crypto::mix128(b"another tuple"));
+/// ```
+pub fn mix128(data: &[u8]) -> u128 {
+    const C1: u64 = 0x87c3_7b91_1142_53d5;
+    const C2: u64 = 0x4cf5_ad43_2745_937f;
+
+    fn fmix64(mut k: u64) -> u64 {
+        k ^= k >> 33;
+        k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        k ^= k >> 33;
+        k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        k ^= k >> 33;
+        k
+    }
+
+    let mut h1: u64 = 0x9e37_79b9_7f4a_7c15; // seed: golden-ratio constant
+    let mut h2: u64 = h1;
+    let mut chunks = data.chunks_exact(16);
+    for block in &mut chunks {
+        let mut k1 = u64::from_le_bytes(block[..8].try_into().unwrap());
+        let mut k2 = u64::from_le_bytes(block[8..].try_into().unwrap());
+        k1 = k1.wrapping_mul(C1).rotate_left(31).wrapping_mul(C2);
+        h1 = (h1 ^ k1)
+            .rotate_left(27)
+            .wrapping_add(h2)
+            .wrapping_mul(5)
+            .wrapping_add(0x52dc_e729);
+        k2 = k2.wrapping_mul(C2).rotate_left(33).wrapping_mul(C1);
+        h2 = (h2 ^ k2)
+            .rotate_left(31)
+            .wrapping_add(h1)
+            .wrapping_mul(5)
+            .wrapping_add(0x3849_5ab5);
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut block = [0u8; 16];
+        block[..tail.len()].copy_from_slice(tail);
+        let mut k1 = u64::from_le_bytes(block[..8].try_into().unwrap());
+        let mut k2 = u64::from_le_bytes(block[8..].try_into().unwrap());
+        k2 = k2.wrapping_mul(C2).rotate_left(33).wrapping_mul(C1);
+        h2 ^= k2;
+        k1 = k1.wrapping_mul(C1).rotate_left(31).wrapping_mul(C2);
+        h1 ^= k1;
+    }
+    h1 ^= data.len() as u64;
+    h2 ^= data.len() as u64;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    ((h1 as u128) << 64) | h2 as u128
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -611,5 +680,32 @@ mod tests {
     fn prefix_u64_is_stable() {
         let d = Digest256::from_bytes([0xAB; 32]);
         assert_eq!(d.prefix_u64(), 0xABABABABABABABAB);
+    }
+
+    #[test]
+    fn mix128_is_deterministic_and_spread() {
+        assert_eq!(mix128(b""), mix128(b""));
+        assert_eq!(mix128(b"abc"), mix128(b"abc"));
+        // Length is absorbed: a zero-padded tail differs from the shorter
+        // input it pads.
+        assert_ne!(mix128(b"abc"), mix128(b"abc\0"));
+        // Single-bit input changes flip roughly half the output bits.
+        let a = mix128(&[0u8; 48]);
+        let mut flipped = [0u8; 48];
+        flipped[47] = 1;
+        let b = mix128(&flipped);
+        let differing = (a ^ b).count_ones();
+        assert!(
+            (32..=96).contains(&differing),
+            "poor avalanche: {differing} bits"
+        );
+    }
+
+    #[test]
+    fn mix128_no_collisions_over_dense_inputs() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u32..20_000 {
+            assert!(seen.insert(mix128(&i.to_le_bytes())), "collision at {i}");
+        }
     }
 }

@@ -40,7 +40,7 @@ pub mod keys;
 mod account;
 
 pub use account::AccountId;
-pub use hash::{sha256, sha512, sha512_half, Digest256, Digest512};
+pub use hash::{mix128, sha256, sha512, sha512_half, Digest256, Digest512};
 pub use keys::{PublicKey, SimKeypair, SimSignature};
 
 /// Errors produced when decoding identifiers and encoded payloads.

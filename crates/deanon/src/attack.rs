@@ -7,12 +7,14 @@
 //! user": balance flows, previous payments, monthly income, the places
 //! they shop, the people they trust.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use ripple_crypto::AccountId;
 use ripple_ledger::{Currency, PaymentRecord, RippleTime, Value};
 
 use crate::fingerprint::{Fingerprint, ResolutionSpec};
+use crate::resolution::CurrencyStrength;
 
 /// What the attacker observed about one payment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +25,12 @@ pub struct Observation {
     pub time: Option<RippleTime>,
     /// Observed currency.
     pub currency: Option<Currency>,
+    /// Market-strength hint for amount rounding when the exact currency was
+    /// *not* observed: Alice may not catch the currency code, yet still know
+    /// what kind of money changed hands ("a few dollars" vs "a pile of
+    /// XRP"). Ignored when [`Observation::currency`] is set — the observed
+    /// currency's own group always wins.
+    pub strength: Option<CurrencyStrength>,
     /// Observed destination (the bar's address).
     pub destination: Option<AccountId>,
 }
@@ -35,14 +43,33 @@ impl Observation {
             amount: Some(record.amount),
             time: Some(record.timestamp),
             currency: Some(record.currency),
+            strength: Some(CurrencyStrength::of(record.currency)),
             destination: Some(record.destination),
         }
     }
 
-    fn fingerprint(&self, spec: ResolutionSpec, currency_hint: Currency) -> Fingerprint {
+    /// The strength group used to round the observed amount: the observed
+    /// currency's group when known, otherwise the explicit [`strength`]
+    /// hint, otherwise `Weak` (the XRP-like catch-all).
+    ///
+    /// The index rounds every record with its *true* strength group, so an
+    /// observation of a currency-dropped spec (`⟨A, T, −, D⟩`) must round
+    /// the same way or real matches are silently missed — that is what the
+    /// hint is for.
+    ///
+    /// [`strength`]: Observation::strength
+    pub fn rounding_strength(&self) -> CurrencyStrength {
+        self.currency
+            .map(CurrencyStrength::of)
+            .or(self.strength)
+            .unwrap_or(CurrencyStrength::Weak)
+    }
+
+    fn fingerprint(&self, spec: ResolutionSpec) -> Fingerprint {
+        let strength = self.rounding_strength();
         Fingerprint {
             amount: match (spec.amount, self.amount) {
-                (Some(res), Some(v)) => Some(res.round(currency_hint, v).raw()),
+                (Some(res), Some(v)) => Some(res.round_for(strength, v).raw()),
                 _ => None,
             },
             time: match (spec.time, self.time) {
@@ -84,26 +111,42 @@ pub struct FinancialProfile {
 
 /// The attack index: fingerprints of an entire payment history under one
 /// resolution spec.
+///
+/// The history lives in a shared `Arc<[PaymentRecord]>` arena: building ten
+/// indexes (one per Figure 3 row) over the same history shares one copy of
+/// the records instead of cloning 23M payments per spec.
 #[derive(Debug)]
 pub struct DeanonIndex {
     spec: ResolutionSpec,
-    by_fingerprint: HashMap<Fingerprint, Vec<usize>>,
-    records: Vec<PaymentRecord>,
+    by_fingerprint: HashMap<Fingerprint, Vec<u32>>,
+    records: Arc<[PaymentRecord]>,
 }
 
 impl DeanonIndex {
-    /// Builds the index over a history.
+    /// Builds the index over a history, copying the records into a private
+    /// arena. Prefer [`DeanonIndex::build_shared`] when several indexes are
+    /// built over the same history.
     pub fn build<'a>(
         records: impl Iterator<Item = &'a PaymentRecord>,
         spec: ResolutionSpec,
     ) -> DeanonIndex {
-        let records: Vec<PaymentRecord> = records.cloned().collect();
-        let mut by_fingerprint: HashMap<Fingerprint, Vec<usize>> = HashMap::new();
+        let records: Arc<[PaymentRecord]> = records.cloned().collect();
+        DeanonIndex::build_shared(records, spec)
+    }
+
+    /// Builds the index over a shared record arena without cloning the
+    /// history.
+    pub fn build_shared(records: Arc<[PaymentRecord]>, spec: ResolutionSpec) -> DeanonIndex {
+        assert!(
+            records.len() <= u32::MAX as usize,
+            "index supports at most 2^32 - 1 payments"
+        );
+        let mut by_fingerprint: HashMap<Fingerprint, Vec<u32>> = HashMap::new();
         for (i, record) in records.iter().enumerate() {
             by_fingerprint
                 .entry(Fingerprint::of(record, spec))
                 .or_default()
-                .push(i);
+                .push(i as u32);
         }
         DeanonIndex {
             spec,
@@ -131,13 +174,15 @@ impl DeanonIndex {
     /// insertion order). A singleton means the observation de-anonymizes
     /// its sender.
     pub fn query(&self, observation: &Observation) -> Vec<AccountId> {
-        let currency_hint = observation.currency.unwrap_or(Currency::XRP);
-        let fp = observation.fingerprint(self.spec, currency_hint);
+        let fp = observation.fingerprint(self.spec);
         let mut out = Vec::new();
         if let Some(indices) = self.by_fingerprint.get(&fp) {
+            // Spam campaigns (MTL/CCK) make single classes huge, so dedup
+            // through a seen-set rather than a quadratic `contains` scan.
+            let mut seen = HashSet::with_capacity(indices.len());
             for &i in indices {
-                let sender = self.records[i].sender;
-                if !out.contains(&sender) {
+                let sender = self.records[i as usize].sender;
+                if seen.insert(sender) {
                     out.push(sender);
                 }
             }
@@ -147,11 +192,10 @@ impl DeanonIndex {
 
     /// The matching payments themselves (for the attacker's forensics).
     pub fn matching_payments(&self, observation: &Observation) -> Vec<&PaymentRecord> {
-        let currency_hint = observation.currency.unwrap_or(Currency::XRP);
-        let fp = observation.fingerprint(self.spec, currency_hint);
+        let fp = observation.fingerprint(self.spec);
         self.by_fingerprint
             .get(&fp)
-            .map(|indices| indices.iter().map(|&i| &self.records[i]).collect())
+            .map(|indices| indices.iter().map(|&i| &self.records[i as usize]).collect())
             .unwrap_or_default()
     }
 
@@ -165,7 +209,7 @@ impl DeanonIndex {
         let mut destinations: HashMap<AccountId, u64> = HashMap::new();
         let mut first_seen: Option<RippleTime> = None;
         let mut last_seen: Option<RippleTime> = None;
-        for record in &self.records {
+        for record in self.records.iter() {
             if record.sender == account {
                 payments_sent += 1;
                 let entry = sent_by_currency
@@ -253,6 +297,7 @@ mod tests {
             amount: Some("4.5".parse().unwrap()),
             time: Some(RippleTime::from_seconds(1_000)),
             currency: Some(Currency::USD),
+            strength: None,
             destination: Some(AccountId::from_bytes([9; 20])),
         };
         let candidates = index.query(&observation);
@@ -269,6 +314,7 @@ mod tests {
             amount: Some("4.9".parse().unwrap()),
             time: Some(RippleTime::from_seconds(1_000)),
             currency: Some(Currency::USD),
+            strength: None,
             destination: Some(AccountId::from_bytes([9; 20])),
         };
         assert_eq!(
@@ -291,6 +337,7 @@ mod tests {
             amount: Some("4.5".parse().unwrap()),
             time: Some(RippleTime::from_seconds(1_000)),
             currency: Some(Currency::USD),
+            strength: None,
             destination: None,
         };
         let candidates = index.query(&observation);
@@ -329,10 +376,109 @@ mod tests {
             amount: Some("123456".parse().unwrap()),
             time: Some(RippleTime::from_seconds(77)),
             currency: Some(Currency::EUR),
+            strength: None,
             destination: Some(AccountId::from_bytes([50; 20])),
         };
         assert!(index.query(&observation).is_empty());
         assert!(index.matching_payments(&observation).is_empty());
+    }
+
+    #[test]
+    fn currency_dropped_spec_finds_usd_payment_via_strength_hint() {
+        // The <Am; Tsc; -; D> row: currency is excluded from the
+        // fingerprint, but amounts are still rounded by the record's true
+        // strength group. Bob's 120 USD payment is indexed as
+        // round_medium(120) = 120; the old query path rounded the observed
+        // amount with an XRP (Weak, 10^5) exponent, producing 0 — a silent
+        // false negative. With a Medium strength hint the match survives.
+        let history = history();
+        let spec = ResolutionSpec {
+            currency: false,
+            ..ResolutionSpec::full()
+        };
+        let index = DeanonIndex::build(history.iter(), spec);
+        let observation = Observation {
+            amount: Some("120".parse().unwrap()),
+            time: Some(RippleTime::from_seconds(5_000)),
+            currency: None,
+            strength: Some(CurrencyStrength::Medium),
+            destination: Some(AccountId::from_bytes([11; 20])),
+        };
+        assert_eq!(
+            index.query(&observation),
+            vec![AccountId::from_bytes([7; 20])],
+            "the USD payment must be found when the attacker knows the money kind"
+        );
+
+        // The same observation without the hint falls back to Weak rounding
+        // and (correctly, per the documented fallback) misses — showing the
+        // hint is what carries the match.
+        let hintless = Observation {
+            strength: None,
+            ..observation
+        };
+        assert!(index.query(&hintless).is_empty());
+    }
+
+    #[test]
+    fn observed_currency_overrides_strength_hint() {
+        let history = history();
+        let index = DeanonIndex::build(history.iter(), ResolutionSpec::full());
+        // A wrong hint must not derail rounding when the currency itself
+        // was observed.
+        let observation = Observation {
+            amount: Some("4.5".parse().unwrap()),
+            time: Some(RippleTime::from_seconds(1_000)),
+            currency: Some(Currency::USD),
+            strength: Some(CurrencyStrength::Powerful),
+            destination: Some(AccountId::from_bytes([9; 20])),
+        };
+        assert_eq!(
+            index.query(&observation),
+            vec![AccountId::from_bytes([7; 20])]
+        );
+    }
+
+    #[test]
+    fn query_dedups_spam_scale_classes_in_order() {
+        // One fingerprint class with many repeats from two senders: dedup
+        // must preserve first-seen order and stay linear.
+        let mut history = Vec::new();
+        for i in 0..500 {
+            history.push(rec(
+                if i % 2 == 0 { 3 } else { 2 },
+                9,
+                "15",
+                2_000,
+                Currency::MTL,
+            ));
+        }
+        let index = DeanonIndex::build(history.iter(), ResolutionSpec::full());
+        let candidates = index.query(&Observation::of(&history[0]));
+        assert_eq!(
+            candidates,
+            vec![
+                AccountId::from_bytes([3; 20]),
+                AccountId::from_bytes([2; 20])
+            ]
+        );
+    }
+
+    #[test]
+    fn build_shared_reuses_one_arena() {
+        let arena: std::sync::Arc<[PaymentRecord]> = history().into();
+        let full = DeanonIndex::build_shared(arena.clone(), ResolutionSpec::full());
+        let coarse = DeanonIndex::build_shared(
+            arena.clone(),
+            ResolutionSpec {
+                destination: false,
+                ..ResolutionSpec::full()
+            },
+        );
+        assert_eq!(full.len(), arena.len());
+        assert_eq!(coarse.len(), arena.len());
+        // Three owners: the local arena handle plus the two indexes.
+        assert_eq!(std::sync::Arc::strong_count(&arena), 3);
     }
 
     #[test]

@@ -1,0 +1,592 @@
+//! The sharded, single-pass Figure 3 information-gain engine.
+//!
+//! At paper scale the Fig. 3 sweep fingerprints 23M payments under 10
+//! resolution specs. The naive approach — one full pass per spec, each
+//! building a `HashMap` keyed by 40+-byte [`Fingerprint`] structs — reads
+//! the history ten times and hashes ten large keys per payment. This engine
+//! does the whole sweep in **one pass**:
+//!
+//! 1. **Shard.** The record slice is partitioned across scoped worker
+//!    threads (`std::thread::scope`; no external dependencies).
+//! 2. **Scan.** Each worker walks its shard once. Per record it memoizes
+//!    the *coarsening ladder* — every [`TimeResolution`] truncation and
+//!    every `(CurrencyStrength, AmountResolution)` rounding is computed
+//!    once — then derives, for **all** specs, a compact 16-byte digest of
+//!    the coarsened tuple ([`ripple_crypto::mix128`]) and bumps a per-shard
+//!    `digest → (count, sender, mixed)` table.
+//! 3. **Merge.** Shard tables are pre-partitioned by digest key-range, so
+//!    the merge fans out over `(spec, key-range)` tasks with no locking;
+//!    each task folds the shard maps for its range and emits class counts.
+//!
+//! The output carries both Fig. 3 metrics per row — the strict
+//! [`information_gain`] (`count == 1` classes) and the attacker-friendly
+//! [`sender_information_gain`] (single-sender classes) — plus engine
+//! telemetry: per-phase wall time, peak class count, payments/sec.
+//!
+//! The engine is *exactly* equivalent to the serial metrics (see the
+//! `fig3_engine_equiv` golden test): digests are 128 bits, so an accidental
+//! class merge needs a `mix128` collision (~2⁻¹²⁸ per pair).
+//!
+//! [`Fingerprint`]: crate::fingerprint::Fingerprint
+//! [`information_gain`]: crate::ig::information_gain
+//! [`sender_information_gain`]: crate::ig::sender_information_gain
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::time::Instant;
+
+use ripple_crypto::{mix128, AccountId};
+use ripple_ledger::PaymentRecord;
+
+use crate::fingerprint::ResolutionSpec;
+use crate::ig::IgResult;
+use crate::resolution::{AmountResolution, CurrencyStrength, TimeResolution};
+
+/// Tuning knobs for the sweep engine. `0` (the default) means "pick a sane
+/// default": available parallelism for `shards`, 16 for `merge_ranges`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineConfig {
+    /// Scan workers (and record partitions). `0` → available parallelism.
+    pub shards: usize,
+    /// Key-range partitions per spec for the merge phase. `0` → 16.
+    pub merge_ranges: usize,
+}
+
+impl EngineConfig {
+    fn resolved_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    fn resolved_ranges(&self) -> usize {
+        if self.merge_ranges > 0 {
+            self.merge_ranges
+        } else {
+            16
+        }
+    }
+}
+
+/// One Figure 3 row as computed by the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowSweep {
+    /// The paper's notation label, e.g. `<Am; Tsc; -; D>`.
+    pub label: &'static str,
+    /// The resolution spec behind the label.
+    pub spec: ResolutionSpec,
+    /// Strict metric: payments whose fingerprint is globally unique.
+    pub strict: IgResult,
+    /// Attack metric: payments in single-sender fingerprint classes.
+    pub sender: IgResult,
+    /// Number of distinct fingerprint classes under this spec.
+    pub classes: u64,
+}
+
+/// Engine telemetry for one sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStats {
+    /// Payments scanned.
+    pub payments: u64,
+    /// Scan workers used.
+    pub shards: usize,
+    /// Key-range partitions per spec in the merge phase.
+    pub merge_ranges: usize,
+    /// Wall time of the scan phase (seconds).
+    pub scan_secs: f64,
+    /// Wall time of the merge phase (seconds).
+    pub merge_secs: f64,
+    /// End-to-end wall time (seconds).
+    pub total_secs: f64,
+    /// Largest class count across specs (memory high-water proxy).
+    pub peak_classes: u64,
+}
+
+impl EngineStats {
+    /// Sweep throughput: payments scanned per wall-clock second (all specs
+    /// covered in that single scan).
+    pub fn payments_per_sec(&self) -> f64 {
+        if self.total_secs > 0.0 {
+            self.payments as f64 / self.total_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full result of a sweep: per-row metrics plus telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Sweep {
+    /// One entry per requested row, in request order.
+    pub rows: Vec<RowSweep>,
+    /// Engine telemetry.
+    pub stats: EngineStats,
+}
+
+/// Per-class accumulator: enough state for both Fig. 3 metrics.
+#[derive(Debug, Clone, Copy)]
+struct ClassAcc {
+    count: u64,
+    sender: AccountId,
+    mixed: bool,
+}
+
+/// The memoized coarsening ladder of one record: every time truncation and
+/// every amount rounding computed exactly once, indexed by resolution.
+struct Ladder {
+    times: [u64; 4],
+    amounts: [i128; 4],
+}
+
+fn amount_slot(res: AmountResolution) -> usize {
+    match res {
+        AmountResolution::Maximum => 0,
+        AmountResolution::High => 1,
+        AmountResolution::Average => 2,
+        AmountResolution::Low => 3,
+    }
+}
+
+fn time_slot(res: TimeResolution) -> usize {
+    match res {
+        TimeResolution::Seconds => 0,
+        TimeResolution::Minutes => 1,
+        TimeResolution::Hours => 2,
+        TimeResolution::Days => 3,
+    }
+}
+
+impl Ladder {
+    fn of(record: &PaymentRecord) -> Ladder {
+        let strength = CurrencyStrength::of(record.currency);
+        let t = record.timestamp;
+        let mut times = [0u64; 4];
+        for res in TimeResolution::all() {
+            times[time_slot(res)] = res.coarsen(t).seconds();
+        }
+        let mut amounts = [0i128; 4];
+        for res in AmountResolution::all() {
+            amounts[amount_slot(res)] = res.round_for(strength, record.amount).raw();
+        }
+        Ladder { times, amounts }
+    }
+}
+
+/// A [`ResolutionSpec`] with its ladder slots resolved once per sweep, so
+/// the per-record digest loop does no enum matching.
+#[derive(Clone, Copy)]
+struct SpecPlan {
+    amount_slot: Option<usize>,
+    time_slot: Option<usize>,
+    currency: bool,
+    destination: bool,
+}
+
+impl SpecPlan {
+    fn of(spec: ResolutionSpec) -> SpecPlan {
+        SpecPlan {
+            amount_slot: spec.amount.map(amount_slot),
+            time_slot: spec.time.map(time_slot),
+            currency: spec.currency,
+            destination: spec.destination,
+        }
+    }
+}
+
+/// Packs the coarsened tuple of `record` under `plan` and digests it to 16
+/// bytes. A leading presence bitmask keeps absent fields distinct from
+/// zero-valued ones.
+fn digest(record: &PaymentRecord, ladder: &Ladder, plan: &SpecPlan) -> u128 {
+    let mut buf = [0u8; 48];
+    let mut flags = 0u8;
+    if let Some(slot) = plan.amount_slot {
+        flags |= 1;
+        buf[1..17].copy_from_slice(&ladder.amounts[slot].to_le_bytes());
+    }
+    if let Some(slot) = plan.time_slot {
+        flags |= 2;
+        buf[17..25].copy_from_slice(&ladder.times[slot].to_le_bytes());
+    }
+    if plan.currency {
+        flags |= 4;
+        buf[25..28].copy_from_slice(record.currency.as_bytes());
+    }
+    if plan.destination {
+        flags |= 8;
+        buf[28..48].copy_from_slice(record.destination.as_bytes());
+    }
+    buf[0] = flags;
+    mix128(&buf)
+}
+
+/// Digest keys are already uniformly mixed by [`mix128`]; re-hashing them
+/// through SipHash would dominate the scan. This hasher passes the low 64
+/// bits of the digest straight through (the merge phase partitions on the
+/// *high* 64 bits, so bucket index and key-range stay independent).
+#[derive(Default)]
+struct DigestHasher(u64);
+
+impl Hasher for DigestHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only `u128` digests are ever keyed; fold whatever arrives.
+        for chunk in bytes.chunks(8) {
+            let mut lo = [0u8; 8];
+            lo[..chunk.len()].copy_from_slice(chunk);
+            self.0 ^= u64::from_le_bytes(lo);
+        }
+    }
+
+    fn write_u128(&mut self, n: u128) {
+        self.0 = n as u64;
+    }
+}
+
+/// A digest-keyed class table with pass-through hashing.
+type ClassMap = HashMap<u128, ClassAcc, BuildHasherDefault<DigestHasher>>;
+
+/// Merge-phase partition of a digest: high 64 bits, cheap `u64` modulo
+/// (a `u128` modulo lowers to a libcall and shows up at 23M-payment scale).
+fn range_of(key: u128, ranges: usize) -> usize {
+    ((key >> 64) as u64 % ranges as u64) as usize
+}
+
+/// `[spec][key-range] → digest → class accumulator` for one shard.
+type ShardTable = Vec<Vec<ClassMap>>;
+
+/// Records digested per buffered block of the scan. Blocking matters for
+/// locality: with ten specs' class tables live at once the working set far
+/// exceeds cache, so interleaving probes across all ten maps per record
+/// thrashes. Digesting a block first and then flushing it one spec at a
+/// time keeps each burst of probes inside a single spec's tables.
+const SCAN_BLOCK: usize = 1024;
+
+fn scan_chunk<R: Borrow<PaymentRecord>>(
+    chunk: &[R],
+    specs: &[ResolutionSpec],
+    ranges: usize,
+) -> ShardTable {
+    let plans: Vec<SpecPlan> = specs.iter().map(|&spec| SpecPlan::of(spec)).collect();
+    let mut table: ShardTable = specs
+        .iter()
+        .map(|_| (0..ranges).map(|_| ClassMap::default()).collect())
+        .collect();
+    let mut keys = vec![0u128; plans.len() * SCAN_BLOCK];
+    for block in chunk.chunks(SCAN_BLOCK) {
+        for (i, record) in block.iter().enumerate() {
+            let record = record.borrow();
+            let ladder = Ladder::of(record);
+            for (spec_idx, plan) in plans.iter().enumerate() {
+                keys[spec_idx * SCAN_BLOCK + i] = digest(record, &ladder, plan);
+            }
+        }
+        for (spec_idx, maps) in table.iter_mut().enumerate() {
+            for (i, record) in block.iter().enumerate() {
+                let sender = record.borrow().sender;
+                let key = keys[spec_idx * SCAN_BLOCK + i];
+                maps[range_of(key, ranges)]
+                    .entry(key)
+                    .and_modify(|acc| {
+                        acc.count += 1;
+                        if acc.sender != sender {
+                            acc.mixed = true;
+                        }
+                    })
+                    .or_insert(ClassAcc {
+                        count: 1,
+                        sender,
+                        mixed: false,
+                    });
+            }
+        }
+    }
+    table
+}
+
+/// Folded statistics of one `(spec, key-range)` merge task.
+struct RangeStats {
+    spec_idx: usize,
+    classes: u64,
+    strict_unique: u64,
+    sender_unique: u64,
+}
+
+fn merge_task(spec_idx: usize, mut maps: Vec<ClassMap>) -> RangeStats {
+    // Fold into the largest shard map to minimize rehashing.
+    let base_idx = maps
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, m)| m.len())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut acc = if maps.is_empty() {
+        ClassMap::default()
+    } else {
+        maps.swap_remove(base_idx)
+    };
+    for map in maps {
+        for (key, class) in map {
+            acc.entry(key)
+                .and_modify(|a| {
+                    a.count += class.count;
+                    if a.sender != class.sender {
+                        a.mixed = true;
+                    }
+                    a.mixed |= class.mixed;
+                })
+                .or_insert(class);
+        }
+    }
+    let mut stats = RangeStats {
+        spec_idx,
+        classes: acc.len() as u64,
+        strict_unique: 0,
+        sender_unique: 0,
+    };
+    for class in acc.values() {
+        if class.count == 1 {
+            stats.strict_unique += 1;
+        }
+        if !class.mixed {
+            stats.sender_unique += class.count;
+        }
+    }
+    stats
+}
+
+/// Runs the sharded single-pass sweep over `records` for the given
+/// `(label, spec)` rows.
+///
+/// Generic over `&[PaymentRecord]` and `&[&PaymentRecord]` so both owned
+/// arenas and borrowed views feed the engine without copying.
+pub fn sweep<R: Borrow<PaymentRecord> + Sync>(
+    records: &[R],
+    rows: &[(&'static str, ResolutionSpec)],
+    config: EngineConfig,
+) -> Fig3Sweep {
+    let t_start = Instant::now();
+    let shards = config.resolved_shards().max(1);
+    let ranges = config.resolved_ranges().max(1);
+    let specs: Vec<ResolutionSpec> = rows.iter().map(|&(_, spec)| spec).collect();
+
+    // Phase 1: sharded scan.
+    let shard_tables: Vec<ShardTable> = if records.is_empty() {
+        Vec::new()
+    } else {
+        let chunk_size = records.len().div_ceil(shards);
+        let specs_ref = &specs;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = records
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || scan_chunk(chunk, specs_ref, ranges)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker must not panic"))
+                .collect()
+        })
+    };
+    let scan_secs = t_start.elapsed().as_secs_f64();
+
+    // Phase 2: transpose to (spec, key-range) tasks and merge in parallel.
+    let t_merge = Instant::now();
+    let mut tasks: Vec<(usize, Vec<ClassMap>)> = (0..specs.len())
+        .flat_map(|spec_idx| (0..ranges).map(move |_| (spec_idx, Vec::new())))
+        .collect();
+    for table in shard_tables {
+        for (spec_idx, spec_maps) in table.into_iter().enumerate() {
+            for (range, map) in spec_maps.into_iter().enumerate() {
+                tasks[spec_idx * ranges + range].1.push(map);
+            }
+        }
+    }
+    let workers = shards.min(tasks.len()).max(1);
+    let mut groups: Vec<Vec<(usize, Vec<ClassMap>)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, task) in tasks.into_iter().enumerate() {
+        groups[i % workers].push(task);
+    }
+    let range_stats: Vec<RangeStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| {
+                scope.spawn(move || {
+                    group
+                        .into_iter()
+                        .map(|(spec_idx, maps)| merge_task(spec_idx, maps))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("merge worker must not panic"))
+            .collect()
+    });
+    let merge_secs = t_merge.elapsed().as_secs_f64();
+
+    // Phase 3: reduce ranges into per-row results.
+    let total = records.len() as u64;
+    let mut out: Vec<RowSweep> = rows
+        .iter()
+        .map(|&(label, spec)| RowSweep {
+            label,
+            spec,
+            strict: IgResult { unique: 0, total },
+            sender: IgResult { unique: 0, total },
+            classes: 0,
+        })
+        .collect();
+    for stats in range_stats {
+        let row = &mut out[stats.spec_idx];
+        row.strict.unique += stats.strict_unique;
+        row.sender.unique += stats.sender_unique;
+        row.classes += stats.classes;
+    }
+    let peak_classes = out.iter().map(|r| r.classes).max().unwrap_or(0);
+
+    Fig3Sweep {
+        rows: out,
+        stats: EngineStats {
+            payments: total,
+            shards,
+            merge_ranges: ranges,
+            scan_secs,
+            merge_secs,
+            total_secs: t_start.elapsed().as_secs_f64(),
+            peak_classes,
+        },
+    }
+}
+
+/// Runs the engine over the paper's ten Figure 3 rows.
+pub fn figure3_sweep<R: Borrow<PaymentRecord> + Sync>(
+    records: &[R],
+    config: EngineConfig,
+) -> Fig3Sweep {
+    sweep(records, &ResolutionSpec::figure3_rows(), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ig::{information_gain, sender_information_gain};
+    use ripple_crypto::sha512_half;
+    use ripple_ledger::{Currency, PathSummary, RippleTime};
+
+    fn rec(sender: u8, amount: &str, secs: u64, currency: Currency, dest: u8) -> PaymentRecord {
+        PaymentRecord {
+            tx_hash: sha512_half(&[sender, dest, secs as u8]),
+            sender: AccountId::from_bytes([sender; 20]),
+            destination: AccountId::from_bytes([dest; 20]),
+            currency,
+            issuer: None,
+            amount: amount.parse().unwrap(),
+            timestamp: RippleTime::from_seconds(secs),
+            ledger_seq: 1,
+            paths: PathSummary::direct(),
+            cross_currency: false,
+            source_currency: None,
+        }
+    }
+
+    fn mixed_history() -> Vec<PaymentRecord> {
+        let mut records = Vec::new();
+        for i in 0..60u8 {
+            records.push(rec(i % 7, "44", (i as u64) * 61, Currency::USD, 1));
+            records.push(rec(
+                i % 5,
+                &format!("{}", 100 + i as u32 * 3),
+                i as u64 * 61 + 13,
+                Currency::BTC,
+                2,
+            ));
+            records.push(rec(3, "1234567", i as u64 * 7, Currency::MTL, 3));
+        }
+        records
+    }
+
+    #[test]
+    fn engine_matches_serial_metrics_for_every_row() {
+        let records = mixed_history();
+        for shards in [1, 2, 5] {
+            let sweep = figure3_sweep(
+                &records,
+                EngineConfig {
+                    shards,
+                    merge_ranges: 4,
+                },
+            );
+            for row in &sweep.rows {
+                let strict = information_gain(records.iter(), row.spec);
+                let sender = sender_information_gain(records.iter(), row.spec);
+                assert_eq!(row.strict, strict, "{} strict ({shards} shards)", row.label);
+                assert_eq!(row.sender, sender, "{} sender ({shards} shards)", row.label);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_history_sweeps_to_zero() {
+        let records: Vec<PaymentRecord> = Vec::new();
+        let sweep = figure3_sweep(&records, EngineConfig::default());
+        assert_eq!(sweep.rows.len(), 10);
+        for row in &sweep.rows {
+            assert_eq!(row.strict.total, 0);
+            assert_eq!(row.strict.unique, 0);
+            assert_eq!(row.classes, 0);
+        }
+        assert_eq!(sweep.stats.payments, 0);
+    }
+
+    #[test]
+    fn ref_slices_and_owned_slices_agree() {
+        let records = mixed_history();
+        let refs: Vec<&PaymentRecord> = records.iter().collect();
+        let owned = figure3_sweep(&records, EngineConfig::default());
+        let borrowed = figure3_sweep(&refs, EngineConfig::default());
+        assert_eq!(owned.rows, borrowed.rows);
+    }
+
+    #[test]
+    fn stats_are_instrumented() {
+        let records = mixed_history();
+        let sweep = figure3_sweep(
+            &records,
+            EngineConfig {
+                shards: 2,
+                merge_ranges: 0,
+            },
+        );
+        assert_eq!(sweep.stats.payments, records.len() as u64);
+        assert_eq!(sweep.stats.shards, 2);
+        assert_eq!(sweep.stats.merge_ranges, 16);
+        assert!(sweep.stats.total_secs > 0.0);
+        assert!(sweep.stats.payments_per_sec() > 0.0);
+        // The full-resolution row dominates the class count.
+        let full_classes = sweep.rows[0].classes;
+        assert_eq!(sweep.stats.peak_classes, full_classes);
+    }
+
+    #[test]
+    fn classes_count_distinct_fingerprints() {
+        // 3 distinct full-resolution fingerprints: two identical lattes and
+        // one rent payment at another time/destination.
+        let records = vec![
+            rec(1, "4.5", 100, Currency::USD, 9),
+            rec(2, "4.5", 100, Currency::USD, 9),
+            rec(1, "850", 999, Currency::USD, 7),
+        ];
+        let sweep = figure3_sweep(&records, EngineConfig::default());
+        assert_eq!(sweep.rows[0].classes, 2);
+        assert_eq!(sweep.rows[0].strict.unique, 1);
+        assert_eq!(sweep.rows[0].sender.unique, 1);
+    }
+}

@@ -104,23 +104,17 @@ pub fn sender_information_gain<'a>(
 /// Computes the strict IG of every Figure 3 row over the same history,
 /// returning `(label, result)` pairs in the paper's row order.
 ///
-/// The ten rows are independent, so they are computed on scoped worker
-/// threads — at paper scale (23M payments) this is the pipeline's hottest
-/// analysis.
+/// At paper scale (23M payments) this is the pipeline's hottest analysis,
+/// so it delegates to the sharded single-pass engine
+/// ([`crate::engine::figure3_sweep`]): one scan of the history covers all
+/// ten rows, with the coarsening ladder memoized per record. Use the engine
+/// directly for the sender metric and throughput telemetry.
 pub fn figure3(records: &[&PaymentRecord]) -> Vec<(&'static str, IgResult)> {
-    let rows = ResolutionSpec::figure3_rows();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = rows
-            .into_iter()
-            .map(|(label, spec)| {
-                scope.spawn(move || (label, information_gain(records.iter().copied(), spec)))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("IG worker must not panic"))
-            .collect()
-    })
+    crate::engine::figure3_sweep(records, crate::engine::EngineConfig::default())
+        .rows
+        .into_iter()
+        .map(|row| (row.label, row.strict))
+        .collect()
 }
 
 #[cfg(test)]

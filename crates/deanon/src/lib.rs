@@ -14,6 +14,8 @@
 //! * [`fingerprint`] — feature extraction `⟨A_res, T_res, C_res, D_res⟩`;
 //! * [`ig`] — the *information gain* metric: the fraction of payments whose
 //!   fingerprint pins down a unique sender (Fig. 3);
+//! * [`engine`] — the sharded single-pass sweep computing every Fig. 3 row
+//!   (both metrics) in one scan of the history, with throughput telemetry;
 //! * [`attack`] — the end-to-end attacker API: build an index, query an
 //!   observation, profile the de-anonymized account.
 //!
@@ -51,12 +53,14 @@
 
 pub mod attack;
 pub mod countermeasure;
+pub mod engine;
 pub mod fingerprint;
 pub mod ig;
 pub mod resolution;
 
 pub use attack::{DeanonIndex, FinancialProfile, Observation};
 pub use countermeasure::{link_wallets_by_habit, split_wallets, LinkReport, WalletSplitReport};
+pub use engine::{figure3_sweep, EngineConfig, EngineStats, Fig3Sweep, RowSweep};
 pub use fingerprint::{Fingerprint, ResolutionSpec};
 pub use ig::{information_gain, sender_information_gain, IgResult};
 pub use resolution::{AmountResolution, CurrencyStrength, TimeResolution};

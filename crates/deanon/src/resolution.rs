@@ -55,10 +55,13 @@ pub enum AmountResolution {
 }
 
 impl AmountResolution {
-    /// The rounding exponent for a currency at this resolution: amounts are
-    /// rounded to the closest `10^exponent`.
-    pub fn exponent(self, currency: Currency) -> i32 {
-        let base = match CurrencyStrength::of(currency) {
+    /// The rounding exponent for a strength group at this resolution:
+    /// amounts are rounded to the closest `10^exponent`. This is Table I's
+    /// primitive — the grid is keyed by strength group, not by individual
+    /// currency, so an attacker who only knows "what kind of money" can
+    /// still round correctly.
+    pub fn exponent_for(self, strength: CurrencyStrength) -> i32 {
+        let base = match strength {
             CurrencyStrength::Powerful => -3,
             CurrencyStrength::Medium => 1,
             CurrencyStrength::Weak => 5,
@@ -68,6 +71,27 @@ impl AmountResolution {
             AmountResolution::Average => base + 1,
             AmountResolution::Low => base + 2,
         }
+    }
+
+    /// The rounding exponent for a currency at this resolution: amounts are
+    /// rounded to the closest `10^exponent`.
+    pub fn exponent(self, currency: Currency) -> i32 {
+        self.exponent_for(CurrencyStrength::of(currency))
+    }
+
+    /// Rounds `amount` of a currency in `strength` at this resolution.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ripple_deanon::{AmountResolution, CurrencyStrength};
+    ///
+    /// let v = "47".parse().unwrap();
+    /// let rounded = AmountResolution::Maximum.round_for(CurrencyStrength::Medium, v);
+    /// assert_eq!(rounded.to_string(), "50");
+    /// ```
+    pub fn round_for(self, strength: CurrencyStrength, amount: Value) -> Value {
+        amount.round_to_pow10(self.exponent_for(strength))
     }
 
     /// Rounds `amount` of `currency` at this resolution.
@@ -83,7 +107,7 @@ impl AmountResolution {
     /// assert!(AmountResolution::Maximum.round(Currency::USD, v).is_zero());
     /// ```
     pub fn round(self, currency: Currency, amount: Value) -> Value {
-        amount.round_to_pow10(self.exponent(currency))
+        self.round_for(CurrencyStrength::of(currency), amount)
     }
 
     /// All levels, finest first.

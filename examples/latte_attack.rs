@@ -76,6 +76,7 @@ fn main() {
         amount: Some("4.9".parse().unwrap()), // misheard the price
         time: Some(latte_moment),
         currency: Some(Currency::USD),
+        strength: None, // the observed currency already fixes the rounding
         destination: Some(bar),
     };
 

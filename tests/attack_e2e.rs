@@ -1,8 +1,10 @@
 //! The de-anonymization attack end to end, against the synthetic history:
 //! observe one payment, recover the sender, unroll the profile.
 
-use ripple_core::deanon::{sender_information_gain, Observation, ResolutionSpec, TimeResolution};
-use ripple_core::{Study, SynthConfig};
+use ripple_core::deanon::{
+    sender_information_gain, CurrencyStrength, Observation, ResolutionSpec, TimeResolution,
+};
+use ripple_core::{Currency, Study, SynthConfig};
 
 fn study() -> Study {
     Study::generate(SynthConfig {
@@ -86,6 +88,53 @@ fn sender_metric_dominates_strict_metric_on_real_history() {
             strict.fraction()
         );
     }
+}
+
+#[test]
+fn currency_dropped_row_finds_foreign_currency_payment_with_hint() {
+    // The paper's `<Am; Tsc; -; D>` row: currency is dropped from the
+    // fingerprint but amounts are still rounded by the *true* strength
+    // group. An observation of a USD payment whose currency code went
+    // unobserved must still match when the attacker supplies the "kind of
+    // money" hint — the old query path rounded with an XRP (Weak, 10^5)
+    // exponent and silently missed every such payment.
+    let study = study();
+    let spec = ResolutionSpec {
+        currency: false,
+        ..ResolutionSpec::full()
+    };
+    let index = study.attack_index(spec);
+    let payments = study.payments();
+    // A medium-strength payment large enough that Weak rounding (closest
+    // 10^5) would crush it to a different bucket than Medium rounding.
+    let target = payments
+        .iter()
+        .find(|p| {
+            p.currency == Currency::USD && p.amount.to_f64() >= 10.0 && p.amount.to_f64() < 50_000.0
+        })
+        .expect("synthetic history always carries organic USD traffic");
+    let observation = Observation {
+        amount: Some(target.amount),
+        time: Some(target.timestamp),
+        currency: None,                           // Alice missed the currency code...
+        strength: Some(CurrencyStrength::Medium), // ...but knows it was fiat
+        destination: Some(target.destination),
+    };
+    let candidates = index.query(&observation);
+    assert!(
+        candidates.contains(&target.sender),
+        "strength-hinted query must find the USD sender"
+    );
+    // And the hint is load-bearing: defaulting to Weak rounding (the old
+    // behaviour) misses this record's fingerprint class entirely.
+    let hintless = Observation {
+        strength: None,
+        ..observation
+    };
+    assert!(
+        !index.query(&hintless).contains(&target.sender),
+        "without the hint the Weak-rounded amount lands in the wrong bucket"
+    );
 }
 
 #[test]

@@ -1,0 +1,103 @@
+//! Golden equivalence: the sharded single-pass Figure 3 engine must return
+//! results identical to the serial reference metrics
+//! (`information_gain` / `sender_information_gain`) on every row, for any
+//! shard count — the parallel layout is an optimization, never a
+//! reinterpretation of the paper's metric.
+
+use ripple_core::deanon::{
+    figure3_sweep, information_gain, sender_information_gain, EngineConfig, IgResult,
+    ResolutionSpec,
+};
+use ripple_core::{Study, SynthConfig};
+
+fn serial_reference(study: &Study) -> Vec<(&'static str, IgResult, IgResult)> {
+    let payments = study.payments();
+    ResolutionSpec::figure3_rows()
+        .into_iter()
+        .map(|(label, spec)| {
+            (
+                label,
+                information_gain(payments.iter().copied(), spec),
+                sender_information_gain(payments.iter().copied(), spec),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn sharded_sweep_is_byte_identical_to_serial_metrics() {
+    for seed in [101u64, 77_003] {
+        let study = Study::generate(SynthConfig {
+            seed,
+            ..SynthConfig::small(50_000)
+        });
+        let reference = serial_reference(&study);
+        let payments = study.payments();
+        for shards in [1usize, 2, 8] {
+            let sweep = figure3_sweep(
+                &payments,
+                EngineConfig {
+                    shards,
+                    merge_ranges: 0,
+                },
+            );
+            assert_eq!(sweep.rows.len(), reference.len());
+            for (row, &(label, strict, sender)) in sweep.rows.iter().zip(&reference) {
+                assert_eq!(row.label, label);
+                assert_eq!(
+                    row.strict, strict,
+                    "seed {seed}, {shards} shards, {label}: strict IG diverged"
+                );
+                assert_eq!(
+                    row.sender, sender,
+                    "seed {seed}, {shards} shards, {label}: sender IG diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_layout_never_changes_the_answer() {
+    // Same history, three layouts (including an adversarial 1-range merge):
+    // every layout must produce the same rows.
+    let study = Study::generate(SynthConfig {
+        seed: 424_242,
+        ..SynthConfig::small(20_000)
+    });
+    let payments = study.payments();
+    let baseline = figure3_sweep(
+        &payments,
+        EngineConfig {
+            shards: 1,
+            merge_ranges: 1,
+        },
+    );
+    for (shards, ranges) in [(2, 3), (4, 16), (8, 1)] {
+        let sweep = figure3_sweep(
+            &payments,
+            EngineConfig {
+                shards,
+                merge_ranges: ranges,
+            },
+        );
+        assert_eq!(
+            sweep.rows, baseline.rows,
+            "layout {shards}x{ranges} diverged from 1x1"
+        );
+    }
+}
+
+#[test]
+fn study_figure3_agrees_with_engine_sweep() {
+    let study = Study::generate(SynthConfig {
+        seed: 9,
+        ..SynthConfig::small(10_000)
+    });
+    let via_study = study.figure3();
+    let via_engine = study.figure3_sweep(EngineConfig::default());
+    for ((label_a, strict), row) in via_study.iter().zip(&via_engine.rows) {
+        assert_eq!(*label_a, row.label);
+        assert_eq!(*strict, row.strict);
+    }
+}
