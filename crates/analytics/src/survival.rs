@@ -28,6 +28,14 @@ impl SurvivalCurve {
         SurvivalCurve { amounts }
     }
 
+    /// Builds the curve directly from pre-extracted amounts (used by the
+    /// pipelined generator's streaming tallies, which already grouped
+    /// amounts by currency).
+    pub fn from_amounts(mut amounts: Vec<Value>) -> SurvivalCurve {
+        amounts.sort_unstable();
+        SurvivalCurve { amounts }
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.amounts.len()

@@ -8,7 +8,7 @@ use ripple_core::ledger::{Currency, Drops, LedgerState};
 use ripple_core::orderbook::{OrderBook, Rate};
 use ripple_core::paths::{PaymentEngine, PaymentRequest};
 use ripple_core::store::{Reader, Writer};
-use ripple_core::synth::{Generator, SynthConfig};
+use ripple_core::synth::{Generator, PipelineConfig, SynthConfig};
 
 fn hashing(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_hashing");
@@ -59,6 +59,17 @@ fn store_codec(c: &mut Criterion) {
                 .read_all()
                 .expect("scan")
                 .len()
+        });
+    });
+    // The frame-encode hot path in isolation: one Writer (and so one scratch
+    // buffer) reused across every event, into a pre-grown sink.
+    group.bench_function("encode_frames_reused_scratch", |b| {
+        b.iter(|| {
+            let mut writer = Writer::new(Vec::with_capacity(archive.len()));
+            for event in &output.events {
+                writer.write(event).expect("write event");
+            }
+            writer.finish().expect("finish").len()
         });
     });
     group.finish();
@@ -120,6 +131,22 @@ fn generation(c: &mut Criterion) {
                 ..SynthConfig::small(5_000)
             })
             .run()
+            .events
+            .len()
+        });
+    });
+    group.bench_function("generate_5k_pipelined", |b| {
+        b.iter(|| {
+            Generator::new(SynthConfig {
+                seed: 7,
+                ..SynthConfig::small(5_000)
+            })
+            .run_pipelined(&PipelineConfig {
+                workers: 0,
+                chunk_size: 1_024,
+                archive: false,
+            })
+            .output
             .events
             .len()
         });

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments [EXPERIMENT] [--payments N] [--seed S] [--rounds R] [--shards S]
+//!             [--workers W] [--chunk C] [--serial] [--no-baseline] [--archive]
 //! ```
 //!
 //! `EXPERIMENT` is one of the paper studies `fig2`, `table1`, `fig3`,
@@ -12,11 +13,21 @@
 //! `timeline` (payment/population trends). `all` (the default) runs every
 //! paper study **and** every extension study, in that order.
 //!
+//! History generation runs through the pipelined parallel generator by
+//! default (`--workers` scripting threads, `--chunk` payments per chunk;
+//! `--serial` selects the original single-threaded generator instead).
+//! Every pipelined generation also times the serial generator as a
+//! baseline (skippable with `--no-baseline`) and writes `BENCH_synth.json`
+//! (see EXPERIMENTS.md for the schema). Under `all`, the history-backed
+//! studies execute concurrently over the shared payment arena, with their
+//! reports printed in presentation order.
+//!
 //! `fig3` additionally writes `BENCH_fig3.json` — a machine-readable dump
 //! of the sharded IG engine's row metrics and throughput (see
 //! EXPERIMENTS.md §E3 for the schema).
 
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use ripple_core::consensus::metrics::{persistent_actives, total_observed};
@@ -24,7 +35,10 @@ use ripple_core::deanon::{
     information_gain, sender_information_gain, AmountResolution, CurrencyStrength,
 };
 use ripple_core::ledger::Value;
-use ripple_core::{CollectionPeriod, Currency, EngineConfig, ResolutionSpec, Study, SynthConfig};
+use ripple_core::{
+    CollectionPeriod, Currency, EngineConfig, Generator, PipelineConfig, ResolutionSpec, Study,
+    SynthBench, SynthConfig,
+};
 
 /// The paper's own tables and figures, in presentation order.
 const PAPER_STUDIES: &[&str] = &[
@@ -56,6 +70,11 @@ struct Args {
     seed: u64,
     rounds: u64,
     shards: usize,
+    workers: usize,
+    chunk: usize,
+    serial: bool,
+    no_baseline: bool,
+    archive: bool,
 }
 
 fn parse_args() -> Args {
@@ -65,6 +84,11 @@ fn parse_args() -> Args {
         seed: 20130101,
         rounds: 5_000,
         shards: 0,
+        workers: 0,
+        chunk: 0,
+        serial: false,
+        no_baseline: false,
+        archive: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -93,6 +117,21 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .expect("--shards needs a number");
             }
+            "--workers" => {
+                args.workers = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs a number");
+            }
+            "--chunk" => {
+                args.chunk = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--chunk needs a number");
+            }
+            "--serial" => args.serial = true,
+            "--no-baseline" => args.no_baseline = true,
+            "--archive" => args.archive = true,
             other if !other.starts_with('-') => args.experiment = other.to_string(),
             other => panic!("unknown flag {other}"),
         }
@@ -137,51 +176,148 @@ fn main() {
         return;
     }
 
-    eprintln!(
-        "generating history: {} payments, seed {} ...",
-        args.payments, args.seed
-    );
     let config = SynthConfig {
         payments: args.payments,
         seed: args.seed,
         ..SynthConfig::default()
     };
-    let study = Study::generate(config);
+    let study = if args.serial {
+        eprintln!(
+            "generating history (serial): {} payments, seed {} ...",
+            args.payments, args.seed
+        );
+        Study::generate(config)
+    } else {
+        eprintln!(
+            "generating history (pipelined): {} payments, seed {} ...",
+            args.payments, args.seed
+        );
+        let pipeline = PipelineConfig {
+            workers: args.workers,
+            chunk_size: args.chunk,
+            archive: args.archive,
+        };
+        let (study, bench) = Study::generate_pipelined(config.clone(), &pipeline);
+        eprintln!(
+            "pipeline: {} payments in {:.3}s ({:.0}/s) | script {:.3}s, exec {:.3}s, \
+             sink {:.3}s | {} workers x {} chunks",
+            bench.payments,
+            bench.total_secs,
+            bench.payments_per_sec(),
+            bench.script_secs,
+            bench.exec_secs,
+            bench.sink_secs,
+            bench.workers,
+            bench.chunks
+        );
+        let serial_secs = if args.no_baseline {
+            None
+        } else {
+            eprintln!("timing serial baseline ...");
+            let t = Instant::now();
+            let out = Generator::new(config).run();
+            let secs = t.elapsed().as_secs_f64();
+            eprintln!("serial baseline: {} events in {secs:.3}s", out.events.len());
+            Some(secs)
+        };
+        let json = synth_json(&args, &bench, serial_secs);
+        match std::fs::write("BENCH_synth.json", json) {
+            Ok(()) => eprintln!("wrote BENCH_synth.json"),
+            Err(err) => eprintln!("could not write BENCH_synth.json: {err}"),
+        }
+        study
+    };
     eprintln!("history ready: {} events", study.output().events.len());
 
+    // `fig3` runs first and alone: it asserts engine/serial equivalence and
+    // writes its own benchmark file.
     if wants("fig3") {
         fig3(&study, &args);
     }
-    if wants("fig4") {
-        fig4(&study);
+
+    // The remaining history-backed studies only read the shared arena and
+    // the streaming tallies, so under `all` they execute concurrently; the
+    // reports print in presentation order regardless of finish order.
+    type StudyJob = fn(&Study) -> String;
+    let mut jobs: Vec<(&'static str, StudyJob)> = Vec::new();
+    for (name, job) in [
+        ("fig4", fig4 as fn(&Study) -> String),
+        ("fig5", fig5),
+        ("fig6a", fig6a),
+        ("fig6b", fig6b),
+        ("table2", table2),
+        ("fig7", fig7),
+        ("offers", offers),
+        ("countermeasure", countermeasure),
+        ("archive", archive),
+        ("timeline", timeline),
+    ] {
+        if wants(name) {
+            jobs.push((name, job));
+        }
     }
-    if wants("fig5") {
-        fig5(&study);
+    if args.experiment == "all" && jobs.len() > 1 {
+        let study = &study;
+        let reports: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|&(_, job)| s.spawn(move || job(study)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("study thread panicked"))
+                .collect()
+        });
+        for report in reports {
+            print!("{report}");
+        }
+    } else {
+        for (_, job) in jobs {
+            print!("{}", job(&study));
+        }
     }
-    if wants("fig6a") {
-        fig6a(&study);
+}
+
+/// Serializes a pipelined generation's telemetry into the
+/// `BENCH_synth.json` schema documented in EXPERIMENTS.md. Hand-rolled:
+/// the workspace's vendored serde has no JSON backend.
+fn synth_json(args: &Args, bench: &SynthBench, serial_secs: Option<f64>) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"synth\",\n");
+    out.push_str(&format!("  \"payments\": {},\n", bench.payments));
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str(&format!("  \"workers\": {},\n", bench.workers));
+    out.push_str(&format!("  \"chunks\": {},\n", bench.chunks));
+    out.push_str(&format!("  \"chunk_size\": {},\n", bench.chunk_size));
+    out.push_str("  \"pipeline\": {\n");
+    out.push_str(&format!("    \"script_secs\": {:.6},\n", bench.script_secs));
+    out.push_str(&format!("    \"exec_secs\": {:.6},\n", bench.exec_secs));
+    out.push_str(&format!("    \"sink_secs\": {:.6},\n", bench.sink_secs));
+    out.push_str(&format!("    \"total_secs\": {:.6},\n", bench.total_secs));
+    out.push_str(&format!(
+        "    \"payments_per_sec\": {:.1},\n",
+        bench.payments_per_sec()
+    ));
+    out.push_str(&format!("    \"events\": {},\n", bench.events));
+    out.push_str(&format!("    \"archive_bytes\": {}\n", bench.archive_bytes));
+    out.push_str("  },\n");
+    match serial_secs {
+        Some(secs) => {
+            let speedup = if bench.total_secs > 0.0 {
+                secs / bench.total_secs
+            } else {
+                0.0
+            };
+            out.push_str(&format!("  \"serial_secs\": {secs:.6},\n"));
+            out.push_str(&format!("  \"speedup_vs_serial\": {speedup:.2}\n"));
+        }
+        None => {
+            out.push_str("  \"serial_secs\": null,\n");
+            out.push_str("  \"speedup_vs_serial\": null\n");
+        }
     }
-    if wants("fig6b") {
-        fig6b(&study);
-    }
-    if wants("table2") {
-        table2(&study);
-    }
-    if wants("fig7") {
-        fig7(&study);
-    }
-    if wants("offers") {
-        offers(&study);
-    }
-    if wants("countermeasure") {
-        countermeasure(&study);
-    }
-    if wants("archive") {
-        archive(&study);
-    }
-    if wants("timeline") {
-        timeline(&study);
-    }
+    out.push_str("}\n");
+    out
 }
 
 fn fig2(rounds: u64, seed: u64) {
@@ -374,93 +510,104 @@ fn fig3_json(
     out
 }
 
-fn fig4(study: &Study) {
-    println!("== Figure 4: most-used currencies ==\n");
+fn fig4(study: &Study) -> String {
+    let mut out = String::from("== Figure 4: most-used currencies ==\n\n");
     let usage = study.figure4();
-    print!(
-        "{}",
-        ripple_core::analytics::currencies::usage_table(&usage)
-    );
-    println!();
+    out.push_str(&ripple_core::analytics::currencies::usage_table(&usage));
+    out.push('\n');
+    out
 }
 
-fn fig5(study: &Study) {
-    println!("== Figure 5: survival function of amounts ==\n");
+fn fig5(study: &Study) -> String {
+    let mut out = String::from("== Figure 5: survival function of amounts ==\n\n");
     let curves = study.figure5();
-    print!("{:>12}", "amount >");
+    let _ = write!(out, "{:>12}", "amount >");
     for (currency, _) in &curves {
         match currency {
-            None => print!(" {:>8}", "Global"),
-            Some(c) => print!(" {c:>8}"),
+            None => {
+                let _ = write!(out, " {:>8}", "Global");
+            }
+            Some(c) => {
+                let _ = write!(out, " {c:>8}");
+            }
         }
     }
-    println!();
+    out.push('\n');
     for exp in -4..=12 {
         let threshold = 10f64.powi(exp);
-        print!("{threshold:>12.0e}");
+        let _ = write!(out, "{threshold:>12.0e}");
         for (_, curve) in &curves {
-            print!(" {:>8.4}", curve.survival(Value::from_f64(threshold)));
+            let _ = write!(out, " {:>8.4}", curve.survival(Value::from_f64(threshold)));
         }
-        println!();
+        out.push('\n');
     }
-    println!();
+    out.push('\n');
+    out
 }
 
-fn fig6a(study: &Study) {
-    println!("== Figure 6(a): payment paths per intermediate-hop count ==\n");
-    print!(
-        "{}",
-        ripple_core::analytics::paths::histogram_table(&study.figure6a(), "hops")
-    );
-    println!();
+fn fig6a(study: &Study) -> String {
+    let mut out = String::from("== Figure 6(a): payment paths per intermediate-hop count ==\n\n");
+    out.push_str(&ripple_core::analytics::paths::histogram_table(
+        &study.figure6a(),
+        "hops",
+    ));
+    out.push('\n');
+    out
 }
 
-fn fig6b(study: &Study) {
-    println!("== Figure 6(b): payments per parallel-path count ==\n");
-    print!(
-        "{}",
-        ripple_core::analytics::paths::histogram_table(&study.figure6b(), "paths")
-    );
-    println!();
+fn fig6b(study: &Study) -> String {
+    let mut out = String::from("== Figure 6(b): payments per parallel-path count ==\n\n");
+    out.push_str(&ripple_core::analytics::paths::histogram_table(
+        &study.figure6b(),
+        "paths",
+    ));
+    out.push('\n');
+    out
 }
 
-fn table2(study: &Study) {
-    println!("== Table II: delivery without Market Makers ==\n");
+fn table2(study: &Study) -> String {
+    let mut out = String::from("== Table II: delivery without Market Makers ==\n\n");
     match study.table2() {
         Some(report) => {
-            println!(
+            let _ = writeln!(
+                out,
                 "(snapshot taken; {} offers stripped, {} makers severed)\n",
                 report.offers_stripped, report.makers_severed
             );
-            print!("{}", report.stats.to_table());
-            println!("\npaper: cross 0%, single 36.1%, total 11.2%\n");
+            out.push_str(&report.stats.to_table());
+            out.push_str("\npaper: cross 0%, single 36.1%, total 11.2%\n\n");
         }
-        None => println!("no snapshot inside the generated window\n"),
+        None => out.push_str("no snapshot inside the generated window\n\n"),
     }
+    out
 }
 
-fn fig7(study: &Study) {
-    println!("== Figure 7: the 50 most frequent intermediate hops ==\n");
+fn fig7(study: &Study) -> String {
+    let mut out = String::from("== Figure 7: the 50 most frequent intermediate hops ==\n\n");
     let report = study.figure7(50);
-    print!("{}", ripple_core::analytics::hubs::hub_table(&report));
-    println!(
+    out.push_str(&ripple_core::analytics::hubs::hub_table(&report));
+    let _ = writeln!(
+        out,
         "\nmulti-hop payments: {}; top-1 coverage ~{:.0}%\n",
         report.multi_hop_payments,
         report.coverage * 100.0
     );
+    out
 }
 
-fn offers(study: &Study) {
-    println!("== Offer concentration across Market Makers ==\n");
+fn offers(study: &Study) -> String {
+    let mut out = String::from("== Offer concentration across Market Makers ==\n\n");
     let conc = study.offer_concentration();
-    println!("total offers: {}", conc.total);
+    let _ = writeln!(out, "total offers: {}", conc.total);
     for k in [10, 50, 100] {
-        println!(
+        let _ = writeln!(
+            out,
             "top-{k:<3} makers place {:>5.1}% of offers",
             conc.top_share(k) * 100.0
         );
     }
-    println!("(paper: top-10 = 50%, top-50 = 75%, top-100 = 87%)\n");
+    out.push_str("(paper: top-10 = 50%, top-50 = 75%, top-100 = 87%)\n\n");
+    out
 }
 
 fn rewards() {
@@ -504,14 +651,16 @@ fn unl() {
     println!("   the paper's 'noticeable disagreement' needs straddling validators.\n");
 }
 
-fn countermeasure(study: &Study) {
+fn countermeasure(study: &Study) -> String {
     use ripple_core::deanon::countermeasure::{ground_truth, link_wallets_by_habit, split_wallets};
     use ripple_core::deanon::ResolutionSpec;
     use ripple_core::ledger::FeeSchedule;
-    println!("== Extension: the Section V wallet-splitting countermeasure ==\n");
+    let mut out =
+        String::from("== Extension: the Section V wallet-splitting countermeasure ==\n\n");
     let records: Vec<ripple_core::PaymentRecord> = study.payments().into_iter().cloned().collect();
     let fees = FeeSchedule::mainnet();
-    println!(
+    let _ = writeln!(
+        out,
         "{:>3} {:>10} {:>10} {:>10} {:>12} {:>12} {:>8} {:>8}",
         "k", "IG before", "IG after", "exposure", "trustlines", "reserve XRP", "relink", "prec"
     );
@@ -519,7 +668,8 @@ fn countermeasure(study: &Study) {
         let (split, report) = split_wallets(&records, k, ResolutionSpec::full(), &fees);
         let truth = ground_truth(&records, k);
         let link = link_wallets_by_habit(&split, &truth, k);
-        println!(
+        let _ = writeln!(
+            out,
             "{:>3} {:>9.2}% {:>9.2}% {:>10.3} {:>12} {:>12} {:>7.1}% {:>7.1}%",
             k,
             report.ig_before.percent(),
@@ -531,15 +681,15 @@ fn countermeasure(study: &Study) {
             link.precision * 100.0,
         );
     }
-    println!("\n=> splitting fragments profiles (exposure ~1/k) but costs reserves and");
-    println!("   trust lines, and leaves single payments identifiable; exact habit");
-    println!("   repeats re-link a slice of the wallets — the paper's objections,");
-    println!("   quantified on organic traffic.\n");
+    out.push_str("\n=> splitting fragments profiles (exposure ~1/k) but costs reserves and\n");
+    out.push_str("   trust lines, and leaves single payments identifiable; exact habit\n");
+    out.push_str("   repeats re-link a slice of the wallets — the paper's objections,\n");
+    out.push_str("   quantified on organic traffic.\n\n");
+    out
 }
 
-fn archive(study: &Study) {
-    use std::time::Instant;
-    println!("== Extension: archive write/scan throughput ==\n");
+fn archive(study: &Study) -> String {
+    let mut out = String::from("== Extension: archive write/scan throughput ==\n\n");
     let mut buf = Vec::new();
     let t0 = Instant::now();
     let written = study.output().write_archive(&mut buf).expect("write");
@@ -552,31 +702,40 @@ fn archive(study: &Study) {
         .len();
     let scan_secs = t1.elapsed().as_secs_f64();
     let mb = buf.len() as f64 / 1e6;
-    println!("records: {written} | size: {mb:.1} MB");
-    println!(
+    let _ = writeln!(out, "records: {written} | size: {mb:.1} MB");
+    let _ = writeln!(
+        out,
         "write: {:.2} MB/s | scan: {:.2} MB/s ({events} events)",
         mb / write_secs,
         mb / scan_secs
     );
-    println!(
+    let _ = writeln!(
+        out,
         "=> at scan speed, the paper's 500 GB dump parses in ~{:.1} h on one core\n",
         500_000.0 / (mb / scan_secs) / 3_600.0
     );
+    out
 }
 
-fn timeline(study: &Study) {
-    println!("== Payment trends and population ==\n");
+fn timeline(study: &Study) -> String {
+    let mut out = String::from("== Payment trends and population ==\n\n");
     let rows = study.timeline();
-    println!("{:>8} {:>10} {:>14}", "month", "payments", "active senders");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>14}",
+        "month", "payments", "active senders"
+    );
     // Quarterly sampling keeps the table readable.
     for row in rows.iter().step_by(3) {
-        println!(
+        let _ = writeln!(
+            out,
             "{:>4}-{:02} {:>11} {:>14}",
             row.year, row.month, row.payments, row.active_senders
         );
     }
     let stats = study.user_stats();
-    println!(
+    let _ = writeln!(
+        out,
         "\naccounts: {} total, {} active ({:.0}%) | senders: {} | receivers: {}",
         stats.total_accounts,
         stats.active_accounts,
@@ -584,5 +743,6 @@ fn timeline(study: &Study) {
         stats.senders,
         stats.receivers
     );
-    println!("(paper, Aug 2015: 165K users, 55K active ~ 33%)\n");
+    out.push_str("(paper, Aug 2015: 165K users, 55K active ~ 33%)\n\n");
+    out
 }

@@ -54,7 +54,9 @@ pub use ripple_deanon::{
 };
 pub use ripple_ledger::{Currency, PaymentRecord, Value};
 pub use ripple_orderbook::RateTable;
-pub use ripple_synth::{Generator, SynthConfig, SynthOutput};
+pub use ripple_synth::{
+    Generator, HistoryTallies, PipelineConfig, PipelineRun, SynthBench, SynthConfig, SynthOutput,
+};
 
 /// The end-to-end study: a generated history plus every analysis the paper
 /// runs over it.
@@ -62,6 +64,10 @@ pub use ripple_synth::{Generator, SynthConfig, SynthOutput};
 pub struct Study {
     output: SynthOutput,
     payment_arena: OnceLock<Arc<[PaymentRecord]>>,
+    /// Streaming tallies from a pipelined generation, when available. The
+    /// figure-4/5/6 accessors answer from these instead of re-scanning the
+    /// history.
+    tallies: Option<HistoryTallies>,
 }
 
 impl Study {
@@ -70,6 +76,31 @@ impl Study {
         Study {
             output: Generator::new(config).run(),
             payment_arena: OnceLock::new(),
+            tallies: None,
+        }
+    }
+
+    /// Generates a history with the pipelined parallel generator, seeding
+    /// the study's shared arena and analytics tallies from the run. Returns
+    /// the study plus the run's stage timings.
+    pub fn generate_pipelined(
+        config: SynthConfig,
+        pipeline: &PipelineConfig,
+    ) -> (Study, SynthBench) {
+        let run = Generator::new(config).run_pipelined(pipeline);
+        let bench = run.bench.clone();
+        (Study::from_pipeline(run), bench)
+    }
+
+    /// Wraps a pipelined run: the payment arena and streaming tallies are
+    /// taken from the run instead of being rebuilt on first use.
+    pub fn from_pipeline(run: PipelineRun) -> Study {
+        let arena = OnceLock::new();
+        arena.set(run.arena).expect("fresh lock");
+        Study {
+            output: run.output,
+            payment_arena: arena,
+            tallies: Some(run.tallies),
         }
     }
 
@@ -78,6 +109,7 @@ impl Study {
         Study {
             output,
             payment_arena: OnceLock::new(),
+            tallies: None,
         }
     }
 
@@ -127,19 +159,24 @@ impl Study {
         ripple_deanon::figure3_sweep(&records, config)
     }
 
-    /// E4 — Figure 4: ranked currency usage.
+    /// E4 — Figure 4: ranked currency usage. Answered from the streaming
+    /// tallies when the history came from the pipelined generator.
     pub fn figure4(&self) -> Vec<(Currency, u64)> {
-        ripple_analytics::currency_usage(self.output.payments())
+        match &self.tallies {
+            Some(t) => {
+                let mut out: Vec<(Currency, u64)> =
+                    t.currency_counts.iter().map(|(&c, &n)| (c, n)).collect();
+                out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                out
+            }
+            None => ripple_analytics::currency_usage(self.output.payments()),
+        }
     }
 
     /// E5 — Figure 5: survival curves for the paper's leading currencies
     /// plus the currency-unaware "Global" series (`None` key).
     pub fn figure5(&self) -> Vec<(Option<Currency>, ripple_analytics::SurvivalCurve)> {
-        let mut out = vec![(
-            None,
-            ripple_analytics::SurvivalCurve::build(self.output.payments(), None),
-        )];
-        for currency in [
+        let currencies = [
             Currency::BTC,
             Currency::CCK,
             Currency::CNY,
@@ -147,7 +184,30 @@ impl Study {
             Currency::MTL,
             Currency::USD,
             Currency::XRP,
-        ] {
+        ];
+        if let Some(t) = &self.tallies {
+            let mut out = vec![(
+                None,
+                ripple_analytics::SurvivalCurve::from_amounts(t.amounts.clone()),
+            )];
+            for currency in currencies {
+                let amounts = t
+                    .amounts_by_currency
+                    .get(&currency)
+                    .cloned()
+                    .unwrap_or_default();
+                out.push((
+                    Some(currency),
+                    ripple_analytics::SurvivalCurve::from_amounts(amounts),
+                ));
+            }
+            return out;
+        }
+        let mut out = vec![(
+            None,
+            ripple_analytics::SurvivalCurve::build(self.output.payments(), None),
+        )];
+        for currency in currencies {
             out.push((
                 Some(currency),
                 ripple_analytics::SurvivalCurve::build(self.output.payments(), Some(currency)),
@@ -158,12 +218,18 @@ impl Study {
 
     /// E6 — Figure 6(a): payment paths per intermediate-hop count.
     pub fn figure6a(&self) -> BTreeMap<usize, u64> {
-        ripple_analytics::path_hop_histogram(self.output.payments())
+        match &self.tallies {
+            Some(t) => t.hop_histogram.clone(),
+            None => ripple_analytics::path_hop_histogram(self.output.payments()),
+        }
     }
 
     /// E7 — Figure 6(b): payments per parallel-path count.
     pub fn figure6b(&self) -> BTreeMap<usize, u64> {
-        ripple_analytics::parallel_path_histogram(self.output.payments())
+        match &self.tallies {
+            Some(t) => t.parallel_histogram.clone(),
+            None => ripple_analytics::parallel_path_histogram(self.output.payments()),
+        }
     }
 
     /// E8 — Table II: the Market-Maker-removal replay over the post-snapshot

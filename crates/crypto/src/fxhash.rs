@@ -1,0 +1,157 @@
+//! A deterministic, fixed-seed multiply-xor hasher for hot in-memory maps.
+//!
+//! The standard library's `RandomState` re-seeds SipHash per process, which
+//! buys HashDoS resistance the simulation does not need (all keys are
+//! generator-controlled) at a steep per-lookup cost on the ledger's hot
+//! `(AccountId, AccountId, Currency)` keys. This hasher is the classic
+//! Firefox "Fx" construction: a single multiply-rotate-xor per word, with a
+//! fixed seed so iteration order — and therefore every downstream artifact —
+//! is identical across processes and runs.
+//!
+//! It is **not** collision-resistant against adversarial keys; use it only
+//! for internal maps whose keys come from trusted code.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// 64-bit seed word (the golden-ratio constant used by the Fx hasher).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Streaming multiply-xor hasher. See the module docs for the contract.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Length-tag the tail word so "ab" and "ab\0" differ.
+            tail[7] = rest.len() as u8;
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One final avalanche so low-entropy single-word keys still spread
+        // across the table's index bits.
+        let mut h = self.hash;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s. Plug into `HashMap`/`HashSet` via
+/// `HashMap::with_hasher(FxBuildHasher)` or the `Default` impl.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` keyed with the deterministic [`FxBuildHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the deterministic [`FxBuildHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher.hash_one(value)
+    }
+
+    #[test]
+    fn is_deterministic_across_builders() {
+        let key = ([7u8; 20], [9u8; 20], 42u32);
+        assert_eq!(hash_of(&key), hash_of(&key));
+    }
+
+    #[test]
+    fn distinguishes_tail_lengths() {
+        assert_ne!(hash_of(&b"ab".as_slice()), hash_of(&b"ab\0".as_slice()));
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Sequential integers must not collide in the low bits (the table
+        // index), which the finishing avalanche guarantees.
+        let mut low_bits = std::collections::HashSet::new();
+        for i in 0u64..1024 {
+            low_bits.insert(hash_of(&i) & 0x3FF);
+        }
+        assert!(
+            low_bits.len() > 600,
+            "only {} distinct buckets",
+            low_bits.len()
+        );
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<&str, u32> = FxHashMap::default();
+        map.insert("a", 1);
+        assert_eq!(map.get("a"), Some(&1));
+        let mut set: FxHashSet<u32> = FxHashSet::default();
+        set.insert(5);
+        assert!(set.contains(&5));
+    }
+}

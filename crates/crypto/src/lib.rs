@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod base58;
+pub mod fxhash;
 pub mod hash;
 pub mod hex;
 pub mod keys;
@@ -40,6 +41,7 @@ pub mod keys;
 mod account;
 
 pub use account::AccountId;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hash::{mix128, sha256, sha512, sha512_half, Digest256, Digest512};
 pub use keys::{PublicKey, SimKeypair, SimSignature};
 

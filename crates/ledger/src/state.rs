@@ -10,7 +10,7 @@
 //! — mirroring the real ledger's `RippleState` objects and giving automatic
 //! netting of mutual debt.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -18,7 +18,7 @@ use crate::amount::{Amount, Drops, Value};
 use crate::currency::Currency;
 use crate::fees::FeeSchedule;
 use crate::tx::{Transaction, TxKind, TxResult};
-use ripple_crypto::AccountId;
+use ripple_crypto::{AccountId, FxHashMap};
 
 /// Per-account ledger entry.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -171,11 +171,11 @@ fn pair_key(
 /// See the crate-level example for typical usage.
 #[derive(Debug, Clone, Default)]
 pub struct LedgerState {
-    accounts: HashMap<AccountId, AccountRoot>,
+    accounts: FxHashMap<AccountId, AccountRoot>,
     /// Trust limits: `(truster, trustee, currency) -> limit`.
-    trust: HashMap<(AccountId, AccountId, Currency), Value>,
+    trust: FxHashMap<(AccountId, AccountId, Currency), Value>,
     /// Pair balances: `(low, high, currency) -> amount high owes low`.
-    balances: HashMap<(AccountId, AccountId, Currency), Value>,
+    balances: FxHashMap<(AccountId, AccountId, Currency), Value>,
     /// Live offers, ordered by `(owner, offer_seq)`.
     offers: BTreeMap<(AccountId, u32), Offer>,
     /// Fee schedule enforced on `apply`.

@@ -76,8 +76,16 @@ impl HistoryEvent {
     /// Encodes the payload (without the frame).
     pub fn encode_payload(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(128);
+        self.encode_payload_into(&mut out);
+        out
+    }
+
+    /// Encodes the payload (without the frame) into a caller-provided
+    /// buffer, appending to whatever it already holds. Lets hot write
+    /// paths reuse one scratch allocation across events.
+    pub fn encode_payload_into(&self, out: &mut Vec<u8>) {
         match self {
-            HistoryEvent::Payment(p) => p.encode(&mut out),
+            HistoryEvent::Payment(p) => p.encode(out),
             HistoryEvent::OfferPlaced {
                 owner,
                 offer_seq,
@@ -87,13 +95,13 @@ impl HistoryEvent {
                 pays,
                 timestamp,
             } => {
-                owner.encode(&mut out);
-                offer_seq.encode(&mut out);
-                base.encode(&mut out);
-                quote.encode(&mut out);
-                gets.encode(&mut out);
-                pays.encode(&mut out);
-                timestamp.encode(&mut out);
+                owner.encode(out);
+                offer_seq.encode(out);
+                base.encode(out);
+                quote.encode(out);
+                gets.encode(out);
+                pays.encode(out);
+                timestamp.encode(out);
             }
             HistoryEvent::TrustSet {
                 truster,
@@ -102,18 +110,17 @@ impl HistoryEvent {
                 limit,
                 timestamp,
             } => {
-                truster.encode(&mut out);
-                trustee.encode(&mut out);
-                currency.encode(&mut out);
-                limit.encode(&mut out);
-                timestamp.encode(&mut out);
+                truster.encode(out);
+                trustee.encode(out);
+                currency.encode(out);
+                limit.encode(out);
+                timestamp.encode(out);
             }
             HistoryEvent::AccountCreated { account, timestamp } => {
-                account.encode(&mut out);
-                timestamp.encode(&mut out);
+                account.encode(out);
+                timestamp.encode(out);
             }
         }
-        out
     }
 
     /// Decodes a payload for the given tag.

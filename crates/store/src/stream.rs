@@ -62,6 +62,8 @@ pub struct Writer<W: Write> {
     sink: W,
     wrote_magic: bool,
     records: u64,
+    /// Reused frame buffer: one allocation serves every `write` call.
+    scratch: Vec<u8>,
 }
 
 impl<W: Write> Writer<W> {
@@ -72,6 +74,7 @@ impl<W: Write> Writer<W> {
             sink,
             wrote_magic: false,
             records: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -90,15 +93,16 @@ impl<W: Write> Writer<W> {
     /// [`StoreError::Io`] on sink failure.
     pub fn write(&mut self, event: &HistoryEvent) -> Result<(), StoreError> {
         self.ensure_magic()?;
-        let payload = event.encode_payload();
-        let tag = event.tag();
-        let len = payload.len() as u32;
-        let mut head = Vec::with_capacity(5 + payload.len());
-        head.push(tag);
-        head.extend_from_slice(&len.to_be_bytes());
-        head.extend_from_slice(&payload);
-        let crc = crc32(&head);
-        self.sink.write_all(&head)?;
+        // Frame layout: tag, u32 BE payload length, payload — assembled in
+        // the reused scratch buffer with the length patched in afterwards.
+        self.scratch.clear();
+        self.scratch.push(event.tag());
+        self.scratch.extend_from_slice(&[0u8; 4]);
+        event.encode_payload_into(&mut self.scratch);
+        let len = (self.scratch.len() - 5) as u32;
+        self.scratch[1..5].copy_from_slice(&len.to_be_bytes());
+        let crc = crc32(&self.scratch);
+        self.sink.write_all(&self.scratch)?;
         self.sink.write_all(&crc.to_be_bytes())?;
         self.records += 1;
         Ok(())

@@ -60,11 +60,11 @@ impl SynthOutput {
 /// The workload generator. See the crate docs for the calibration story.
 #[derive(Debug, Clone)]
 pub struct Generator {
-    config: SynthConfig,
+    pub(crate) config: SynthConfig,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PaymentKind {
+pub(crate) enum PaymentKind {
     XrpRegular,
     XrpSpin,
     XrpZeroBounce,
@@ -179,7 +179,15 @@ impl Generator {
                 let advance_rate = (advances as f64 / (generated.max(1) as f64)).clamp(0.05, 1.0);
                 let remaining_span = (config.end.seconds().saturating_sub(now.seconds())) as f64;
                 let mean_gap = (remaining_span / (remaining_payments * advance_rate)).max(1.0);
-                let gap = exp_sample(&mut rng, mean_gap).max(page as f64);
+                let mut gap = exp_sample(&mut rng, mean_gap).max(page as f64);
+                // Cap the jump so the expected remaining advances still fit
+                // in the window. Without the cap one long exponential draw
+                // near `config.end` pushes `now` past the end, after which
+                // the clamp below re-fires on every later draw and stamps
+                // all remaining payments onto the final grid page.
+                let expected_advances = (remaining_payments * advance_rate).max(1.0);
+                let reserve = ((expected_advances - 1.0) * page as f64).min(remaining_span);
+                gap = gap.min((remaining_span - reserve).max(page as f64));
                 let quantized = (gap as u64 / page) * page;
                 now = now.plus_seconds(quantized.max(page));
                 advances += 1;
@@ -323,7 +331,7 @@ impl Generator {
         }
     }
 
-    fn kind_budgets(&self) -> KindBudgets {
+    pub(crate) fn kind_budgets(&self) -> KindBudgets {
         let c = &self.config;
         let n = c.payments as f64;
         let xrp_regular =
@@ -871,13 +879,13 @@ impl Generator {
 /// Remaining payment counts per kind; sampling is weighted by what's left,
 /// so the generated history hits each fraction exactly.
 #[derive(Debug)]
-struct KindBudgets {
-    counts: Vec<(PaymentKind, usize)>,
+pub(crate) struct KindBudgets {
+    pub(crate) counts: Vec<(PaymentKind, usize)>,
 }
 
 impl KindBudgets {
     /// Consumes one unit of `kind`'s budget, if any remains.
-    fn take(&mut self, kind: PaymentKind) -> bool {
+    pub(crate) fn take(&mut self, kind: PaymentKind) -> bool {
         for (k, left) in &mut self.counts {
             if *k == kind && *left > 0 {
                 *left -= 1;
@@ -888,7 +896,7 @@ impl KindBudgets {
     }
 
     /// Draws a kind weighted by remaining budgets (consuming one unit).
-    fn draw(&mut self, rng: &mut StdRng) -> PaymentKind {
+    pub(crate) fn draw(&mut self, rng: &mut StdRng) -> PaymentKind {
         let total: usize = self.counts.iter().map(|&(_, left)| left).sum();
         if total == 0 {
             return PaymentKind::Iou;
@@ -905,7 +913,7 @@ impl KindBudgets {
     }
 }
 
-trait MaxOne {
+pub(crate) trait MaxOne {
     fn max_one(self) -> Self;
 }
 
@@ -923,7 +931,7 @@ impl MaxOne for Value {
 
 /// Route-depth model for routed IOU payments: a decreasing trend over
 /// 1–7 intermediates with a thin tail to 11 (Fig. 6(a), MTL excluded).
-fn sample_route_depth(rng: &mut StdRng) -> usize {
+pub(crate) fn sample_route_depth(rng: &mut StdRng) -> usize {
     let u: f64 = rng.gen();
     match u {
         x if x < 0.34 => 1,
@@ -940,7 +948,7 @@ fn sample_route_depth(rng: &mut StdRng) -> usize {
 }
 
 /// Per-currency amount models (Fig. 5's survival-function shapes).
-fn amount_for(currency: Currency, rng: &mut StdRng) -> Value {
+pub(crate) fn amount_for(currency: Currency, rng: &mut StdRng) -> Value {
     let sample = |rng: &mut StdRng, median: f64, sigma: f64| {
         LogNormal::with_median(median, sigma).sample(rng)
     };
@@ -960,19 +968,24 @@ fn amount_for(currency: Currency, rng: &mut StdRng) -> Value {
     Value::from_f64(v.clamp(0.000001, 1e12)).max_one()
 }
 
-fn convert(rates: &RateTable, from: Currency, to: Currency, amount: Value) -> Value {
+pub(crate) fn convert(rates: &RateTable, from: Currency, to: Currency, amount: Value) -> Value {
     match rates.cross(from, to) {
         Some(rate) => rate.apply(amount).max_one(),
         None => amount,
     }
 }
 
-fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+pub(crate) fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     -mean * u.ln()
 }
 
-fn top_up_xrp(state: &mut LedgerState, treasury: AccountId, account: AccountId, need: Drops) {
+pub(crate) fn top_up_xrp(
+    state: &mut LedgerState,
+    treasury: AccountId,
+    account: AccountId,
+    need: Drops,
+) {
     let balance = state
         .account(&account)
         .map(|r| r.balance)
@@ -989,7 +1002,7 @@ fn top_up_xrp(state: &mut LedgerState, treasury: AccountId, account: AccountId, 
 /// deposits are topped up when the receiving side is a gateway (gateways do
 /// not extend trust), and trust limits are raised organically otherwise.
 #[allow(clippy::too_many_arguments)]
-fn ensure_hop(
+pub(crate) fn ensure_hop(
     state: &mut LedgerState,
     events: &mut Vec<HistoryEvent>,
     cast: &Cast,
@@ -1045,7 +1058,7 @@ fn ensure_hop(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn apply_chain(
+pub(crate) fn apply_chain(
     state: &mut LedgerState,
     events: &mut Vec<HistoryEvent>,
     cast: &Cast,
@@ -1100,7 +1113,7 @@ fn pin_to_community(
     }
 }
 
-fn build_menus(cast: &Cast, rng: &mut StdRng) -> HashMap<AccountId, Vec<Value>> {
+pub(crate) fn build_menus(cast: &Cast, rng: &mut StdRng) -> HashMap<AccountId, Vec<Value>> {
     let mut menus = HashMap::new();
     for &(m, community) in &cast.merchants {
         let currency = cast.community_currency[community];
@@ -1118,7 +1131,7 @@ fn build_menus(cast: &Cast, rng: &mut StdRng) -> HashMap<AccountId, Vec<Value>> 
     menus
 }
 
-fn place_resident_offers(
+pub(crate) fn place_resident_offers(
     config: &SynthConfig,
     cast: &Cast,
     rates: &RateTable,
@@ -1172,14 +1185,14 @@ fn place_resident_offers(
 /// Offer churn: archived offer placements following the Zipf concentration
 /// the paper measures (top-10 makers ⇒ 50% of offers).
 #[derive(Debug)]
-struct OfferChurn {
-    pairs: Vec<(Currency, Currency)>,
-    makers: Vec<AccountId>,
-    rates: RateTable,
+pub(crate) struct OfferChurn {
+    pub(crate) pairs: Vec<(Currency, Currency)>,
+    pub(crate) makers: Vec<AccountId>,
+    pub(crate) rates: RateTable,
 }
 
 impl OfferChurn {
-    fn new(_config: &SynthConfig, cast: &Cast, rates: &RateTable) -> OfferChurn {
+    pub(crate) fn new(_config: &SynthConfig, cast: &Cast, rates: &RateTable) -> OfferChurn {
         let majors = [Currency::USD, Currency::EUR, Currency::BTC, Currency::CNY];
         let mut pairs = Vec::new();
         for &a in &majors {
@@ -1197,7 +1210,7 @@ impl OfferChurn {
         }
     }
 
-    fn maybe_emit(
+    pub(crate) fn maybe_emit(
         &self,
         config: &SynthConfig,
         mm_zipf: &Zipf,
@@ -1234,7 +1247,7 @@ impl OfferChurn {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn record(
+pub(crate) fn record(
     index: usize,
     sender: AccountId,
     destination: AccountId,
@@ -1386,6 +1399,38 @@ mod tests {
         }
         let repeats = by_fingerprint.values().filter(|&&c| c > 1).count();
         assert!(repeats > 20, "habit repeats = {repeats}");
+    }
+
+    #[test]
+    fn no_timestamp_pileup_near_window_end() {
+        // A window only slightly wider than the page-floor minimum: the
+        // adaptive pacing runs close to one page per advance, so any
+        // overshoot of `config.end` is fatal. The old clamp re-fired on
+        // every draw after the first overshoot, stamping the whole tail of
+        // the history onto the final grid page.
+        let payments = 2_000;
+        let mut config = SynthConfig {
+            seed: 42,
+            ..SynthConfig::small(payments)
+        };
+        let page = config.page_interval_secs;
+        config.end = config
+            .start
+            .plus_seconds(payments as u64 * page * 115 / 100);
+        let out = Generator::new(config).run();
+        let mut per_page: HashMap<u64, usize> = HashMap::new();
+        for p in out.payments() {
+            *per_page.entry(p.timestamp.seconds()).or_insert(0) += 1;
+        }
+        let (worst_page, worst) = per_page
+            .iter()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(&t, &c)| (t, c))
+            .expect("history is non-empty");
+        assert!(
+            worst <= 40,
+            "{worst} payments share the page at t={worst_page} (pileup)"
+        );
     }
 
     #[test]

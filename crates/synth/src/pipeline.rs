@@ -1,0 +1,904 @@
+//! The pipelined generator: parallel scripting, serial execution,
+//! overlapped sinks.
+//!
+//! [`Generator::run_pipelined`] splits history generation into three
+//! overlapping stages connected by bounded channels:
+//!
+//! 1. **Scripting** — N worker threads plan payment chunks (every random
+//!    draw) via [`crate::script`]; chunk content is independent of the
+//!    worker count, so the merged script is always identical.
+//! 2. **Execution** — the one inherently serial stage: the main thread
+//!    applies scripted payments to the live [`LedgerState`] in chunk order
+//!    (a reorder buffer absorbs out-of-order chunk arrivals). The hop
+//!    fast path ([`apply_hop`]) fuses the serial generator's
+//!    `ensure_hop` + `ripple_hop` pair into a single capacity probe plus a
+//!    direct balance adjustment, and membership checks run against the
+//!    precomputed gateway set instead of scanning the cast.
+//! 3. **Sink** — archive encoding ([`ripple_store::Writer`]) and
+//!    incremental analytics tallies run on their own threads, overlapping
+//!    the executor.
+//!
+//! Determinism: for a fixed config, every worker count (and the repeat of
+//! any run) produces the identical event sequence and archive bytes. The
+//! pipelined history is *not* guaranteed to equal `Generator::run`'s
+//! serial history — the scripting stage draws from per-chunk RNG streams —
+//! but it is drawn from the same calibrated marginals.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ripple_crypto::{AccountId, FxHashSet};
+use ripple_ledger::{Currency, Drops, LedgerState, PathSummary, PaymentRecord, RippleTime, Value};
+use ripple_orderbook::RateTable;
+use ripple_store::{HistoryEvent, Writer};
+
+use crate::cast::Cast;
+use crate::generate::{
+    amount_for, build_menus, place_resident_offers, top_up_xrp, Generator, MaxOne, SynthOutput,
+};
+use crate::script::{
+    account_from_seed, build_chunk, chunk_count, derive_seed, CastIndex, ScriptChunk, ScriptedBody,
+    ScriptedPayment,
+};
+
+/// Tuning knobs for [`Generator::run_pipelined`].
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Scripting worker threads; `0` means "one per available core".
+    pub workers: usize,
+    /// Payments per scripted chunk; `0` means the default (8192).
+    pub chunk_size: usize,
+    /// Whether to encode the archive on the sink stage (the encoded bytes
+    /// are returned in [`PipelineRun::archive`]).
+    pub archive: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            workers: 0,
+            chunk_size: 0,
+            archive: true,
+        }
+    }
+}
+
+impl PipelineConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    fn resolved_chunk_size(&self) -> usize {
+        if self.chunk_size > 0 {
+            self.chunk_size
+        } else {
+            8192
+        }
+    }
+}
+
+/// Stage timings and volume counters for one pipelined run.
+#[derive(Debug, Clone)]
+pub struct SynthBench {
+    /// Busiest scripting worker's busy seconds (the stage's critical path).
+    pub script_secs: f64,
+    /// Executor busy seconds (the serial section).
+    pub exec_secs: f64,
+    /// Combined sink busy seconds (archive encoding + tallies).
+    pub sink_secs: f64,
+    /// Wall-clock seconds for the whole run.
+    pub total_secs: f64,
+    /// Payments generated.
+    pub payments: usize,
+    /// History events generated (payments + trust/offer/account events).
+    pub events: usize,
+    /// Chunks scripted.
+    pub chunks: usize,
+    /// Payments per chunk.
+    pub chunk_size: usize,
+    /// Scripting workers used.
+    pub workers: usize,
+    /// Encoded archive size in bytes (0 when archiving was off).
+    pub archive_bytes: usize,
+}
+
+impl SynthBench {
+    /// Payments per wall-clock second.
+    pub fn payments_per_sec(&self) -> f64 {
+        if self.total_secs > 0.0 {
+            self.payments as f64 / self.total_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Analytics tallies accumulated on the sink stage while the history
+/// streams past, so the common figures need no post-hoc full scan.
+/// Histogram semantics mirror `ripple-analytics` exactly:
+/// [`HistoryTallies::hop_histogram`] counts non-empty paths of multi-hop
+/// payments by hop count, [`HistoryTallies::parallel_histogram`] counts
+/// multi-hop payments by parallel-path count.
+#[derive(Debug, Clone, Default)]
+pub struct HistoryTallies {
+    /// Payment counts per delivered currency (Figure 4).
+    pub currency_counts: HashMap<Currency, u64>,
+    /// Path-length histogram over multi-hop payments (Figure 6a).
+    pub hop_histogram: BTreeMap<usize, u64>,
+    /// Parallel-path histogram over multi-hop payments (Figure 6b).
+    pub parallel_histogram: BTreeMap<usize, u64>,
+    /// Every delivered amount, in stream order (Figure 5 feeds per-currency
+    /// survival curves from `amounts_by_currency`).
+    pub amounts: Vec<Value>,
+    /// Delivered amounts grouped by currency.
+    pub amounts_by_currency: HashMap<Currency, Vec<Value>>,
+    /// Total payments observed.
+    pub payments: u64,
+}
+
+impl HistoryTallies {
+    /// Folds one payment into the tallies.
+    pub fn observe(&mut self, p: &PaymentRecord) {
+        self.payments += 1;
+        *self.currency_counts.entry(p.currency).or_insert(0) += 1;
+        self.amounts.push(p.amount);
+        self.amounts_by_currency
+            .entry(p.currency)
+            .or_default()
+            .push(p.amount);
+        if p.paths.is_multi_hop() {
+            for path in &p.paths.paths {
+                if !path.is_empty() {
+                    *self.hop_histogram.entry(path.len()).or_insert(0) += 1;
+                }
+            }
+            *self
+                .parallel_histogram
+                .entry(p.paths.parallel_paths())
+                .or_insert(0) += 1;
+        }
+    }
+}
+
+/// Everything a pipelined run produces.
+#[derive(Debug)]
+pub struct PipelineRun {
+    /// The generated history (same shape as the serial generator's).
+    pub output: SynthOutput,
+    /// The payment records as a shared arena, ready for concurrent studies.
+    pub arena: Arc<[PaymentRecord]>,
+    /// Analytics tallies accumulated on the sink stage.
+    pub tallies: HistoryTallies,
+    /// The encoded archive bytes, when [`PipelineConfig::archive`] was on.
+    pub archive: Option<Vec<u8>>,
+    /// Stage timings.
+    pub bench: SynthBench,
+}
+
+/// A batch of history events in flight from the executor to the sink.
+type EventBatch = Vec<HistoryEvent>;
+
+const BATCH_EVENTS: usize = 8192;
+
+impl Generator {
+    /// Runs the three-stage pipelined generation. See the module docs for
+    /// the stage layout and the determinism contract.
+    pub fn run_pipelined(&self, pcfg: &PipelineConfig) -> PipelineRun {
+        let wall = Instant::now();
+        let config = &self.config;
+        let chunk_size = pcfg.resolved_chunk_size();
+        let n_chunks = chunk_count(config.payments, chunk_size);
+        let workers = pcfg.resolved_workers().max(1).min(n_chunks);
+
+        // Serial setup, consuming the master RNG exactly as `run` does so
+        // the cast, resident offers and menus are shared with the serial
+        // generator.
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut state = LedgerState::new();
+        let mut setup_events: Vec<HistoryEvent> = Vec::new();
+        let cast = Cast::build(config, &mut state, &mut setup_events, &mut rng);
+        let rates = RateTable::eur_2015();
+        let treasury = AccountId::from_bytes([0xFE; 20]);
+        state.create_account(treasury, Drops::from_xrp(50_000_000_000));
+        place_resident_offers(
+            config,
+            &cast,
+            &rates,
+            &mut state,
+            &mut setup_events,
+            &mut rng,
+        );
+        let menus = build_menus(&cast, &mut rng);
+        let index = CastIndex::build(config, &cast, menus, rates);
+
+        struct ScopeOut {
+            script_secs: f64,
+            exec_secs: f64,
+            sink_secs: f64,
+            archive: Option<Vec<u8>>,
+            tallies: HistoryTallies,
+            events_out: Vec<HistoryEvent>,
+            payment_arena: Vec<PaymentRecord>,
+            snapshot: Option<(RippleTime, LedgerState)>,
+            final_state: LedgerState,
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let out = std::thread::scope(|s| {
+            // --- Stage 1: scripting workers -----------------------------
+            let (chunk_tx, chunk_rx) = sync_channel::<ScriptChunk>((workers * 2).max(4));
+            let mut script_handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let tx = chunk_tx.clone();
+                let cursor = &cursor;
+                let cast = &cast;
+                let index = &index;
+                script_handles.push(s.spawn(move || {
+                    let mut busy = 0.0f64;
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let t = Instant::now();
+                        let chunk = build_chunk(config, cast, index, c, n_chunks);
+                        busy += t.elapsed().as_secs_f64();
+                        if tx.send(chunk).is_err() {
+                            break;
+                        }
+                    }
+                    busy
+                }));
+            }
+            drop(chunk_tx);
+
+            // --- Stage 3: sink threads ----------------------------------
+            let (sink_tx, sink_rx) = sync_channel::<EventBatch>(4);
+            let archive_on = pcfg.archive;
+            let (tally_tx, tally_rx) = sync_channel::<EventBatch>(4);
+            let encoder = s.spawn(move || {
+                let mut busy = 0.0f64;
+                let mut writer = archive_on.then(|| Writer::new(Vec::<u8>::new()));
+                while let Ok(batch) = sink_rx.recv() {
+                    let t = Instant::now();
+                    if let Some(w) = writer.as_mut() {
+                        for event in &batch {
+                            w.write(event).expect("Vec sink cannot fail");
+                        }
+                    }
+                    busy += t.elapsed().as_secs_f64();
+                    if tally_tx.send(batch).is_err() {
+                        break;
+                    }
+                }
+                drop(tally_tx);
+                let bytes = writer.map(|w| w.finish().expect("Vec sink cannot fail"));
+                (busy, bytes)
+            });
+            let tally = s.spawn(move || {
+                let mut busy = 0.0f64;
+                let mut tallies = HistoryTallies::default();
+                let mut events: Vec<HistoryEvent> = Vec::new();
+                let mut arena: Vec<PaymentRecord> = Vec::new();
+                while let Ok(batch) = tally_rx.recv() {
+                    let t = Instant::now();
+                    for event in &batch {
+                        if let HistoryEvent::Payment(p) = event {
+                            tallies.observe(p);
+                            arena.push(p.clone());
+                        }
+                    }
+                    events.extend(batch);
+                    busy += t.elapsed().as_secs_f64();
+                }
+                (busy, tallies, events, arena)
+            });
+
+            // --- Stage 2: the serial executor (this thread) -------------
+            let mut exec = Executor::new(config, &cast, &index, state, treasury);
+            let mut exec_secs = 0.0f64;
+            let mut pending: BTreeMap<usize, ScriptChunk> = BTreeMap::new();
+            let mut next = 0usize;
+            let mut batch: EventBatch = Vec::with_capacity(BATCH_EVENTS);
+            // The setup events head the stream, exactly as in `run`.
+            batch.append(&mut setup_events);
+            while next < n_chunks {
+                let chunk = match pending.remove(&next) {
+                    Some(c) => c,
+                    None => {
+                        let c = chunk_rx.recv().expect("scripting workers outlive demand");
+                        if c.index != next {
+                            pending.insert(c.index, c);
+                            continue;
+                        }
+                        c
+                    }
+                };
+                let t = Instant::now();
+                exec.run_chunk(&chunk, &mut batch);
+                exec_secs += t.elapsed().as_secs_f64();
+                next += 1;
+                if batch.len() >= BATCH_EVENTS {
+                    let full = std::mem::replace(&mut batch, Vec::with_capacity(BATCH_EVENTS));
+                    sink_tx.send(full).expect("sink outlives the executor");
+                }
+            }
+            if !batch.is_empty() {
+                sink_tx.send(batch).expect("sink outlives the executor");
+            }
+            drop(sink_tx);
+            drop(chunk_rx);
+
+            let mut script_secs = 0.0f64;
+            for handle in script_handles {
+                let busy = handle.join().expect("scripting worker panicked");
+                script_secs = script_secs.max(busy);
+            }
+            let (enc_busy, bytes) = encoder.join().expect("encoder panicked");
+            let (tally_busy, tallies, events_out, payment_arena) =
+                tally.join().expect("tally thread panicked");
+            let snapshot = exec.snapshot.take();
+            ScopeOut {
+                script_secs,
+                exec_secs,
+                sink_secs: enc_busy + tally_busy,
+                archive: bytes,
+                tallies,
+                events_out,
+                payment_arena,
+                snapshot,
+                final_state: exec.into_state(),
+            }
+        });
+
+        let events_total = out.events_out.len();
+        let output = SynthOutput {
+            events: out.events_out,
+            final_state: out.final_state,
+            snapshot: out.snapshot,
+            cast,
+            config: config.clone(),
+        };
+        let bench = SynthBench {
+            script_secs: out.script_secs,
+            exec_secs: out.exec_secs,
+            sink_secs: out.sink_secs,
+            total_secs: wall.elapsed().as_secs_f64(),
+            payments: config.payments,
+            events: events_total,
+            chunks: n_chunks,
+            chunk_size,
+            workers,
+            archive_bytes: out.archive.as_ref().map_or(0, Vec::len),
+        };
+        PipelineRun {
+            output,
+            arena: out.payment_arena.into(),
+            tallies: out.tallies,
+            archive: out.archive,
+            bench,
+        }
+    }
+}
+
+/// The serial execution stage: applies scripted payments to the live
+/// ledger.
+struct Executor<'a> {
+    config: &'a crate::config::SynthConfig,
+    cast: &'a Cast,
+    index: &'a CastIndex,
+    state: LedgerState,
+    treasury: AccountId,
+    probe_emitted: bool,
+    snapshot: Option<(RippleTime, LedgerState)>,
+}
+
+impl<'a> Executor<'a> {
+    fn new(
+        config: &'a crate::config::SynthConfig,
+        cast: &'a Cast,
+        index: &'a CastIndex,
+        state: LedgerState,
+        treasury: AccountId,
+    ) -> Executor<'a> {
+        Executor {
+            config,
+            cast,
+            index,
+            state,
+            treasury,
+            probe_emitted: false,
+            snapshot: None,
+        }
+    }
+
+    fn into_state(self) -> LedgerState {
+        self.state
+    }
+
+    fn run_chunk(&mut self, chunk: &ScriptChunk, events: &mut Vec<HistoryEvent>) {
+        for (local, entry) in chunk.entries.iter().enumerate() {
+            let global_index = chunk.base_index + local;
+            self.run_payment(global_index, entry, events);
+        }
+    }
+
+    fn run_payment(
+        &mut self,
+        global_index: usize,
+        entry: &ScriptedPayment,
+        events: &mut Vec<HistoryEvent>,
+    ) {
+        let now = entry.timestamp;
+        if let Some(at) = self.config.snapshot_at {
+            if self.snapshot.is_none() && now >= at {
+                self.snapshot = Some((at, self.state.clone()));
+            }
+        }
+        for offer in &entry.offers {
+            events.push(HistoryEvent::OfferPlaced {
+                owner: offer.owner,
+                offer_seq: offer.offer_seq,
+                base: offer.base,
+                quote: offer.quote,
+                gets: offer.gets,
+                pays: offer.pays,
+                timestamp: now,
+            });
+        }
+
+        // The 44-intermediate probe substitutes for the first eligible IOU
+        // slot in the second half of the history (mirrors the serial
+        // generator's placement; the probe RNG is its own derived stream so
+        // the substitution is independent of chunking).
+        let probe = !self.probe_emitted
+            && global_index >= self.config.payments / 2
+            && matches!(entry.body, ScriptedBody::Iou { is_cck: false, .. });
+        let record = if probe {
+            self.probe_emitted = true;
+            self.run_probe(entry, events)
+        } else {
+            self.run_body(entry, events)
+        };
+        events.push(HistoryEvent::Payment(record));
+    }
+
+    fn run_probe(
+        &mut self,
+        entry: &ScriptedPayment,
+        events: &mut Vec<HistoryEvent>,
+    ) -> PaymentRecord {
+        let now = entry.timestamp;
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.config.seed, "probe", 0));
+        let sender = self.cast.users[0].0;
+        let currency = Currency::USD;
+        let amount = amount_for(currency, &mut rng);
+        let mut hops = Vec::with_capacity(44);
+        for i in 0..44 {
+            let id = account_from_seed(&format!("probe:{i}"));
+            self.state.create_account(id, Drops::ZERO);
+            events.push(HistoryEvent::AccountCreated {
+                account: id,
+                timestamp: now,
+            });
+            hops.push(id);
+        }
+        let destination = account_from_seed("probe:dest");
+        self.state.create_account(destination, Drops::ZERO);
+        events.push(HistoryEvent::AccountCreated {
+            account: destination,
+            timestamp: now,
+        });
+        let mut full = Vec::with_capacity(hops.len() + 2);
+        full.push(sender);
+        full.extend_from_slice(&hops);
+        full.push(destination);
+        for pair in full.windows(2) {
+            apply_hop(
+                &mut self.state,
+                events,
+                &self.index.gateway_set,
+                pair[0],
+                pair[1],
+                currency,
+                amount,
+                now,
+            );
+        }
+        PaymentRecord {
+            tx_hash: entry.tx_hash,
+            sender,
+            destination,
+            currency,
+            issuer: hops.last().copied(),
+            amount,
+            timestamp: now,
+            ledger_seq: entry.ledger_seq,
+            paths: PathSummary::from_paths(vec![hops]),
+            cross_currency: false,
+            source_currency: None,
+        }
+    }
+
+    fn run_body(
+        &mut self,
+        entry: &ScriptedPayment,
+        events: &mut Vec<HistoryEvent>,
+    ) -> PaymentRecord {
+        let now = entry.timestamp;
+        let base =
+            |sender, destination, currency, issuer, amount, paths, cross, src| PaymentRecord {
+                tx_hash: entry.tx_hash,
+                sender,
+                destination,
+                currency,
+                issuer,
+                amount,
+                timestamp: now,
+                ledger_seq: entry.ledger_seq,
+                paths,
+                cross_currency: cross,
+                source_currency: src,
+            };
+        match &entry.body {
+            ScriptedBody::Xrp {
+                sender,
+                destination,
+                amount,
+                fresh_destination,
+            } => {
+                if *fresh_destination {
+                    self.state.create_account(*destination, Drops::ZERO);
+                    events.push(HistoryEvent::AccountCreated {
+                        account: *destination,
+                        timestamp: now,
+                    });
+                }
+                let drops = Drops::new(amount.raw().max(1) as u64);
+                top_up_xrp(&mut self.state, self.treasury, *sender, drops);
+                self.state
+                    .xrp_transfer_unchecked(*sender, *destination, drops)
+                    .expect("topped-up sender can pay");
+                base(
+                    *sender,
+                    *destination,
+                    Currency::XRP,
+                    None,
+                    *amount,
+                    PathSummary::direct(),
+                    false,
+                    None,
+                )
+            }
+            ScriptedBody::Spin { sender, bet } => {
+                let drops = Drops::from_xrp(*bet);
+                top_up_xrp(&mut self.state, self.treasury, *sender, drops);
+                self.state
+                    .xrp_transfer_unchecked(*sender, self.cast.spin, drops)
+                    .expect("topped-up sender can bet");
+                base(
+                    *sender,
+                    self.cast.spin,
+                    Currency::XRP,
+                    None,
+                    Value::from_int(*bet as i64),
+                    PathSummary::direct(),
+                    false,
+                    None,
+                )
+            }
+            ScriptedBody::ZeroOut { dust } | ScriptedBody::ZeroBack { dust } => {
+                let outbound = matches!(entry.body, ScriptedBody::ZeroOut { .. });
+                let (sender, destination) = if outbound {
+                    (self.cast.zero_spammer, AccountId::ZERO)
+                } else {
+                    (AccountId::ZERO, self.cast.zero_spammer)
+                };
+                let drops = Drops::new(dust.raw() as u64);
+                top_up_xrp(&mut self.state, self.treasury, sender, drops);
+                self.state
+                    .xrp_transfer_unchecked(sender, destination, drops)
+                    .expect("dust fits");
+                base(
+                    sender,
+                    destination,
+                    Currency::XRP,
+                    None,
+                    *dust,
+                    PathSummary::direct(),
+                    false,
+                    None,
+                )
+            }
+            ScriptedBody::Mtl { sink, amount } => {
+                let share = Value::from_raw(amount.raw() / 6);
+                let mut paths = Vec::with_capacity(self.cast.mtl_chains.len());
+                for chain in &self.cast.mtl_chains {
+                    let mut hops = Vec::with_capacity(chain.len() + 2);
+                    hops.push(self.cast.mtl_attacker);
+                    hops.extend_from_slice(chain);
+                    hops.push(*sink);
+                    for pair in hops.windows(2) {
+                        apply_hop(
+                            &mut self.state,
+                            events,
+                            &self.index.gateway_set,
+                            pair[0],
+                            pair[1],
+                            Currency::MTL,
+                            share,
+                            now,
+                        );
+                    }
+                    paths.push(chain.clone());
+                }
+                base(
+                    self.cast.mtl_attacker,
+                    *sink,
+                    Currency::MTL,
+                    Some(self.cast.mtl_attacker),
+                    *amount,
+                    PathSummary::from_paths(paths),
+                    false,
+                    None,
+                )
+            }
+            ScriptedBody::Iou {
+                sender,
+                destination,
+                currency,
+                src_currency,
+                amount,
+                share,
+                src_share,
+                issuer,
+                cross,
+                is_cck: _,
+                paths,
+            } => {
+                let mut summary = Vec::with_capacity(paths.len());
+                for path in paths {
+                    let mut full = Vec::with_capacity(path.hops.len() + 2);
+                    full.push(*sender);
+                    full.extend_from_slice(&path.hops);
+                    full.push(*destination);
+                    for (i, pair) in full.windows(2).enumerate() {
+                        let (cur, amt) = if *cross && i <= path.conv_at {
+                            (src_currency.unwrap_or(*currency), *src_share)
+                        } else {
+                            (*currency, *share)
+                        };
+                        apply_hop(
+                            &mut self.state,
+                            events,
+                            &self.index.gateway_set,
+                            pair[0],
+                            pair[1],
+                            cur,
+                            amt,
+                            now,
+                        );
+                    }
+                    summary.push(path.hops.clone());
+                }
+                base(
+                    *sender,
+                    *destination,
+                    *currency,
+                    Some(*issuer),
+                    *amount,
+                    PathSummary::from_paths(summary),
+                    *cross,
+                    cross.then(|| src_currency.unwrap_or(*currency)),
+                )
+            }
+            ScriptedBody::Probe { amount } => {
+                // Scripted probes never appear in chunks (the executor
+                // substitutes them), but execute one defensively anyway.
+                let _ = amount;
+                self.run_probe(entry, events)
+            }
+        }
+    }
+}
+
+/// The fused hop fast path: `ensure_hop` + `ripple_hop` in one pass.
+///
+/// The serial generator probes capacity in `ensure_hop`, then `ripple_hop`
+/// re-validates with two more map lookups before adjusting the balance.
+/// Here the single up-front [`LedgerState::hop_capacity`] probe decides
+/// everything, the gateway membership test is a hash-set hit instead of a
+/// cast scan, and the balance moves via
+/// [`LedgerState::adjust_pair_balance`] directly. The resulting ledger
+/// mutations are identical to the serial pair's.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_hop(
+    state: &mut LedgerState,
+    events: &mut Vec<HistoryEvent>,
+    gateways: &FxHashSet<AccountId>,
+    from: AccountId,
+    to: AccountId,
+    currency: Currency,
+    amount: Value,
+    now: RippleTime,
+) {
+    let capacity = state.hop_capacity(from, to, currency);
+    if capacity < amount {
+        let shortfall = amount - capacity;
+        if gateways.contains(&to) {
+            // `from` deposits at the gateway: the gateway issues IOUs to
+            // `from` (needs `from` to trust the gateway in this currency).
+            let boost = Value::from_raw(shortfall.raw().saturating_mul(50)).max_one();
+            let limit = state.trust_limit(from, to, currency);
+            let claim = state.iou_balance(from, to, currency);
+            if limit - claim < boost {
+                let new_limit = (claim + boost + boost).max_one();
+                state
+                    .set_trust(from, to, currency, new_limit)
+                    .expect("parties exist");
+                events.push(HistoryEvent::TrustSet {
+                    truster: from,
+                    trustee: to,
+                    currency,
+                    limit: new_limit,
+                    timestamp: now,
+                });
+            }
+            // ripple_hop(to, from, boost) without the re-validation.
+            state.adjust_pair_balance(from, to, currency, boost);
+        } else {
+            // Raise `to`'s declared trust in `from` (organic trust growth).
+            let claim = state.iou_balance(to, from, currency);
+            let new_limit = (claim + Value::from_raw(amount.raw().saturating_mul(50))).max_one();
+            state
+                .set_trust(to, from, currency, new_limit)
+                .expect("parties exist");
+            events.push(HistoryEvent::TrustSet {
+                truster: to,
+                trustee: from,
+                currency,
+                limit: new_limit,
+                timestamp: now,
+            });
+        }
+    }
+    // ripple_hop(from, to, amount) without the re-validation.
+    state.adjust_pair_balance(to, from, currency, amount);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynthConfig;
+    use crate::generate::ensure_hop;
+    use ripple_crypto::sha512_half;
+
+    fn run(workers: usize, payments: usize, seed: u64) -> PipelineRun {
+        let config = SynthConfig {
+            seed,
+            ..SynthConfig::small(payments)
+        };
+        Generator::new(config).run_pipelined(&PipelineConfig {
+            workers,
+            chunk_size: 512,
+            archive: true,
+        })
+    }
+
+    #[test]
+    fn pipeline_generates_exactly_n_payments() {
+        let out = run(2, 1_500, 11);
+        assert_eq!(out.output.payments().count(), 1_500);
+        assert_eq!(out.arena.len(), 1_500);
+        assert_eq!(out.tallies.payments, 1_500);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_history() {
+        let one = run(1, 1_200, 12);
+        let four = run(4, 1_200, 12);
+        assert_eq!(one.output.events, four.output.events);
+        assert_eq!(
+            sha512_half(one.archive.as_ref().unwrap()),
+            sha512_half(four.archive.as_ref().unwrap()),
+        );
+    }
+
+    #[test]
+    fn timestamps_stay_monotone_and_page_aligned() {
+        let out = run(3, 1_000, 13);
+        let mut prev = RippleTime::EPOCH;
+        for p in out.output.payments() {
+            assert!(p.timestamp >= prev, "timestamps must be non-decreasing");
+            assert_eq!(
+                (p.timestamp.seconds() - out.output.config.start.seconds()) % 5,
+                0
+            );
+            prev = p.timestamp;
+        }
+    }
+
+    #[test]
+    fn tallies_match_a_recount() {
+        let out = run(2, 1_000, 14);
+        let mut recount = HistoryTallies::default();
+        for p in out.output.payments() {
+            recount.observe(p);
+        }
+        assert_eq!(out.tallies.currency_counts, recount.currency_counts);
+        assert_eq!(out.tallies.hop_histogram, recount.hop_histogram);
+        assert_eq!(out.tallies.parallel_histogram, recount.parallel_histogram);
+        assert_eq!(out.tallies.amounts.len(), recount.amounts.len());
+    }
+
+    #[test]
+    fn fused_hop_matches_serial_ensure_plus_ripple() {
+        let config = SynthConfig::small(200);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut state_a = LedgerState::new();
+        let mut events_a = Vec::new();
+        let cast = Cast::build(&config, &mut state_a, &mut events_a, &mut rng);
+        let mut state_b = state_a.clone();
+        let mut gateways = FxHashSet::default();
+        for g in &cast.gateways {
+            gateways.insert(g.account);
+        }
+        let a = cast.users[0].0;
+        let b = cast.users[1].0;
+        let gw = cast.gateways[0].account;
+        let amt: Value = "25".parse().unwrap();
+        let now = RippleTime::from_seconds(100);
+        // user -> user and user -> gateway, repeated so both the cold and
+        // warm paths run.
+        for _ in 0..3 {
+            let mut ev_a = Vec::new();
+            let mut ev_b = Vec::new();
+            for (from, to) in [(a, b), (a, gw), (gw, b)] {
+                ensure_hop(
+                    &mut state_a,
+                    &mut ev_a,
+                    &cast,
+                    from,
+                    to,
+                    Currency::USD,
+                    amt,
+                    now,
+                );
+                state_a
+                    .ripple_hop(from, to, Currency::USD, amt)
+                    .expect("ensured");
+                apply_hop(
+                    &mut state_b,
+                    &mut ev_b,
+                    &gateways,
+                    from,
+                    to,
+                    Currency::USD,
+                    amt,
+                    now,
+                );
+            }
+            assert_eq!(ev_a, ev_b);
+        }
+        assert_eq!(
+            state_a.iou_balance(a, b, Currency::USD),
+            state_b.iou_balance(a, b, Currency::USD)
+        );
+        assert_eq!(
+            state_a.iou_balance(a, gw, Currency::USD),
+            state_b.iou_balance(a, gw, Currency::USD)
+        );
+    }
+}
