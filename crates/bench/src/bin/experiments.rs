@@ -3,15 +3,17 @@
 //! ```text
 //! experiments [EXPERIMENT] [--payments N] [--seed S] [--rounds R] [--shards S]
 //!             [--workers W] [--chunk C] [--serial] [--no-baseline] [--archive]
+//!             [--trace PATH] [--metrics PATH]
 //! ```
 //!
 //! `EXPERIMENT` is one of the paper studies `fig2`, `table1`, `fig3`,
 //! `fig4`, `fig5`, `fig6a`, `fig6b`, `table2`, `fig7`, `offers`, or one of
 //! the extension studies `rewards` (§IV's proposed validator-reward
 //! system), `countermeasure` (§V's wallet-splitting discussion), `unl`
-//! (UNL-overlap fork analysis), `archive` (raw parse throughput) and
-//! `timeline` (payment/population trends). `all` (the default) runs every
-//! paper study **and** every extension study, in that order.
+//! (UNL-overlap fork analysis), `archive` (raw parse throughput),
+//! `timeline` (payment/population trends) and `synth` (history generation
+//! only, for benchmarking the pipeline itself). `all` (the default) runs
+//! every paper study **and** every extension study, in that order.
 //!
 //! History generation runs through the pipelined parallel generator by
 //! default (`--workers` scripting threads, `--chunk` payments per chunk;
@@ -25,10 +27,20 @@
 //! `fig3` additionally writes `BENCH_fig3.json` — a machine-readable dump
 //! of the sharded IG engine's row metrics and throughput (see
 //! EXPERIMENTS.md §E3 for the schema).
+//!
+//! `--metrics PATH` enables the `ripple-obs` metrics registry and writes a
+//! schema-versioned `RUN_METRICS.json`-style snapshot to `PATH` on exit;
+//! `--trace PATH` additionally records spans and writes a
+//! `chrome://tracing`-loadable trace-event file (see EXPERIMENTS.md
+//! "Observability").
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::path::Path;
 use std::time::Instant;
+
+use ripple_core::obs::json::JsonWriter;
+use ripple_core::obs::{metrics, report, trace};
 
 use ripple_core::consensus::metrics::{persistent_actives, total_observed};
 use ripple_core::deanon::{
@@ -47,10 +59,18 @@ const PAPER_STUDIES: &[&str] = &[
 
 /// Studies that go beyond the paper. `all` runs these too, after the paper
 /// set.
-const EXTENSION_STUDIES: &[&str] = &["rewards", "unl", "countermeasure", "archive", "timeline"];
+const EXTENSION_STUDIES: &[&str] = &[
+    "rewards",
+    "unl",
+    "countermeasure",
+    "archive",
+    "timeline",
+    "synth",
+];
 
 /// Studies that require a generated payment history.
 const NEEDS_HISTORY: &[&str] = &[
+    "synth",
     "fig3",
     "fig4",
     "fig5",
@@ -75,6 +95,8 @@ struct Args {
     serial: bool,
     no_baseline: bool,
     archive: bool,
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -89,6 +111,8 @@ fn parse_args() -> Args {
         serial: false,
         no_baseline: false,
         archive: false,
+        trace: None,
+        metrics: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -132,6 +156,12 @@ fn parse_args() -> Args {
             "--serial" => args.serial = true,
             "--no-baseline" => args.no_baseline = true,
             "--archive" => args.archive = true,
+            "--trace" => {
+                args.trace = Some(iter.next().expect("--trace needs a path"));
+            }
+            "--metrics" => {
+                args.metrics = Some(iter.next().expect("--metrics needs a path"));
+            }
             other if !other.starts_with('-') => args.experiment = other.to_string(),
             other => panic!("unknown flag {other}"),
         }
@@ -153,6 +183,28 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if args.metrics.is_some() || args.trace.is_some() {
+        metrics::set_enabled(true);
+    }
+    if args.trace.is_some() {
+        trace::enable(trace::DEFAULT_CAPACITY);
+    }
+    run_experiments(&args);
+    if let Some(path) = &args.metrics {
+        match report::write_run_metrics(Path::new(path)) {
+            Ok(_) => eprintln!("wrote {path}"),
+            Err(err) => eprintln!("could not write {path}: {err}"),
+        }
+    }
+    if let Some(path) = &args.trace {
+        match trace::export(Path::new(path)) {
+            Ok(n) => eprintln!("wrote {path} ({n} span events)"),
+            Err(err) => eprintln!("could not write {path}: {err}"),
+        }
+    }
+}
+
+fn run_experiments(args: &Args) {
     let wants = |name: &str| args.experiment == "all" || args.experiment == name;
 
     // Studies that need no payment history: the consensus simulator and
@@ -197,7 +249,23 @@ fn main() {
             chunk_size: args.chunk,
             archive: args.archive,
         };
-        let (study, bench) = Study::generate_pipelined(config.clone(), &pipeline);
+        let mut run = Generator::new(config.clone()).run_pipelined(&pipeline);
+        let mut bench = run.bench.clone();
+        let archive_bytes = run.archive.take();
+        let study = Study::from_pipeline(run);
+        if let Some(bytes) = &archive_bytes {
+            match std::fs::write("BENCH_synth.archive", bytes) {
+                Ok(()) => {
+                    // Report the real on-disk size, not the in-memory length.
+                    let on_disk = std::fs::metadata("BENCH_synth.archive")
+                        .map(|m| m.len() as usize)
+                        .unwrap_or(bytes.len());
+                    bench.archive_bytes = on_disk;
+                    eprintln!("wrote BENCH_synth.archive ({on_disk} bytes)");
+                }
+                Err(err) => eprintln!("could not write BENCH_synth.archive: {err}"),
+            }
+        }
         eprintln!(
             "pipeline: {} payments in {:.3}s ({:.0}/s) | script {:.3}s, exec {:.3}s, \
              sink {:.3}s | {} workers x {} chunks",
@@ -213,14 +281,23 @@ fn main() {
         let serial_secs = if args.no_baseline {
             None
         } else {
-            eprintln!("timing serial baseline ...");
+            // The pipelined sink always runs the archive encoder (that is
+            // how `encoded_bytes` is measured), so the baseline must do the
+            // same work for the speedup to compare like with like.
+            eprintln!("timing serial baseline (generate + archive encode) ...");
             let t = Instant::now();
             let out = Generator::new(config).run();
+            let records = out
+                .write_archive(std::io::sink())
+                .expect("serial baseline archive encode");
             let secs = t.elapsed().as_secs_f64();
-            eprintln!("serial baseline: {} events in {secs:.3}s", out.events.len());
+            eprintln!(
+                "serial baseline: {} events encoded as {records} records in {secs:.3}s",
+                out.events.len()
+            );
             Some(secs)
         };
-        let json = synth_json(&args, &bench, serial_secs);
+        let json = synth_json(args, &bench, serial_secs);
         match std::fs::write("BENCH_synth.json", json) {
             Ok(()) => eprintln!("wrote BENCH_synth.json"),
             Err(err) => eprintln!("could not write BENCH_synth.json: {err}"),
@@ -232,7 +309,7 @@ fn main() {
     // `fig3` runs first and alone: it asserts engine/serial equivalence and
     // writes its own benchmark file.
     if wants("fig3") {
-        fig3(&study, &args);
+        fig3(&study, args);
     }
 
     // The remaining history-backed studies only read the shared arena and
@@ -279,28 +356,29 @@ fn main() {
 }
 
 /// Serializes a pipelined generation's telemetry into the
-/// `BENCH_synth.json` schema documented in EXPERIMENTS.md. Hand-rolled:
-/// the workspace's vendored serde has no JSON backend.
+/// `BENCH_synth.json` schema documented in EXPERIMENTS.md, through the
+/// shared `ripple-obs` JSON writer (the vendored serde has no JSON
+/// backend).
 fn synth_json(args: &Args, bench: &SynthBench, serial_secs: Option<f64>) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"synth\",\n");
-    out.push_str(&format!("  \"payments\": {},\n", bench.payments));
-    out.push_str(&format!("  \"seed\": {},\n", args.seed));
-    out.push_str(&format!("  \"workers\": {},\n", bench.workers));
-    out.push_str(&format!("  \"chunks\": {},\n", bench.chunks));
-    out.push_str(&format!("  \"chunk_size\": {},\n", bench.chunk_size));
-    out.push_str("  \"pipeline\": {\n");
-    out.push_str(&format!("    \"script_secs\": {:.6},\n", bench.script_secs));
-    out.push_str(&format!("    \"exec_secs\": {:.6},\n", bench.exec_secs));
-    out.push_str(&format!("    \"sink_secs\": {:.6},\n", bench.sink_secs));
-    out.push_str(&format!("    \"total_secs\": {:.6},\n", bench.total_secs));
-    out.push_str(&format!(
-        "    \"payments_per_sec\": {:.1},\n",
-        bench.payments_per_sec()
-    ));
-    out.push_str(&format!("    \"events\": {},\n", bench.events));
-    out.push_str(&format!("    \"archive_bytes\": {}\n", bench.archive_bytes));
-    out.push_str("  },\n");
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field_str("experiment", "synth");
+    w.field_u64("payments", bench.payments as u64);
+    w.field_u64("seed", args.seed);
+    w.field_u64("workers", bench.workers as u64);
+    w.field_u64("chunks", bench.chunks as u64);
+    w.field_u64("chunk_size", bench.chunk_size as u64);
+    w.key("pipeline");
+    w.begin_object();
+    w.field_f64("script_secs", bench.script_secs, 6);
+    w.field_f64("exec_secs", bench.exec_secs, 6);
+    w.field_f64("sink_secs", bench.sink_secs, 6);
+    w.field_f64("total_secs", bench.total_secs, 6);
+    w.field_f64("payments_per_sec", bench.payments_per_sec(), 1);
+    w.field_u64("events", bench.events as u64);
+    w.field_u64("encoded_bytes", bench.encoded_bytes as u64);
+    w.field_u64("archive_bytes", bench.archive_bytes as u64);
+    w.end_object();
     match serial_secs {
         Some(secs) => {
             let speedup = if bench.total_secs > 0.0 {
@@ -308,16 +386,16 @@ fn synth_json(args: &Args, bench: &SynthBench, serial_secs: Option<f64>) -> Stri
             } else {
                 0.0
             };
-            out.push_str(&format!("  \"serial_secs\": {secs:.6},\n"));
-            out.push_str(&format!("  \"speedup_vs_serial\": {speedup:.2}\n"));
+            w.field_f64("serial_secs", secs, 6);
+            w.field_f64("speedup_vs_serial", speedup, 2);
         }
         None => {
-            out.push_str("  \"serial_secs\": null,\n");
-            out.push_str("  \"speedup_vs_serial\": null\n");
+            w.field_null("serial_secs");
+            w.field_null("speedup_vs_serial");
         }
     }
-    out.push_str("}\n");
-    out
+    w.end_object();
+    w.finish()
 }
 
 fn fig2(rounds: u64, seed: u64) {
@@ -463,8 +541,8 @@ fn fig3(study: &Study, args: &Args) {
 }
 
 /// Serializes the sweep into the `BENCH_fig3.json` schema documented in
-/// EXPERIMENTS.md §E3. Hand-rolled: the workspace's vendored serde has no
-/// JSON backend, and the schema is flat.
+/// EXPERIMENTS.md §E3, through the shared `ripple-obs` JSON writer (the
+/// vendored serde has no JSON backend).
 fn fig3_json(
     args: &Args,
     sweep: &ripple_core::Fig3Sweep,
@@ -472,42 +550,39 @@ fn fig3_json(
     speedup: f64,
 ) -> String {
     let stats = &sweep.stats;
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"fig3\",\n");
-    out.push_str(&format!("  \"payments\": {},\n", stats.payments));
-    out.push_str(&format!("  \"seed\": {},\n", args.seed));
-    out.push_str("  \"engine\": {\n");
-    out.push_str(&format!("    \"shards\": {},\n", stats.shards));
-    out.push_str(&format!("    \"merge_ranges\": {},\n", stats.merge_ranges));
-    out.push_str(&format!("    \"scan_secs\": {:.6},\n", stats.scan_secs));
-    out.push_str(&format!("    \"merge_secs\": {:.6},\n", stats.merge_secs));
-    out.push_str(&format!("    \"total_secs\": {:.6},\n", stats.total_secs));
-    out.push_str(&format!(
-        "    \"payments_per_sec\": {:.1},\n",
-        stats.payments_per_sec()
-    ));
-    out.push_str(&format!("    \"peak_classes\": {}\n", stats.peak_classes));
-    out.push_str("  },\n");
-    out.push_str(&format!("  \"serial_sweep_secs\": {serial_secs:.6},\n"));
-    out.push_str(&format!("  \"speedup_vs_serial\": {speedup:.2},\n"));
-    out.push_str("  \"rows\": [\n");
-    for (i, row) in sweep.rows.iter().enumerate() {
-        let comma = if i + 1 == sweep.rows.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    {{\"label\": \"{}\", \"total\": {}, \"strict_unique\": {}, \
-             \"strict_percent\": {:.4}, \"sender_unique\": {}, \
-             \"sender_percent\": {:.4}, \"classes\": {}}}{comma}\n",
-            row.label,
-            row.strict.total,
-            row.strict.unique,
-            row.strict.percent(),
-            row.sender.unique,
-            row.sender.percent(),
-            row.classes
-        ));
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field_str("experiment", "fig3");
+    w.field_u64("payments", stats.payments);
+    w.field_u64("seed", args.seed);
+    w.key("engine");
+    w.begin_object();
+    w.field_u64("shards", stats.shards as u64);
+    w.field_u64("merge_ranges", stats.merge_ranges as u64);
+    w.field_f64("scan_secs", stats.scan_secs, 6);
+    w.field_f64("merge_secs", stats.merge_secs, 6);
+    w.field_f64("total_secs", stats.total_secs, 6);
+    w.field_f64("payments_per_sec", stats.payments_per_sec(), 1);
+    w.field_u64("peak_classes", stats.peak_classes);
+    w.end_object();
+    w.field_f64("serial_sweep_secs", serial_secs, 6);
+    w.field_f64("speedup_vs_serial", speedup, 2);
+    w.key("rows");
+    w.begin_array();
+    for row in &sweep.rows {
+        w.begin_inline_object();
+        w.field_str("label", row.label);
+        w.field_u64("total", row.strict.total);
+        w.field_u64("strict_unique", row.strict.unique);
+        w.field_f64("strict_percent", row.strict.percent(), 4);
+        w.field_u64("sender_unique", row.sender.unique);
+        w.field_f64("sender_percent", row.sender.percent(), 4);
+        w.field_u64("classes", row.classes);
+        w.end_inline_object();
     }
-    out.push_str("  ]\n}\n");
-    out
+    w.end_array();
+    w.end_object();
+    w.finish()
 }
 
 fn fig4(study: &Study) -> String {

@@ -13,12 +13,30 @@
 //! exactly reproducible.
 
 use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
 
 use ripple_crypto::{sha512_half, Digest256};
 use ripple_netsim::{FaultPlan, SimTime};
+use ripple_obs::{span, LazyCounter, LazyHistogram, LazyTimer};
 
 use crate::rounds::{RoundEngine, RoundError, RoundOutcome};
 use crate::validator::Validator;
+
+// Campaign observability (the paper's §IV per-round accounting as registry
+// metrics): invariant-check cost and verdicts, per-round fault pressure,
+// and liveness summaries (stall lengths, rounds-to-recover).
+static INVARIANT_CHECKS: LazyCounter = LazyCounter::new("consensus.invariant.checks");
+static INVARIANT_FORKS: LazyCounter = LazyCounter::new("consensus.invariant.forks");
+static INVARIANT_CHECK_NS: LazyTimer = LazyTimer::new("consensus.invariant.check_ns");
+static INVARIANT_PAGES_AT_QUORUM: LazyHistogram =
+    LazyHistogram::new("consensus.invariant.pages_at_quorum");
+static CHAOS_ROUNDS: LazyCounter = LazyCounter::new("consensus.chaos.rounds");
+static CHAOS_COMMITTED: LazyCounter = LazyCounter::new("consensus.chaos.committed_rounds");
+static CHAOS_HONEST_VALIDATIONS: LazyHistogram =
+    LazyHistogram::new("consensus.chaos.honest_validations");
+static CHAOS_DROPPED_MSGS: LazyHistogram = LazyHistogram::new("consensus.chaos.dropped_msgs");
+static CHAOS_STALL_ROUNDS: LazyHistogram = LazyHistogram::new("consensus.chaos.stall_rounds");
+static CHAOS_RECOVERY_ROUNDS: LazyHistogram = LazyHistogram::new("consensus.chaos.recovery_rounds");
 
 /// A safety violation detected by the [`InvariantChecker`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,8 +162,10 @@ impl InvariantChecker {
     /// [`ForkViolation`] if two or more distinct pages each reached a
     /// quorum of honest validations.
     pub fn observe(&mut self, outcome: &RoundOutcome) -> Result<(), ForkViolation> {
+        let t_check = Instant::now();
         let round = self.next_round;
         self.next_round += 1;
+        INVARIANT_CHECKS.add(1);
 
         // Tally honest validations per page.
         let mut support: HashMap<Digest256, usize> = HashMap::new();
@@ -158,8 +178,11 @@ impl InvariantChecker {
             .into_iter()
             .filter(|&(_, count)| count >= self.quorum_needed)
             .collect();
+        INVARIANT_PAGES_AT_QUORUM.record(at_quorum.len() as u64);
         if at_quorum.len() > 1 {
             at_quorum.sort_by_key(|&(page, _)| *page.as_bytes());
+            INVARIANT_FORKS.add(1);
+            INVARIANT_CHECK_NS.record(t_check.elapsed());
             return Err(ForkViolation {
                 round,
                 pages: at_quorum,
@@ -182,14 +205,19 @@ impl InvariantChecker {
                 }
             }
         }
+        INVARIANT_CHECK_NS.record(t_check.elapsed());
         Ok(())
     }
 
     /// Finishes the campaign, returning every stall window (including one
-    /// still open at the end).
+    /// still open at the end). Each window's length lands in the
+    /// `consensus.chaos.stall_rounds` histogram.
     pub fn into_stalls(mut self) -> Vec<StallWindow> {
         if let Some(stall) = self.current_stall.take() {
             self.stalls.push(stall);
+        }
+        for stall in &self.stalls {
+            CHAOS_STALL_ROUNDS.record(stall.rounds);
         }
         self.stalls
     }
@@ -288,6 +316,7 @@ impl ChaosCampaign {
 
         let mut records = Vec::with_capacity(self.rounds as usize);
         for round in 0..self.rounds {
+            let _round_span = span("consensus", "chaos_round");
             let started_at = self.engine.network().now();
             let dropped_before = self.engine.network().dropped();
             let positions = self.positions(round);
@@ -301,18 +330,28 @@ impl ChaosCampaign {
                 .keys()
                 .filter(|&&v| honest.get(v).copied().unwrap_or(false))
                 .count();
+            let messages_dropped = self.engine.network().dropped() - dropped_before;
+            CHAOS_ROUNDS.add(1);
+            if outcome.committed.is_some() {
+                CHAOS_COMMITTED.add(1);
+            }
+            CHAOS_HONEST_VALIDATIONS.record(honest_validations as u64);
+            CHAOS_DROPPED_MSGS.record(messages_dropped);
             records.push(RoundRecord {
                 round,
                 started_at,
                 committed: outcome.committed.as_ref().map(|(page, _)| *page),
                 agreement: outcome.agreement,
                 honest_validations,
-                messages_dropped: self.engine.network().dropped() - dropped_before,
+                messages_dropped,
             });
         }
         let stalls = checker.into_stalls();
 
         let recovery = self.measure_recovery(&records);
+        if let Some(recovery) = &recovery {
+            CHAOS_RECOVERY_ROUNDS.record(recovery.rounds_to_recover);
+        }
         let committed_rounds = records.iter().filter(|r| r.committed.is_some()).count() as u64;
         let digest = digest_records(&records);
         Ok(ChaosOutcome {

@@ -22,11 +22,22 @@ use rand::{Rng, SeedableRng};
 
 use ripple_crypto::{sha512_half, Digest256};
 use ripple_netsim::{Delivery, LatencyModel, Network, NodeId, SimTime};
+use ripple_obs::{span, LazyCounter, LazyHistogram};
 
 use crate::validator::{Validator, ValidatorProfile};
 
 /// The escalating agreement thresholds of RPCA.
 pub const RPCA_THRESHOLDS: [f64; 4] = [0.50, 0.55, 0.60, 0.80];
+
+// Round instrumentation: message accounting in the style of the per-round
+// bookkeeping that Amores-Sesar et al. and Chase & MacBrough lean on for
+// safety/liveness arguments. All of it is derived from the seeded
+// simulation, so it lands in the deterministic snapshot sections.
+static ROUNDS_RUN: LazyCounter = LazyCounter::new("consensus.rounds.run");
+static PROPOSALS_SENT: LazyCounter = LazyCounter::new("consensus.rounds.proposals_sent");
+static VALIDATIONS_SENT: LazyCounter = LazyCounter::new("consensus.rounds.validations_sent");
+static VALIDATION_MSGS_SEEN: LazyHistogram =
+    LazyHistogram::new("consensus.rounds.validation_msgs_seen");
 
 /// Messages exchanged during a round.
 #[derive(Debug, Clone)]
@@ -180,6 +191,8 @@ impl RoundEngine {
                 actual: initial_positions.len(),
             });
         }
+        let _span = span("consensus", "run_round");
+        ROUNDS_RUN.add(1);
         let mut rng = StdRng::seed_from_u64(seed);
         let n = self.validators.len();
         let mut positions: Vec<BTreeSet<u64>> = initial_positions.to_vec();
@@ -214,6 +227,7 @@ impl RoundEngine {
                                 },
                                 &mut rng,
                             );
+                            PROPOSALS_SENT.add(1);
                         }
                     }
                     _ => {
@@ -225,6 +239,7 @@ impl RoundEngine {
                             },
                             &mut rng,
                         );
+                        PROPOSALS_SENT.add(n as u64 - 1);
                     }
                 }
             }
@@ -293,6 +308,7 @@ impl RoundEngine {
             validations.insert(v, page);
             self.network
                 .broadcast(NodeId(v), Msg::Validation { page }, &mut rng);
+            VALIDATIONS_SENT.add(n as u64 - 1);
         }
         // Drain the validation traffic (content is already tallied above;
         // draining keeps the virtual clock moving like the real system).
@@ -303,7 +319,7 @@ impl RoundEngine {
                 validation_messages_seen += 1;
             }
         }
-        let _ = validation_messages_seen;
+        VALIDATION_MSGS_SEEN.record(validation_messages_seen as u64);
         self.network.advance_to(deadline);
 
         // Tally.

@@ -38,6 +38,7 @@ use std::time::Instant;
 
 use ripple_crypto::{mix128, AccountId};
 use ripple_ledger::PaymentRecord;
+use ripple_obs::{metrics, span, LazyCounter, LazyHistogram, LazyTimer};
 
 use crate::fingerprint::ResolutionSpec;
 use crate::ig::IgResult;
@@ -269,11 +270,23 @@ type ShardTable = Vec<Vec<ClassMap>>;
 /// time keeps each burst of probes inside a single spec's tables.
 const SCAN_BLOCK: usize = 1024;
 
+// Engine instrumentation. Record counts, per-task class sizes, and digest
+// collisions depend only on the data and the (fixed) range partitioning,
+// so they live in the deterministic sections of the metrics snapshot;
+// per-shard and per-task wall times are timers.
+static SCAN_RECORDS: LazyCounter = LazyCounter::new("deanon.scan.records");
+static SCAN_SHARD_NS: LazyTimer = LazyTimer::new("deanon.scan.shard_ns");
+static MERGE_TASK_NS: LazyTimer = LazyTimer::new("deanon.merge.task_ns");
+static MERGE_CLASSES: LazyHistogram = LazyHistogram::new("deanon.merge.classes");
+static DIGEST_COLLISIONS: LazyCounter = LazyCounter::new("deanon.merge.low64_collisions");
+
 fn scan_chunk<R: Borrow<PaymentRecord>>(
     chunk: &[R],
     specs: &[ResolutionSpec],
     ranges: usize,
 ) -> ShardTable {
+    let _span = span("deanon", "scan_shard");
+    let t_shard = Instant::now();
     let plans: Vec<SpecPlan> = specs.iter().map(|&spec| SpecPlan::of(spec)).collect();
     let mut table: ShardTable = specs
         .iter()
@@ -308,6 +321,8 @@ fn scan_chunk<R: Borrow<PaymentRecord>>(
             }
         }
     }
+    SCAN_RECORDS.add(chunk.len() as u64);
+    SCAN_SHARD_NS.record(t_shard.elapsed());
     table
 }
 
@@ -320,6 +335,8 @@ struct RangeStats {
 }
 
 fn merge_task(spec_idx: usize, mut maps: Vec<ClassMap>) -> RangeStats {
+    let _span = span("deanon", "merge_task");
+    let t_task = Instant::now();
     // Fold into the largest shard map to minimize rehashing.
     let base_idx = maps
         .iter()
@@ -359,6 +376,18 @@ fn merge_task(spec_idx: usize, mut maps: Vec<ClassMap>) -> RangeStats {
             stats.sender_unique += class.count;
         }
     }
+    if metrics::enabled() {
+        // Distinct digests sharing low 64 bits: these collide in the
+        // pass-through-hashed class tables (same bucket, different class).
+        // Counting them validates the DigestHasher shortcut from artifacts
+        // instead of trusting the 2^-64 birthday argument blindly.
+        let mut low: Vec<u64> = acc.keys().map(|&k| k as u64).collect();
+        low.sort_unstable();
+        let collisions = low.windows(2).filter(|w| w[0] == w[1]).count() as u64;
+        DIGEST_COLLISIONS.add(collisions);
+        MERGE_CLASSES.record(acc.len() as u64);
+    }
+    MERGE_TASK_NS.record(t_task.elapsed());
     stats
 }
 

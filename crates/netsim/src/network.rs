@@ -4,10 +4,18 @@
 use std::collections::{HashMap, HashSet};
 
 use rand::Rng;
+use ripple_obs::LazyCounter;
 
 use crate::faults::{FaultEvent, FaultPlan};
 use crate::latency::LatencyModel;
 use crate::sim::{SimTime, Simulation};
+
+static FATE_DELIVERED: LazyCounter = LazyCounter::new("netsim.fate.delivered");
+static FATE_LOST: LazyCounter = LazyCounter::new("netsim.fate.lost");
+static FATE_PARTITIONED: LazyCounter = LazyCounter::new("netsim.fate.partitioned");
+static FATE_SENDER_CRASHED: LazyCounter = LazyCounter::new("netsim.fate.sender_crashed");
+static FATE_RECEIVER_CRASHED: LazyCounter = LazyCounter::new("netsim.fate.receiver_crashed");
+static IN_FLIGHT_DROPPED: LazyCounter = LazyCounter::new("netsim.in_flight_dropped");
 
 /// Identifier of a simulated node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -280,7 +288,15 @@ impl<M> Network<M> {
     pub fn send<R: Rng + ?Sized>(&mut self, from: NodeId, to: NodeId, msg: M, rng: &mut R) -> bool {
         self.apply_faults_until(self.sim.now());
         self.sent += 1;
-        match self.delivery_fate(from, to, rng) {
+        let fate = self.delivery_fate(from, to, rng);
+        match fate {
+            DeliveryFate::Delivered { .. } => FATE_DELIVERED.add(1),
+            DeliveryFate::Lost => FATE_LOST.add(1),
+            DeliveryFate::Partitioned => FATE_PARTITIONED.add(1),
+            DeliveryFate::SenderCrashed => FATE_SENDER_CRASHED.add(1),
+            DeliveryFate::ReceiverCrashed => FATE_RECEIVER_CRASHED.add(1),
+        }
+        match fate {
             DeliveryFate::Delivered { latency } => {
                 self.sim.schedule_in(latency, Delivery { from, to, msg });
                 true
@@ -337,6 +353,7 @@ impl<M> Network<M> {
             self.apply_faults_until(at);
             if self.plan.is_some() && self.blocked_at_delivery(&delivery) {
                 self.dropped += 1;
+                IN_FLIGHT_DROPPED.add(1);
                 continue;
             }
             return Some((at, delivery));
@@ -350,6 +367,7 @@ impl<M> Network<M> {
             self.apply_faults_until(at);
             if self.plan.is_some() && self.blocked_at_delivery(&delivery) {
                 self.dropped += 1;
+                IN_FLIGHT_DROPPED.add(1);
                 continue;
             }
             return Some((at, delivery));

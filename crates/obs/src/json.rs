@@ -1,0 +1,378 @@
+//! The one JSON writer behind every machine-readable artifact.
+//!
+//! The workspace's vendored `serde` has no JSON backend, so the artifact
+//! schemas (`BENCH_synth.json`, `BENCH_fig3.json`, `RUN_METRICS.json`) were
+//! each hand-rolled in place. [`JsonWriter`] centralizes the three concerns
+//! they all share and must agree on:
+//!
+//! * **escaping** — keys and string values pass through [`escape_into`];
+//! * **float formatting** — fixed decimal places chosen per field, never
+//!   shortest-round-trip, so re-runs diff cleanly; non-finite values
+//!   serialize as `null`;
+//! * **layout** — insertion-ordered keys, two-space pretty indentation, and
+//!   an *inline object* form (`{"k": v, "k2": v2}` on one line) for table
+//!   rows inside arrays.
+//!
+//! The writer is a push-down emitter: `begin_*`/`end_*` manage nesting,
+//! `key` opens an object entry, and the `field_*` helpers combine both for
+//! scalar entries. [`JsonWriter::finish`] returns the document with a
+//! trailing newline, byte-stable for a fixed call sequence.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` with JSON string escaping.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Returns `s` with JSON string escaping applied.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+enum Frame {
+    /// A pretty-printed object: one `"key": value` entry per line.
+    Object { entries: usize },
+    /// A pretty-printed array: one element per line.
+    Array { entries: usize },
+    /// A single-line object (table rows inside arrays).
+    Inline { entries: usize },
+}
+
+/// A streaming, byte-stable JSON document writer. See the module docs.
+pub struct JsonWriter {
+    out: String,
+    stack: Vec<Frame>,
+    after_key: bool,
+}
+
+impl JsonWriter {
+    /// A writer producing two-space-indented documents.
+    pub fn pretty() -> JsonWriter {
+        JsonWriter {
+            out: String::new(),
+            stack: Vec::new(),
+            after_key: false,
+        }
+    }
+
+    fn indent(&mut self) {
+        let level = self
+            .stack
+            .iter()
+            .filter(|f| !matches!(f, Frame::Inline { .. }))
+            .count();
+        for _ in 0..level {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Positions the writer for the next value: consumes a pending key, or
+    /// starts a new array element on its own indented line.
+    fn start_value(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        let first = match self.stack.last_mut() {
+            Some(Frame::Array { entries }) => {
+                let first = *entries == 0;
+                *entries += 1;
+                first
+            }
+            Some(Frame::Object { .. }) | Some(Frame::Inline { .. }) => {
+                panic!("object values need a key() first")
+            }
+            None => return, // document root
+        };
+        if !first {
+            self.out.push(',');
+        }
+        self.out.push('\n');
+        self.indent();
+    }
+
+    /// Opens an entry named `name` in the current (pretty or inline)
+    /// object; the next `begin_*`/`value_*` call provides its value.
+    pub fn key(&mut self, name: &str) {
+        assert!(!self.after_key, "key() twice without a value");
+        let (inline, first) = match self.stack.last_mut() {
+            Some(Frame::Object { entries }) => {
+                let first = *entries == 0;
+                *entries += 1;
+                (false, first)
+            }
+            Some(Frame::Inline { entries }) => {
+                let first = *entries == 0;
+                *entries += 1;
+                (true, first)
+            }
+            _ => panic!("key() outside an object"),
+        };
+        if inline {
+            if !first {
+                self.out.push_str(", ");
+            }
+        } else {
+            if !first {
+                self.out.push(',');
+            }
+            self.out.push('\n');
+            self.indent();
+        }
+        self.out.push('"');
+        escape_into(&mut self.out, name);
+        self.out.push_str("\": ");
+        self.after_key = true;
+    }
+
+    /// Opens a pretty-printed object (as the root, an entry value, or an
+    /// array element).
+    pub fn begin_object(&mut self) {
+        self.start_value();
+        self.out.push('{');
+        self.stack.push(Frame::Object { entries: 0 });
+    }
+
+    /// Closes the current pretty-printed object.
+    pub fn end_object(&mut self) {
+        match self.stack.pop() {
+            Some(Frame::Object { entries }) => {
+                if entries > 0 {
+                    self.out.push('\n');
+                    self.indent();
+                }
+                self.out.push('}');
+            }
+            _ => panic!("end_object() without a matching begin_object()"),
+        }
+    }
+
+    /// Opens a pretty-printed array.
+    pub fn begin_array(&mut self) {
+        self.start_value();
+        self.out.push('[');
+        self.stack.push(Frame::Array { entries: 0 });
+    }
+
+    /// Closes the current pretty-printed array.
+    pub fn end_array(&mut self) {
+        match self.stack.pop() {
+            Some(Frame::Array { entries }) => {
+                if entries > 0 {
+                    self.out.push('\n');
+                    self.indent();
+                }
+                self.out.push(']');
+            }
+            _ => panic!("end_array() without a matching begin_array()"),
+        }
+    }
+
+    /// Opens a single-line object — the table-row form used for array
+    /// elements (`{"label": "x", "total": 3}`).
+    pub fn begin_inline_object(&mut self) {
+        self.start_value();
+        self.out.push('{');
+        self.stack.push(Frame::Inline { entries: 0 });
+    }
+
+    /// Closes the current single-line object.
+    pub fn end_inline_object(&mut self) {
+        match self.stack.pop() {
+            Some(Frame::Inline { .. }) => self.out.push('}'),
+            _ => panic!("end_inline_object() without a matching begin_inline_object()"),
+        }
+    }
+
+    fn raw(&mut self, s: &str) {
+        self.start_value();
+        self.out.push_str(s);
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn value_u64(&mut self, v: u64) {
+        self.raw(&v.to_string());
+    }
+
+    /// Writes a signed integer value.
+    pub fn value_i64(&mut self, v: i64) {
+        self.raw(&v.to_string());
+    }
+
+    /// Writes a float with exactly `decimals` fractional digits; NaN and
+    /// infinities become `null`.
+    pub fn value_f64(&mut self, v: f64, decimals: usize) {
+        if v.is_finite() {
+            let s = format!("{v:.decimals$}");
+            self.raw(&s);
+        } else {
+            self.raw("null");
+        }
+    }
+
+    /// Writes an escaped, quoted string value.
+    pub fn value_str(&mut self, v: &str) {
+        self.start_value();
+        self.out.push('"');
+        escape_into(&mut self.out, v);
+        self.out.push('"');
+    }
+
+    /// Writes a boolean value.
+    pub fn value_bool(&mut self, v: bool) {
+        self.raw(if v { "true" } else { "false" });
+    }
+
+    /// Writes a `null` value.
+    pub fn value_null(&mut self) {
+        self.raw("null");
+    }
+
+    /// `key(name)` + [`JsonWriter::value_u64`].
+    pub fn field_u64(&mut self, name: &str, v: u64) {
+        self.key(name);
+        self.value_u64(v);
+    }
+
+    /// `key(name)` + [`JsonWriter::value_i64`].
+    pub fn field_i64(&mut self, name: &str, v: i64) {
+        self.key(name);
+        self.value_i64(v);
+    }
+
+    /// `key(name)` + [`JsonWriter::value_f64`].
+    pub fn field_f64(&mut self, name: &str, v: f64, decimals: usize) {
+        self.key(name);
+        self.value_f64(v, decimals);
+    }
+
+    /// `key(name)` + [`JsonWriter::value_str`].
+    pub fn field_str(&mut self, name: &str, v: &str) {
+        self.key(name);
+        self.value_str(v);
+    }
+
+    /// `key(name)` + [`JsonWriter::value_bool`].
+    pub fn field_bool(&mut self, name: &str, v: bool) {
+        self.key(name);
+        self.value_bool(v);
+    }
+
+    /// `key(name)` + [`JsonWriter::value_null`].
+    pub fn field_null(&mut self, name: &str) {
+        self.key(name);
+        self.value_null();
+    }
+
+    /// Returns the finished document (with trailing newline). Panics if
+    /// containers are still open.
+    pub fn finish(mut self) -> String {
+        assert!(self.stack.is_empty(), "finish() with open containers");
+        assert!(!self.after_key, "finish() with a dangling key");
+        self.out.push('\n');
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("émile"), "émile");
+    }
+
+    #[test]
+    fn pretty_object_matches_handrolled_layout() {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.field_str("experiment", "synth");
+        w.field_u64("payments", 100000);
+        w.key("pipeline");
+        w.begin_object();
+        w.field_f64("script_secs", 0.5, 6);
+        w.field_u64("events", 42);
+        w.end_object();
+        w.field_null("serial_secs");
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            "{\n  \"experiment\": \"synth\",\n  \"payments\": 100000,\n  \
+             \"pipeline\": {\n    \"script_secs\": 0.500000,\n    \
+             \"events\": 42\n  },\n  \"serial_secs\": null\n}\n"
+        );
+    }
+
+    #[test]
+    fn arrays_of_inline_objects_match_row_layout() {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.key("rows");
+        w.begin_array();
+        for (label, total) in [("a", 1u64), ("b", 2)] {
+            w.begin_inline_object();
+            w.field_str("label", label);
+            w.field_u64("total", total);
+            w.field_f64("pct", 99.8341, 4);
+            w.end_inline_object();
+        }
+        w.end_array();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            "{\n  \"rows\": [\n    \
+             {\"label\": \"a\", \"total\": 1, \"pct\": 99.8341},\n    \
+             {\"label\": \"b\", \"total\": 2, \"pct\": 99.8341}\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn floats_are_fixed_decimal_and_nonfinite_is_null() {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.field_f64("two", 4.671, 2);
+        w.field_f64("nan", f64::NAN, 6);
+        w.field_f64("inf", f64::INFINITY, 1);
+        w.field_bool("ok", true);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            "{\n  \"two\": 4.67,\n  \"nan\": null,\n  \"inf\": null,\n  \"ok\": true\n}\n"
+        );
+    }
+
+    #[test]
+    fn empty_containers_stay_on_one_line() {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        w.end_object();
+        w.key("rows");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), "{\n  \"counters\": {},\n  \"rows\": []\n}\n");
+    }
+}

@@ -1,0 +1,45 @@
+//! Unified observability for the Ripple Observatory workspace.
+//!
+//! Three facilities, all dependency-free:
+//!
+//! * [`metrics`] — a global registry of lock-free sharded counters, gauges
+//!   and log-bucketed histograms (p50/p90/p99/max readout), snapshotable to
+//!   a deterministic, alphabetically-ordered JSON document;
+//! * [`trace`] — thread-local span tracing with monotonic timing and
+//!   bounded-channel collection, exportable as a `chrome://tracing` /
+//!   Perfetto-loadable trace-event JSON file;
+//! * [`json`] + [`report`] — one hand-rolled JSON writer (escaping, fixed
+//!   float formatting, insertion-ordered keys) behind every machine-readable
+//!   artifact the workspace emits (`BENCH_synth.json`, `BENCH_fig3.json`,
+//!   `RUN_METRICS.json`), so schemas stay byte-stable.
+//!
+//! Instrumentation is compiled in everywhere but costs one relaxed atomic
+//! load per site while disabled; [`metrics::set_enabled`] and
+//! [`trace::enable`] switch recording on (the `experiments` binary does so
+//! under `--metrics` / `--trace`).
+//!
+//! # Examples
+//!
+//! ```
+//! use ripple_obs::metrics::{self, LazyCounter};
+//!
+//! static FRAMES: LazyCounter = LazyCounter::new("store.writer.frames");
+//!
+//! metrics::set_enabled(true);
+//! FRAMES.add(3);
+//! let snap = metrics::snapshot();
+//! assert_eq!(snap.counter("store.writer.frames"), Some(3));
+//! # metrics::set_enabled(false);
+//! # metrics::reset();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use metrics::{LazyCounter, LazyGauge, LazyHistogram, LazyTimer, Snapshot};
+pub use trace::{span, Span};

@@ -1,0 +1,324 @@
+//! Span tracing with bounded collection and `chrome://tracing` export.
+//!
+//! A [`Span`] is an RAII guard: [`span`] stamps a monotonic start time and
+//! bumps this thread's span-stack depth, and dropping the guard emits one
+//! *complete* trace event (start, duration, thread, depth) into a bounded
+//! channel. The hot path takes no locks while tracing is disabled — just
+//! one relaxed atomic load — and when enabled does one `Instant` read at
+//! each end plus a `try_send`; if the channel is full the event is counted
+//! in [`dropped`] and discarded rather than blocking the traced code.
+//!
+//! [`drain`] stops tracing and collects every buffered event;
+//! [`to_chrome_json`] serializes them in the Trace Event Format that both
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load directly
+//! ([`export`] combines the two). Timestamps are microseconds with
+//! nanosecond fractions, relative to the first [`enable`] call, and thread
+//! ids are small integers assigned in thread-creation order.
+
+use std::cell::Cell;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::escape_into;
+
+/// Default bounded-channel capacity (events buffered before drops begin).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// One completed span.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Span name (e.g. `script_chunk`).
+    pub name: &'static str,
+    /// Category — the emitting layer (e.g. `synth`, `deanon`).
+    pub cat: &'static str,
+    /// Start, in nanoseconds since the tracing epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small per-thread id, assigned in first-span order.
+    pub tid: u64,
+    /// Depth on the emitting thread's span stack (1 = outermost).
+    pub depth: u32,
+}
+
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static SENDER: Mutex<Option<SyncSender<TraceEvent>>> = Mutex::new(None);
+static RECEIVER: Mutex<Option<Receiver<TraceEvent>>> = Mutex::new(None);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The instant all trace timestamps are measured from (first [`enable`]).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Starts collecting spans into a bounded buffer of `capacity` events
+/// (0 selects [`DEFAULT_CAPACITY`]). Resets the dropped-event counter.
+pub fn enable(capacity: usize) {
+    let capacity = if capacity == 0 {
+        DEFAULT_CAPACITY
+    } else {
+        capacity
+    };
+    let (tx, rx) = sync_channel(capacity);
+    epoch();
+    DROPPED.store(0, Ordering::Relaxed);
+    *SENDER.lock().unwrap_or_else(|e| e.into_inner()) = Some(tx);
+    *RECEIVER.lock().unwrap_or_else(|e| e.into_inner()) = Some(rx);
+    TRACE_ON.store(true, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being collected (one relaxed load).
+#[inline]
+pub fn enabled() -> bool {
+    TRACE_ON.load(Ordering::Relaxed)
+}
+
+/// Events discarded because the buffer was full since the last [`enable`].
+pub fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Stops tracing and returns every buffered event, ordered by start time
+/// (ties: longer spans — enclosing ones — first, then thread id).
+pub fn drain() -> Vec<TraceEvent> {
+    TRACE_ON.store(false, Ordering::Relaxed);
+    // Dropping the sender closes the channel so the receiver iterator ends.
+    *SENDER.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    let rx = RECEIVER.lock().unwrap_or_else(|e| e.into_inner()).take();
+    let mut events: Vec<TraceEvent> = match rx {
+        Some(rx) => rx.into_iter().collect(),
+        None => Vec::new(),
+    };
+    events.sort_by(|a, b| {
+        (a.ts_ns, std::cmp::Reverse(a.dur_ns), a.tid).cmp(&(
+            b.ts_ns,
+            std::cmp::Reverse(b.dur_ns),
+            b.tid,
+        ))
+    });
+    events
+}
+
+/// An RAII span guard: emits one [`TraceEvent`] when dropped. Inert (one
+/// relaxed load at creation, nothing at drop) while tracing is disabled.
+#[must_use = "a span measures the scope it lives in"]
+pub struct Span {
+    name: &'static str,
+    cat: &'static str,
+    start: Option<Instant>,
+}
+
+/// Opens a span named `name` in category `cat` on this thread's stack.
+#[inline]
+pub fn span(cat: &'static str, name: &'static str) -> Span {
+    let start = if enabled() {
+        DEPTH.with(|d| d.set(d.get() + 1));
+        Some(Instant::now())
+    } else {
+        None
+    };
+    Span { name, cat, start }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v.saturating_sub(1));
+            v
+        });
+        let event = TraceEvent {
+            name: self.name,
+            cat: self.cat,
+            ts_ns: start
+                .saturating_duration_since(epoch())
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64,
+            dur_ns,
+            tid: TID.with(|t| *t),
+            depth,
+        };
+        // A span that races a concurrent drain() (sender already gone) is
+        // counted as dropped too: the buffer was closed under it.
+        let sent = match &*SENDER.lock().unwrap_or_else(|e| e.into_inner()) {
+            Some(tx) => tx.try_send(event).is_ok(),
+            None => false,
+        };
+        if !sent {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn push_us(out: &mut String, ns: u64) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+/// Serializes events in the Trace Event Format (JSON object form) accepted
+/// by `chrome://tracing` and Perfetto: complete (`"ph": "X"`) events with
+/// microsecond timestamps.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 128);
+    out.push_str("{\"traceEvents\": [");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("  {\"name\": \"");
+        escape_into(&mut out, e.name);
+        out.push_str("\", \"cat\": \"");
+        escape_into(&mut out, e.cat);
+        out.push_str("\", \"ph\": \"X\", \"ts\": ");
+        push_us(&mut out, e.ts_ns);
+        out.push_str(", \"dur\": ");
+        push_us(&mut out, e.dur_ns);
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            ", \"pid\": 1, \"tid\": {}, \"args\": {{\"depth\": {}}}}}",
+            e.tid, e.depth
+        );
+    }
+    if !events.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Drains the collector and writes a `chrome://tracing`-loadable file to
+/// `path`. Returns the number of events written.
+pub fn export(path: &Path) -> io::Result<usize> {
+    let events = drain();
+    std::fs::write(path, to_chrome_json(&events))?;
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests share the global collector; serialize them.
+    fn with_tracer(f: impl FnOnce()) {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = drain(); // clear any prior state
+        f();
+        let _ = drain();
+    }
+
+    #[test]
+    fn disabled_spans_emit_nothing() {
+        with_tracer(|| {
+            {
+                let _s = span("test", "ghost");
+            }
+            enable(16);
+            let events = drain();
+            assert!(events.iter().all(|e| e.name != "ghost"));
+            assert_eq!(dropped(), 0);
+        });
+    }
+
+    #[test]
+    fn nested_spans_record_depth_and_ordering() {
+        with_tracer(|| {
+            enable(16);
+            {
+                let _outer = span("test", "outer");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                let _inner = span("test", "inner");
+            }
+            let events = drain();
+            assert_eq!(events.len(), 2);
+            // Sorted: the enclosing span first.
+            assert_eq!(events[0].name, "outer");
+            assert_eq!(events[0].depth, 1);
+            assert_eq!(events[1].name, "inner");
+            assert_eq!(events[1].depth, 2);
+            assert_eq!(events[0].tid, events[1].tid);
+            assert!(events[0].ts_ns <= events[1].ts_ns);
+            assert!(events[0].dur_ns >= events[1].dur_ns);
+        });
+    }
+
+    #[test]
+    fn spans_from_many_threads_all_arrive() {
+        with_tracer(|| {
+            enable(1024);
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        for _ in 0..10 {
+                            let _sp = span("test", "worker");
+                        }
+                    });
+                }
+            });
+            let events = drain();
+            assert_eq!(events.iter().filter(|e| e.name == "worker").count(), 80);
+            assert_eq!(dropped(), 0);
+            let tids: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+            assert_eq!(tids.len(), 8, "each thread gets its own tid");
+        });
+    }
+
+    #[test]
+    fn full_buffer_drops_instead_of_blocking() {
+        with_tracer(|| {
+            enable(2);
+            for _ in 0..5 {
+                let _sp = span("test", "burst");
+            }
+            let events = drain();
+            assert_eq!(events.len(), 2);
+            assert_eq!(dropped(), 3);
+        });
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let events = [
+            TraceEvent {
+                name: "script_chunk",
+                cat: "synth",
+                ts_ns: 1_234_567,
+                dur_ns: 1_500,
+                tid: 3,
+                depth: 1,
+            },
+            TraceEvent {
+                name: "q\"uote",
+                cat: "test",
+                ts_ns: 0,
+                dur_ns: 42,
+                tid: 1,
+                depth: 2,
+            },
+        ];
+        let json = to_chrome_json(&events);
+        assert_eq!(
+            json,
+            "{\"traceEvents\": [\n  \
+             {\"name\": \"script_chunk\", \"cat\": \"synth\", \"ph\": \"X\", \
+             \"ts\": 1234.567, \"dur\": 1.500, \"pid\": 1, \"tid\": 3, \
+             \"args\": {\"depth\": 1}},\n  \
+             {\"name\": \"q\\\"uote\", \"cat\": \"test\", \"ph\": \"X\", \
+             \"ts\": 0.000, \"dur\": 0.042, \"pid\": 1, \"tid\": 1, \
+             \"args\": {\"depth\": 2}}\n]}\n"
+        );
+        assert_eq!(to_chrome_json(&[]), "{\"traceEvents\": []}\n");
+    }
+}

@@ -2,8 +2,17 @@
 
 use std::io::{self, Read, Write};
 
+use ripple_obs::LazyCounter;
+
 use crate::crc::crc32;
 use crate::event::HistoryEvent;
+
+static WRITER_FRAMES: LazyCounter = LazyCounter::new("store.writer.frames");
+static WRITER_BYTES: LazyCounter = LazyCounter::new("store.writer.bytes");
+static READER_FRAMES: LazyCounter = LazyCounter::new("store.reader.frames");
+static READER_BYTES: LazyCounter = LazyCounter::new("store.reader.bytes");
+static READER_CRC_FAILURES: LazyCounter = LazyCounter::new("store.reader.crc_failures");
+static READER_RESYNC_SCANS: LazyCounter = LazyCounter::new("store.reader.resync_scans");
 
 /// The 8-byte archive magic.
 pub const MAGIC: &[u8; 8] = b"RPLSTOR1";
@@ -105,6 +114,8 @@ impl<W: Write> Writer<W> {
         self.sink.write_all(&self.scratch)?;
         self.sink.write_all(&crc.to_be_bytes())?;
         self.records += 1;
+        WRITER_FRAMES.add(1);
+        WRITER_BYTES.add(self.scratch.len() as u64 + 4);
         Ok(())
     }
 
@@ -328,6 +339,8 @@ impl<R: Read> Reader<R> {
                     self.consume(frame_len);
                     self.records += 1;
                     self.in_corrupt_region = false;
+                    READER_FRAMES.add(1);
+                    READER_BYTES.add(frame_len as u64);
                     return Ok(Some(*event));
                 }
                 Frame::Truncated if self.mode == ReadMode::Strict => {
@@ -339,6 +352,7 @@ impl<R: Read> Reader<R> {
                     )));
                 }
                 Frame::BadCrc if self.mode == ReadMode::Strict => {
+                    READER_CRC_FAILURES.add(1);
                     return Err(StoreError::corrupt(format!(
                         "CRC mismatch in record {}",
                         self.records
@@ -351,6 +365,12 @@ impl<R: Read> Reader<R> {
                     if !self.in_corrupt_region {
                         self.in_corrupt_region = true;
                         self.corrupt_regions += 1;
+                        // One scan per corrupt region, not one per shifted
+                        // byte: the metric counts recovery episodes.
+                        READER_RESYNC_SCANS.add(1);
+                        if matches!(frame, Frame::BadCrc) {
+                            READER_CRC_FAILURES.add(1);
+                        }
                     }
                     self.consume(1);
                     self.skipped_bytes += 1;

@@ -25,6 +25,7 @@
 //! but it is drawn from the same calibrated marginals.
 
 use std::collections::{BTreeMap, HashMap};
+use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
@@ -35,6 +36,7 @@ use rand::SeedableRng;
 
 use ripple_crypto::{AccountId, FxHashSet};
 use ripple_ledger::{Currency, Drops, LedgerState, PathSummary, PaymentRecord, RippleTime, Value};
+use ripple_obs::{span, LazyCounter, LazyGauge, LazyTimer};
 use ripple_orderbook::RateTable;
 use ripple_store::{HistoryEvent, Writer};
 
@@ -110,7 +112,10 @@ pub struct SynthBench {
     pub chunk_size: usize,
     /// Scripting workers used.
     pub workers: usize,
-    /// Encoded archive size in bytes (0 when archiving was off).
+    /// Bytes the archive encoding produced. The encoder always runs, so
+    /// this is non-zero whether or not the bytes were retained.
+    pub encoded_bytes: usize,
+    /// Retained archive size in bytes (0 when archiving was off).
     pub archive_bytes: usize,
 }
 
@@ -192,6 +197,56 @@ type EventBatch = Vec<HistoryEvent>;
 
 const BATCH_EVENTS: usize = 8192;
 
+// Stage instrumentation. Counters and histograms record logical quantities
+// that are independent of worker count and scheduling (the obs determinism
+// contract); queue depths and per-chunk times are gauges/timers.
+static SCRIPT_CHUNKS: LazyCounter = LazyCounter::new("synth.script.chunks");
+static SCRIPT_QUEUE: LazyGauge = LazyGauge::new("synth.script.queue_depth");
+static SCRIPT_CHUNK_NS: LazyTimer = LazyTimer::new("synth.script.chunk_ns");
+static EXEC_CHUNKS: LazyCounter = LazyCounter::new("synth.exec.chunks");
+static EXEC_PAYMENTS: LazyCounter = LazyCounter::new("synth.exec.payments");
+static EXEC_REORDER: LazyGauge = LazyGauge::new("synth.exec.reorder_buffer");
+static EXEC_CHUNK_NS: LazyTimer = LazyTimer::new("synth.exec.chunk_ns");
+static HOP_PROBES: LazyCounter = LazyCounter::new("synth.exec.hop_probes");
+static TRUST_ESCALATIONS: LazyCounter = LazyCounter::new("synth.exec.trust_escalations");
+static SINK_BATCHES: LazyCounter = LazyCounter::new("synth.sink.batches");
+static SINK_EVENTS: LazyCounter = LazyCounter::new("synth.sink.events");
+static SINK_ENCODED_BYTES: LazyCounter = LazyCounter::new("synth.sink.encoded_bytes");
+static SINK_QUEUE: LazyGauge = LazyGauge::new("synth.sink.queue_depth");
+static ENCODE_NS: LazyTimer = LazyTimer::new("synth.sink.encode_ns");
+static TALLY_NS: LazyTimer = LazyTimer::new("synth.sink.tally_ns");
+
+/// The encoder's byte sink: counts every encoded byte, and retains them
+/// only when the caller asked for the archive. Encoding always runs so the
+/// reported byte volume is honest either way.
+struct CountingSink {
+    bytes: usize,
+    buf: Option<Vec<u8>>,
+}
+
+impl CountingSink {
+    fn new(retain: bool) -> CountingSink {
+        CountingSink {
+            bytes: 0,
+            buf: retain.then(Vec::new),
+        }
+    }
+}
+
+impl io::Write for CountingSink {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.bytes += data.len();
+        if let Some(buf) = self.buf.as_mut() {
+            buf.extend_from_slice(data);
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
 impl Generator {
     /// Runs the three-stage pipelined generation. See the module docs for
     /// the stage layout and the determinism contract.
@@ -227,6 +282,7 @@ impl Generator {
             script_secs: f64,
             exec_secs: f64,
             sink_secs: f64,
+            encoded_bytes: usize,
             archive: Option<Vec<u8>>,
             tallies: HistoryTallies,
             events_out: Vec<HistoryEvent>,
@@ -253,11 +309,18 @@ impl Generator {
                             break;
                         }
                         let t = Instant::now();
-                        let chunk = build_chunk(config, cast, index, c, n_chunks);
-                        busy += t.elapsed().as_secs_f64();
+                        let chunk = {
+                            let _span = span("synth", "script_chunk");
+                            build_chunk(config, cast, index, c, n_chunks)
+                        };
+                        let dt = t.elapsed();
+                        busy += dt.as_secs_f64();
+                        SCRIPT_CHUNKS.add(1);
+                        SCRIPT_CHUNK_NS.record(dt);
                         if tx.send(chunk).is_err() {
                             break;
                         }
+                        SCRIPT_QUEUE.add(1);
                     }
                     busy
                 }));
@@ -270,22 +333,29 @@ impl Generator {
             let (tally_tx, tally_rx) = sync_channel::<EventBatch>(4);
             let encoder = s.spawn(move || {
                 let mut busy = 0.0f64;
-                let mut writer = archive_on.then(|| Writer::new(Vec::<u8>::new()));
+                let mut writer = Writer::new(CountingSink::new(archive_on));
                 while let Ok(batch) = sink_rx.recv() {
+                    SINK_QUEUE.add(-1);
                     let t = Instant::now();
-                    if let Some(w) = writer.as_mut() {
+                    {
+                        let _span = span("synth", "encode_batch");
                         for event in &batch {
-                            w.write(event).expect("Vec sink cannot fail");
+                            writer.write(event).expect("counting sink cannot fail");
                         }
                     }
-                    busy += t.elapsed().as_secs_f64();
+                    let dt = t.elapsed();
+                    busy += dt.as_secs_f64();
+                    ENCODE_NS.record(dt);
+                    SINK_BATCHES.add(1);
+                    SINK_EVENTS.add(batch.len() as u64);
                     if tally_tx.send(batch).is_err() {
                         break;
                     }
                 }
                 drop(tally_tx);
-                let bytes = writer.map(|w| w.finish().expect("Vec sink cannot fail"));
-                (busy, bytes)
+                let sink = writer.finish().expect("counting sink cannot fail");
+                SINK_ENCODED_BYTES.add(sink.bytes as u64);
+                (busy, sink.bytes, sink.buf)
             });
             let tally = s.spawn(move || {
                 let mut busy = 0.0f64;
@@ -294,14 +364,19 @@ impl Generator {
                 let mut arena: Vec<PaymentRecord> = Vec::new();
                 while let Ok(batch) = tally_rx.recv() {
                     let t = Instant::now();
-                    for event in &batch {
-                        if let HistoryEvent::Payment(p) = event {
-                            tallies.observe(p);
-                            arena.push(p.clone());
+                    {
+                        let _span = span("synth", "tally_batch");
+                        for event in &batch {
+                            if let HistoryEvent::Payment(p) = event {
+                                tallies.observe(p);
+                                arena.push(p.clone());
+                            }
                         }
+                        events.extend(batch);
                     }
-                    events.extend(batch);
-                    busy += t.elapsed().as_secs_f64();
+                    let dt = t.elapsed();
+                    busy += dt.as_secs_f64();
+                    TALLY_NS.record(dt);
                 }
                 (busy, tallies, events, arena)
             });
@@ -316,27 +391,41 @@ impl Generator {
             batch.append(&mut setup_events);
             while next < n_chunks {
                 let chunk = match pending.remove(&next) {
-                    Some(c) => c,
+                    Some(c) => {
+                        EXEC_REORDER.set(pending.len() as i64);
+                        c
+                    }
                     None => {
                         let c = chunk_rx.recv().expect("scripting workers outlive demand");
+                        SCRIPT_QUEUE.add(-1);
                         if c.index != next {
                             pending.insert(c.index, c);
+                            EXEC_REORDER.set(pending.len() as i64);
                             continue;
                         }
                         c
                     }
                 };
                 let t = Instant::now();
-                exec.run_chunk(&chunk, &mut batch);
-                exec_secs += t.elapsed().as_secs_f64();
+                {
+                    let _span = span("synth", "exec_chunk");
+                    exec.run_chunk(&chunk, &mut batch);
+                }
+                let dt = t.elapsed();
+                exec_secs += dt.as_secs_f64();
+                EXEC_CHUNKS.add(1);
+                EXEC_PAYMENTS.add(chunk.entries.len() as u64);
+                EXEC_CHUNK_NS.record(dt);
                 next += 1;
                 if batch.len() >= BATCH_EVENTS {
                     let full = std::mem::replace(&mut batch, Vec::with_capacity(BATCH_EVENTS));
                     sink_tx.send(full).expect("sink outlives the executor");
+                    SINK_QUEUE.add(1);
                 }
             }
             if !batch.is_empty() {
                 sink_tx.send(batch).expect("sink outlives the executor");
+                SINK_QUEUE.add(1);
             }
             drop(sink_tx);
             drop(chunk_rx);
@@ -346,7 +435,7 @@ impl Generator {
                 let busy = handle.join().expect("scripting worker panicked");
                 script_secs = script_secs.max(busy);
             }
-            let (enc_busy, bytes) = encoder.join().expect("encoder panicked");
+            let (enc_busy, encoded_bytes, bytes) = encoder.join().expect("encoder panicked");
             let (tally_busy, tallies, events_out, payment_arena) =
                 tally.join().expect("tally thread panicked");
             let snapshot = exec.snapshot.take();
@@ -354,6 +443,7 @@ impl Generator {
                 script_secs,
                 exec_secs,
                 sink_secs: enc_busy + tally_busy,
+                encoded_bytes,
                 archive: bytes,
                 tallies,
                 events_out,
@@ -381,6 +471,7 @@ impl Generator {
             chunks: n_chunks,
             chunk_size,
             workers,
+            encoded_bytes: out.encoded_bytes,
             archive_bytes: out.archive.as_ref().map_or(0, Vec::len),
         };
         PipelineRun {
@@ -734,8 +825,10 @@ pub(crate) fn apply_hop(
     amount: Value,
     now: RippleTime,
 ) {
+    HOP_PROBES.add(1);
     let capacity = state.hop_capacity(from, to, currency);
     if capacity < amount {
+        TRUST_ESCALATIONS.add(1);
         let shortfall = amount - capacity;
         if gateways.contains(&to) {
             // `from` deposits at the gateway: the gateway issues IOUs to
@@ -814,6 +907,33 @@ mod tests {
             sha512_half(one.archive.as_ref().unwrap()),
             sha512_half(four.archive.as_ref().unwrap()),
         );
+    }
+
+    #[test]
+    fn encoded_bytes_are_reported_with_and_without_archive() {
+        let config = SynthConfig {
+            seed: 15,
+            ..SynthConfig::small(800)
+        };
+        let kept = Generator::new(config.clone()).run_pipelined(&PipelineConfig {
+            workers: 2,
+            chunk_size: 512,
+            archive: true,
+        });
+        let dropped = Generator::new(config).run_pipelined(&PipelineConfig {
+            workers: 2,
+            chunk_size: 512,
+            archive: false,
+        });
+        let archive = kept.archive.as_ref().expect("archive requested");
+        assert_eq!(kept.bench.encoded_bytes, archive.len());
+        assert_eq!(kept.bench.archive_bytes, archive.len());
+        // Without --archive the encoder still runs and reports the same
+        // byte volume; it just retains nothing.
+        assert_eq!(dropped.bench.encoded_bytes, kept.bench.encoded_bytes);
+        assert!(dropped.bench.encoded_bytes > 0);
+        assert_eq!(dropped.bench.archive_bytes, 0);
+        assert!(dropped.archive.is_none());
     }
 
     #[test]

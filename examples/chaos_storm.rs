@@ -1,7 +1,8 @@
 //! E15 — fault injection and recovery: runs consensus campaigns under
 //! timed chaos schedules and reads history back through a corrupted
 //! archive, printing quorum-stall windows, rounds-to-recover, and the
-//! records salvaged.
+//! records salvaged. All tallies print from the `ripple-obs` metrics
+//! registry, which the instrumented layers populate as the campaigns run.
 //!
 //! ```text
 //! cargo run --release --example chaos_storm
@@ -11,6 +12,7 @@ use ripple_core::consensus::{ChaosCampaign, ChaosOutcome, Validator, ValidatorPr
 use ripple_core::crypto::AccountId;
 use ripple_core::ledger::RippleTime;
 use ripple_core::netsim::{FaultPlan, NodeId, SimTime};
+use ripple_core::obs::metrics;
 use ripple_core::store::{corrupt_bytes, CorruptionPlan, HistoryEvent, Reader, Writer};
 
 fn honest(n: usize) -> Vec<Validator> {
@@ -55,6 +57,7 @@ fn report(name: &str, outcome: &ChaosOutcome) {
 }
 
 fn main() {
+    metrics::set_enabled(true);
     let ms = SimTime::from_millis;
     let timeout = ms(100); // 500ms rounds
 
@@ -140,4 +143,11 @@ fn main() {
         stats.skipped_bytes,
         stats.corrupt_regions
     );
+
+    // Cross-campaign totals come from the metrics registry the consensus,
+    // netsim, and store layers populated above — no hand-kept tallies. The
+    // deterministic subset (counters + histograms) keeps this example's
+    // same-seed => byte-identical output property; timers would not.
+    println!("\n== ripple-obs metrics snapshot ==");
+    print!("{}", metrics::snapshot().deterministic_json());
 }

@@ -1,0 +1,80 @@
+//! End-to-end guarantees of the `ripple-obs` observability layer.
+//!
+//! The contract under test: the *deterministic* slice of a metrics
+//! snapshot (counters and histograms — logical quantities) is
+//! byte-identical however many scripting workers drive the pipelined
+//! generator, and an instrumented run emits spans for every pipeline
+//! stage. Gauges and timers are scheduling-dependent by design and are
+//! excluded from `deterministic_json`.
+//!
+//! The registry and the tracer are process-global, so the tests serialize
+//! on one lock and reset state at each boundary.
+
+use std::sync::Mutex;
+
+use ripple_core::obs::{metrics, trace};
+use ripple_core::synth::PipelineConfig;
+use ripple_core::{Generator, SynthConfig};
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn generate(workers: usize) {
+    let config = SynthConfig {
+        seed: 20130101,
+        ..SynthConfig::small(3_000)
+    };
+    Generator::new(config).run_pipelined(&PipelineConfig {
+        workers,
+        chunk_size: 512,
+        archive: false,
+    });
+}
+
+#[test]
+fn deterministic_snapshot_is_identical_across_worker_counts() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut docs = Vec::new();
+    for workers in [1usize, 2, 8] {
+        metrics::reset();
+        metrics::set_enabled(true);
+        generate(workers);
+        let snap = metrics::snapshot();
+        // The full snapshot must at least see the logical volume counters.
+        assert_eq!(snap.counter("synth.exec.payments"), Some(3_000));
+        assert!(snap.counter("synth.sink.encoded_bytes").unwrap_or(0) > 0);
+        assert!(snap.counter("store.writer.frames").unwrap_or(0) > 0);
+        docs.push((workers, snap.deterministic_json()));
+    }
+    metrics::set_enabled(false);
+    let (_, golden) = &docs[0];
+    assert!(golden.contains("\"schema_version\": 1"));
+    for (workers, doc) in &docs[1..] {
+        assert_eq!(
+            doc, golden,
+            "deterministic metrics must not depend on worker count ({workers} workers)"
+        );
+    }
+}
+
+#[test]
+fn instrumented_run_emits_spans_for_every_pipeline_stage() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    metrics::reset();
+    let _ = trace::drain(); // clear any prior buffer; drain() stops tracing
+    trace::enable(trace::DEFAULT_CAPACITY);
+    generate(2);
+    let events = trace::drain();
+    assert!(!events.is_empty(), "an instrumented run must produce spans");
+    for stage in ["script_chunk", "exec_chunk", "encode_batch", "tally_batch"] {
+        assert!(
+            events.iter().any(|e| e.name == stage),
+            "missing span for pipeline stage {stage}"
+        );
+    }
+    // Spans carry monotonic non-negative timestamps and real durations.
+    assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    // The exported document is chrome://tracing's trace-event shape.
+    let json = trace::to_chrome_json(&events);
+    assert!(json.starts_with("{\"traceEvents\": ["));
+    assert!(json.contains("\"ph\": \"X\""));
+}
