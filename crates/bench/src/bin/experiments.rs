@@ -3,7 +3,8 @@
 //! ```text
 //! experiments [EXPERIMENT] [--payments N] [--seed S] [--rounds R] [--shards S]
 //!             [--workers W] [--chunk C] [--serial] [--no-baseline] [--archive]
-//!             [--trace PATH] [--metrics PATH]
+//!             [--budget-secs B] [--ops N] [--trace PATH] [--metrics PATH]
+//! experiments check replay CHECK_CASE.json
 //! ```
 //!
 //! `EXPERIMENT` is one of the paper studies `fig2`, `table1`, `fig3`,
@@ -11,9 +12,17 @@
 //! the extension studies `rewards` (§IV's proposed validator-reward
 //! system), `countermeasure` (§V's wallet-splitting discussion), `unl`
 //! (UNL-overlap fork analysis), `archive` (raw parse throughput),
-//! `timeline` (payment/population trends) and `synth` (history generation
-//! only, for benchmarking the pipeline itself). `all` (the default) runs
-//! every paper study **and** every extension study, in that order.
+//! `timeline` (payment/population trends), `synth` (history generation
+//! only, for benchmarking the pipeline itself) and `check` (the
+//! `ripple-check` correctness harness: differential models plus invariant
+//! oracles, `--budget-secs` wall-clock budget, `--ops` operations per
+//! generated case). `all` (the default) runs every paper study **and**
+//! every extension study, in that order.
+//!
+//! `check` exits non-zero on any divergence and writes the shrunk,
+//! replayable counterexample to `CHECK_CASE.json`; `check replay FILE`
+//! re-executes such a document and fails unless the recorded divergence
+//! reproduces byte-for-byte (see EXPERIMENTS.md "Correctness harness").
 //!
 //! History generation runs through the pipelined parallel generator by
 //! default (`--workers` scripting threads, `--chunk` payments per chunk;
@@ -66,6 +75,7 @@ const EXTENSION_STUDIES: &[&str] = &[
     "archive",
     "timeline",
     "synth",
+    "check",
 ];
 
 /// Studies that require a generated payment history.
@@ -95,6 +105,9 @@ struct Args {
     serial: bool,
     no_baseline: bool,
     archive: bool,
+    budget_secs: u64,
+    ops: usize,
+    replay: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
 }
@@ -111,9 +124,13 @@ fn parse_args() -> Args {
         serial: false,
         no_baseline: false,
         archive: false,
+        budget_secs: 10,
+        ops: 40,
+        replay: None,
         trace: None,
         metrics: None,
     };
+    let mut positionals: Vec<String> = Vec::new();
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -156,14 +173,41 @@ fn parse_args() -> Args {
             "--serial" => args.serial = true,
             "--no-baseline" => args.no_baseline = true,
             "--archive" => args.archive = true,
+            "--budget-secs" => {
+                args.budget_secs = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--budget-secs needs a number");
+            }
+            "--ops" => {
+                args.ops = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--ops needs a number");
+            }
             "--trace" => {
                 args.trace = Some(iter.next().expect("--trace needs a path"));
             }
             "--metrics" => {
                 args.metrics = Some(iter.next().expect("--metrics needs a path"));
             }
-            other if !other.starts_with('-') => args.experiment = other.to_string(),
+            other if !other.starts_with('-') => positionals.push(other.to_string()),
             other => panic!("unknown flag {other}"),
+        }
+    }
+    match positionals.as_slice() {
+        [] => {}
+        [name] => args.experiment = name.clone(),
+        [cmd, sub, path] if cmd == "check" && sub == "replay" => {
+            args.experiment = "check".to_string();
+            args.replay = Some(path.clone());
+        }
+        other => {
+            eprintln!(
+                "unexpected arguments {other:?}; usage: experiments [EXPERIMENT] [flags] \
+                 or experiments check replay FILE"
+            );
+            std::process::exit(2);
         }
     }
     if args.experiment != "all"
@@ -183,6 +227,10 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.replay {
+        check_replay(path);
+        return;
+    }
     if args.metrics.is_some() || args.trace.is_some() {
         metrics::set_enabled(true);
     }
@@ -220,6 +268,9 @@ fn run_experiments(args: &Args) {
     }
     if wants("unl") {
         unl();
+    }
+    if wants("check") {
+        check(args);
     }
 
     let history_needed =
@@ -724,6 +775,83 @@ fn unl() {
     }
     println!("\n=> without enough UNL overlap two cliques seal different pages;");
     println!("   the paper's 'noticeable disagreement' needs straddling validators.\n");
+}
+
+fn check(args: &Args) {
+    use ripple_core::check::run::TARGETS;
+    use ripple_core::check::{run_check, CheckConfig};
+    println!("== Extension: differential + invariant correctness harness ==\n");
+    let config = CheckConfig {
+        seed: args.seed,
+        ops: args.ops,
+        budget: std::time::Duration::from_secs(args.budget_secs),
+        ..CheckConfig::default()
+    };
+    let report = run_check(&config);
+    println!(
+        "{} cases in {:.2}s (seed {}, {} ops/case, budget {}s)",
+        report.cases_run,
+        report.elapsed.as_secs_f64(),
+        args.seed,
+        args.ops,
+        args.budget_secs
+    );
+    for (name, n) in TARGETS.iter().zip(report.per_target) {
+        println!("  {name:<10} {n:>6} cases");
+    }
+    if report.clean() {
+        println!("\n=> no divergence: every engine agrees with its reference model\n");
+        return;
+    }
+    let case = &report.divergences[0];
+    println!(
+        "\nDIVERGENCE in the `{}` target (seed {}, shrunk over {} steps):",
+        case.payload.kind(),
+        case.seed,
+        report.shrink_steps
+    );
+    println!("  {}", case.divergence);
+    match std::fs::write("CHECK_CASE.json", case.to_json()) {
+        Ok(()) => {
+            eprintln!("wrote CHECK_CASE.json (reproduce: experiments check replay CHECK_CASE.json)")
+        }
+        Err(err) => eprintln!("could not write CHECK_CASE.json: {err}"),
+    }
+    std::process::exit(1);
+}
+
+/// `experiments check replay FILE`: re-executes a recorded counterexample
+/// and fails unless the divergence reproduces and the case re-serializes
+/// byte-for-byte.
+fn check_replay(path: &str) {
+    use ripple_core::check::replay_document;
+    let doc = match std::fs::read_to_string(path) {
+        Ok(doc) => doc,
+        Err(err) => {
+            eprintln!("could not read {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    let outcome = match replay_document(&doc) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("invalid case document {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    match &outcome.divergence {
+        Some(divergence) => println!("divergence reproduced:\n  {divergence}"),
+        None => println!("case ran clean: the recorded divergence no longer reproduces"),
+    }
+    println!(
+        "byte-identical re-serialization: {}",
+        if outcome.byte_identical { "yes" } else { "NO" }
+    );
+    if outcome.reproduced && outcome.byte_identical {
+        println!("replay OK");
+    } else {
+        std::process::exit(1);
+    }
 }
 
 fn countermeasure(study: &Study) -> String {

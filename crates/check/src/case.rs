@@ -1,0 +1,939 @@
+//! Replayable counterexamples: `CHECK_CASE.json` serialization, parsing,
+//! and deterministic replay.
+//!
+//! A [`CheckCase`] captures everything needed to reproduce a divergence:
+//! the case seed, the divergence description, and the full plan (op
+//! sequence, fault schedule, or corruption recipe). Serialization goes
+//! through `obs::json::JsonWriter`, which is byte-stable, so replaying a
+//! case and re-serializing it reproduces the document byte-for-byte —
+//! the property the `check replay` entry point asserts.
+//!
+//! Floating-point loss probabilities are serialized as raw IEEE-754 bits
+//! (`loss_bits`) rather than decimal text, so they round-trip exactly.
+
+use ripple_netsim::{FaultEvent, NodeId, SimTime};
+use ripple_obs::json::JsonWriter;
+
+use crate::diff::{run_book_plan, run_engine_plan, run_ledger_plan};
+use crate::explore::{run_consensus_plan, ConsensusPlan};
+use crate::gen::{BookOffer, BookPlan, CaseAmount, EnginePlan, LedgerCasePlan, Op, OpKind};
+use crate::storefuzz::{run_store_plan, StoreOp, StorePlan};
+
+/// Format version stamped into every document.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The plan behind a counterexample, one variant per differential target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CasePayload {
+    /// Ledger apply vs. `ModelLedger`.
+    Ledger(LedgerCasePlan),
+    /// Payment engine vs. max-flow oracle.
+    Engine(EnginePlan),
+    /// Order-book fill vs. naive matcher.
+    Book(BookPlan),
+    /// Consensus schedule exploration.
+    Consensus(ConsensusPlan),
+    /// Store corruption resync.
+    Store(StorePlan),
+}
+
+impl CasePayload {
+    /// The `kind` string used in the document.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CasePayload::Ledger(_) => "ledger",
+            CasePayload::Engine(_) => "engine",
+            CasePayload::Book(_) => "book",
+            CasePayload::Consensus(_) => "consensus",
+            CasePayload::Store(_) => "store",
+        }
+    }
+}
+
+/// A fully replayable counterexample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckCase {
+    /// The case seed the runner was on when the divergence surfaced.
+    pub seed: u64,
+    /// Human-readable description of the disagreement.
+    pub divergence: String,
+    /// The (shrunk) plan that reproduces it.
+    pub payload: CasePayload,
+}
+
+/// Outcome of replaying a serialized case.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Whether the replay reproduced *a* divergence.
+    pub reproduced: bool,
+    /// The divergence the replay observed, if any.
+    pub divergence: Option<String>,
+    /// Whether re-serializing the replayed case reproduced the input
+    /// document byte-for-byte.
+    pub byte_identical: bool,
+    /// The re-serialized document.
+    pub regenerated: String,
+}
+
+impl CheckCase {
+    /// Re-executes the case's plan, returning the divergence it produces
+    /// now (`None` if the disagreement no longer reproduces).
+    pub fn rerun(&self) -> Option<String> {
+        match &self.payload {
+            CasePayload::Ledger(plan) => run_ledger_plan(plan),
+            CasePayload::Engine(plan) => run_engine_plan(plan),
+            CasePayload::Book(plan) => run_book_plan(plan),
+            CasePayload::Consensus(plan) => run_consensus_plan(plan),
+            CasePayload::Store(plan) => run_store_plan(plan),
+        }
+    }
+
+    /// Serializes the case to the `CHECK_CASE.json` document format.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.field_u64("schema_version", SCHEMA_VERSION);
+        w.field_str("kind", self.payload.kind());
+        w.field_u64("seed", self.seed);
+        w.field_str("divergence", &self.divergence);
+        w.key("payload");
+        match &self.payload {
+            CasePayload::Ledger(plan) => write_ledger(&mut w, plan),
+            CasePayload::Engine(plan) => write_engine(&mut w, plan),
+            CasePayload::Book(plan) => write_book(&mut w, plan),
+            CasePayload::Consensus(plan) => write_consensus(&mut w, plan),
+            CasePayload::Store(plan) => write_store(&mut w, plan),
+        }
+        w.end_object();
+        w.finish()
+    }
+
+    /// Parses a `CHECK_CASE.json` document.
+    pub fn from_json(doc: &str) -> Result<CheckCase, String> {
+        let root = parse_json(doc)?;
+        if get_u64(&root, "schema_version")? != SCHEMA_VERSION {
+            return Err("unsupported schema_version".to_string());
+        }
+        let kind = get_str(&root, "kind")?;
+        let payload_json = get(&root, "payload")?;
+        let payload = match kind.as_str() {
+            "ledger" => CasePayload::Ledger(read_ledger(payload_json)?),
+            "engine" => CasePayload::Engine(read_engine(payload_json)?),
+            "book" => CasePayload::Book(read_book(payload_json)?),
+            "consensus" => CasePayload::Consensus(read_consensus(payload_json)?),
+            "store" => CasePayload::Store(read_store(payload_json)?),
+            other => return Err(format!("unknown case kind {other:?}")),
+        };
+        Ok(CheckCase {
+            seed: get_u64(&root, "seed")?,
+            divergence: get_str(&root, "divergence")?,
+            payload,
+        })
+    }
+}
+
+/// Parses, re-executes, and re-serializes a case document, asserting the
+/// replay is deterministic down to the bytes.
+pub fn replay_document(doc: &str) -> Result<ReplayOutcome, String> {
+    let case = CheckCase::from_json(doc)?;
+    match case.rerun() {
+        Some(divergence) => {
+            let regenerated = CheckCase {
+                divergence: divergence.clone(),
+                ..case
+            }
+            .to_json();
+            Ok(ReplayOutcome {
+                reproduced: true,
+                byte_identical: regenerated == doc,
+                divergence: Some(divergence),
+                regenerated,
+            })
+        }
+        None => Ok(ReplayOutcome {
+            reproduced: false,
+            divergence: None,
+            byte_identical: false,
+            regenerated: String::new(),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------- writing
+
+fn write_raw(w: &mut JsonWriter, name: &str, raw: i128) {
+    // i128 exceeds the writer's integer range; decimal strings round-trip
+    // exactly.
+    w.field_str(name, &raw.to_string());
+}
+
+fn write_amount(w: &mut JsonWriter, name: &str, amount: &CaseAmount) {
+    w.key(name);
+    w.begin_inline_object();
+    w.field_u64("currency", amount.currency as u64);
+    write_raw(w, "raw", amount.raw);
+    w.field_u64("issuer", amount.issuer as u64);
+    w.end_inline_object();
+}
+
+fn write_ledger(w: &mut JsonWriter, plan: &LedgerCasePlan) {
+    w.begin_object();
+    w.key("genesis");
+    w.begin_array();
+    for &drops in &plan.genesis {
+        w.value_u64(drops);
+    }
+    w.end_array();
+    w.key("ops");
+    w.begin_array();
+    for op in &plan.ops {
+        write_op(w, op);
+    }
+    w.end_array();
+    w.end_object();
+}
+
+fn write_op(w: &mut JsonWriter, op: &Op) {
+    match &op.kind {
+        OpKind::OfferCreate { .. } => w.begin_object(),
+        _ => w.begin_inline_object(),
+    }
+    w.field_u64("actor", op.actor as u64);
+    w.field_u64("fee", op.fee);
+    w.field_u64("seq_skew", op.seq_skew as u64);
+    match &op.kind {
+        OpKind::XrpPay { to, drops } => {
+            w.field_str("op", "xrp_pay");
+            w.field_u64("to", *to as u64);
+            w.field_u64("drops", *drops);
+        }
+        OpKind::IouPay {
+            to,
+            currency,
+            amount,
+            path,
+        } => {
+            w.field_str("op", "iou_pay");
+            w.field_u64("to", *to as u64);
+            w.field_u64("currency", *currency as u64);
+            write_raw(w, "amount", *amount);
+            w.key("path");
+            w.begin_array();
+            for &hop in path {
+                w.value_u64(hop as u64);
+            }
+            w.end_array();
+        }
+        OpKind::TrustSet {
+            trustee,
+            currency,
+            limit,
+        } => {
+            w.field_str("op", "trust_set");
+            w.field_u64("trustee", *trustee as u64);
+            w.field_u64("currency", *currency as u64);
+            write_raw(w, "limit", *limit);
+        }
+        OpKind::OfferCreate { gets, pays } => {
+            w.field_str("op", "offer_create");
+            write_amount(w, "gets", gets);
+            write_amount(w, "pays", pays);
+        }
+        OpKind::OfferCancel { offer_seq } => {
+            w.field_str("op", "offer_cancel");
+            w.field_u64("offer_seq", *offer_seq as u64);
+        }
+        OpKind::AccountSet { flags } => {
+            w.field_str("op", "account_set");
+            w.field_u64("flags", *flags as u64);
+        }
+    }
+    match &op.kind {
+        OpKind::OfferCreate { .. } => w.end_object(),
+        _ => w.end_inline_object(),
+    }
+}
+
+fn write_engine(w: &mut JsonWriter, plan: &EnginePlan) {
+    w.begin_object();
+    w.key("genesis");
+    w.begin_array();
+    for &drops in &plan.genesis {
+        w.value_u64(drops);
+    }
+    w.end_array();
+    w.key("trust");
+    w.begin_array();
+    for &(truster, trustee, currency, limit) in &plan.trust {
+        w.begin_inline_object();
+        w.field_u64("truster", truster as u64);
+        w.field_u64("trustee", trustee as u64);
+        w.field_u64("currency", currency as u64);
+        write_raw(w, "limit", limit);
+        w.end_inline_object();
+    }
+    w.end_array();
+    w.key("hops");
+    w.begin_array();
+    for &(from, to, currency, amount) in &plan.hops {
+        w.begin_inline_object();
+        w.field_u64("from", from as u64);
+        w.field_u64("to", to as u64);
+        w.field_u64("currency", currency as u64);
+        write_raw(w, "amount", amount);
+        w.end_inline_object();
+    }
+    w.end_array();
+    w.field_u64("sender", plan.sender as u64);
+    w.field_u64("destination", plan.destination as u64);
+    w.field_u64("currency", plan.currency as u64);
+    write_raw(w, "amount", plan.amount);
+    w.end_object();
+}
+
+fn write_book(w: &mut JsonWriter, plan: &BookPlan) {
+    w.begin_object();
+    w.key("offers");
+    w.begin_array();
+    for offer in &plan.offers {
+        w.begin_inline_object();
+        w.field_u64("owner", offer.owner as u64);
+        w.field_u64("offer_seq", offer.offer_seq as u64);
+        write_raw(w, "gets", offer.gets_raw);
+        write_raw(w, "pays", offer.pays_raw);
+        w.end_inline_object();
+    }
+    w.end_array();
+    write_raw(w, "fill", plan.fill_raw);
+    w.end_object();
+}
+
+fn write_consensus(w: &mut JsonWriter, plan: &ConsensusPlan) {
+    w.begin_object();
+    w.field_u64("validators", plan.validators as u64);
+    w.field_u64("rounds", plan.rounds);
+    w.field_u64("campaign_seed", plan.campaign_seed);
+    w.key("events");
+    w.begin_array();
+    for event in &plan.events {
+        write_fault_event(w, event);
+    }
+    w.end_array();
+    w.end_object();
+}
+
+fn write_fault_event(w: &mut JsonWriter, event: &FaultEvent) {
+    match event {
+        FaultEvent::PartitionAt { at, left, right } => {
+            w.begin_object();
+            w.field_str("event", "partition_at");
+            w.field_u64("at_ms", at.as_millis());
+            w.key("left");
+            w.begin_array();
+            for node in left {
+                w.value_u64(node.0 as u64);
+            }
+            w.end_array();
+            w.key("right");
+            w.begin_array();
+            for node in right {
+                w.value_u64(node.0 as u64);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        FaultEvent::HealAt { at } => {
+            w.begin_inline_object();
+            w.field_str("event", "heal_at");
+            w.field_u64("at_ms", at.as_millis());
+            w.end_inline_object();
+        }
+        FaultEvent::CrashAt { at, node } => {
+            w.begin_inline_object();
+            w.field_str("event", "crash_at");
+            w.field_u64("at_ms", at.as_millis());
+            w.field_u64("node", node.0 as u64);
+            w.end_inline_object();
+        }
+        FaultEvent::RestartAt { at, node } => {
+            w.begin_inline_object();
+            w.field_str("event", "restart_at");
+            w.field_u64("at_ms", at.as_millis());
+            w.field_u64("node", node.0 as u64);
+            w.end_inline_object();
+        }
+        FaultEvent::LossBurst { from, until, loss } => {
+            w.begin_inline_object();
+            w.field_str("event", "loss_burst");
+            w.field_u64("from_ms", from.as_millis());
+            w.field_u64("until_ms", until.as_millis());
+            w.field_u64("loss_bits", loss.to_bits());
+            w.end_inline_object();
+        }
+        FaultEvent::DelaySpike { from, until, extra } => {
+            w.begin_inline_object();
+            w.field_str("event", "delay_spike");
+            w.field_u64("from_ms", from.as_millis());
+            w.field_u64("until_ms", until.as_millis());
+            w.field_u64("extra_ms", extra.as_millis());
+            w.end_inline_object();
+        }
+        FaultEvent::ClockSkew { node, offset } => {
+            w.begin_inline_object();
+            w.field_str("event", "clock_skew");
+            w.field_u64("node", node.0 as u64);
+            w.field_u64("offset_ms", offset.as_millis());
+            w.end_inline_object();
+        }
+    }
+}
+
+fn write_store(w: &mut JsonWriter, plan: &StorePlan) {
+    w.begin_object();
+    w.field_u64("corpus_seed", plan.corpus_seed);
+    w.field_u64("events", plan.events as u64);
+    w.key("ops");
+    w.begin_array();
+    for op in &plan.ops {
+        w.begin_inline_object();
+        match *op {
+            StoreOp::FlipBit { offset, bit } => {
+                w.field_str("op", "flip_bit");
+                w.field_u64("offset", offset);
+                w.field_u64("bit", bit as u64);
+            }
+            StoreOp::DropRange { offset, len } => {
+                w.field_str("op", "drop_range");
+                w.field_u64("offset", offset);
+                w.field_u64("len", len);
+            }
+            StoreOp::ZeroRange { offset, len } => {
+                w.field_str("op", "zero_range");
+                w.field_u64("offset", offset);
+                w.field_u64("len", len);
+            }
+            StoreOp::TruncateAt { offset } => {
+                w.field_str("op", "truncate_at");
+                w.field_u64("offset", offset);
+            }
+        }
+        w.end_inline_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// A parsed JSON value. Numbers are integers only — the writer never
+/// emits fractional values into case documents.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Int(i128),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of document".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected byte {:?} at {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("malformed literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
+        text.parse::<i128>()
+            .map(Json::Int)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(
+                                char::from_u32(code).ok_or("unpaired surrogate in \\u escape")?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at `b`.
+                    let width = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    self.pos = start + width;
+                    let chunk = self
+                        .bytes
+                        .get(start..self.pos)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?);
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {:?}", other as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found {:?}", other as char)),
+            }
+        }
+    }
+}
+
+fn parse_json(doc: &str) -> Result<Json, String> {
+    let mut parser = Parser {
+        bytes: doc.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+fn get<'a>(json: &'a Json, key: &str) -> Result<&'a Json, String> {
+    match json {
+        Json::Obj(fields) => fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}")),
+        _ => Err(format!("expected object while reading {key:?}")),
+    }
+}
+
+fn get_u64(json: &Json, key: &str) -> Result<u64, String> {
+    match get(json, key)? {
+        Json::Int(v) if *v >= 0 && *v <= u64::MAX as i128 => Ok(*v as u64),
+        _ => Err(format!("field {key:?} is not a u64")),
+    }
+}
+
+fn get_u32(json: &Json, key: &str) -> Result<u32, String> {
+    u32::try_from(get_u64(json, key)?).map_err(|_| format!("field {key:?} overflows u32"))
+}
+
+fn get_u8(json: &Json, key: &str) -> Result<u8, String> {
+    u8::try_from(get_u64(json, key)?).map_err(|_| format!("field {key:?} overflows u8"))
+}
+
+fn get_str(json: &Json, key: &str) -> Result<String, String> {
+    match get(json, key)? {
+        Json::Str(s) => Ok(s.clone()),
+        _ => Err(format!("field {key:?} is not a string")),
+    }
+}
+
+fn get_raw(json: &Json, key: &str) -> Result<i128, String> {
+    match get(json, key)? {
+        Json::Str(s) => s
+            .parse::<i128>()
+            .map_err(|e| format!("field {key:?} is not a raw value: {e}")),
+        _ => Err(format!("field {key:?} is not a raw-value string")),
+    }
+}
+
+fn get_arr<'a>(json: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    match get(json, key)? {
+        Json::Arr(items) => Ok(items),
+        _ => Err(format!("field {key:?} is not an array")),
+    }
+}
+
+fn as_u64(json: &Json, what: &str) -> Result<u64, String> {
+    match json {
+        Json::Int(v) if *v >= 0 && *v <= u64::MAX as i128 => Ok(*v as u64),
+        _ => Err(format!("{what} element is not a u64")),
+    }
+}
+
+fn read_amount(json: &Json, key: &str) -> Result<CaseAmount, String> {
+    let obj = get(json, key)?;
+    Ok(CaseAmount {
+        currency: get_u8(obj, "currency")?,
+        raw: get_raw(obj, "raw")?,
+        issuer: get_u8(obj, "issuer")?,
+    })
+}
+
+fn read_ledger(json: &Json) -> Result<LedgerCasePlan, String> {
+    let genesis = get_arr(json, "genesis")?
+        .iter()
+        .map(|v| as_u64(v, "genesis"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let ops = get_arr(json, "ops")?
+        .iter()
+        .map(read_op)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(LedgerCasePlan { genesis, ops })
+}
+
+fn read_op(json: &Json) -> Result<Op, String> {
+    let kind = match get_str(json, "op")?.as_str() {
+        "xrp_pay" => OpKind::XrpPay {
+            to: get_u8(json, "to")?,
+            drops: get_u64(json, "drops")?,
+        },
+        "iou_pay" => OpKind::IouPay {
+            to: get_u8(json, "to")?,
+            currency: get_u8(json, "currency")?,
+            amount: get_raw(json, "amount")?,
+            path: get_arr(json, "path")?
+                .iter()
+                .map(|v| as_u64(v, "path").map(|h| h as u8))
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+        "trust_set" => OpKind::TrustSet {
+            trustee: get_u8(json, "trustee")?,
+            currency: get_u8(json, "currency")?,
+            limit: get_raw(json, "limit")?,
+        },
+        "offer_create" => OpKind::OfferCreate {
+            gets: read_amount(json, "gets")?,
+            pays: read_amount(json, "pays")?,
+        },
+        "offer_cancel" => OpKind::OfferCancel {
+            offer_seq: get_u32(json, "offer_seq")?,
+        },
+        "account_set" => OpKind::AccountSet {
+            flags: get_u32(json, "flags")?,
+        },
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    Ok(Op {
+        actor: get_u8(json, "actor")?,
+        fee: get_u64(json, "fee")?,
+        seq_skew: get_u32(json, "seq_skew")?,
+        kind,
+    })
+}
+
+fn read_engine(json: &Json) -> Result<EnginePlan, String> {
+    let genesis = get_arr(json, "genesis")?
+        .iter()
+        .map(|v| as_u64(v, "genesis"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let trust = get_arr(json, "trust")?
+        .iter()
+        .map(|entry| {
+            Ok((
+                get_u8(entry, "truster")?,
+                get_u8(entry, "trustee")?,
+                get_u8(entry, "currency")?,
+                get_raw(entry, "limit")?,
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let hops = get_arr(json, "hops")?
+        .iter()
+        .map(|entry| {
+            Ok((
+                get_u8(entry, "from")?,
+                get_u8(entry, "to")?,
+                get_u8(entry, "currency")?,
+                get_raw(entry, "amount")?,
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(EnginePlan {
+        genesis,
+        trust,
+        hops,
+        sender: get_u8(json, "sender")?,
+        destination: get_u8(json, "destination")?,
+        currency: get_u8(json, "currency")?,
+        amount: get_raw(json, "amount")?,
+    })
+}
+
+fn read_book(json: &Json) -> Result<BookPlan, String> {
+    let offers = get_arr(json, "offers")?
+        .iter()
+        .map(|entry| {
+            Ok(BookOffer {
+                owner: get_u8(entry, "owner")?,
+                offer_seq: get_u32(entry, "offer_seq")?,
+                gets_raw: get_raw(entry, "gets")?,
+                pays_raw: get_raw(entry, "pays")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(BookPlan {
+        offers,
+        fill_raw: get_raw(json, "fill")?,
+    })
+}
+
+fn read_consensus(json: &Json) -> Result<ConsensusPlan, String> {
+    let events = get_arr(json, "events")?
+        .iter()
+        .map(read_fault_event)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ConsensusPlan {
+        validators: get_u64(json, "validators")? as usize,
+        rounds: get_u64(json, "rounds")?,
+        campaign_seed: get_u64(json, "campaign_seed")?,
+        events,
+    })
+}
+
+fn read_nodes(json: &Json, key: &str) -> Result<Vec<NodeId>, String> {
+    get_arr(json, key)?
+        .iter()
+        .map(|v| as_u64(v, key).map(|n| NodeId(n as usize)))
+        .collect()
+}
+
+fn read_fault_event(json: &Json) -> Result<FaultEvent, String> {
+    let ms =
+        |key: &str| -> Result<SimTime, String> { Ok(SimTime::from_millis(get_u64(json, key)?)) };
+    Ok(match get_str(json, "event")?.as_str() {
+        "partition_at" => FaultEvent::PartitionAt {
+            at: ms("at_ms")?,
+            left: read_nodes(json, "left")?,
+            right: read_nodes(json, "right")?,
+        },
+        "heal_at" => FaultEvent::HealAt { at: ms("at_ms")? },
+        "crash_at" => FaultEvent::CrashAt {
+            at: ms("at_ms")?,
+            node: NodeId(get_u64(json, "node")? as usize),
+        },
+        "restart_at" => FaultEvent::RestartAt {
+            at: ms("at_ms")?,
+            node: NodeId(get_u64(json, "node")? as usize),
+        },
+        "loss_burst" => FaultEvent::LossBurst {
+            from: ms("from_ms")?,
+            until: ms("until_ms")?,
+            loss: f64::from_bits(get_u64(json, "loss_bits")?),
+        },
+        "delay_spike" => FaultEvent::DelaySpike {
+            from: ms("from_ms")?,
+            until: ms("until_ms")?,
+            extra: ms("extra_ms")?,
+        },
+        "clock_skew" => FaultEvent::ClockSkew {
+            node: NodeId(get_u64(json, "node")? as usize),
+            offset: ms("offset_ms")?,
+        },
+        other => return Err(format!("unknown fault event {other:?}")),
+    })
+}
+
+fn read_store(json: &Json) -> Result<StorePlan, String> {
+    let ops = get_arr(json, "ops")?
+        .iter()
+        .map(|entry| {
+            Ok(match get_str(entry, "op")?.as_str() {
+                "flip_bit" => StoreOp::FlipBit {
+                    offset: get_u64(entry, "offset")?,
+                    bit: get_u8(entry, "bit")?,
+                },
+                "drop_range" => StoreOp::DropRange {
+                    offset: get_u64(entry, "offset")?,
+                    len: get_u64(entry, "len")?,
+                },
+                "zero_range" => StoreOp::ZeroRange {
+                    offset: get_u64(entry, "offset")?,
+                    len: get_u64(entry, "len")?,
+                },
+                "truncate_at" => StoreOp::TruncateAt {
+                    offset: get_u64(entry, "offset")?,
+                },
+                other => return Err(format!("unknown store op {other:?}")),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(StorePlan {
+        corpus_seed: get_u64(json, "corpus_seed")?,
+        events: get_u64(json, "events")? as usize,
+        ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_book_plan, gen_engine_plan, gen_ledger_plan};
+    use crate::storefuzz::gen_store_plan;
+
+    #[test]
+    fn every_payload_round_trips_byte_for_byte() {
+        let cases = vec![
+            CheckCase {
+                seed: 7,
+                divergence: "unit \"quoted\" text\nwith a newline".to_string(),
+                payload: CasePayload::Ledger(gen_ledger_plan(7, 25)),
+            },
+            CheckCase {
+                seed: 8,
+                divergence: "engine".to_string(),
+                payload: CasePayload::Engine(gen_engine_plan(8)),
+            },
+            CheckCase {
+                seed: 9,
+                divergence: "book".to_string(),
+                payload: CasePayload::Book(gen_book_plan(9)),
+            },
+            CheckCase {
+                seed: 10,
+                divergence: "consensus".to_string(),
+                payload: CasePayload::Consensus(crate::explore::gen_consensus_plan(10)),
+            },
+            CheckCase {
+                seed: 11,
+                divergence: "store".to_string(),
+                payload: CasePayload::Store(gen_store_plan(11)),
+            },
+        ];
+        for case in cases {
+            let doc = case.to_json();
+            let parsed = CheckCase::from_json(&doc).expect("parse back");
+            assert_eq!(parsed, case, "structural round trip");
+            assert_eq!(parsed.to_json(), doc, "byte round trip");
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(CheckCase::from_json("").is_err());
+        assert!(CheckCase::from_json("{}").is_err());
+        assert!(CheckCase::from_json("{\"schema_version\": 1}").is_err());
+        assert!(CheckCase::from_json("not json at all").is_err());
+    }
+}

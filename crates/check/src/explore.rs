@@ -1,0 +1,91 @@
+//! Consensus schedule exploration: seed-randomized fault schedules and
+//! delivery-order perturbations, checked against the chaos campaign's
+//! no-fork invariant.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ripple_consensus::chaos::CampaignError;
+use ripple_consensus::{ChaosCampaign, Validator, ValidatorProfile};
+use ripple_netsim::{FaultEvent, FaultPlan, NodeId, SimTime};
+
+/// A replayable consensus exploration case: validator count, round count,
+/// the campaign seed, and the exact fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsensusPlan {
+    /// Number of (fully honest) validators.
+    pub validators: usize,
+    /// Consensus rounds to run.
+    pub rounds: u64,
+    /// Seed for the campaign's network randomness.
+    pub campaign_seed: u64,
+    /// The fault schedule, event by event.
+    pub events: Vec<FaultEvent>,
+}
+
+fn honest(n: usize) -> Vec<Validator> {
+    (0..n)
+        .map(|i| {
+            Validator::new(
+                i,
+                format!("v{i}"),
+                ValidatorProfile::Reliable { availability: 1.0 },
+            )
+        })
+        .collect()
+}
+
+/// Generates one exploration case: 4–7 validators, 6–10 rounds, a
+/// seed-randomized fault plan, and (with coin-flip probability) an extra
+/// delay spike and per-node clock skew to permute message delivery order.
+pub fn gen_consensus_plan(seed: u64) -> ConsensusPlan {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0455e45);
+    let validators = rng.gen_range(4usize..=7);
+    let rounds = rng.gen_range(6u64..=10);
+    let horizon = SimTime::from_millis(rounds * 500);
+    let mut plan = FaultPlan::randomized(rng.gen(), validators, horizon);
+    if rng.gen_bool(0.5) {
+        let from = rng.gen_range(0..horizon.as_millis() / 2);
+        let until = from + rng.gen_range(100..=horizon.as_millis() / 2);
+        plan = plan.delay_spike(
+            SimTime::from_millis(from),
+            SimTime::from_millis(until),
+            SimTime::from_millis(rng.gen_range(10u64..250)),
+        );
+    }
+    if rng.gen_bool(0.5) {
+        plan = plan.clock_skew(
+            NodeId(rng.gen_range(0..validators)),
+            SimTime::from_millis(rng.gen_range(1u64..200)),
+        );
+    }
+    ConsensusPlan {
+        validators,
+        rounds,
+        campaign_seed: rng.gen(),
+        events: plan.events().to_vec(),
+    }
+}
+
+/// Runs one exploration case; returns a divergence description when the
+/// campaign violates the no-fork invariant (`None` = the invariant held).
+pub fn run_consensus_plan(plan: &ConsensusPlan) -> Option<String> {
+    let faults = FaultPlan::from_events(plan.events.clone());
+    let campaign = ChaosCampaign::new(
+        honest(plan.validators),
+        faults,
+        plan.rounds,
+        plan.campaign_seed,
+    )
+    .with_iteration_timeout(SimTime::from_millis(100));
+    match campaign.run() {
+        Ok(_) => None,
+        Err(CampaignError::Fork(violation)) => Some(format!(
+            "no-fork invariant violated with {} validators over {} rounds: {violation:?}",
+            plan.validators, plan.rounds
+        )),
+        Err(other) => Some(format!(
+            "consensus campaign failed with {} validators over {} rounds: {other:?}",
+            plan.validators, plan.rounds
+        )),
+    }
+}

@@ -1,0 +1,67 @@
+//! Delta-debugging minimization for failing cases.
+
+/// Minimizes `items` with ddmin-style chunk removal: repeatedly drops
+/// contiguous chunks (halving the chunk size whenever a whole pass removes
+/// nothing) while `still_fails` keeps returning `true` for the remainder.
+///
+/// Returns the minimal failing subset and the number of candidate
+/// evaluations (shrink steps) performed. The predicate is never called on
+/// the unmodified input — callers establish that it fails before shrinking.
+pub fn ddmin<T: Clone>(items: &[T], mut still_fails: impl FnMut(&[T]) -> bool) -> (Vec<T>, u64) {
+    let mut current: Vec<T> = items.to_vec();
+    let mut steps = 0u64;
+    let mut chunk = current.len().div_ceil(2).max(1);
+    while !current.is_empty() {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            steps += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                removed_any = true;
+                // The next chunk has slid into `start`; re-test in place.
+            } else {
+                start = end;
+            }
+        }
+        if !removed_any {
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+        chunk = chunk.min(current.len().max(1));
+    }
+    (current, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolates_a_single_culprit() {
+        let items: Vec<u32> = (0..50).collect();
+        let (min, steps) = ddmin(&items, |subset| subset.contains(&37));
+        assert_eq!(min, vec![37]);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn keeps_interacting_pairs() {
+        let items: Vec<u32> = (0..32).collect();
+        let (min, _) = ddmin(&items, |s| s.contains(&3) && s.contains(&29));
+        assert_eq!(min, vec![3, 29]);
+    }
+
+    #[test]
+    fn empty_failing_subset_shrinks_to_nothing() {
+        let items = vec![1, 2, 3];
+        let (min, _) = ddmin(&items, |_| true);
+        assert!(min.is_empty());
+    }
+}

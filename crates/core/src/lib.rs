@@ -36,6 +36,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, OnceLock};
 
 pub use ripple_analytics as analytics;
+pub use ripple_check as check;
 pub use ripple_consensus as consensus;
 pub use ripple_crypto as crypto;
 pub use ripple_deanon as deanon;

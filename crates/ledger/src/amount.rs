@@ -75,9 +75,9 @@ impl Value {
         self.0 < 0
     }
 
-    /// Absolute value.
+    /// Absolute value (saturating: `|i128::MIN|` clamps to `i128::MAX`).
     pub fn abs(self) -> Value {
-        Value(self.0.abs())
+        Value(self.0.checked_abs().unwrap_or(i128::MAX))
     }
 
     /// Checked addition.
@@ -95,12 +95,38 @@ impl Value {
     /// This is how exchange rates are applied: rates are kept as integer
     /// ratios so the arithmetic stays exact and deterministic.
     ///
+    /// The product is computed as `(a/d)·n + ((a mod d)·n)/d`, which equals
+    /// the full-width `a·n/d` under truncation toward zero but keeps the
+    /// intermediate terms a factor of `den` smaller; inputs extreme enough
+    /// to overflow even the decomposed form saturate instead of panicking.
+    ///
     /// # Panics
     ///
     /// Panics if `den` is zero.
     pub fn mul_ratio(self, num: u64, den: u64) -> Value {
         assert!(den != 0, "rate denominator must be non-zero");
-        Value(self.0 * num as i128 / den as i128)
+        let (n, d) = (num as i128, den as i128);
+        let whole = self.0 / d;
+        let rem = self.0 % d;
+        // `rem·n` cannot overflow (|rem| < den ≤ 2⁶⁴, n ≤ 2⁶⁴ ⇒ < 2¹²⁸ signed
+        // range only when den is near u64::MAX; saturate for that fringe too).
+        let tail = rem.checked_mul(n).map(|t| t / d);
+        match (whole.checked_mul(n), tail) {
+            (Some(head), Some(tail)) => match head.checked_add(tail) {
+                Some(exact) => Value(exact),
+                None => Value::saturated(self.0 >= 0),
+            },
+            _ => Value::saturated(self.0 >= 0),
+        }
+    }
+
+    /// The saturation endpoint with the given sign.
+    fn saturated(positive: bool) -> Value {
+        if positive {
+            Value(i128::MAX)
+        } else {
+            Value(i128::MIN)
+        }
     }
 
     /// Rounds to the nearest multiple of 10^`exp` (ties away from zero).
@@ -127,12 +153,19 @@ impl Value {
         if shift <= 0 {
             return self;
         }
+        if shift > 38 {
+            // 10³⁹ exceeds the i128 range, so |value| < half the rounding
+            // step always: everything rounds to zero.
+            return Value::ZERO;
+        }
         let factor = 10i128.pow(shift as u32);
         let half = factor / 2;
+        // Saturate the tie-break nudge at the raw endpoints instead of
+        // overflowing; the quotient below shrinks it back into range.
         let adjusted = if self.0 >= 0 {
-            self.0 + half
+            self.0.saturating_add(half)
         } else {
-            self.0 - half
+            self.0.saturating_sub(half)
         };
         Value(adjusted / factor * factor)
     }
@@ -154,24 +187,35 @@ impl Value {
 impl std::ops::Add for Value {
     type Output = Value;
 
+    /// Saturating at the `i128` endpoints rather than panicking: ledger
+    /// amounts live far below the raw range, so a saturated sum only ever
+    /// arises from adversarial inputs — which must degrade, not abort.
     fn add(self, rhs: Value) -> Value {
-        Value(self.0 + rhs.0)
+        match self.0.checked_add(rhs.0) {
+            Some(raw) => Value(raw),
+            None => Value::saturated(self.0 >= 0),
+        }
     }
 }
 
 impl std::ops::Sub for Value {
     type Output = Value;
 
+    /// Saturating, mirroring `Add`.
     fn sub(self, rhs: Value) -> Value {
-        Value(self.0 - rhs.0)
+        match self.0.checked_sub(rhs.0) {
+            Some(raw) => Value(raw),
+            None => Value::saturated(self.0 >= 0),
+        }
     }
 }
 
 impl std::ops::Neg for Value {
     type Output = Value;
 
+    /// Saturating: `-i128::MIN` clamps to `i128::MAX`.
     fn neg(self) -> Value {
-        Value(-self.0)
+        Value(self.0.checked_neg().unwrap_or(i128::MAX))
     }
 }
 

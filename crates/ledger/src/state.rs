@@ -699,6 +699,19 @@ impl LedgerState {
                     }
                 }
                 Amount::Iou(iou) => {
+                    // The same gate order as `ripple_hop`, hoisted here so a
+                    // malformed payment is rejected before any fee or hop
+                    // accounting: currency, sign, self-payment, existence of
+                    // every account along the chain, then capacity.
+                    if iou.currency.is_xrp() {
+                        return Err(LedgerError::XrpOnTrustLine);
+                    }
+                    if !iou.value.is_positive() {
+                        return Err(LedgerError::NonPositiveAmount);
+                    }
+                    if tx.account == *destination {
+                        return Err(LedgerError::SelfPayment);
+                    }
                     let route: Vec<Vec<AccountId>> = if paths.is_empty() {
                         vec![Vec::new()]
                     } else {
@@ -711,6 +724,11 @@ impl LedgerState {
                     chain.push(tx.account);
                     chain.extend_from_slice(hops);
                     chain.push(*destination);
+                    for stop in &chain[1..] {
+                        if !self.accounts.contains_key(stop) {
+                            return Err(LedgerError::NoSuchAccount(*stop));
+                        }
+                    }
                     for pair in chain.windows(2) {
                         let capacity = self.hop_capacity(pair[0], pair[1], iou.currency);
                         if iou.value > capacity {

@@ -135,6 +135,22 @@ impl FaultPlan {
         self
     }
 
+    /// Rebuilds a plan from a list of events (e.g. a subset of
+    /// [`FaultPlan::events`] kept while shrinking a failing schedule).
+    /// Events are taken as-is — the builder-method argument checks are
+    /// not re-run, so only feed this events that came from a valid plan.
+    pub fn from_events(events: Vec<FaultEvent>) -> FaultPlan {
+        let mut discrete: Vec<usize> = (0..events.len())
+            .filter(|&i| events[i].fire_at().is_some())
+            .collect();
+        discrete.sort_by_key(|&i| events[i].fire_at().expect("filtered to discrete"));
+        FaultPlan {
+            events,
+            discrete,
+            cursor: 0,
+        }
+    }
+
     /// Schedules a two-group partition at `at`.
     #[must_use]
     pub fn partition_at(self, at: SimTime, left: Vec<NodeId>, right: Vec<NodeId>) -> FaultPlan {

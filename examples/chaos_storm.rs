@@ -8,24 +8,13 @@
 //! cargo run --release --example chaos_storm
 //! ```
 
-use ripple_core::consensus::{ChaosCampaign, ChaosOutcome, Validator, ValidatorProfile};
+use ripple_core::check::testkit::honest_validators as honest;
+use ripple_core::consensus::{ChaosCampaign, ChaosOutcome};
 use ripple_core::crypto::AccountId;
 use ripple_core::ledger::RippleTime;
 use ripple_core::netsim::{FaultPlan, NodeId, SimTime};
 use ripple_core::obs::metrics;
 use ripple_core::store::{corrupt_bytes, CorruptionPlan, HistoryEvent, Reader, Writer};
-
-fn honest(n: usize) -> Vec<Validator> {
-    (0..n)
-        .map(|i| {
-            Validator::new(
-                i,
-                format!("v{i}"),
-                ValidatorProfile::Reliable { availability: 1.0 },
-            )
-        })
-        .collect()
-}
 
 fn report(name: &str, outcome: &ChaosOutcome) {
     println!("== {name} ==");
@@ -102,8 +91,14 @@ fn main() {
     report("randomized storm (seed 42)", &outcome);
 
     // Corruption-recovering reads: damage an archive mid-stream and
-    // salvage everything outside the blast radius.
-    let events: Vec<HistoryEvent> = (0..40u8)
+    // salvage everything outside the blast radius. `RIPPLE_SMOKE=1`
+    // shrinks the archive for CI runs.
+    let archive_len: u8 = if std::env::var_os("RIPPLE_SMOKE").is_some() {
+        12
+    } else {
+        40
+    };
+    let events: Vec<HistoryEvent> = (0..archive_len)
         .map(|n| HistoryEvent::AccountCreated {
             account: AccountId::from_bytes([n; 20]),
             timestamp: RippleTime::from_seconds(n as u64),

@@ -9,6 +9,12 @@ use ripple_core::ledger::{Currency, Drops, LedgerState};
 use ripple_core::paths::{PaymentEngine, PaymentRequest};
 use ripple_core::{AccountId, Study, SynthConfig};
 
+/// `RIPPLE_SMOKE=1` shrinks the study so CI can run the example in
+/// seconds; the default scale is for humans reading the output.
+fn smoke() -> bool {
+    std::env::var_os("RIPPLE_SMOKE").is_some()
+}
+
 fn main() {
     // --- 1. The credit network of the paper's Figure 1 -------------------
     // A trusts B for 10 USD, B trusts C for 20 USD: C can pay A through B.
@@ -56,8 +62,9 @@ fn main() {
     );
 
     // --- 2. A pocket-sized study -----------------------------------------
-    println!("generating a 5k-payment synthetic history...");
-    let study = Study::generate(SynthConfig::small(5_000));
+    let payments = if smoke() { 500 } else { 5_000 };
+    println!("generating a {payments}-payment synthetic history...");
+    let study = Study::generate(SynthConfig::small(payments));
 
     println!("\ntop currencies (Figure 4 shape):");
     for (currency, count) in study.figure4().into_iter().take(5) {

@@ -11,7 +11,13 @@ use ripple_core::consensus::metrics::{persistent_actives, total_observed};
 use ripple_core::consensus::{Campaign, CollectionPeriod};
 
 fn main() {
-    let rounds = 10_000; // the real captures span ~250k rounds
+    // The real captures span ~250k rounds; `RIPPLE_SMOKE=1` cuts the
+    // simulated windows down so CI can run the example in seconds.
+    let rounds: u64 = if std::env::var_os("RIPPLE_SMOKE").is_some() {
+        600
+    } else {
+        10_000
+    };
     let seed = 7;
 
     let mut reports = Vec::new();
@@ -53,10 +59,14 @@ fn main() {
 
     // Failure injection: the paper's concern made concrete. Take two of the
     // five Ripple Labs validators offline mid-capture and watch rounds fail.
-    println!("== failure injection: R1 and R2 compromised for 2k rounds ==");
+    let outage = (rounds * 2 / 5)..(rounds * 3 / 5);
+    println!(
+        "== failure injection: R1 and R2 compromised for rounds {}..{} ==",
+        outage.start, outage.end
+    );
     let campaign = Campaign::new(CollectionPeriod::December2015.validators())
-        .with_outage(0, 4_000..6_000)
-        .with_outage(1, 4_000..6_000);
+        .with_outage(0, outage.clone())
+        .with_outage(1, outage);
     let outcome = campaign.run(rounds, seed);
     println!(
         "rounds: {} | failed (no 80% quorum): {} ({:.1}%)",

@@ -1,0 +1,178 @@
+//! Property tests for the fixed-point amount arithmetic the whole study
+//! leans on: saturation instead of panics at the `i128` endpoints,
+//! exact rate application, and the Table-I strength-rounding grid.
+
+use proptest::prelude::*;
+
+use ripple_core::deanon::{AmountResolution, CurrencyStrength};
+use ripple_core::ledger::{Currency, Drops, Value};
+
+/// The raws where arithmetic is exact (no saturation): well inside i128.
+const EXACT: std::ops::Range<i128> = -(1i128 << 100)..(1i128 << 100);
+
+#[test]
+fn endpoint_raws_never_panic() {
+    // Every public operation must degrade (saturate) at the raw endpoints,
+    // never abort: adversarial inputs reach this code through offers.
+    for raw in [i128::MIN, i128::MIN + 1, -1, 0, 1, i128::MAX - 1, i128::MAX] {
+        let v = Value::from_raw(raw);
+        let _ = v + v;
+        let _ = v - v;
+        let _ = -v;
+        let _ = v.abs();
+        let _ = v.mul_ratio(u64::MAX, 1);
+        let _ = v.mul_ratio(u64::MAX, u64::MAX);
+        let _ = v.mul_ratio(1, u64::MAX);
+        let _ = v.to_f64();
+        let _ = v.to_string();
+        for exp in -9i32..=45 {
+            let _ = v.round_to_pow10(exp);
+        }
+    }
+}
+
+#[test]
+fn saturation_is_directional() {
+    let top = Value::from_raw(i128::MAX);
+    let bottom = Value::from_raw(i128::MIN);
+    assert_eq!(top + Value::ONE, top, "positive overflow pins to MAX");
+    assert_eq!(bottom - Value::ONE, bottom, "negative overflow pins to MIN");
+    assert_eq!(-bottom, top, "negating MIN saturates to MAX");
+    assert_eq!(bottom.abs(), top);
+}
+
+#[test]
+fn giant_rounding_exponents_collapse_to_zero() {
+    // 10³⁹ exceeds every representable value, so the closest multiple is 0
+    // for any input — including the endpoints.
+    for raw in [i128::MIN, -1, 1, i128::MAX] {
+        assert_eq!(Value::from_raw(raw).round_to_pow10(39), Value::ZERO);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Addition is associative and commutative while no sum saturates.
+    #[test]
+    fn addition_associates_in_range(a in EXACT, b in EXACT, c in EXACT) {
+        let (va, vb, vc) = (Value::from_raw(a), Value::from_raw(b), Value::from_raw(c));
+        prop_assert_eq!((va + vb) + vc, va + (vb + vc));
+        prop_assert_eq!(va + vb, vb + va);
+        prop_assert_eq!(va + vb - vb, va);
+    }
+
+    /// `mul_ratio`'s decomposed form equals the full-width `a·n/d`
+    /// (truncated toward zero) whenever the latter fits in i128.
+    #[test]
+    fn mul_ratio_matches_full_width_product(
+        raw in -1_000_000_000_000_000_000i128..1_000_000_000_000_000_000,
+        num in 1u64..1_000_000_000,
+        den in 1u64..1_000_000_000,
+    ) {
+        let expect = raw * num as i128 / den as i128;
+        prop_assert_eq!(Value::from_raw(raw).mul_ratio(num, den).raw(), expect);
+    }
+
+    /// Rate application is monotone: a bigger input never buys less.
+    #[test]
+    fn mul_ratio_is_monotone(
+        a in 0i128..1_000_000_000_000_000,
+        b in 0i128..1_000_000_000_000_000,
+        num in 1u64..1_000_000, den in 1u64..1_000_000,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            Value::from_raw(lo).mul_ratio(num, den) <= Value::from_raw(hi).mul_ratio(num, den)
+        );
+    }
+
+    /// Identity and inverse-pair rates round-trip exactly.
+    #[test]
+    fn mul_ratio_identity(raw in EXACT, k in 1u64..1_000_000) {
+        let v = Value::from_raw(raw);
+        prop_assert_eq!(v.mul_ratio(k, k), v);
+        prop_assert_eq!(v.mul_ratio(1, 1), v);
+    }
+
+    /// Table-I rounding is idempotent, snaps to the grid, and its error is
+    /// at most half the grid step — for every resolution × strength cell.
+    #[test]
+    fn table1_rounding_grid_properties(raw in -1_000_000_000_000_000i128..1_000_000_000_000_000) {
+        let v = Value::from_raw(raw);
+        for resolution in AmountResolution::all() {
+            for strength in [
+                CurrencyStrength::Powerful,
+                CurrencyStrength::Medium,
+                CurrencyStrength::Weak,
+            ] {
+                let rounded = resolution.round_for(strength, v);
+                prop_assert_eq!(
+                    resolution.round_for(strength, rounded), rounded,
+                    "idempotent at {:?}/{:?}", resolution, strength
+                );
+                let exp = resolution.exponent_for(strength);
+                let step = 10i128.pow((exp + 6).max(0) as u32);
+                prop_assert_eq!(rounded.raw() % step, 0, "on the 10^{} grid", exp);
+                prop_assert!(
+                    (rounded.raw() - v.raw()).abs() * 2 <= step,
+                    "error within half a step at {:?}/{:?}", resolution, strength
+                );
+            }
+        }
+    }
+
+    /// The strength-keyed grid is exactly the per-currency grid: an
+    /// attacker who only knows "what kind of money" rounds identically.
+    #[test]
+    fn strength_rounding_matches_currency_rounding(raw in -1_000_000_000_000i128..1_000_000_000_000) {
+        let v = Value::from_raw(raw);
+        for currency in [Currency::BTC, Currency::USD, Currency::EUR, Currency::XRP, Currency::CCK] {
+            for resolution in AmountResolution::all() {
+                prop_assert_eq!(
+                    resolution.round(currency, v),
+                    resolution.round_for(CurrencyStrength::of(currency), v)
+                );
+            }
+        }
+    }
+
+    /// Coarser resolutions never sharpen: re-rounding a coarse value at the
+    /// same level is stable even when reached via the finer level first.
+    #[test]
+    fn coarse_absorbs_fine(raw in -1_000_000_000_000i128..1_000_000_000_000) {
+        let v = Value::from_raw(raw);
+        for strength in [
+            CurrencyStrength::Powerful,
+            CurrencyStrength::Medium,
+            CurrencyStrength::Weak,
+        ] {
+            let fine = AmountResolution::Maximum.round_for(strength, v);
+            let coarse = AmountResolution::Low.round_for(strength, v);
+            // Low's grid contains fine's grid (two orders coarser), so the
+            // coarse fingerprint of the fine value stays on Low's grid.
+            let via_fine = AmountResolution::Low.round_for(strength, fine);
+            let step = 10i128.pow((AmountResolution::Low.exponent_for(strength) + 6).max(0) as u32);
+            prop_assert_eq!(via_fine.raw() % step, 0);
+            prop_assert!((via_fine.raw() - coarse.raw()).abs() <= step);
+        }
+    }
+
+    /// Display/parse round-trips, including rounded fingerprint values.
+    #[test]
+    fn display_parse_round_trip(raw in -1_000_000_000_000_000i128..1_000_000_000_000_000, exp in -6i32..8) {
+        let v = Value::from_raw(raw).round_to_pow10(exp);
+        let parsed: Value = v.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    /// Drops convert into `Value` XRP units losslessly and never panic on
+    /// checked arithmetic.
+    #[test]
+    fn drops_to_value_is_exact(drops in 0u64..u64::MAX) {
+        let d = Drops::new(drops);
+        prop_assert_eq!(d.to_value().raw(), drops as i128);
+        prop_assert!(d.checked_add(Drops::new(u64::MAX)).is_none() || drops == 0);
+        prop_assert_eq!(d.checked_sub(d), Some(Drops::ZERO));
+    }
+}

@@ -1,16 +1,14 @@
 //! The de-anonymization attack end to end, against the synthetic history:
 //! observe one payment, recover the sender, unroll the profile.
 
+use ripple_core::check::testkit::study_config;
 use ripple_core::deanon::{
     sender_information_gain, CurrencyStrength, Observation, ResolutionSpec, TimeResolution,
 };
-use ripple_core::{Currency, Study, SynthConfig};
+use ripple_core::{Currency, Study};
 
 fn study() -> Study {
-    Study::generate(SynthConfig {
-        seed: 2_718,
-        ..SynthConfig::small(8_000)
-    })
+    Study::generate(study_config(2_718, 8_000))
 }
 
 #[test]

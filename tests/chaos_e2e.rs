@@ -9,34 +9,9 @@
 
 use std::collections::BTreeSet;
 
-use ripple_consensus::{ChaosCampaign, ChaosOutcome, Validator, ValidatorProfile};
+use ripple_check::testkit::{chaos_run as run, ms};
 use ripple_netsim::{FaultPlan, NodeId, SimTime};
 use ripple_store::{CorruptionPlan, HistoryEvent, Reader, Writer};
-
-fn honest(n: usize) -> Vec<Validator> {
-    (0..n)
-        .map(|i| {
-            Validator::new(
-                i,
-                format!("v{i}"),
-                ValidatorProfile::Reliable { availability: 1.0 },
-            )
-        })
-        .collect()
-}
-
-/// Runs a campaign with 100ms iterations (500ms rounds); any fork aborts
-/// the campaign with an error, so `.expect` doubles as the safety assert.
-fn run(plan: FaultPlan, rounds: u64, seed: u64) -> ChaosOutcome {
-    ChaosCampaign::new(honest(5), plan, rounds, seed)
-        .with_iteration_timeout(SimTime::from_millis(100))
-        .run()
-        .expect("no-fork invariant must hold")
-}
-
-fn ms(t: u64) -> SimTime {
-    SimTime::from_millis(t)
-}
 
 // ---------------------------------------------------------------------
 // Scenario 1: partition + heal.

@@ -3,9 +3,9 @@
 
 use std::collections::BTreeSet;
 
+use ripple_core::check::testkit::honest_validators as honest;
 use ripple_core::consensus::metrics::{persistent_actives, total_observed};
 use ripple_core::consensus::rounds::{page_hash, RoundEngine};
-use ripple_core::consensus::validator::{Validator, ValidatorProfile};
 use ripple_core::consensus::{Campaign, CollectionPeriod};
 use ripple_core::netsim::NodeId;
 
@@ -86,18 +86,6 @@ fn compromising_core_validators_halts_consensus() {
         outcome.failed_rounds < 700,
         "recovery after the outage window"
     );
-}
-
-fn honest(n: usize) -> Vec<Validator> {
-    (0..n)
-        .map(|i| {
-            Validator::new(
-                i,
-                format!("v{i}"),
-                ValidatorProfile::Reliable { availability: 1.0 },
-            )
-        })
-        .collect()
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! End-to-end pipeline tests: generate → archive → mine → reproduce every
 //! table/figure shape the paper reports.
 
+use ripple_core::check::testkit::study_config;
 use ripple_core::store::{HistoryEvent, Reader};
 use ripple_core::{Currency, Study, SynthConfig};
 
@@ -8,11 +9,10 @@ fn study() -> Study {
     // One shared mid-sized history keeps the suite fast; individual checks
     // are shape assertions, not absolute counts.
     Study::generate(SynthConfig {
-        seed: 99,
         // The full Market-Maker pool so offer-concentration shares are
         // measured against the same population as the paper's ranking.
         market_makers: 230,
-        ..SynthConfig::small(12_000)
+        ..study_config(99, 12_000)
     })
 }
 
@@ -257,21 +257,12 @@ fn offer_concentration_matches_paper() {
 
 #[test]
 fn generation_is_deterministic_across_runs() {
-    let a = Study::generate(SynthConfig {
-        seed: 123,
-        ..SynthConfig::small(1_500)
-    });
-    let b = Study::generate(SynthConfig {
-        seed: 123,
-        ..SynthConfig::small(1_500)
-    });
+    let a = Study::generate(study_config(123, 1_500));
+    let b = Study::generate(study_config(123, 1_500));
     let pa: Vec<_> = a.payments();
     let pb: Vec<_> = b.payments();
     assert_eq!(pa, pb, "same seed, same history");
-    let c = Study::generate(SynthConfig {
-        seed: 124,
-        ..SynthConfig::small(1_500)
-    });
+    let c = Study::generate(study_config(124, 1_500));
     assert_ne!(
         a.payments(),
         c.payments(),

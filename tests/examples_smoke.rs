@@ -1,0 +1,39 @@
+//! Regression guard for the examples/ binaries: each must keep compiling
+//! and exit 0 at smoke scale (`RIPPLE_SMOKE=1`). Examples are the
+//! workspace's documentation of record — a broken one is a broken doc.
+
+use std::process::Command;
+
+/// Runs `cargo run --example <name>` with the smoke knob set and asserts a
+/// clean exit. Builds share the workspace target directory, so after the
+/// first example the rest only link.
+fn run_example(name: &str) {
+    let output = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", name])
+        .env("RIPPLE_SMOKE", "1")
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(!output.stdout.is_empty(), "example {name} printed nothing");
+}
+
+#[test]
+fn quickstart_runs_clean() {
+    run_example("quickstart");
+}
+
+#[test]
+fn validator_watch_runs_clean() {
+    run_example("validator_watch");
+}
+
+#[test]
+fn chaos_storm_runs_clean() {
+    run_example("chaos_storm");
+}

@@ -5,32 +5,14 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use ripple_core::check::testkit::{acct, assert_iou_zero_sum, cast, funded_state, study_config};
 use ripple_core::ledger::{Currency, Drops, LedgerState, Value};
 use ripple_core::paths::{PaymentEngine, PaymentRequest};
-use ripple_core::{AccountId, Study, SynthConfig};
-
-/// IOUs are zero-sum: for every currency, the net positions of all accounts
-/// must cancel exactly — debt moved, never created.
-fn assert_iou_zero_sum(state: &LedgerState, currencies: &[Currency]) {
-    for &currency in currencies {
-        let mut total = Value::ZERO;
-        let accounts: Vec<AccountId> = state.accounts().map(|(id, _)| *id).collect();
-        for account in accounts {
-            total = total + state.net_position(account, currency);
-        }
-        assert!(
-            total.is_zero(),
-            "net positions in {currency} must cancel, got {total}"
-        );
-    }
-}
+use ripple_core::{AccountId, Study};
 
 #[test]
 fn generated_history_conserves_iou_value() {
-    let study = Study::generate(SynthConfig {
-        seed: 777,
-        ..SynthConfig::small(4_000)
-    });
+    let study = Study::generate(study_config(777, 4_000));
     let state = &study.output().final_state;
     assert_iou_zero_sum(
         state,
@@ -52,10 +34,7 @@ fn generated_history_conserves_xrp_supply() {
     // funded at account creation or by the treasury. Total supply is the
     // sum of all balances (no fees are burned by the generator's direct
     // transfer path).
-    let study = Study::generate(SynthConfig {
-        seed: 778,
-        ..SynthConfig::small(3_000)
-    });
+    let study = Study::generate(study_config(778, 3_000));
     let state = &study.output().final_state;
     let total: u64 = state
         .accounts()
@@ -64,10 +43,7 @@ fn generated_history_conserves_xrp_supply() {
     assert!(total > 0);
     // Re-running with the same seed gives the same supply (determinism of
     // the full monetary state, not just the records).
-    let again = Study::generate(SynthConfig {
-        seed: 778,
-        ..SynthConfig::small(3_000)
-    });
+    let again = Study::generate(study_config(778, 3_000));
     let total_again: u64 = again
         .output()
         .final_state
@@ -84,8 +60,8 @@ fn generated_history_conserves_xrp_supply() {
 fn random_payment_storm_preserves_invariants() {
     let mut rng = StdRng::seed_from_u64(4242);
     let mut state = LedgerState::new();
-    let users: Vec<AccountId> = (1..=12u8).map(|i| AccountId::from_bytes([i; 20])).collect();
-    let gateway = AccountId::from_bytes([99; 20]);
+    let users: Vec<AccountId> = cast(12);
+    let gateway = acct(99);
     state.create_account(gateway, Drops::from_xrp(10_000));
     for &u in &users {
         state.create_account(u, Drops::from_xrp(1_000));
@@ -135,15 +111,8 @@ fn random_payment_storm_preserves_invariants() {
 
 #[test]
 fn failed_payments_leave_state_identical() {
-    let mut state = LedgerState::new();
-    let (a, b, c) = (
-        AccountId::from_bytes([1; 20]),
-        AccountId::from_bytes([2; 20]),
-        AccountId::from_bytes([3; 20]),
-    );
-    for id in [a, b, c] {
-        state.create_account(id, Drops::from_xrp(100));
-    }
+    let mut state = funded_state(3, 100);
+    let (a, b, c) = (acct(1), acct(2), acct(3));
     state
         .set_trust(b, a, Currency::USD, Value::from_int(10))
         .unwrap();
@@ -176,9 +145,7 @@ proptest! {
     #[test]
     fn chain_payments_conserve_value(len in 2usize..8, amount in 1i64..500) {
         let mut state = LedgerState::new();
-        let chain: Vec<AccountId> = (0..len as u8)
-            .map(|i| AccountId::from_bytes([i + 1; 20]))
-            .collect();
+        let chain: Vec<AccountId> = (1..=len as u8).map(acct).collect();
         for &id in &chain {
             state.create_account(id, Drops::from_xrp(100));
         }
@@ -213,11 +180,8 @@ proptest! {
     /// XRP transfers conserve the drop supply exactly.
     #[test]
     fn xrp_transfers_conserve_supply(amounts in proptest::collection::vec(1u64..50_000_000, 1..20)) {
-        let mut state = LedgerState::new();
-        let a = AccountId::from_bytes([1; 20]);
-        let b = AccountId::from_bytes([2; 20]);
-        state.create_account(a, Drops::from_xrp(100));
-        state.create_account(b, Drops::from_xrp(100));
+        let mut state = funded_state(2, 100);
+        let (a, b) = (acct(1), acct(2));
         let supply = 200_000_000u64;
         for (i, amount) in amounts.iter().enumerate() {
             let (from, to) = if i % 2 == 0 { (a, b) } else { (b, a) };
