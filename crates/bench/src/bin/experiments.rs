@@ -4,6 +4,7 @@
 //! experiments [EXPERIMENT] [--payments N] [--seed S] [--rounds R] [--shards S]
 //!             [--workers W] [--chunk C] [--serial] [--no-baseline] [--archive]
 //!             [--budget-secs B] [--ops N] [--trace PATH] [--metrics PATH]
+//!             [--validators N] [--round-ms MS] [--plan FILE]
 //! experiments check replay CHECK_CASE.json
 //! ```
 //!
@@ -36,6 +37,14 @@
 //! `fig3` additionally writes `BENCH_fig3.json` — a machine-readable dump
 //! of the sharded IG engine's row metrics and throughput (see
 //! EXPERIMENTS.md §E3 for the schema).
+//!
+//! `node` (never part of `all`) spawns a live cluster of `--validators`
+//! real `ripple-node` processes on loopback TCP, executes a fault plan as
+//! OS actions (`kill -9`, socket-level partitions, restarts with state
+//! resync; `--plan FILE` for a custom schedule, `--round-ms` for the
+//! wall-clock round length), checks the no-fork invariant on the
+//! wire-reassembled rounds, and writes `BENCH_node.json` (see
+//! EXPERIMENTS.md §E16 for the schema and the plan-file grammar).
 //!
 //! `--metrics PATH` enables the `ripple-obs` metrics registry and writes a
 //! schema-versioned `RUN_METRICS.json`-style snapshot to `PATH` on exit;
@@ -78,6 +87,11 @@ const EXTENSION_STUDIES: &[&str] = &[
     "check",
 ];
 
+/// Studies that spawn live OS processes. Deliberately *not* part of
+/// `all`: a run that forks a 5-process cluster should be asked for by
+/// name (`experiments node`).
+const LIVE_STUDIES: &[&str] = &["node"];
+
 /// Studies that require a generated payment history.
 const NEEDS_HISTORY: &[&str] = &[
     "synth",
@@ -110,6 +124,9 @@ struct Args {
     replay: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
+    validators: usize,
+    round_ms: u64,
+    plan: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -129,6 +146,9 @@ fn parse_args() -> Args {
         replay: None,
         trace: None,
         metrics: None,
+        validators: 5,
+        round_ms: 500,
+        plan: None,
     };
     let mut positionals: Vec<String> = Vec::new();
     let mut iter = std::env::args().skip(1);
@@ -191,6 +211,21 @@ fn parse_args() -> Args {
             "--metrics" => {
                 args.metrics = Some(iter.next().expect("--metrics needs a path"));
             }
+            "--validators" => {
+                args.validators = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--validators needs a number");
+            }
+            "--round-ms" => {
+                args.round_ms = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--round-ms needs a number");
+            }
+            "--plan" => {
+                args.plan = Some(iter.next().expect("--plan needs a path"));
+            }
             other if !other.starts_with('-') => positionals.push(other.to_string()),
             other => panic!("unknown flag {other}"),
         }
@@ -213,12 +248,14 @@ fn parse_args() -> Args {
     if args.experiment != "all"
         && !PAPER_STUDIES.contains(&args.experiment.as_str())
         && !EXTENSION_STUDIES.contains(&args.experiment.as_str())
+        && !LIVE_STUDIES.contains(&args.experiment.as_str())
     {
         eprintln!(
-            "unknown experiment `{}`; valid: all, {}, {}",
+            "unknown experiment `{}`; valid: all, {}, {}, {}",
             args.experiment,
             PAPER_STUDIES.join(", "),
-            EXTENSION_STUDIES.join(", ")
+            EXTENSION_STUDIES.join(", "),
+            LIVE_STUDIES.join(", ")
         );
         std::process::exit(2);
     }
@@ -254,6 +291,12 @@ fn main() {
 
 fn run_experiments(args: &Args) {
     let wants = |name: &str| args.experiment == "all" || args.experiment == name;
+
+    // Live-process studies run alone (never under `all`).
+    if args.experiment == "node" {
+        node_experiment(args);
+        return;
+    }
 
     // Studies that need no payment history: the consensus simulator and
     // the static rounding grid.
@@ -757,7 +800,7 @@ fn rewards() {
             "{:>8} {:>12} {:>14.4} {:>20.3e}",
             tax_bps,
             outcome.equilibrium_validators(),
-            outcome.revenue_per_round.last().unwrap(),
+            outcome.final_revenue(),
             outcome.final_failure_prob()
         );
     }
@@ -775,6 +818,116 @@ fn unl() {
     }
     println!("\n=> without enough UNL overlap two cliques seal different pages;");
     println!("   the paper's 'noticeable disagreement' needs straddling validators.\n");
+}
+
+/// `experiments node`: a live cluster of real `ripple-node` processes on
+/// loopback TCP, with the fault plan executed as OS actions. The default
+/// plan kills one validator mid-round, restarts it, then runs a
+/// partition/heal cycle — the full robustness tour. Writes
+/// `BENCH_node.json` (schema in EXPERIMENTS.md §E16).
+fn node_experiment(args: &Args) {
+    use ripple_core::netsim::live::parse_plan;
+    use ripple_core::netsim::{FaultPlan, NodeId, SimTime};
+    use ripple_core::node::{run_cluster, ClusterConfig};
+
+    println!("== Live cluster: networked validators under OS-level faults ==\n");
+    let n = args.validators.max(2);
+    // The global --rounds default (5 000) is sized for the simulator; a
+    // wall-clock cluster defaults to a dozen rounds instead.
+    let rounds = if args.rounds == 5_000 {
+        12
+    } else {
+        args.rounds
+    };
+    let plan = match &args.plan {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|err| panic!("could not read --plan {path}: {err}"));
+            match parse_plan(&text) {
+                Ok(plan) => plan,
+                Err(err) => {
+                    eprintln!("bad --plan {path}: {err}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => {
+            // Times are in round units (sim_round_ms == round_ms below):
+            // kill one validator mid-round-2, restart it in round 4, cut
+            // {0,1} from the rest in round 6, heal in round 8.
+            let r = args.round_ms;
+            let victim = NodeId(n - 1);
+            let left: Vec<NodeId> = (0..2).map(NodeId).collect();
+            let right: Vec<NodeId> = (2..n).map(NodeId).collect();
+            FaultPlan::new()
+                .crash_at(SimTime::from_millis(2 * r + r / 2), victim)
+                .restart_at(SimTime::from_millis(4 * r), victim)
+                .partition_at(SimTime::from_millis(6 * r), left, right)
+                .heal_at(SimTime::from_millis(8 * r))
+        }
+    };
+    let cfg = ClusterConfig {
+        validators: n,
+        rounds,
+        round_ms: args.round_ms,
+        seed: args.seed,
+        plan,
+        sim_round_ms: args.round_ms,
+        bin: None,
+    };
+    println!(
+        "{} validators, {} rounds of {}ms ({} plan events)\n",
+        n,
+        rounds,
+        args.round_ms,
+        cfg.plan.events().len()
+    );
+    let report = match run_cluster(&cfg) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("cluster failed to launch: {err}");
+            eprintln!("(build the binary first: cargo build --release -p ripple-node)");
+            std::process::exit(1);
+        }
+    };
+    for line in &report.actions_log {
+        println!("  {line}");
+    }
+    let total = report.telemetry_total();
+    println!(
+        "\nrounds observed: {} | committed: {} | stalls: {}",
+        report.rounds.len(),
+        report.committed_rounds,
+        report.stalls.len()
+    );
+    println!(
+        "no fork: {} | rounds to recover: {} | recover wall ms: {}",
+        report.no_fork,
+        report
+            .rounds_to_recover
+            .map_or("never".to_string(), |r| r.to_string()),
+        report
+            .recover_wall_ms
+            .map_or("-".to_string(), |ms| ms.to_string()),
+    );
+    println!(
+        "reconnect attempts: {} | successes: {} | state resubs: {} | degraded rounds: {}",
+        total.reconnect_attempts,
+        total.reconnect_successes,
+        total.state_resubs,
+        total.degraded_rounds
+    );
+    if let Some(fork) = &report.fork {
+        println!("FORK DETECTED: {fork}");
+    }
+    match report.write_bench_json("BENCH_node.json") {
+        Ok(()) => eprintln!("wrote BENCH_node.json"),
+        Err(err) => eprintln!("could not write BENCH_node.json: {err}"),
+    }
+    if !report.no_fork {
+        std::process::exit(1);
+    }
+    println!();
 }
 
 fn check(args: &Args) {

@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 
 use ripple_ledger::{LedgerPage, LedgerState, RippleTime, Transaction};
 
-use crate::rounds::{RoundEngine, RoundOutcome};
+use crate::rounds::{RoundEngine, RoundError, RoundOutcome};
 use crate::validator::Validator;
 
 /// Seals transactions into the page chain through real consensus rounds.
@@ -94,7 +94,17 @@ impl LedgerCloser {
 
     /// Runs one consensus round over the pool and seals the agreed
     /// transactions into the next page, applying them to `state`.
-    pub fn close_round(&mut self, state: &mut LedgerState, close_time: RippleTime) -> CloseOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RoundError`] from the engine instead of panicking, so
+    /// a degraded live deployment (e.g. a closer constructed over an empty
+    /// validator set) can surface the failure and keep its pool intact.
+    pub fn close_round(
+        &mut self,
+        state: &mut LedgerState,
+        close_time: RippleTime,
+    ) -> Result<CloseOutcome, RoundError> {
         let n = self.engine.validator_count();
         // Each validator's candidate set: a gossip-coverage sample of the
         // pool.
@@ -109,10 +119,7 @@ impl LedgerCloser {
             positions.push(position);
         }
         let seed = self.rng.gen();
-        let round = self
-            .engine
-            .run_round(&positions, seed)
-            .expect("closer builds one position per validator");
+        let round = self.engine.run_round(&positions, seed)?;
 
         let committed_ids: BTreeSet<u64> = round
             .committed
@@ -134,12 +141,12 @@ impl LedgerCloser {
         }
         let page = LedgerPage::next(&self.tip, txs, close_time);
         self.tip = page.clone();
-        CloseOutcome {
+        Ok(CloseOutcome {
             page,
             round,
             applied,
             rejected,
-        }
+        })
     }
 }
 
@@ -189,11 +196,24 @@ mod tests {
     }
 
     #[test]
+    fn empty_validator_set_is_an_error_not_a_panic() {
+        let genesis = LedgerPage::genesis(RippleTime::EPOCH, 100_000_000_000_000);
+        let mut closer = LedgerCloser::new(Vec::new(), genesis, 7);
+        let mut state = LedgerState::new();
+        let err = closer
+            .close_round(&mut state, RippleTime::from_seconds(5))
+            .unwrap_err();
+        assert_eq!(err, RoundError::NoValidators);
+    }
+
+    #[test]
     fn close_seals_and_applies_transactions() {
         let (mut closer, mut state, keys, payer) = setup();
         closer.submit(payment(&keys, payer, 1, 5));
         closer.submit(payment(&keys, payer, 2, 7));
-        let outcome = closer.close_round(&mut state, RippleTime::from_seconds(5));
+        let outcome = closer
+            .close_round(&mut state, RippleTime::from_seconds(5))
+            .expect("close");
         assert_eq!(outcome.applied, 2);
         assert_eq!(outcome.rejected, 0);
         assert_eq!(outcome.page.header.sequence, 2);
@@ -215,9 +235,13 @@ mod tests {
     fn chain_links_across_closes() {
         let (mut closer, mut state, keys, payer) = setup();
         closer.submit(payment(&keys, payer, 1, 1));
-        let first = closer.close_round(&mut state, RippleTime::from_seconds(5));
+        let first = closer
+            .close_round(&mut state, RippleTime::from_seconds(5))
+            .expect("close");
         closer.submit(payment(&keys, payer, 2, 1));
-        let second = closer.close_round(&mut state, RippleTime::from_seconds(10));
+        let second = closer
+            .close_round(&mut state, RippleTime::from_seconds(10))
+            .expect("close");
         assert_eq!(second.page.header.parent_hash, first.page.hash());
         assert_eq!(second.page.header.sequence, 3);
     }
@@ -233,7 +257,9 @@ mod tests {
             closer.with_gossip_coverage(0.3)
         };
         let before = closer.pool_len();
-        let outcome = closer.close_round(&mut state, RippleTime::from_seconds(5));
+        let outcome = closer
+            .close_round(&mut state, RippleTime::from_seconds(5))
+            .expect("close");
         let consumed = outcome.applied + outcome.rejected;
         assert_eq!(closer.pool_len(), before - consumed);
         // Raise coverage; eventually the transaction commits.
@@ -241,7 +267,9 @@ mod tests {
         let mut total_applied = consumed;
         let mut t = 10;
         while total_applied == 0 && t < 100 {
-            let outcome = closer.close_round(&mut state, RippleTime::from_seconds(t));
+            let outcome = closer
+                .close_round(&mut state, RippleTime::from_seconds(t))
+                .expect("close");
             total_applied += outcome.applied;
             t += 5;
         }
@@ -254,7 +282,9 @@ mod tests {
         // Wrong sequence number: consensus can still agree on it, but the
         // ledger rejects it at application time.
         closer.submit(payment(&keys, payer, 99, 1));
-        let outcome = closer.close_round(&mut state, RippleTime::from_seconds(5));
+        let outcome = closer
+            .close_round(&mut state, RippleTime::from_seconds(5))
+            .expect("close");
         assert_eq!(outcome.applied, 0);
         assert_eq!(outcome.rejected, 1);
         assert_eq!(closer.pool_len(), 0, "consumed either way");

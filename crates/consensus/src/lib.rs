@@ -56,7 +56,10 @@ pub use chaos::{
 pub use closer::{CloseOutcome, LedgerCloser};
 pub use metrics::{ValidatorReport, ValidatorRow};
 pub use rewards::{simulate_reward_economy, EconomyConfig, EconomyOutcome, RewardPolicy};
-pub use rounds::{RoundEngine, RoundError, RoundOutcome};
+pub use rounds::{
+    page_hash, refine_position, support_required, RoundEngine, RoundError, RoundOutcome,
+    RPCA_THRESHOLDS,
+};
 pub use scenario::CollectionPeriod;
 pub use stream::{ValidationEvent, ValidationStream};
 pub use unl::{fork_sweep, run_unl_round, two_clique_unls, UnlRoundOutcome};

@@ -92,6 +92,12 @@ impl EconomyOutcome {
     pub fn final_failure_prob(&self) -> f64 {
         self.quorum_failure_prob.last().copied().unwrap_or(1.0)
     }
+
+    /// The final expected per-validator revenue per round (0.0 for an
+    /// empty trajectory — no panicking `last().unwrap()` on consumers).
+    pub fn final_revenue(&self) -> f64 {
+        self.revenue_per_round.last().copied().unwrap_or(0.0)
+    }
 }
 
 /// Probability that fewer than `ceil(0.8 n)` of `n` validators are up when
@@ -256,7 +262,7 @@ mod tests {
             operating_cost_per_round: 0.01,
         };
         let outcome = simulate_reward_economy(policy, config(), 3);
-        let final_revenue = *outcome.revenue_per_round.last().unwrap();
+        let final_revenue = outcome.final_revenue();
         // Free entry pushes per-validator revenue towards cost.
         assert!(
             final_revenue < policy.operating_cost_per_round * 2.5,

@@ -166,7 +166,7 @@ impl RoundEngine {
     }
 
     fn required(&self, threshold: f64) -> usize {
-        (threshold * self.validators.len() as f64).ceil() as usize
+        support_required(self.validators.len(), threshold)
     }
 
     /// Runs one full round from the given initial positions (one candidate
@@ -278,20 +278,7 @@ impl RoundEngine {
                 ) {
                     continue; // byzantine nodes keep their own plans
                 }
-                let mut support: HashMap<u64, usize> = HashMap::new();
-                for tx in &positions[v] {
-                    *support.entry(*tx).or_insert(0) += 1;
-                }
-                for peer_position in received[v].values() {
-                    for tx in peer_position {
-                        *support.entry(*tx).or_insert(0) += 1;
-                    }
-                }
-                next_positions[v] = support
-                    .into_iter()
-                    .filter(|&(_, count)| count >= required)
-                    .map(|(tx, _)| tx)
-                    .collect();
+                next_positions[v] = refine_position(&positions[v], received[v].values(), required);
             }
             positions = next_positions;
         }
@@ -327,7 +314,7 @@ impl RoundEngine {
         for page in validations.values() {
             *tally.entry(*page).or_insert(0) += 1;
         }
-        let quorum_needed = (self.quorum * n as f64).ceil() as usize;
+        let quorum_needed = self.quorum_needed();
         let winner = tally
             .iter()
             .max_by_key(|&(_, count)| *count)
@@ -354,7 +341,7 @@ impl RoundEngine {
 
     /// Quorum size in validators (ceil of the quorum fraction).
     pub fn quorum_needed(&self) -> usize {
-        (self.quorum * self.validators.len() as f64).ceil() as usize
+        support_required(self.validators.len(), self.quorum)
     }
 
     /// Which validators are honest (not byzantine) by profile.
@@ -364,6 +351,41 @@ impl RoundEngine {
             .map(|v| !matches!(v.profile, ValidatorProfile::Byzantine { .. }))
             .collect()
     }
+}
+
+/// One RPCA position-refinement step: keep a transaction iff enough of
+/// the UNL (the validator's own position plus its peers') proposed it.
+///
+/// This is the pure kernel of [`RoundEngine::run_round`]'s iteration
+/// update, shared with the live transport in `ripple-node` so the
+/// in-process simulator and real networked validators refine positions
+/// identically.
+pub fn refine_position<'a>(
+    own: &BTreeSet<u64>,
+    peers: impl IntoIterator<Item = &'a BTreeSet<u64>>,
+    required: usize,
+) -> BTreeSet<u64> {
+    let mut support: HashMap<u64, usize> = HashMap::new();
+    for tx in own {
+        *support.entry(*tx).or_insert(0) += 1;
+    }
+    for peer_position in peers {
+        for tx in peer_position {
+            *support.entry(*tx).or_insert(0) += 1;
+        }
+    }
+    support
+        .into_iter()
+        .filter(|&(_, count)| count >= required)
+        .map(|(tx, _)| tx)
+        .collect()
+}
+
+/// How many of `n` UNL members must propose a transaction for it to
+/// survive an iteration at `threshold` (ceil of the fraction) — also the
+/// quorum rule for the 80% validation phase.
+pub fn support_required(n: usize, threshold: f64) -> usize {
+    (threshold * n as f64).ceil() as usize
 }
 
 /// Hash of a sealed transaction set.
@@ -564,6 +586,36 @@ mod tests {
         assert_eq!(engine.network().now(), SimTime::from_millis(500));
         engine.run_round(&positions(5, &[2]), 2).unwrap();
         assert_eq!(engine.network().now(), SimTime::from_millis(1_000));
+    }
+
+    #[test]
+    fn refine_position_matches_threshold_semantics() {
+        let own: BTreeSet<u64> = [1, 2].into_iter().collect();
+        let a: BTreeSet<u64> = [1, 3].into_iter().collect();
+        let b: BTreeSet<u64> = [1].into_iter().collect();
+        let peers = [&a, &b];
+        // tx 1 has support 3, tx 2 has 1, tx 3 has 1.
+        assert_eq!(
+            refine_position(&own, peers.iter().copied(), 3),
+            [1u64].into_iter().collect()
+        );
+        assert_eq!(
+            refine_position(&own, peers.iter().copied(), 4),
+            BTreeSet::new()
+        );
+        // required = 1 keeps everything anyone proposed.
+        assert_eq!(
+            refine_position(&own, peers.iter().copied(), 1),
+            [1u64, 2, 3].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn support_required_rounds_up() {
+        assert_eq!(support_required(5, 0.50), 3);
+        assert_eq!(support_required(5, 0.80), 4);
+        assert_eq!(support_required(4, 0.80), 4);
+        assert_eq!(support_required(10, 0.55), 6);
     }
 
     #[test]

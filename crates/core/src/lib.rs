@@ -42,6 +42,7 @@ pub use ripple_crypto as crypto;
 pub use ripple_deanon as deanon;
 pub use ripple_ledger as ledger;
 pub use ripple_netsim as netsim;
+pub use ripple_node as node;
 pub use ripple_obs as obs;
 pub use ripple_orderbook as orderbook;
 pub use ripple_paths as paths;

@@ -30,10 +30,12 @@
 
 pub mod faults;
 pub mod latency;
+pub mod live;
 pub mod network;
 pub mod sim;
 
 pub use faults::{FaultEvent, FaultPlan};
 pub use latency::LatencyModel;
+pub use live::{lower, parse_plan, LiveAction, LivePlan};
 pub use network::{Delivery, DeliveryFate, Network, NodeId};
 pub use sim::{SimTime, Simulation};

@@ -1,0 +1,147 @@
+//! The live validator process.
+//!
+//! Spawned by the cluster harness (`experiments node`) or by hand:
+//!
+//! ```text
+//! ripple-node --id 0 --listen 127.0.0.1:9100 \
+//!     --peers 1:127.0.0.1:9101,2:127.0.0.1:9102 \
+//!     --validators 3 --rounds 12 --round-ms 500 \
+//!     --epoch-ms 1754700000000 --seed 7
+//! ```
+//!
+//! All validators share `--epoch-ms` (UNIX milliseconds at which round 0
+//! opens); each derives the current round from the wall clock, so a
+//! `kill -9`ed and restarted process rejoins mid-stream with no
+//! coordination. Exit status 0 once `--rounds` rounds are finalized or a
+//! control `Shutdown` frame arrives; 2 on bad usage.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use ripple_node::node::{unix_ms, Node, NodeConfig};
+use ripple_node::peer::BackoffPolicy;
+
+struct Args {
+    id: u32,
+    listen: SocketAddr,
+    peers: Vec<(u32, SocketAddr)>,
+    feed: Option<SocketAddr>,
+    validators: usize,
+    rounds: u64,
+    round_ms: u64,
+    epoch_ms: u64,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ripple-node --id N --listen ADDR [--peers ID:ADDR,...] \
+         [--feed ADDR] --validators N [--rounds N] [--round-ms MS] \
+         [--epoch-ms UNIX_MS] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_peers(s: &str) -> Vec<(u32, SocketAddr)> {
+    if s.is_empty() {
+        return Vec::new();
+    }
+    s.split(',')
+        .map(|entry| {
+            let (id, addr) = entry.split_once(':').unwrap_or_else(|| usage());
+            let id: u32 = id.parse().unwrap_or_else(|_| usage());
+            let addr: SocketAddr = addr.parse().unwrap_or_else(|_| usage());
+            (id, addr)
+        })
+        .collect()
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        id: 0,
+        listen: "127.0.0.1:0".parse().expect("literal addr"),
+        peers: Vec::new(),
+        feed: None,
+        validators: 0,
+        rounds: 12,
+        round_ms: 500,
+        epoch_ms: 0,
+        seed: 7,
+    };
+    let mut raw = std::env::args().skip(1);
+    let mut saw_validators = false;
+    while let Some(flag) = raw.next() {
+        let mut value = || raw.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--id" => args.id = value().parse().unwrap_or_else(|_| usage()),
+            "--listen" => args.listen = value().parse().unwrap_or_else(|_| usage()),
+            "--peers" => args.peers = parse_peers(&value()),
+            "--feed" => args.feed = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--validators" => {
+                args.validators = value().parse().unwrap_or_else(|_| usage());
+                saw_validators = true;
+            }
+            "--rounds" => args.rounds = value().parse().unwrap_or_else(|_| usage()),
+            "--round-ms" => args.round_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--epoch-ms" => args.epoch_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if !saw_validators {
+        args.validators = args.peers.len() + 1;
+    }
+    if args.validators == 0 || args.round_ms == 0 || args.rounds == 0 {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let epoch_ms = if args.epoch_ms == 0 {
+        // Standalone runs: open round 0 shortly after startup.
+        unix_ms() + 250
+    } else {
+        args.epoch_ms
+    };
+    let cfg = NodeConfig {
+        id: args.id,
+        listen: args.listen,
+        peers: args.peers,
+        feed: args.feed,
+        validators: args.validators,
+        rounds: args.rounds,
+        round_ms: args.round_ms,
+        epoch_ms,
+        seed: args.seed,
+        backoff: BackoffPolicy::default(),
+    };
+    let id = cfg.id;
+    let node = match Node::bind(cfg) {
+        Ok(node) => node,
+        Err(err) => {
+            eprintln!("ripple-node {id}: bind failed: {err}");
+            return ExitCode::from(1);
+        }
+    };
+    match node.run() {
+        Ok(report) => {
+            let committed = report.rounds.iter().filter(|r| r.committed).count();
+            let degraded = report.rounds.iter().filter(|r| r.degraded).count();
+            println!(
+                "ripple-node {id}: {} rounds ({committed} committed, {degraded} degraded), \
+                 {} reconnect attempts, {} state resubs",
+                report.rounds.len(),
+                report.telemetry.reconnect_attempts,
+                report.telemetry.state_resubs,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("ripple-node {id}: fatal: {err}");
+            ExitCode::from(1)
+        }
+    }
+}

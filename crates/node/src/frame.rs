@@ -1,0 +1,347 @@
+//! CRC-checked length-framed codec for the live socket transport.
+//!
+//! The wire format mirrors the store's archive framing discipline
+//! (`ripple_store::stream`), minus the file magic — a connection is a
+//! stream of frames, not a file:
+//!
+//! ```text
+//! frame := tag:u8, len:u32be, payload[len], crc32:u32be
+//! ```
+//!
+//! The CRC covers `tag + len + payload`, computed with the same IEEE
+//! CRC-32 as the archive ([`ripple_store::crc::crc32`]), so a frame
+//! damaged anywhere — including its header — fails verification.
+//!
+//! [`FrameDecoder`] is incremental: bytes arrive in whatever chunks the
+//! socket produces (`push`), and whole verified frames come out
+//! (`next_frame`). Torn reads and frames split across `read()` boundaries
+//! are the normal case, not an error. A CRC-corrupt frame triggers
+//! *resync-and-continue*: the decoder shifts forward one byte at a time
+//! until the next CRC-valid frame, exactly like the archive reader's
+//! `ReadMode::Resync`, and accounts for what it skipped in
+//! [`DecoderStats`].
+
+use ripple_store::crc::crc32;
+
+/// Frame header size: tag byte plus big-endian payload length.
+pub const HEADER_LEN: usize = 5;
+/// Frame trailer size: the CRC-32.
+pub const TRAILER_LEN: usize = 4;
+/// Maximum payload a frame may carry. A corrupt length field must never
+/// stall the decoder waiting for gigabytes that will not come.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Appends one encoded frame to `out`.
+///
+/// # Panics
+///
+/// If `payload` exceeds [`MAX_PAYLOAD`].
+pub fn encode_frame(tag: u8, payload: &[u8], out: &mut Vec<u8>) {
+    assert!(
+        payload.len() <= MAX_PAYLOAD,
+        "frame payload over cap: {} > {MAX_PAYLOAD}",
+        payload.len()
+    );
+    let start = out.len();
+    out.push(tag);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[start..]);
+    out.extend_from_slice(&crc.to_be_bytes());
+}
+
+/// One verified frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame's type tag.
+    pub tag: u8,
+    /// The frame payload.
+    pub payload: Vec<u8>,
+}
+
+/// Decoder-side damage and throughput accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecoderStats {
+    /// Verified frames produced.
+    pub frames: u64,
+    /// Frame candidates whose CRC check failed.
+    pub crc_errors: u64,
+    /// Corrupt regions crossed (one resync may skip many bytes).
+    pub resyncs: u64,
+    /// Bytes discarded while hunting for the next valid frame.
+    pub skipped_bytes: u64,
+}
+
+/// Incremental, resyncing frame decoder over an in-memory byte buffer.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted periodically).
+    pos: usize,
+    /// Inside a corrupt region: the next valid frame ends it.
+    resyncing: bool,
+    stats: DecoderStats,
+}
+
+/// Compact the consumed prefix away once it crosses this threshold.
+const COMPACT_AT: usize = 64 * 1024;
+
+impl FrameDecoder {
+    /// A decoder with an empty buffer.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends bytes received from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.pos >= COMPACT_AT {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Damage and throughput counters so far.
+    pub fn stats(&self) -> DecoderStats {
+        self.stats
+    }
+
+    /// Bytes buffered but not yet consumed (partial or unscanned input).
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Extracts the next verified frame, or `None` if the buffer holds no
+    /// complete valid frame yet. Corrupt data is skipped (shift-one-byte
+    /// resync scan, as in the archive reader) and never surfaces as a
+    /// frame.
+    pub fn next_frame(&mut self) -> Option<Frame> {
+        if !self.resyncing {
+            let rem = &self.buf[self.pos..];
+            if rem.len() < HEADER_LEN {
+                return None;
+            }
+            let len = u32::from_be_bytes([rem[1], rem[2], rem[3], rem[4]]) as usize;
+            if len <= MAX_PAYLOAD {
+                let total = HEADER_LEN + len + TRAILER_LEN;
+                if rem.len() < total {
+                    // Partial frame: more bytes are coming.
+                    return None;
+                }
+                let expect = u32::from_be_bytes([
+                    rem[total - 4],
+                    rem[total - 3],
+                    rem[total - 2],
+                    rem[total - 1],
+                ]);
+                if crc32(&rem[..HEADER_LEN + len]) == expect {
+                    let frame = Frame {
+                        tag: rem[0],
+                        payload: rem[HEADER_LEN..HEADER_LEN + len].to_vec(),
+                    };
+                    self.pos += total;
+                    self.stats.frames += 1;
+                    return Some(frame);
+                }
+                // Complete candidate, bad CRC: one corrupt frame.
+                self.stats.crc_errors += 1;
+            }
+            // Bad CRC or an implausible length field (corruption by
+            // construction — do not wait for bytes that will never come):
+            // this offset is dead, start hunting.
+            self.resyncing = true;
+            self.pos += 1;
+            self.stats.skipped_bytes += 1;
+        }
+        self.resync_scan()
+    }
+
+    /// Shift-one-byte scan for the next CRC-valid frame. Consumes bytes
+    /// that can never start a valid frame; parks (without consuming) at
+    /// the earliest offset that could still complete into one once more
+    /// bytes arrive.
+    fn resync_scan(&mut self) -> Option<Frame> {
+        let rem = &self.buf[self.pos..];
+        // Offsets past this cannot even fit a header yet.
+        let tail = rem.len().saturating_sub(HEADER_LEN - 1);
+        let mut park: Option<usize> = None;
+        let mut offset = 0usize;
+        while offset + HEADER_LEN <= rem.len() {
+            let h = &rem[offset..];
+            let len = u32::from_be_bytes([h[1], h[2], h[3], h[4]]) as usize;
+            if len <= MAX_PAYLOAD {
+                let total = HEADER_LEN + len + TRAILER_LEN;
+                if offset + total <= rem.len() {
+                    let expect = u32::from_be_bytes([
+                        h[total - 4],
+                        h[total - 3],
+                        h[total - 2],
+                        h[total - 1],
+                    ]);
+                    if crc32(&h[..HEADER_LEN + len]) == expect {
+                        let frame = Frame {
+                            tag: h[0],
+                            payload: h[HEADER_LEN..HEADER_LEN + len].to_vec(),
+                        };
+                        self.stats.skipped_bytes += offset as u64;
+                        self.stats.frames += 1;
+                        self.stats.resyncs += 1;
+                        self.resyncing = false;
+                        self.pos += offset + total;
+                        return Some(frame);
+                    }
+                } else {
+                    // Plausible but incomplete: cannot be judged until
+                    // more bytes arrive. Remember the earliest such spot
+                    // and keep scanning for a complete frame beyond it.
+                    park.get_or_insert(offset);
+                }
+            }
+            offset += 1;
+        }
+        // No complete valid frame in the buffer. Discard everything
+        // before the earliest still-plausible candidate (or all but a
+        // header's worth of tail bytes) so garbage cannot pile up.
+        let keep_from = park.unwrap_or(tail);
+        self.stats.skipped_bytes += keep_from as u64;
+        self.pos += keep_from;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_store::{corrupt_bytes, CorruptionPlan};
+
+    fn frames(n: u8) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            let payload: Vec<u8> = (0..(i as usize * 7 + 3)).map(|b| b as u8 ^ i).collect();
+            encode_frame(i, &payload, &mut out);
+        }
+        out
+    }
+
+    fn drain(dec: &mut FrameDecoder) -> Vec<Frame> {
+        let mut out = Vec::new();
+        while let Some(f) = dec.next_frame() {
+            out.push(f);
+        }
+        out
+    }
+
+    #[test]
+    fn round_trip_in_one_push() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&frames(5));
+        let got = drain(&mut dec);
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[2].tag, 2);
+        assert_eq!(dec.stats().crc_errors, 0);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn torn_reads_byte_by_byte() {
+        // The worst torn read: one byte per `read()` call.
+        let bytes = frames(4);
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &bytes {
+            dec.push(std::slice::from_ref(b));
+            got.extend(drain(&mut dec));
+        }
+        assert_eq!(got.len(), 4);
+        assert_eq!(dec.stats().skipped_bytes, 0);
+    }
+
+    #[test]
+    fn partial_frames_across_every_split_point() {
+        // Two frames split at every possible boundary must always decode
+        // to exactly the same two frames.
+        let bytes = frames(2);
+        for cut in 0..=bytes.len() {
+            let mut dec = FrameDecoder::new();
+            dec.push(&bytes[..cut]);
+            let mut got = drain(&mut dec);
+            dec.push(&bytes[cut..]);
+            got.extend(drain(&mut dec));
+            assert_eq!(got.len(), 2, "split at {cut}");
+            assert_eq!(dec.stats().crc_errors, 0, "split at {cut}");
+        }
+    }
+
+    #[test]
+    fn crc_corruption_triggers_resync_and_continue() {
+        // Flip one payload byte in the middle frame of five: the decoder
+        // must drop only that frame and keep decoding the rest.
+        let mut bytes = frames(5);
+        let f = frames(2).len(); // offset of frame 2
+        bytes[f + HEADER_LEN + 1] ^= 0xff;
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let got = drain(&mut dec);
+        assert_eq!(got.len(), 4, "one frame lost, no more");
+        assert!(got.iter().all(|fr| fr.tag != 2));
+        let stats = dec.stats();
+        assert_eq!(stats.crc_errors, 1);
+        assert_eq!(stats.resyncs, 1);
+        assert!(stats.skipped_bytes > 0);
+    }
+
+    #[test]
+    fn corrupt_length_field_does_not_stall() {
+        // Damage the length field to a huge value: the decoder must not
+        // sit waiting for 4 GiB, it must resync past the bad header.
+        let mut bytes = frames(3);
+        let f = frames(1).len();
+        bytes[f + 1] = 0xff; // most-significant length byte of frame 1
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let got = drain(&mut dec);
+        assert_eq!(got.len(), 2);
+        assert!(dec.stats().skipped_bytes > 0);
+    }
+
+    #[test]
+    fn chaos_corpora_never_panic_and_salvage_the_rest() {
+        // Reuse the store's corruption corpora: scattered bit flips plus a
+        // torn tail over a 40-frame stream. Decoding must never panic and
+        // must salvage frames outside the blast radius.
+        let clean = frames(40);
+        let len = clean.len() as u64;
+        for seed in 0..20u64 {
+            let plan =
+                CorruptionPlan::scattered_flips(seed, 4, len / 4, 3 * len / 4).truncate_at(len - 7);
+            let damaged = corrupt_bytes(&clean, &plan);
+            let mut dec = FrameDecoder::new();
+            // Feed in ragged chunks to combine corruption with torn reads.
+            for chunk in damaged.chunks(11) {
+                dec.push(chunk);
+            }
+            let got = drain(&mut dec);
+            assert!(got.len() >= 8, "seed {seed}: salvaged only {}", got.len());
+            assert!(got.len() < 40, "seed {seed}: corruption must cost frames");
+            let stats = dec.stats();
+            assert_eq!(stats.frames, got.len() as u64);
+            assert!(stats.crc_errors >= 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pure_garbage_yields_nothing() {
+        let mut dec = FrameDecoder::new();
+        let junk: Vec<u8> = (0..4096u32).map(|i| (i * 37 % 251) as u8).collect();
+        dec.push(&junk);
+        assert!(drain(&mut dec).is_empty());
+        assert_eq!(dec.stats().frames, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame payload over cap")]
+    fn oversize_payload_rejected_at_encode() {
+        let mut out = Vec::new();
+        encode_frame(0, &vec![0u8; MAX_PAYLOAD + 1], &mut out);
+    }
+}

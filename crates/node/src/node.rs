@@ -1,0 +1,828 @@
+//! A live networked validator: wall-clock RPCA rounds over supervised
+//! TCP links.
+//!
+//! The node runs a single-threaded event loop (see [`crate::poll`]) and
+//! drives the same position-refinement kernel as the in-process simulator
+//! ([`ripple_consensus::refine_position`]), but over real sockets with
+//! real failures. Rounds are anchored to a wall-clock epoch shared by the
+//! whole cluster: round `r` spans
+//! `[epoch + r·round_ms, epoch + (r+1)·round_ms)`, split into the four
+//! proposal iterations plus the validation phase. Because the epoch rides
+//! on the command line, a validator that is `kill -9`ed and restarted
+//! recomputes the current round from the clock and rejoins mid-stream —
+//! no coordination required.
+//!
+//! Robustness behaviours, per the supervision layer ([`crate::peer`]):
+//!
+//! * a validator below quorum connectivity keeps proposing, flagging its
+//!   rounds *degraded* instead of crashing or stalling;
+//! * every (re)connected validator link is immediately asked for the
+//!   peer's committed tip ([`WireMsg::StateRequest`]) — state
+//!   resubscription instead of a blind restart;
+//! * control-plane bans implement socket-level partitions: links are
+//!   dropped and refused until the heal.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use ripple_consensus::{page_hash, refine_position, support_required, RPCA_THRESHOLDS};
+use ripple_crypto::Digest256;
+use ripple_obs::LazyCounter;
+
+use crate::frame::{DecoderStats, FrameDecoder};
+use crate::peer::{BackoffPolicy, Supervisor};
+use crate::poll::{drain_into, probe, try_accept, Drained, Poller, Probe};
+use crate::wire::{LinkKind, Telemetry, WireMsg};
+
+static RECONNECT_ATTEMPTS: LazyCounter = LazyCounter::new("node.reconnect.attempts");
+static RECONNECT_SUCCESSES: LazyCounter = LazyCounter::new("node.reconnect.successes");
+static BACKOFF_MS: LazyCounter = LazyCounter::new("node.backoff.ms_total");
+static FRAMES_SENT: LazyCounter = LazyCounter::new("node.frames.sent");
+static FRAMES_RECEIVED: LazyCounter = LazyCounter::new("node.frames.received");
+static CRC_ERRORS: LazyCounter = LazyCounter::new("node.frames.crc_errors");
+static RESYNCS: LazyCounter = LazyCounter::new("node.frames.resyncs");
+static STATE_RESUBS: LazyCounter = LazyCounter::new("node.state.resubs");
+static ROUNDS_COMMITTED: LazyCounter = LazyCounter::new("node.rounds.committed");
+static ROUNDS_DEGRADED: LazyCounter = LazyCounter::new("node.rounds.degraded");
+static HEARTBEATS_SENT: LazyCounter = LazyCounter::new("node.heartbeats.sent");
+
+/// The supervisor link id used for the harness feed connection.
+pub const FEED_ID: u32 = u32::MAX;
+
+/// Number of wall-clock phases per round: the RPCA proposal iterations
+/// plus the validation phase (mirrors `RoundEngine::round_duration`).
+pub const PHASES: u64 = RPCA_THRESHOLDS.len() as u64 + 1;
+
+/// Everything a validator needs to join a cluster.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This validator's id (0-based, dense).
+    pub id: u32,
+    /// Address to listen on for inbound links.
+    pub listen: SocketAddr,
+    /// The other validators: `(id, address)`.
+    pub peers: Vec<(u32, SocketAddr)>,
+    /// The harness feed address, if reporting is wanted.
+    pub feed: Option<SocketAddr>,
+    /// Total validator count (self included).
+    pub validators: usize,
+    /// Stop after finalizing this many rounds (round indices `0..rounds`).
+    pub rounds: u64,
+    /// Wall-clock round length in milliseconds (divided into [`PHASES`]).
+    pub round_ms: u64,
+    /// UNIX-epoch milliseconds at which round 0 begins.
+    pub epoch_ms: u64,
+    /// Seed for deterministic backoff jitter.
+    pub seed: u64,
+    /// Reconnect backoff shape.
+    pub backoff: BackoffPolicy,
+}
+
+impl NodeConfig {
+    fn quorum_needed(&self) -> usize {
+        support_required(self.validators, 0.8)
+    }
+
+    fn phase_ms(&self) -> u64 {
+        (self.round_ms / PHASES).max(1)
+    }
+}
+
+/// One finalized round, as this validator saw it.
+#[derive(Debug, Clone)]
+pub struct LocalRound {
+    /// Round index.
+    pub round: u64,
+    /// The page this validator sealed.
+    pub page: Digest256,
+    /// Whether a single page reached quorum in this validator's view.
+    pub committed: bool,
+    /// Agreement on the winning page, in thousandths of the UNL.
+    pub agreement_milli: u32,
+    /// Whether the round ran below quorum connectivity.
+    pub degraded: bool,
+    /// Connected validator links when the round sealed.
+    pub connected: u32,
+}
+
+/// What a finished (or shut down) node hands back.
+#[derive(Debug)]
+pub struct NodeReport {
+    /// The validator id.
+    pub id: u32,
+    /// Every round finalized locally.
+    pub rounds: Vec<LocalRound>,
+    /// Final transport/supervision counters.
+    pub telemetry: Telemetry,
+}
+
+/// A socket paired with its frame decoder and damage accounting.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    counted: DecoderStats,
+    /// Which peer this is, once its Hello arrives (inbound only).
+    peer: Option<u32>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            counted: DecoderStats::default(),
+            peer: None,
+        }
+    }
+
+    /// Adds this connection's decoder-stat deltas to the node totals.
+    fn harvest(&mut self, telemetry: &mut Telemetry) {
+        let s = self.decoder.stats();
+        telemetry.frames_received += s.frames - self.counted.frames;
+        telemetry.crc_errors += s.crc_errors - self.counted.crc_errors;
+        telemetry.resyncs += s.resyncs - self.counted.resyncs;
+        self.counted = s;
+    }
+}
+
+/// Writes one frame, spinning briefly through `WouldBlock` so transient
+/// kernel-buffer pressure does not tear a frame mid-write.
+fn write_frame(stream: &mut TcpStream, bytes: &[u8]) -> io::Result<()> {
+    let mut off = 0usize;
+    let mut spins = 0u32;
+    while off < bytes.len() {
+        match stream.write(&bytes[off..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => off += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock && spins < 50 => {
+                spins += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Milliseconds since the UNIX epoch, the clock rounds are anchored to.
+pub fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// The live validator.
+pub struct Node {
+    cfg: NodeConfig,
+    listener: TcpListener,
+    inbound: Vec<Conn>,
+    /// Connected outbound links by peer id (validators plus [`FEED_ID`]).
+    outbound: HashMap<u32, Conn>,
+    supervisor: Supervisor,
+    poller: Poller,
+    banned: HashSet<u32>,
+    /// `(round, iteration) → proposer → position`.
+    proposals: HashMap<(u64, u8), HashMap<u32, BTreeSet<u64>>>,
+    /// `round → validator → page`.
+    validations: HashMap<u64, HashMap<u32, Digest256>>,
+    position: BTreeSet<u64>,
+    /// `(round, phase)` most recently entered.
+    slot: Option<(u64, u8)>,
+    last_committed: Option<(u64, Digest256)>,
+    rounds_done: Vec<LocalRound>,
+    telemetry: Telemetry,
+    /// Telemetry already mirrored into the obs registry.
+    mirrored: Telemetry,
+    shutdown: bool,
+}
+
+impl Node {
+    /// Binds the listen socket and prepares the event loop.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding `cfg.listen`.
+    pub fn bind(cfg: NodeConfig) -> io::Result<Node> {
+        let listener = TcpListener::bind(cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let mut ids: Vec<u32> = cfg.peers.iter().map(|&(id, _)| id).collect();
+        if cfg.feed.is_some() {
+            ids.push(FEED_ID);
+        }
+        let heartbeat = Duration::from_millis((cfg.round_ms / 2).max(20));
+        let supervisor = Supervisor::new(
+            ids,
+            cfg.backoff,
+            cfg.seed ^ u64::from(cfg.id),
+            heartbeat,
+            Instant::now(),
+        );
+        Ok(Node {
+            cfg,
+            listener,
+            inbound: Vec::new(),
+            outbound: HashMap::new(),
+            supervisor,
+            poller: Poller::default(),
+            banned: HashSet::new(),
+            proposals: HashMap::new(),
+            validations: HashMap::new(),
+            position: BTreeSet::new(),
+            slot: None,
+            last_committed: None,
+            rounds_done: Vec::new(),
+            telemetry: Telemetry::default(),
+            mirrored: Telemetry::default(),
+            shutdown: false,
+        })
+    }
+
+    /// The actual bound listen address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the socket.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the event loop until `cfg.rounds` rounds are finalized or a
+    /// control shutdown arrives. Never panics on transport failures —
+    /// connections come and go, the loop endures.
+    ///
+    /// # Errors
+    ///
+    /// Only fatal local I/O (the listener dying) surfaces as `Err`.
+    pub fn run(mut self) -> io::Result<NodeReport> {
+        loop {
+            let now_ms = unix_ms();
+            if now_ms < self.cfg.epoch_ms {
+                let wait = (self.cfg.epoch_ms - now_ms).min(50);
+                std::thread::sleep(Duration::from_millis(wait));
+                continue;
+            }
+            self.advance_rounds(now_ms);
+            if self.finished() {
+                break;
+            }
+
+            let mut activity = false;
+            activity |= self.accept_new();
+            activity |= self.pump_inbound();
+            activity |= self.pump_outbound();
+            self.dial_due();
+            self.heartbeat();
+            if self.shutdown {
+                break;
+            }
+            if !activity {
+                self.poller.idle_wait();
+            }
+        }
+        let counters = self.full_telemetry();
+        self.send_feed(&WireMsg::TelemetryReport {
+            from: self.cfg.id,
+            counters,
+        });
+        self.mirror_metrics();
+        let telemetry = self.telemetry_snapshot();
+        Ok(NodeReport {
+            id: self.cfg.id,
+            rounds: self.rounds_done,
+            telemetry,
+        })
+    }
+
+    fn finished(&self) -> bool {
+        self.rounds_done
+            .last()
+            .map(|r| r.round + 1 >= self.cfg.rounds)
+            .unwrap_or(false)
+    }
+
+    fn telemetry_snapshot(&self) -> Telemetry {
+        let sup = self.supervisor.telemetry();
+        let mut t = self.telemetry;
+        t.reconnect_attempts = sup.reconnect_attempts;
+        t.reconnect_successes = sup.reconnect_successes;
+        t.backoff_ms_total = sup.backoff_ms_total;
+        t
+    }
+
+    fn full_telemetry(&mut self) -> Telemetry {
+        // Fold in decoder stats that have not been harvested yet.
+        let mut t = {
+            let mut sum = Telemetry::default();
+            for conn in &mut self.inbound {
+                conn.harvest(&mut sum);
+            }
+            for conn in self.outbound.values_mut() {
+                conn.harvest(&mut sum);
+            }
+            sum
+        };
+        self.telemetry.frames_received += t.frames_received;
+        self.telemetry.crc_errors += t.crc_errors;
+        self.telemetry.resyncs += t.resyncs;
+        t = self.telemetry_snapshot();
+        t
+    }
+
+    /// Mirrors telemetry deltas into the obs metrics registry.
+    fn mirror_metrics(&mut self) {
+        let t = self.telemetry_snapshot();
+        let m = self.mirrored;
+        RECONNECT_ATTEMPTS.add(t.reconnect_attempts - m.reconnect_attempts);
+        RECONNECT_SUCCESSES.add(t.reconnect_successes - m.reconnect_successes);
+        BACKOFF_MS.add(t.backoff_ms_total - m.backoff_ms_total);
+        FRAMES_SENT.add(t.frames_sent - m.frames_sent);
+        FRAMES_RECEIVED.add(t.frames_received - m.frames_received);
+        CRC_ERRORS.add(t.crc_errors - m.crc_errors);
+        RESYNCS.add(t.resyncs - m.resyncs);
+        STATE_RESUBS.add(t.state_resubs - m.state_resubs);
+        HEARTBEATS_SENT.add(t.heartbeats_sent - m.heartbeats_sent);
+        self.mirrored = t;
+    }
+
+    // -- round machinery ----------------------------------------------------
+
+    fn slot_at(&self, now_ms: u64) -> (u64, u8) {
+        let t = now_ms - self.cfg.epoch_ms;
+        let round = t / self.cfg.round_ms;
+        let phase = ((t % self.cfg.round_ms) / self.cfg.phase_ms()).min(PHASES - 1) as u8;
+        (round, phase)
+    }
+
+    fn advance_rounds(&mut self, now_ms: u64) {
+        let target = self.slot_at(now_ms);
+        let mut cur = match self.slot {
+            // First tick (fresh start or post-restart): join the current
+            // slot without replaying history.
+            None => {
+                self.slot = Some(target);
+                self.enter_slot(target);
+                return;
+            }
+            Some(cur) => cur,
+        };
+        let mut steps = 0u32;
+        while cur < target {
+            // Step through every slot so no phase transition is skipped
+            // when a tick runs long; if the loop stalled catastrophically
+            // (debugger, VM pause), jump instead of replaying hours.
+            steps += 1;
+            if steps > 4 * PHASES as u32 {
+                cur = target;
+            } else {
+                cur = if u64::from(cur.1) + 1 < PHASES {
+                    (cur.0, cur.1 + 1)
+                } else {
+                    (cur.0 + 1, 0)
+                };
+            }
+            self.slot = Some(cur);
+            self.enter_slot(cur);
+            if self.finished() {
+                return;
+            }
+        }
+    }
+
+    /// The deterministic candidate set for a round: a shared base every
+    /// validator derives from the round index, plus one transaction
+    /// unique to this validator (which the 50% threshold strips — the
+    /// same convergence shape the simulator tests use).
+    fn candidate(&self, round: u64) -> BTreeSet<u64> {
+        let base = round * 1_000;
+        let mut set: BTreeSet<u64> = (1..=3).map(|k| base + k).collect();
+        set.insert(base + 100 + u64::from(self.cfg.id));
+        set
+    }
+
+    fn enter_slot(&mut self, (round, phase): (u64, u8)) {
+        if phase == 0 {
+            if let Some(prev) = round.checked_sub(1) {
+                // Seal the previous round if we took part in it.
+                if self
+                    .rounds_done
+                    .last()
+                    .map(|r| r.round < prev)
+                    .unwrap_or(true)
+                    && self.validations.contains_key(&prev)
+                {
+                    self.finalize(prev);
+                }
+            }
+            self.position = self.candidate(round);
+        } else {
+            // Refine using the proposals of the previous iteration.
+            let iteration = phase - 1;
+            let required =
+                support_required(self.cfg.validators, RPCA_THRESHOLDS[iteration as usize]);
+            let peers = self
+                .proposals
+                .remove(&(round, iteration))
+                .unwrap_or_default();
+            self.position = refine_position(&self.position, peers.values(), required);
+        }
+
+        if u64::from(phase) < PHASES - 1 {
+            self.broadcast(&WireMsg::Proposal {
+                from: self.cfg.id,
+                round,
+                iteration: phase,
+                txs: self.position.clone(),
+            });
+        } else {
+            // Validation phase: seal and announce the page.
+            let page = page_hash(&self.position);
+            self.validations
+                .entry(round)
+                .or_default()
+                .insert(self.cfg.id, page);
+            self.broadcast(&WireMsg::Validation {
+                from: self.cfg.id,
+                round,
+                page,
+            });
+        }
+    }
+
+    fn connected_peers(&self) -> u32 {
+        self.cfg
+            .peers
+            .iter()
+            .filter(|&&(id, _)| self.supervisor.is_connected(id))
+            .count() as u32
+    }
+
+    fn finalize(&mut self, round: u64) {
+        let validations = self.validations.remove(&round).unwrap_or_default();
+        let n = self.cfg.validators.max(1);
+        let own_page = validations
+            .get(&self.cfg.id)
+            .copied()
+            .unwrap_or_else(|| page_hash(&BTreeSet::new()));
+        let mut tally: HashMap<Digest256, usize> = HashMap::new();
+        for page in validations.values() {
+            *tally.entry(*page).or_insert(0) += 1;
+        }
+        let winner = tally.iter().max_by_key(|&(_, c)| *c);
+        let (committed, agreement_milli) = match winner {
+            Some((&page, &count)) if count >= self.cfg.quorum_needed() => {
+                self.last_committed = Some((round, page));
+                (true, (count * 1_000 / n) as u32)
+            }
+            Some((_, &count)) => (false, (count * 1_000 / n) as u32),
+            None => (false, 0),
+        };
+        let connected = self.connected_peers();
+        let degraded = (connected as usize + 1) < self.cfg.quorum_needed();
+        if degraded {
+            self.telemetry.degraded_rounds += 1;
+            ROUNDS_DEGRADED.add(1);
+        }
+        if committed {
+            ROUNDS_COMMITTED.add(1);
+        }
+        let local = LocalRound {
+            round,
+            page: own_page,
+            committed,
+            agreement_milli,
+            degraded,
+            connected,
+        };
+        self.send_feed(&WireMsg::RoundReport {
+            from: self.cfg.id,
+            round,
+            page: own_page,
+            committed,
+            agreement_milli,
+            degraded,
+            connected,
+        });
+        let counters = self.full_telemetry();
+        self.send_feed(&WireMsg::TelemetryReport {
+            from: self.cfg.id,
+            counters,
+        });
+        self.mirror_metrics();
+        self.rounds_done.push(local);
+        // Prune stale per-round state.
+        self.proposals.retain(|&(r, _), _| r + 2 > round);
+        self.validations.retain(|&r, _| r + 2 > round);
+    }
+
+    // -- transport ----------------------------------------------------------
+
+    fn accept_new(&mut self) -> bool {
+        let mut any = false;
+        while let Some(stream) = try_accept(&self.listener) {
+            let _ = stream.set_nodelay(true);
+            self.inbound.push(Conn::new(stream));
+            any = true;
+        }
+        any
+    }
+
+    fn pump_inbound(&mut self) -> bool {
+        let mut any = false;
+        let mut i = 0;
+        while i < self.inbound.len() {
+            // Drop links whose peer was banned since the last pass.
+            if self.inbound[i]
+                .peer
+                .map(|p| self.banned.contains(&p))
+                .unwrap_or(false)
+            {
+                self.inbound.swap_remove(i);
+                continue;
+            }
+            let up = match probe(&self.inbound[i].stream) {
+                Probe::Idle => true,
+                Probe::Closed => false,
+                Probe::Data => {
+                    any = true;
+                    let drained = {
+                        let conn = &mut self.inbound[i];
+                        let d = drain_into(&mut conn.stream, &mut conn.decoder);
+                        let mut t = Telemetry::default();
+                        conn.harvest(&mut t);
+                        self.telemetry.frames_received += t.frames_received;
+                        self.telemetry.crc_errors += t.crc_errors;
+                        self.telemetry.resyncs += t.resyncs;
+                        d
+                    };
+                    let keep = self.dispatch_conn(i);
+                    keep && !matches!(drained, Drained::Closed)
+                }
+            };
+            if up {
+                i += 1;
+            } else {
+                self.inbound.swap_remove(i);
+            }
+        }
+        any
+    }
+
+    /// Processes every decoded frame on inbound connection `i`. Returns
+    /// `false` if the connection must be dropped (banned peer, protocol
+    /// misuse).
+    fn dispatch_conn(&mut self, i: usize) -> bool {
+        loop {
+            let frame = match self.inbound[i].decoder.next_frame() {
+                Some(f) => f,
+                None => return true,
+            };
+            let msg = match WireMsg::decode(frame.tag, &frame.payload) {
+                Ok(m) => m,
+                Err(_) => continue, // unknown/corrupt message: skip, keep link
+            };
+            match msg {
+                WireMsg::Hello { from, kind } => {
+                    if kind == LinkKind::Validator && self.banned.contains(&from) {
+                        return false;
+                    }
+                    self.inbound[i].peer = Some(from);
+                }
+                WireMsg::Proposal {
+                    from,
+                    round,
+                    iteration,
+                    txs,
+                } => {
+                    if !self.banned.contains(&from) {
+                        self.proposals
+                            .entry((round, iteration))
+                            .or_default()
+                            .insert(from, txs);
+                    }
+                }
+                WireMsg::Validation { from, round, page } => {
+                    if !self.banned.contains(&from) {
+                        self.validations
+                            .entry(round)
+                            .or_default()
+                            .insert(from, page);
+                    }
+                }
+                WireMsg::Heartbeat { .. } => {}
+                WireMsg::StateRequest { .. } => {
+                    let reply = WireMsg::StateSnapshot {
+                        from: self.cfg.id,
+                        round: self.slot.map(|(r, _)| r).unwrap_or(0),
+                        last_committed: self.last_committed.map(|(_, p)| p),
+                    };
+                    let bytes = reply.encode();
+                    if write_frame(&mut self.inbound[i].stream, &bytes).is_err() {
+                        return false;
+                    }
+                    self.telemetry.frames_sent += 1;
+                }
+                WireMsg::StateSnapshot { .. } => {}
+                WireMsg::Ban { peers } => self.apply_ban(&peers),
+                WireMsg::Unban { peers } => self.apply_unban(&peers),
+                WireMsg::Shutdown => self.shutdown = true,
+                WireMsg::RoundReport { .. } | WireMsg::TelemetryReport { .. } => {}
+            }
+        }
+    }
+
+    /// Bans peers. Inbound connections from banned peers are NOT removed
+    /// here — `pump_inbound` holds an index into `self.inbound`, so they
+    /// are dropped on its next pass instead (see the banned-peer check
+    /// there).
+    fn apply_ban(&mut self, peers: &[u32]) {
+        for &p in peers {
+            self.banned.insert(p);
+            self.supervisor.ban(p);
+            self.outbound.remove(&p);
+        }
+    }
+
+    fn apply_unban(&mut self, peers: &[u32]) {
+        let now = Instant::now();
+        for &p in peers {
+            self.banned.remove(&p);
+            self.supervisor.unban(p, now);
+        }
+    }
+
+    fn pump_outbound(&mut self) -> bool {
+        let mut any = false;
+        let mut lost: Vec<u32> = Vec::new();
+        for (&id, conn) in self.outbound.iter_mut() {
+            match probe(&conn.stream) {
+                Probe::Idle => {}
+                Probe::Closed => lost.push(id),
+                Probe::Data => {
+                    any = true;
+                    if matches!(
+                        drain_into(&mut conn.stream, &mut conn.decoder),
+                        Drained::Closed
+                    ) {
+                        lost.push(id);
+                    }
+                    let mut t = Telemetry::default();
+                    conn.harvest(&mut t);
+                    self.telemetry.frames_received += t.frames_received;
+                    self.telemetry.crc_errors += t.crc_errors;
+                    self.telemetry.resyncs += t.resyncs;
+                }
+            }
+        }
+        // Handle frames read off outbound links (state snapshots).
+        let mut snapshots: Vec<WireMsg> = Vec::new();
+        for conn in self.outbound.values_mut() {
+            while let Some(frame) = conn.decoder.next_frame() {
+                if let Ok(msg) = WireMsg::decode(frame.tag, &frame.payload) {
+                    snapshots.push(msg);
+                }
+            }
+        }
+        for msg in snapshots {
+            if let WireMsg::StateSnapshot {
+                round,
+                last_committed: Some(page),
+                ..
+            } = msg
+            {
+                let newer = self.last_committed.map(|(r, _)| r < round).unwrap_or(true);
+                if newer && round > 0 {
+                    self.last_committed = Some((round - 1, page));
+                }
+            }
+        }
+        let now = Instant::now();
+        for id in lost {
+            self.outbound.remove(&id);
+            self.supervisor.connection_lost(id, now);
+        }
+        any
+    }
+
+    fn addr_of(&self, id: u32) -> Option<SocketAddr> {
+        if id == FEED_ID {
+            return self.cfg.feed;
+        }
+        self.cfg
+            .peers
+            .iter()
+            .find(|&&(pid, _)| pid == id)
+            .map(|&(_, addr)| addr)
+    }
+
+    fn dial_due(&mut self) {
+        let now = Instant::now();
+        // Every id handed out by due_dials is now in state Dialing and
+        // MUST get a success/failure verdict this tick, or it would stay
+        // parked forever. The connect timeout bounds the worst-case stall
+        // at 30ms per down peer.
+        let due = self.supervisor.due_dials(now);
+        for id in due {
+            let Some(addr) = self.addr_of(id) else {
+                self.supervisor.dial_failed(id, now);
+                continue;
+            };
+            match TcpStream::connect_timeout(&addr, Duration::from_millis(30)) {
+                Ok(stream) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    let mut conn = Conn::new(stream);
+                    let kind = if id == FEED_ID {
+                        LinkKind::Feed
+                    } else {
+                        LinkKind::Validator
+                    };
+                    let hello = WireMsg::Hello {
+                        from: self.cfg.id,
+                        kind,
+                    };
+                    if write_frame(&mut conn.stream, &hello.encode()).is_err() {
+                        self.supervisor.dial_failed(id, now);
+                        continue;
+                    }
+                    self.telemetry.frames_sent += 1;
+                    self.supervisor.dial_succeeded(id);
+                    if id != FEED_ID {
+                        // Resubscribe state on every (re)connect: ask the
+                        // peer for its committed tip.
+                        let req = WireMsg::StateRequest { from: self.cfg.id };
+                        if write_frame(&mut conn.stream, &req.encode()).is_ok() {
+                            self.telemetry.frames_sent += 1;
+                            self.telemetry.state_resubs += 1;
+                        }
+                    }
+                    self.outbound.insert(id, conn);
+                }
+                Err(_) => self.supervisor.dial_failed(id, now),
+            }
+        }
+    }
+
+    fn heartbeat(&mut self) {
+        let now = Instant::now();
+        if !self.supervisor.heartbeat_due(now) {
+            return;
+        }
+        let round = self.slot.map(|(r, _)| r).unwrap_or(0);
+        let msg = WireMsg::Heartbeat {
+            from: self.cfg.id,
+            round,
+        };
+        let bytes = msg.encode();
+        let mut lost: Vec<u32> = Vec::new();
+        for (&id, conn) in self.outbound.iter_mut() {
+            if write_frame(&mut conn.stream, &bytes).is_err() {
+                lost.push(id);
+            } else {
+                self.telemetry.frames_sent += 1;
+                self.telemetry.heartbeats_sent += 1;
+                HEARTBEATS_SENT.add(0); // counter exists even at zero
+            }
+        }
+        for id in lost {
+            self.outbound.remove(&id);
+            self.supervisor.connection_lost(id, now);
+        }
+    }
+
+    /// Sends to every connected validator peer (not the feed).
+    fn broadcast(&mut self, msg: &WireMsg) {
+        let bytes = msg.encode();
+        let mut lost: Vec<u32> = Vec::new();
+        for (&id, conn) in self.outbound.iter_mut() {
+            if id == FEED_ID {
+                continue;
+            }
+            if write_frame(&mut conn.stream, &bytes).is_err() {
+                lost.push(id);
+            } else {
+                self.telemetry.frames_sent += 1;
+            }
+        }
+        let now = Instant::now();
+        for id in lost {
+            self.outbound.remove(&id);
+            self.supervisor.connection_lost(id, now);
+        }
+    }
+
+    fn send_feed(&mut self, msg: &WireMsg) {
+        let bytes = msg.encode();
+        if let Some(conn) = self.outbound.get_mut(&FEED_ID) {
+            if write_frame(&mut conn.stream, &bytes).is_ok() {
+                self.telemetry.frames_sent += 1;
+            } else {
+                self.outbound.remove(&FEED_ID);
+                self.supervisor.connection_lost(FEED_ID, Instant::now());
+            }
+        }
+    }
+}

@@ -37,3 +37,17 @@ fn validator_watch_runs_clean() {
 fn chaos_storm_runs_clean() {
     run_example("chaos_storm");
 }
+
+#[test]
+fn cluster_kill9_runs_clean() {
+    // The example spawns real ripple-node child processes; build the
+    // binary first so the run demonstrates the live cluster rather than
+    // taking its binary-missing skip path.
+    let build = Command::new(env!("CARGO"))
+        .args(["build", "--quiet", "-p", "ripple-node"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .status()
+        .expect("failed to launch cargo build for ripple-node");
+    assert!(build.success(), "ripple-node failed to build");
+    run_example("cluster_kill9");
+}

@@ -1,0 +1,163 @@
+//! End-to-end tests for the live networked validator (`crates/node`).
+//!
+//! Two tiers: an in-process cluster that runs real [`Node`] event loops on
+//! threads over localhost TCP (always runs, no child processes), and a
+//! live-process harness test that spawns actual `ripple-node` binaries and
+//! SIGKILLs one mid-round (skips with a note when the binary has not been
+//! built yet — CI builds it first).
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener};
+
+use ripple_core::crypto::Digest256;
+use ripple_core::netsim::{FaultPlan, NodeId, SimTime};
+use ripple_core::node::{run_cluster, unix_ms, ClusterConfig, Node, NodeConfig, NodeReport};
+
+/// Grabs `n` distinct localhost ports. The listeners are held open while
+/// the addresses are read, then dropped just before the nodes rebind.
+fn free_addrs(n: usize) -> Vec<SocketAddr> {
+    let holds: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    holds
+        .iter()
+        .map(|l| l.local_addr().expect("addr"))
+        .collect()
+}
+
+/// Boots `n` in-process validators sharing one epoch and runs them to
+/// completion on threads. Returns each node's own report.
+fn run_threaded_cluster(n: usize, rounds: u64, round_ms: u64) -> Vec<NodeReport> {
+    let addrs = free_addrs(n);
+    let epoch_ms = unix_ms() + 300;
+    let handles: Vec<_> = (0..n)
+        .map(|id| {
+            let peers: Vec<(u32, SocketAddr)> = (0..n)
+                .filter(|&p| p != id)
+                .map(|p| (p as u32, addrs[p]))
+                .collect();
+            let cfg = NodeConfig {
+                id: id as u32,
+                listen: addrs[id],
+                peers,
+                feed: None,
+                validators: n,
+                rounds,
+                round_ms,
+                epoch_ms,
+                seed: 7,
+                backoff: Default::default(),
+            };
+            let node = Node::bind(cfg).expect("bind node");
+            std::thread::spawn(move || node.run().expect("node run"))
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread panicked"))
+        .collect()
+}
+
+#[test]
+fn threaded_cluster_commits_every_round_with_one_page() {
+    let n = 3;
+    let rounds = 5;
+    let reports = run_threaded_cluster(n, rounds, 250);
+
+    // Every validator finalizes every round and collects a quorum.
+    for report in &reports {
+        assert_eq!(
+            report.rounds.len(),
+            rounds as usize,
+            "node {} finalized {} rounds",
+            report.id,
+            report.rounds.len()
+        );
+        for local in &report.rounds {
+            assert!(
+                local.committed,
+                "node {} round {} did not commit (agreement {}‰, {} links)",
+                report.id, local.round, local.agreement_milli, local.connected
+            );
+            assert!(!local.degraded, "fault-free round ran degraded");
+        }
+        assert!(report.telemetry.frames_sent > 0);
+        assert!(report.telemetry.frames_received > 0);
+        assert_eq!(report.telemetry.crc_errors, 0, "clean wire corrupted");
+    }
+
+    // No fork: all validators sealed the same page for each round.
+    let mut pages: BTreeMap<u64, Digest256> = BTreeMap::new();
+    for report in &reports {
+        for local in &report.rounds {
+            let seen = pages.entry(local.round).or_insert(local.page);
+            assert_eq!(
+                *seen, local.page,
+                "round {} sealed two different pages",
+                local.round
+            );
+        }
+    }
+    assert_eq!(pages.len(), rounds as usize);
+}
+
+#[test]
+fn threaded_pair_survives_without_quorum_problems() {
+    // The smallest cluster: 2 validators, quorum = 2. Both links must
+    // hold for every round to commit — a supervision smoke at minimum
+    // scale.
+    let reports = run_threaded_cluster(2, 4, 200);
+    for report in &reports {
+        assert_eq!(report.rounds.len(), 4);
+        assert!(report.rounds.iter().all(|r| r.committed));
+    }
+}
+
+#[test]
+fn live_process_cluster_survives_kill9_of_one_validator() {
+    let r = 250u64;
+    let cfg = ClusterConfig {
+        validators: 3,
+        rounds: 8,
+        round_ms: r,
+        sim_round_ms: r,
+        seed: 11,
+        plan: FaultPlan::new()
+            .crash_at(SimTime::from_millis(2 * r + r / 2), NodeId(2))
+            .restart_at(SimTime::from_millis(4 * r), NodeId(2)),
+        ..ClusterConfig::default()
+    };
+    let report = match run_cluster(&cfg) {
+        Ok(report) => report,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            // `cargo test` does not guarantee the ripple-node binary is
+            // built before this integration test runs; CI's node-smoke
+            // job covers the spawned-process path unconditionally.
+            eprintln!("skipping live-process test: {e}");
+            return;
+        }
+        Err(e) => panic!("cluster launch failed: {e}"),
+    };
+
+    assert!(report.no_fork, "fork: {:?}", report.fork);
+    assert!(!report.rounds.is_empty(), "feed saw no rounds");
+    assert!(report.committed_rounds > 0, "no round ever committed");
+    assert!(
+        report.rounds_to_recover.is_some(),
+        "cluster never recovered after the restart"
+    );
+    let total = report.telemetry_total();
+    assert!(
+        total.reconnect_attempts > 0,
+        "reconnect paths were never exercised"
+    );
+    assert!(
+        total.state_resubs > 0,
+        "restarted node never resubscribed state"
+    );
+    assert_eq!(
+        report.actions_log.len(),
+        2,
+        "kill + restart should both fire"
+    );
+}
