@@ -1,0 +1,96 @@
+//! The `LedgerState::apply` hot loop in isolation: pre-signed single-path
+//! IOU payments hammered through one hop. This is where the pipelined
+//! executor spends its commit time, and the loop the path-borrowing fix
+//! (no per-apply `paths.clone()`) targets.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ripple_core::crypto::{AccountId, SimKeypair};
+use ripple_core::ledger::{
+    Amount, Currency, Drops, IouAmount, LedgerState, Transaction, TxKind, Value,
+};
+
+const BATCH: u32 = 64;
+
+fn seeded_state() -> (LedgerState, SimKeypair, AccountId, AccountId, AccountId) {
+    let keys = SimKeypair::from_seed(b"bench-sender");
+    let sender = AccountId::from_public_key(&keys.public_key());
+    let hop = AccountId::from_bytes([2; 20]);
+    let dest = AccountId::from_bytes([3; 20]);
+    let mut state = LedgerState::new();
+    for id in [sender, hop, dest] {
+        state.create_account(id, Drops::from_xrp(10_000));
+    }
+    let limit: Value = "1000000000".parse().expect("limit");
+    state.set_trust(hop, sender, Currency::USD, limit).unwrap();
+    state.set_trust(dest, hop, Currency::USD, limit).unwrap();
+    (state, keys, sender, hop, dest)
+}
+
+fn payment_batch(
+    state: &LedgerState,
+    keys: &SimKeypair,
+    sender: AccountId,
+    dest: AccountId,
+    path: Vec<AccountId>,
+) -> Vec<Transaction> {
+    let start_seq = state.account(&sender).expect("sender exists").sequence;
+    let amount: Value = "1".parse().expect("amount");
+    (0..BATCH)
+        .map(|i| {
+            Transaction::build(
+                sender,
+                start_seq + i,
+                Drops::new(10),
+                TxKind::Payment {
+                    destination: dest,
+                    amount: Amount::Iou(IouAmount::new(amount, Currency::USD, sender)),
+                    send_max: None,
+                    paths: if path.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![path.clone()]
+                    },
+                },
+            )
+            .signed(keys)
+        })
+        .collect()
+}
+
+fn ledger_apply(c: &mut Criterion) {
+    let (state, keys, sender, hop, dest) = seeded_state();
+    let mut group = c.benchmark_group("ledger_apply");
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    let one_hop = payment_batch(&state, &keys, sender, dest, vec![hop]);
+    group.bench_function("iou_payment_1_hop_64x", |b| {
+        b.iter_batched(
+            || state.clone(),
+            |mut s| {
+                for tx in &one_hop {
+                    s.apply(tx).expect("capacity is huge");
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let direct = payment_batch(&state, &keys, sender, hop, Vec::new());
+    group.bench_function("iou_payment_direct_64x", |b| {
+        b.iter_batched(
+            || state.clone(),
+            |mut s| {
+                for tx in &direct {
+                    s.apply(tx).expect("capacity is huge");
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ledger_apply);
+criterion_main!(benches);

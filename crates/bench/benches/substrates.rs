@@ -145,7 +145,9 @@ fn generation(c: &mut Criterion) {
                 workers: 0,
                 chunk_size: 1_024,
                 archive: false,
+                ..PipelineConfig::default()
             })
+            .expect("pipeline")
             .output
             .events
             .len()

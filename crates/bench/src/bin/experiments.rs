@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! experiments [EXPERIMENT] [--payments N] [--seed S] [--rounds R] [--shards S]
-//!             [--workers W] [--chunk C] [--serial] [--no-baseline] [--archive]
-//!             [--budget-secs B] [--ops N] [--trace PATH] [--metrics PATH]
-//!             [--validators N] [--round-ms MS] [--plan FILE]
+//!             [--workers W] [--exec-workers E] [--chunk C] [--serial]
+//!             [--no-baseline] [--archive] [--budget-secs B] [--ops N]
+//!             [--trace PATH] [--metrics PATH] [--validators N]
+//!             [--round-ms MS] [--plan FILE]
 //! experiments check replay CHECK_CASE.json
 //! ```
 //!
@@ -26,8 +27,11 @@
 //! reproduces byte-for-byte (see EXPERIMENTS.md "Correctness harness").
 //!
 //! History generation runs through the pipelined parallel generator by
-//! default (`--workers` scripting threads, `--chunk` payments per chunk;
-//! `--serial` selects the original single-threaded generator instead).
+//! default (`--workers` scripting threads, `--chunk` payments per chunk,
+//! `--exec-workers` execution threads for the optimistic parallel
+//! executor — `1` keeps the classic serial executor, `0` uses one per
+//! core; `--serial` selects the original single-threaded generator
+//! instead).
 //! Every pipelined generation also times the serial generator as a
 //! baseline (skippable with `--no-baseline`) and writes `BENCH_synth.json`
 //! (see EXPERIMENTS.md for the schema). Under `all`, the history-backed
@@ -115,6 +119,7 @@ struct Args {
     rounds: u64,
     shards: usize,
     workers: usize,
+    exec_workers: usize,
     chunk: usize,
     serial: bool,
     no_baseline: bool,
@@ -137,6 +142,7 @@ fn parse_args() -> Args {
         rounds: 5_000,
         shards: 0,
         workers: 0,
+        exec_workers: 1,
         chunk: 0,
         serial: false,
         no_baseline: false,
@@ -183,6 +189,12 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--workers needs a number");
+            }
+            "--exec-workers" => {
+                args.exec_workers = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--exec-workers needs a number");
             }
             "--chunk" => {
                 args.chunk = iter
@@ -342,8 +354,16 @@ fn run_experiments(args: &Args) {
             workers: args.workers,
             chunk_size: args.chunk,
             archive: args.archive,
+            exec_workers: args.exec_workers,
+            ..PipelineConfig::default()
         };
-        let mut run = Generator::new(config.clone()).run_pipelined(&pipeline);
+        let mut run = match Generator::new(config.clone()).run_pipelined(&pipeline) {
+            Ok(run) => run,
+            Err(err) => {
+                eprintln!("pipelined generation failed: {err}");
+                std::process::exit(1);
+            }
+        };
         let mut bench = run.bench.clone();
         let archive_bytes = run.archive.take();
         let study = Study::from_pipeline(run);
@@ -361,16 +381,21 @@ fn run_experiments(args: &Args) {
             }
         }
         eprintln!(
-            "pipeline: {} payments in {:.3}s ({:.0}/s) | script {:.3}s, exec {:.3}s, \
-             sink {:.3}s | {} workers x {} chunks",
+            "pipeline: {} payments in {:.3}s ({:.0}/s) | script {:.3}s, exec {:.3}s \
+             (spec {:.3}s), sink {:.3}s | {} workers x {} chunks | {} exec workers, \
+             {} conflicts, {} retried",
             bench.payments,
             bench.total_secs,
             bench.payments_per_sec(),
             bench.script_secs,
             bench.exec_secs,
+            bench.spec_secs,
             bench.sink_secs,
             bench.workers,
-            bench.chunks
+            bench.chunks,
+            bench.exec_workers,
+            bench.conflicts,
+            bench.retried_payments
         );
         let serial_secs = if args.no_baseline {
             None
@@ -460,12 +485,16 @@ fn synth_json(args: &Args, bench: &SynthBench, serial_secs: Option<f64>) -> Stri
     w.field_u64("payments", bench.payments as u64);
     w.field_u64("seed", args.seed);
     w.field_u64("workers", bench.workers as u64);
+    w.field_u64("exec_workers", bench.exec_workers as u64);
     w.field_u64("chunks", bench.chunks as u64);
     w.field_u64("chunk_size", bench.chunk_size as u64);
     w.key("pipeline");
     w.begin_object();
     w.field_f64("script_secs", bench.script_secs, 6);
     w.field_f64("exec_secs", bench.exec_secs, 6);
+    w.field_f64("spec_secs", bench.spec_secs, 6);
+    w.field_u64("conflicts", bench.conflicts);
+    w.field_u64("retried_payments", bench.retried_payments);
     w.field_f64("sink_secs", bench.sink_secs, 6);
     w.field_f64("total_secs", bench.total_secs, 6);
     w.field_f64("payments_per_sec", bench.payments_per_sec(), 1);

@@ -17,6 +17,7 @@ use ripple_obs::json::JsonWriter;
 use crate::diff::{run_book_plan, run_engine_plan, run_ledger_plan};
 use crate::explore::{run_consensus_plan, ConsensusPlan};
 use crate::gen::{BookOffer, BookPlan, CaseAmount, EnginePlan, LedgerCasePlan, Op, OpKind};
+use crate::parexec::{run_parexec_plan, ParexecPlan};
 use crate::storefuzz::{run_store_plan, StoreOp, StorePlan};
 
 /// Format version stamped into every document.
@@ -35,6 +36,8 @@ pub enum CasePayload {
     Consensus(ConsensusPlan),
     /// Store corruption resync.
     Store(StorePlan),
+    /// Parallel executor vs. the serial path.
+    Parexec(ParexecPlan),
 }
 
 impl CasePayload {
@@ -46,6 +49,7 @@ impl CasePayload {
             CasePayload::Book(_) => "book",
             CasePayload::Consensus(_) => "consensus",
             CasePayload::Store(_) => "store",
+            CasePayload::Parexec(_) => "parexec",
         }
     }
 }
@@ -85,6 +89,7 @@ impl CheckCase {
             CasePayload::Book(plan) => run_book_plan(plan),
             CasePayload::Consensus(plan) => run_consensus_plan(plan),
             CasePayload::Store(plan) => run_store_plan(plan),
+            CasePayload::Parexec(plan) => run_parexec_plan(plan),
         }
     }
 
@@ -103,6 +108,7 @@ impl CheckCase {
             CasePayload::Book(plan) => write_book(&mut w, plan),
             CasePayload::Consensus(plan) => write_consensus(&mut w, plan),
             CasePayload::Store(plan) => write_store(&mut w, plan),
+            CasePayload::Parexec(plan) => write_parexec(&mut w, plan),
         }
         w.end_object();
         w.finish()
@@ -122,6 +128,7 @@ impl CheckCase {
             "book" => CasePayload::Book(read_book(payload_json)?),
             "consensus" => CasePayload::Consensus(read_consensus(payload_json)?),
             "store" => CasePayload::Store(read_store(payload_json)?),
+            "parexec" => CasePayload::Parexec(read_parexec(payload_json)?),
             other => return Err(format!("unknown case kind {other:?}")),
         };
         Ok(CheckCase {
@@ -420,6 +427,16 @@ fn write_store(w: &mut JsonWriter, plan: &StorePlan) {
         w.end_inline_object();
     }
     w.end_array();
+    w.end_object();
+}
+
+fn write_parexec(w: &mut JsonWriter, plan: &ParexecPlan) {
+    w.begin_object();
+    w.field_u64("seed", plan.seed);
+    w.field_u64("payments", plan.payments);
+    w.field_u64("chunk_size", plan.chunk_size);
+    w.field_u64("exec_workers", plan.exec_workers);
+    w.field_u64("communities", plan.communities);
     w.end_object();
 }
 
@@ -886,10 +903,21 @@ fn read_store(json: &Json) -> Result<StorePlan, String> {
     })
 }
 
+fn read_parexec(json: &Json) -> Result<ParexecPlan, String> {
+    Ok(ParexecPlan {
+        seed: get_u64(json, "seed")?,
+        payments: get_u64(json, "payments")?,
+        chunk_size: get_u64(json, "chunk_size")?,
+        exec_workers: get_u64(json, "exec_workers")?,
+        communities: get_u64(json, "communities")?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gen::{gen_book_plan, gen_engine_plan, gen_ledger_plan};
+    use crate::parexec::gen_parexec_plan;
     use crate::storefuzz::gen_store_plan;
 
     #[test]
@@ -919,6 +947,11 @@ mod tests {
                 seed: 11,
                 divergence: "store".to_string(),
                 payload: CasePayload::Store(gen_store_plan(11)),
+            },
+            CheckCase {
+                seed: 12,
+                divergence: "parexec".to_string(),
+                payload: CasePayload::Parexec(gen_parexec_plan(12)),
             },
         ];
         for case in cases {

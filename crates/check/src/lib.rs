@@ -13,7 +13,9 @@
 //! - [`explore`] — seed-randomized consensus fault schedules checked
 //!   against the chaos campaign's no-fork invariant;
 //! - [`storefuzz`] — corruption corpora through the archive reader's
-//!   resync path.
+//!   resync path;
+//! - [`parexec`] — the sharded parallel executor differentially tested
+//!   against the serial path for byte-identical histories.
 //!
 //! Any disagreement is shrunk with [`shrink::ddmin`] and packaged as a
 //! [`CheckCase`] that serializes to `CHECK_CASE.json` and replays
@@ -30,6 +32,7 @@ pub mod explore;
 pub mod gen;
 pub mod model;
 pub mod oracle;
+pub mod parexec;
 pub mod run;
 pub mod shrink;
 pub mod storefuzz;

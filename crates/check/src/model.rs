@@ -130,12 +130,18 @@ impl ModelLedger {
                 got: tx.sequence,
             });
         }
-        let spendable = balance.saturating_sub(self.reserve_for(owner_count));
         let fee = tx.fee.as_drops();
-        if fee < self.fees.base_fee.as_drops() || fee > spendable {
+        if fee < self.fees.base_fee.as_drops() {
+            return Err(LedgerError::FeeTooLow {
+                fee: tx.fee,
+                minimum: self.fees.base_fee,
+            });
+        }
+        let spendable = balance.saturating_sub(self.reserve_for(owner_count));
+        if fee > spendable {
             return Err(LedgerError::InsufficientXrp {
                 account: tx.account,
-                needed: self.fees.base_fee,
+                needed: tx.fee,
                 available: Drops::new(spendable),
             });
         }
@@ -164,8 +170,13 @@ impl ModelLedger {
                     if tx.account == *destination {
                         return Err(LedgerError::SelfPayment);
                     }
-                    let empty = Vec::new();
-                    let hops = paths.first().unwrap_or(&empty);
+                    let hops: &[AccountId] = match paths.as_slice() {
+                        [] => &[],
+                        [only] => only.as_slice(),
+                        more => {
+                            return Err(LedgerError::MultiPathUnsupported { paths: more.len() })
+                        }
+                    };
                     let mut chain = vec![tx.account];
                     chain.extend_from_slice(hops);
                     chain.push(*destination);

@@ -1,0 +1,166 @@
+//! Differential target: the sharded parallel executor vs. the serial path.
+//!
+//! The pipelined generator promises a byte-identical history for every
+//! `exec_workers` count. This target stress-tests that promise the same
+//! way the other targets exercise their engines: generate a randomized
+//! plan (seed, payment volume, chunk size, worker count), run the same
+//! configuration through the serial executor and the optimistic parallel
+//! one, and diverge if the event streams or the final ledger states
+//! disagree. Shrinking halves the payment count while the divergence
+//! persists, so a counterexample replays in seconds rather than minutes.
+
+use ripple_synth::{Generator, PipelineConfig, PipelineRun, SynthConfig};
+
+use crate::diff::fingerprint;
+
+/// A plan for one serial-vs-parallel differential run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParexecPlan {
+    /// History seed handed to [`SynthConfig`].
+    pub seed: u64,
+    /// Payments in the generated history.
+    pub payments: u64,
+    /// Script chunk size (small chunks raise cross-chunk conflict odds).
+    pub chunk_size: u64,
+    /// Worker count for the parallel run (the serial run always uses 1).
+    pub exec_workers: u64,
+    /// Communities in the cast; `1` funnels traffic through a single hub
+    /// cluster and maximizes speculation conflicts.
+    pub communities: u64,
+}
+
+/// splitmix64 over the plan seed — decorrelates the plan dimensions.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Generates a randomized parallel-execution plan from a case seed.
+pub fn gen_parexec_plan(seed: u64) -> ParexecPlan {
+    ParexecPlan {
+        seed,
+        payments: 400 + mix(seed, 1) % 500,
+        chunk_size: 64 << (mix(seed, 2) % 3), // 64, 128, or 256
+        exec_workers: 2 + mix(seed, 3) % 7,   // 2..=8
+        communities: 1 + mix(seed, 4) % 3,    // 1..=3
+    }
+}
+
+fn pipelined(plan: &ParexecPlan, exec_workers: usize) -> Result<PipelineRun, String> {
+    let config = SynthConfig {
+        seed: plan.seed,
+        communities: plan.communities as usize,
+        ..SynthConfig::small(plan.payments as usize)
+    };
+    Generator::new(config)
+        .run_pipelined(&PipelineConfig {
+            workers: 2,
+            chunk_size: plan.chunk_size as usize,
+            archive: false,
+            exec_workers,
+            ..PipelineConfig::default()
+        })
+        .map_err(|e| e.to_string())
+}
+
+/// Runs the plan's configuration serially and in parallel, returning a
+/// divergence description if the two histories disagree anywhere.
+pub fn run_parexec_plan(plan: &ParexecPlan) -> Option<String> {
+    let serial = match pipelined(plan, 1) {
+        Ok(run) => run,
+        Err(e) => return Some(format!("serial pipeline failed: {e}")),
+    };
+    let parallel = match pipelined(plan, plan.exec_workers as usize) {
+        Ok(run) => run,
+        Err(e) => {
+            return Some(format!(
+                "parallel pipeline ({} workers) failed: {e}",
+                plan.exec_workers
+            ))
+        }
+    };
+    if serial.output.events.len() != parallel.output.events.len() {
+        return Some(format!(
+            "event count diverged: serial {} vs parallel {}",
+            serial.output.events.len(),
+            parallel.output.events.len()
+        ));
+    }
+    if let Some(i) = serial
+        .output
+        .events
+        .iter()
+        .zip(&parallel.output.events)
+        .position(|(a, b)| a != b)
+    {
+        return Some(format!(
+            "event streams diverged at index {i} of {}",
+            serial.output.events.len()
+        ));
+    }
+    let serial_state = fingerprint(&serial.output.final_state);
+    let parallel_state = fingerprint(&parallel.output.final_state);
+    if serial_state != parallel_state {
+        let line = serial_state
+            .lines()
+            .zip(parallel_state.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        return Some(format!(
+            "final ledger state diverged at fingerprint line {line}"
+        ));
+    }
+    if serial.tallies.payments != parallel.tallies.payments
+        || serial.tallies.currency_counts != parallel.tallies.currency_counts
+        || serial.tallies.hop_histogram != parallel.tallies.hop_histogram
+    {
+        return Some("streaming tallies diverged".to_string());
+    }
+    None
+}
+
+/// Shrinks a diverging plan by halving the payment count while the
+/// divergence persists. Returns the smallest still-failing plan and the
+/// number of candidate evaluations spent.
+pub fn shrink_parexec_plan(plan: &ParexecPlan) -> (ParexecPlan, u64) {
+    let mut best = plan.clone();
+    let mut steps = 0u64;
+    while best.payments >= 100 {
+        let candidate = ParexecPlan {
+            payments: best.payments / 2,
+            ..best.clone()
+        };
+        steps += 1;
+        if run_parexec_plan(&candidate).is_some() {
+            best = candidate;
+        } else {
+            break;
+        }
+    }
+    (best, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_bounded() {
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            let a = gen_parexec_plan(seed);
+            assert_eq!(a, gen_parexec_plan(seed), "plan gen must be pure");
+            assert!((400..900).contains(&a.payments));
+            assert!(matches!(a.chunk_size, 64 | 128 | 256));
+            assert!((2..=8).contains(&a.exec_workers));
+            assert!((1..=3).contains(&a.communities));
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_on_a_sample_plan() {
+        let plan = gen_parexec_plan(42);
+        assert_eq!(run_parexec_plan(&plan), None);
+    }
+}

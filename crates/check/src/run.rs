@@ -1,4 +1,4 @@
-//! The budgeted check runner: round-robins the five differential targets,
+//! The budgeted check runner: round-robins the six differential targets,
 //! shrinks any divergence with [`ddmin`], and packages the result as a
 //! replayable [`CheckCase`].
 
@@ -12,6 +12,7 @@ use crate::explore::{gen_consensus_plan, run_consensus_plan, ConsensusPlan};
 use crate::gen::{
     gen_book_plan, gen_engine_plan, gen_ledger_plan, BookPlan, EnginePlan, LedgerCasePlan,
 };
+use crate::parexec::{gen_parexec_plan, run_parexec_plan, shrink_parexec_plan};
 use crate::shrink::ddmin;
 use crate::storefuzz::{gen_store_plan, run_store_plan, StorePlan};
 
@@ -20,7 +21,7 @@ static DIVERGENCES: LazyCounter = LazyCounter::new("check.divergences");
 static SHRINK_STEPS: LazyCounter = LazyCounter::new("check.shrink.steps");
 
 /// The differential targets the runner cycles through.
-pub const TARGETS: [&str; 5] = ["ledger", "engine", "book", "store", "consensus"];
+pub const TARGETS: [&str; 6] = ["ledger", "engine", "book", "store", "consensus", "parexec"];
 
 /// Configuration for one [`run_check`] campaign.
 #[derive(Debug, Clone)]
@@ -56,7 +57,7 @@ pub struct CheckReport {
     /// Total cases executed, across all targets.
     pub cases_run: u64,
     /// Cases executed per target, indexed like [`TARGETS`].
-    pub per_target: [u64; 5],
+    pub per_target: [u64; 6],
     /// Every divergence found, shrunk and replayable.
     pub divergences: Vec<CheckCase>,
     /// Total shrink-candidate evaluations spent minimizing divergences.
@@ -80,9 +81,9 @@ fn mix(seed: u64, i: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Runs one budgeted differential campaign over all five targets.
+/// Runs one budgeted differential campaign over all six targets.
 ///
-/// Case `i` exercises target `i % 5` with seed `mix(config.seed, i)`, so a
+/// Case `i` exercises target `i % 6` with seed `mix(config.seed, i)`, so a
 /// campaign with the same seed and budget ordering is deterministic in
 /// which cases it generates (the budget only decides how many run). Every
 /// divergence is shrunk to a minimal plan before being reported.
@@ -95,7 +96,7 @@ pub fn run_check(config: &CheckConfig) -> CheckReport {
     SHRINK_STEPS.add(0);
     let mut report = CheckReport {
         cases_run: 0,
-        per_target: [0; 5],
+        per_target: [0; 6],
         divergences: Vec::new(),
         shrink_steps: 0,
         elapsed: Duration::ZERO,
@@ -105,7 +106,7 @@ pub fn run_check(config: &CheckConfig) -> CheckReport {
             break;
         }
         let case_seed = mix(config.seed, i);
-        let target = (i % 5) as usize;
+        let target = (i % 6) as usize;
         report.cases_run += 1;
         report.per_target[target] += 1;
         CASES_RUN.add(1);
@@ -114,7 +115,8 @@ pub fn run_check(config: &CheckConfig) -> CheckReport {
             1 => check_engine(case_seed, &mut report),
             2 => check_book(case_seed, &mut report),
             3 => check_store(case_seed, &mut report),
-            _ => check_consensus(case_seed, &mut report),
+            4 => check_consensus(case_seed, &mut report),
+            _ => check_parexec(case_seed, &mut report),
         };
         if let Some(case) = found {
             DIVERGENCES.add(1);
@@ -261,6 +263,19 @@ fn check_consensus(seed: u64, report: &mut CheckReport) -> Option<CheckCase> {
     })
 }
 
+fn check_parexec(seed: u64, report: &mut CheckReport) -> Option<CheckCase> {
+    let plan = gen_parexec_plan(seed);
+    run_parexec_plan(&plan)?;
+    let (shrunk, steps) = shrink_parexec_plan(&plan);
+    note_steps(report, steps);
+    let divergence = run_parexec_plan(&shrunk).expect("shrunk case still fails");
+    Some(CheckCase {
+        seed,
+        divergence,
+        payload: CasePayload::Parexec(shrunk),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,12 +286,12 @@ mod tests {
             seed: 7,
             ops: 20,
             budget: Duration::ZERO,
-            min_cases: 15,
-            max_cases: 15,
+            min_cases: 18,
+            max_cases: 18,
         };
         let a = run_check(&config);
-        assert_eq!(a.cases_run, 15);
-        assert_eq!(a.per_target, [3, 3, 3, 3, 3]);
+        assert_eq!(a.cases_run, 18);
+        assert_eq!(a.per_target, [3, 3, 3, 3, 3, 3]);
         assert!(
             a.clean(),
             "differential smoke campaign diverged: {}",

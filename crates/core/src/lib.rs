@@ -90,7 +90,9 @@ impl Study {
         config: SynthConfig,
         pipeline: &PipelineConfig,
     ) -> (Study, SynthBench) {
-        let run = Generator::new(config).run_pipelined(pipeline);
+        let run = Generator::new(config)
+            .run_pipelined(pipeline)
+            .expect("pipelined generation failed");
         let bench = run.bench.clone();
         (Study::from_pipeline(run), bench)
     }

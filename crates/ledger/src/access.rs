@@ -1,0 +1,276 @@
+//! Access-set plumbing for parallel execution.
+//!
+//! The parallel executor in `ripple-synth` runs payments optimistically
+//! against a frozen snapshot of the ledger and detects conflicts by
+//! intersecting the sets of state keys each payment touched. This module
+//! defines the key vocabulary — one [`AccessKey`] per independently
+//! lockable piece of ledger state — together with [`AccessSet`], a small
+//! set wrapper tuned for the intersection test, and the static shard
+//! mapping used by [`LedgerState`](crate::state::LedgerState)'s internal
+//! partitioning.
+
+use crate::amount::Amount;
+use crate::currency::Currency;
+use crate::tx::{Transaction, TxKind};
+use ripple_crypto::{AccountId, FxHashSet};
+
+/// Number of internal state shards. Power of two so the shard index is a
+/// single mask of the account's first byte.
+pub const SHARD_COUNT: usize = 16;
+
+/// Maps an account to the shard that owns its root, declared trust lines,
+/// offers, and (as the lexicographically-low party) pair balances.
+#[inline]
+pub fn shard_of(id: &AccountId) -> usize {
+    (id.as_bytes()[0] as usize) & (SHARD_COUNT - 1)
+}
+
+/// One independently trackable piece of ledger state.
+///
+/// `Trust` is keyed by `(truster, trustee, currency)` exactly as the trust
+/// map is; `Pair` is always stored normalized with the lexicographically
+/// lower account first (use [`AccessKey::pair`] to build one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKey {
+    /// An account root (XRP balance, sequence, owner count).
+    Account(AccountId),
+    /// A declared trust limit `(truster, trustee, currency)`.
+    Trust(AccountId, AccountId, Currency),
+    /// A normalized pair balance `(low, high, currency)`.
+    Pair(AccountId, AccountId, Currency),
+    /// A resting offer `(owner, offer_seq)`.
+    Offer(AccountId, u32),
+}
+
+impl AccessKey {
+    /// Builds a normalized pair-balance key from an unordered account pair.
+    #[inline]
+    pub fn pair(a: AccountId, b: AccountId, currency: Currency) -> AccessKey {
+        if a <= b {
+            AccessKey::Pair(a, b, currency)
+        } else {
+            AccessKey::Pair(b, a, currency)
+        }
+    }
+
+    /// The shard that owns this key's state.
+    pub fn shard(&self) -> usize {
+        match self {
+            AccessKey::Account(a) => shard_of(a),
+            AccessKey::Trust(truster, _, _) => shard_of(truster),
+            AccessKey::Pair(low, _, _) => shard_of(low),
+            AccessKey::Offer(owner, _) => shard_of(owner),
+        }
+    }
+}
+
+/// A set of [`AccessKey`]s — the read/write footprint of one unit of work.
+#[derive(Debug, Clone, Default)]
+pub struct AccessSet {
+    keys: FxHashSet<AccessKey>,
+}
+
+impl AccessSet {
+    /// Creates an empty set.
+    pub fn new() -> AccessSet {
+        AccessSet::default()
+    }
+
+    /// Inserts a key; returns whether it was new.
+    pub fn insert(&mut self, key: AccessKey) -> bool {
+        self.keys.insert(key)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: &AccessKey) -> bool {
+        self.keys.contains(key)
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates over the keys in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &AccessKey> {
+        self.keys.iter()
+    }
+
+    /// Removes all keys.
+    pub fn clear(&mut self) {
+        self.keys.clear()
+    }
+
+    /// Adds every key of `other`.
+    pub fn extend_from(&mut self, other: &AccessSet) {
+        self.keys.extend(other.keys.iter().copied());
+    }
+
+    /// True if the two sets share at least one key (iterates the smaller).
+    pub fn intersects(&self, other: &AccessSet) -> bool {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.keys.iter().any(|k| large.keys.contains(k))
+    }
+}
+
+impl Extend<AccessKey> for AccessSet {
+    fn extend<T: IntoIterator<Item = AccessKey>>(&mut self, iter: T) {
+        self.keys.extend(iter);
+    }
+}
+
+impl FromIterator<AccessKey> for AccessSet {
+    fn from_iter<T: IntoIterator<Item = AccessKey>>(iter: T) -> AccessSet {
+        AccessSet {
+            keys: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Computes the static access footprint of a transaction — a conservative
+/// superset of every ledger key [`LedgerState::apply`] may read or write
+/// while validating and executing it (including the fee/sequence touch on
+/// the sender's root).
+///
+/// [`LedgerState::apply`]: crate::state::LedgerState::apply
+pub fn tx_access(tx: &Transaction) -> AccessSet {
+    let mut set = AccessSet::new();
+    tx_access_into(tx, &mut set);
+    set
+}
+
+/// Like [`tx_access`] but accumulates into an existing set.
+pub fn tx_access_into(tx: &Transaction, set: &mut AccessSet) {
+    set.insert(AccessKey::Account(tx.account));
+    match &tx.kind {
+        TxKind::Payment {
+            destination,
+            amount,
+            send_max: _,
+            paths,
+        } => {
+            set.insert(AccessKey::Account(*destination));
+            if let Amount::Iou(iou) = amount {
+                // Mirror apply's chain walk: sender, explicit hops (only the
+                // first path is ever executed; multi-path is rejected), then
+                // the destination. Each hop reads the receiving trust line
+                // and writes the pair balance.
+                let hops: &[AccountId] = paths.first().map(Vec::as_slice).unwrap_or(&[]);
+                let mut prev = tx.account;
+                for stop in hops.iter().chain(std::iter::once(destination)) {
+                    set.insert(AccessKey::Account(*stop));
+                    set.insert(AccessKey::Trust(*stop, prev, iou.currency));
+                    set.insert(AccessKey::pair(prev, *stop, iou.currency));
+                    prev = *stop;
+                }
+            }
+        }
+        TxKind::TrustSet {
+            trustee, currency, ..
+        } => {
+            set.insert(AccessKey::Account(*trustee));
+            set.insert(AccessKey::Trust(tx.account, *trustee, *currency));
+        }
+        TxKind::OfferCreate { .. } => {
+            set.insert(AccessKey::Offer(tx.account, tx.sequence));
+        }
+        TxKind::OfferCancel { offer_seq } => {
+            set.insert(AccessKey::Offer(tx.account, *offer_seq));
+        }
+        TxKind::AccountSet { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amount::{Drops, IouAmount};
+
+    fn acct(n: u8) -> AccountId {
+        AccountId::from_bytes([n; 20])
+    }
+
+    #[test]
+    fn pair_keys_normalize() {
+        let a = acct(3);
+        let b = acct(7);
+        assert_eq!(
+            AccessKey::pair(a, b, Currency::USD),
+            AccessKey::pair(b, a, Currency::USD)
+        );
+        assert_ne!(
+            AccessKey::pair(a, b, Currency::USD),
+            AccessKey::pair(a, b, Currency::EUR)
+        );
+    }
+
+    #[test]
+    fn shard_mapping_is_total_and_stable() {
+        for n in 0..=255u8 {
+            let key = AccessKey::Account(acct(n));
+            assert!(key.shard() < SHARD_COUNT);
+            assert_eq!(key.shard(), shard_of(&acct(n)));
+        }
+        // Trust and pair keys shard by their owning (first) account.
+        assert_eq!(
+            AccessKey::Trust(acct(0x15), acct(0xF0), Currency::USD).shard(),
+            shard_of(&acct(0x15))
+        );
+    }
+
+    #[test]
+    fn intersects_finds_shared_keys() {
+        let mut a = AccessSet::new();
+        let mut b = AccessSet::new();
+        a.insert(AccessKey::Account(acct(1)));
+        a.insert(AccessKey::pair(acct(1), acct(2), Currency::USD));
+        b.insert(AccessKey::Account(acct(3)));
+        assert!(!a.intersects(&b));
+        b.insert(AccessKey::pair(acct(2), acct(1), Currency::USD));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+    }
+
+    #[test]
+    fn iou_payment_footprint_covers_the_chain() {
+        use crate::tx::Transaction;
+        use ripple_crypto::SimKeypair;
+        let keys = SimKeypair::from_seed(b"access");
+        let sender = acct(1);
+        let hop = acct(2);
+        let dest = acct(3);
+        let tx = Transaction::build(
+            sender,
+            1,
+            Drops::new(10),
+            TxKind::Payment {
+                destination: dest,
+                amount: Amount::Iou(IouAmount::new("5".parse().unwrap(), Currency::USD, hop)),
+                send_max: None,
+                paths: vec![vec![hop]],
+            },
+        )
+        .signed(&keys);
+        let set = tx_access(&tx);
+        for key in [
+            AccessKey::Account(sender),
+            AccessKey::Account(hop),
+            AccessKey::Account(dest),
+            AccessKey::Trust(hop, sender, Currency::USD),
+            AccessKey::Trust(dest, hop, Currency::USD),
+            AccessKey::pair(sender, hop, Currency::USD),
+            AccessKey::pair(hop, dest, Currency::USD),
+        ] {
+            assert!(set.contains(&key), "missing {key:?}");
+        }
+    }
+}

@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::access::{shard_of, SHARD_COUNT};
 use crate::amount::{Amount, Drops, Value};
 use crate::currency::Currency;
 use crate::fees::FeeSchedule;
@@ -109,6 +110,19 @@ pub enum LedgerError {
     },
     /// Trust limits cannot be negative.
     NegativeLimit,
+    /// The offered fee is below the network's base fee.
+    FeeTooLow {
+        /// Fee the transaction offered.
+        fee: Drops,
+        /// Minimum fee the schedule demands.
+        minimum: Drops,
+    },
+    /// An IOU payment carried more than one path; only single-path payments
+    /// execute here (richer routing lives in the payment engine crate).
+    MultiPathUnsupported {
+        /// Number of paths the transaction carried.
+        paths: usize,
+    },
 }
 
 impl std::fmt::Display for LedgerError {
@@ -146,6 +160,12 @@ impl std::fmt::Display for LedgerError {
                 write!(f, "offer {}#{offer_seq} does not exist", owner.short())
             }
             LedgerError::NegativeLimit => write!(f, "trust limits cannot be negative"),
+            LedgerError::FeeTooLow { fee, minimum } => {
+                write!(f, "fee {fee} is below the base fee {minimum}")
+            }
+            LedgerError::MultiPathUnsupported { paths } => {
+                write!(f, "payment carried {paths} paths but only one is supported")
+            }
         }
     }
 }
@@ -166,11 +186,14 @@ fn pair_key(
     }
 }
 
-/// The full mutable ledger state.
-///
-/// See the crate-level example for typical usage.
+/// One partition of the ledger's keyed state. Every map is owned by the
+/// shard of its *first* key component: account roots by the account, trust
+/// lines by the truster, pair balances by the lexicographically-low party,
+/// offers by their owner. This keeps each mutation confined to the shards
+/// of the accounts it names, which is what makes optimistic parallel
+/// execution's conflict analysis tractable (see [`crate::access`]).
 #[derive(Debug, Clone, Default)]
-pub struct LedgerState {
+struct Shard {
     accounts: FxHashMap<AccountId, AccountRoot>,
     /// Trust limits: `(truster, trustee, currency) -> limit`.
     trust: FxHashMap<(AccountId, AccountId, Currency), Value>,
@@ -178,13 +201,72 @@ pub struct LedgerState {
     balances: FxHashMap<(AccountId, AccountId, Currency), Value>,
     /// Live offers, ordered by `(owner, offer_seq)`.
     offers: BTreeMap<(AccountId, u32), Offer>,
+}
+
+/// The full mutable ledger state, partitioned into [`SHARD_COUNT`] shards
+/// by account owner ([`shard_of`]).
+///
+/// See the crate-level example for typical usage.
+#[derive(Debug, Clone)]
+pub struct LedgerState {
+    shards: Vec<Shard>,
     /// Fee schedule enforced on `apply`.
     fees: FeeSchedule,
     /// Total XRP burned so far.
     burned: Drops,
 }
 
+impl Default for LedgerState {
+    fn default() -> LedgerState {
+        LedgerState {
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+            fees: FeeSchedule::default(),
+            burned: Drops::ZERO,
+        }
+    }
+}
+
+/// Global-order iterator over all live offers: a k-way merge of the
+/// per-shard `(owner, offer_seq)`-ordered maps, preserving the exact
+/// ordering consumers such as the order-book builder rely on.
+pub struct Offers<'a> {
+    heads:
+        Vec<std::iter::Peekable<std::collections::btree_map::Values<'a, (AccountId, u32), Offer>>>,
+}
+
+impl<'a> Iterator for Offers<'a> {
+    type Item = &'a Offer;
+
+    fn next(&mut self) -> Option<&'a Offer> {
+        let mut best: Option<(usize, (AccountId, u32))> = None;
+        for (i, head) in self.heads.iter_mut().enumerate() {
+            if let Some(offer) = head.peek() {
+                let key = (offer.owner, offer.offer_seq);
+                if best.is_none_or(|(_, k)| key < k) {
+                    best = Some((i, key));
+                }
+            }
+        }
+        best.and_then(|(i, _)| self.heads[i].next())
+    }
+}
+
 impl LedgerState {
+    #[inline]
+    fn shard(&self, id: &AccountId) -> &Shard {
+        &self.shards[shard_of(id)]
+    }
+
+    #[inline]
+    fn shard_mut(&mut self, id: &AccountId) -> &mut Shard {
+        &mut self.shards[shard_of(id)]
+    }
+
+    #[inline]
+    fn account_mut(&mut self, id: &AccountId) -> Option<&mut AccountRoot> {
+        self.shards[shard_of(id)].accounts.get_mut(id)
+    }
+
     /// Creates an empty state with the main-net fee schedule.
     pub fn new() -> LedgerState {
         LedgerState::with_fees(FeeSchedule::mainnet())
@@ -210,17 +292,17 @@ impl LedgerState {
 
     /// Number of accounts.
     pub fn account_count(&self) -> usize {
-        self.accounts.len()
+        self.shards.iter().map(|s| s.accounts.len()).sum()
     }
 
     /// Looks up an account root.
     pub fn account(&self, id: &AccountId) -> Option<&AccountRoot> {
-        self.accounts.get(id)
+        self.shard(id).accounts.get(id)
     }
 
     /// Iterates over all accounts.
     pub fn accounts(&self) -> impl Iterator<Item = (&AccountId, &AccountRoot)> {
-        self.accounts.iter()
+        self.shards.iter().flat_map(|s| s.accounts.iter())
     }
 
     /// Creates an account funded with `balance` XRP.
@@ -230,7 +312,7 @@ impl LedgerState {
     /// Panics if the account already exists — account creation is driven by
     /// generators which guarantee fresh identifiers.
     pub fn create_account(&mut self, id: AccountId, balance: Drops) {
-        let prev = self.accounts.insert(
+        let prev = self.shard_mut(&id).accounts.insert(
             id,
             AccountRoot {
                 balance,
@@ -261,21 +343,24 @@ impl LedgerState {
         if limit.is_negative() {
             return Err(LedgerError::NegativeLimit);
         }
-        if !self.accounts.contains_key(&trustee) {
+        if self.account(&trustee).is_none() {
             return Err(LedgerError::NoSuchAccount(trustee));
         }
         let key = (truster, trustee, currency);
-        let existed = self.trust.contains_key(&key);
-        let root = self
+        // The trust line and the truster's root live in the same shard, so a
+        // single mutable shard borrow covers both maps.
+        let shard = &mut self.shards[shard_of(&truster)];
+        let existed = shard.trust.contains_key(&key);
+        let root = shard
             .accounts
             .get_mut(&truster)
             .ok_or(LedgerError::NoSuchAccount(truster))?;
         if limit.is_zero() {
-            if self.trust.remove(&key).is_some() {
+            if shard.trust.remove(&key).is_some() {
                 root.owner_count = root.owner_count.saturating_sub(1);
             }
         } else {
-            self.trust.insert(key, limit);
+            shard.trust.insert(key, limit);
             if !existed {
                 root.owner_count += 1;
             }
@@ -286,7 +371,8 @@ impl LedgerState {
     /// The declared trust limit from `truster` towards `trustee` (zero if no
     /// line exists).
     pub fn trust_limit(&self, truster: AccountId, trustee: AccountId, currency: Currency) -> Value {
-        self.trust
+        self.shard(&truster)
+            .trust
             .get(&(truster, trustee, currency))
             .copied()
             .unwrap_or(Value::ZERO)
@@ -297,21 +383,22 @@ impl LedgerState {
     pub fn pair_balances(
         &self,
     ) -> impl Iterator<Item = (AccountId, AccountId, Currency, Value)> + '_ {
-        self.balances
+        self.shards
             .iter()
+            .flat_map(|s| s.balances.iter())
             .map(|(&(low, high, currency), &value)| (low, high, currency, value))
     }
 
     /// Iterates over all trust lines.
     pub fn trust_lines(&self) -> impl Iterator<Item = TrustLine> + '_ {
-        self.trust
-            .iter()
-            .map(|(&(truster, trustee, currency), &limit)| TrustLine {
+        self.shards.iter().flat_map(|s| s.trust.iter()).map(
+            |(&(truster, trustee, currency), &limit)| TrustLine {
                 truster,
                 trustee,
                 currency,
                 limit,
-            })
+            },
+        )
     }
 
     /// How much of `counterparty`'s debt `holder` currently holds (negative
@@ -323,7 +410,12 @@ impl LedgerState {
         currency: Currency,
     ) -> Value {
         let (key, flipped) = pair_key(holder, counterparty, currency);
-        let raw = self.balances.get(&key).copied().unwrap_or(Value::ZERO);
+        let raw = self
+            .shard(&key.0)
+            .balances
+            .get(&key)
+            .copied()
+            .unwrap_or(Value::ZERO);
         if flipped {
             -raw
         } else {
@@ -335,14 +427,16 @@ impl LedgerState {
     /// (positive = the system owes the account; negative = the account owes).
     pub fn net_position(&self, account: AccountId, currency: Currency) -> Value {
         let mut total = Value::ZERO;
-        for (&(low, high, cur), &bal) in &self.balances {
-            if cur != currency {
-                continue;
-            }
-            if low == account {
-                total = total + bal;
-            } else if high == account {
-                total = total - bal;
+        for shard in &self.shards {
+            for (&(low, high, cur), &bal) in &shard.balances {
+                if cur != currency {
+                    continue;
+                }
+                if low == account {
+                    total = total + bal;
+                } else if high == account {
+                    total = total - bal;
+                }
             }
         }
         total
@@ -384,10 +478,10 @@ impl LedgerState {
         if from == to {
             return Err(LedgerError::SelfPayment);
         }
-        if !self.accounts.contains_key(&from) {
+        if self.account(&from).is_none() {
             return Err(LedgerError::NoSuchAccount(from));
         }
-        if !self.accounts.contains_key(&to) {
+        if self.account(&to).is_none() {
             return Err(LedgerError::NoSuchAccount(to));
         }
         let capacity = self.hop_capacity(from, to, currency);
@@ -414,14 +508,15 @@ impl LedgerState {
         delta: Value,
     ) {
         let (key, flipped) = pair_key(holder, counterparty, currency);
-        let entry = self.balances.entry(key).or_insert(Value::ZERO);
+        let balances = &mut self.shards[shard_of(&key.0)].balances;
+        let entry = balances.entry(key).or_insert(Value::ZERO);
         *entry = if flipped {
             *entry - delta
         } else {
             *entry + delta
         };
         if entry.is_zero() {
-            self.balances.remove(&key);
+            balances.remove(&key);
         }
     }
 
@@ -445,19 +540,17 @@ impl LedgerState {
         if from == to {
             return Err(LedgerError::SelfPayment);
         }
-        if !self.accounts.contains_key(&to) {
+        if self.account(&to).is_none() {
             return Err(LedgerError::NoSuchAccount(to));
         }
         let reserve = {
             let root = self
-                .accounts
-                .get(&from)
+                .account(&from)
                 .ok_or(LedgerError::NoSuchAccount(from))?;
             self.fees.reserve_for(root.owner_count)
         };
         let root = self
-            .accounts
-            .get_mut(&from)
+            .account_mut(&from)
             .ok_or(LedgerError::NoSuchAccount(from))?;
         let spendable = root.balance.checked_sub(reserve).unwrap_or(Drops::ZERO);
         if amount > spendable {
@@ -468,7 +561,7 @@ impl LedgerState {
             });
         }
         root.balance = root.balance.checked_sub(amount).expect("checked above");
-        let to_root = self.accounts.get_mut(&to).expect("checked above");
+        let to_root = self.account_mut(&to).expect("checked above");
         to_root.balance = to_root
             .balance
             .checked_add(amount)
@@ -499,12 +592,11 @@ impl LedgerState {
         if from == to {
             return Err(LedgerError::SelfPayment);
         }
-        if !self.accounts.contains_key(&to) {
+        if self.account(&to).is_none() {
             return Err(LedgerError::NoSuchAccount(to));
         }
         let root = self
-            .accounts
-            .get_mut(&from)
+            .account_mut(&from)
             .ok_or(LedgerError::NoSuchAccount(from))?;
         let new_balance = root.balance.checked_sub(amount).ok_or({
             LedgerError::InsufficientXrp {
@@ -514,7 +606,7 @@ impl LedgerState {
             }
         })?;
         root.balance = new_balance;
-        let to_root = self.accounts.get_mut(&to).expect("checked above");
+        let to_root = self.account_mut(&to).expect("checked above");
         to_root.balance = to_root
             .balance
             .checked_add(amount)
@@ -534,12 +626,13 @@ impl LedgerState {
         taker_gets: Amount,
         taker_pays: Amount,
     ) -> Result<(), LedgerError> {
-        let root = self
+        let shard = &mut self.shards[shard_of(&owner)];
+        let root = shard
             .accounts
             .get_mut(&owner)
             .ok_or(LedgerError::NoSuchAccount(owner))?;
         root.owner_count += 1;
-        self.offers.insert(
+        shard.offers.insert(
             (owner, offer_seq),
             Offer {
                 owner,
@@ -557,11 +650,12 @@ impl LedgerState {
     ///
     /// [`LedgerError::NoSuchOffer`] if absent.
     pub fn cancel_offer(&mut self, owner: AccountId, offer_seq: u32) -> Result<Offer, LedgerError> {
-        let offer = self
+        let shard = &mut self.shards[shard_of(&owner)];
+        let offer = shard
             .offers
             .remove(&(owner, offer_seq))
             .ok_or(LedgerError::NoSuchOffer { owner, offer_seq })?;
-        if let Some(root) = self.accounts.get_mut(&owner) {
+        if let Some(root) = shard.accounts.get_mut(&owner) {
             root.owner_count = root.owner_count.saturating_sub(1);
         }
         Ok(offer)
@@ -581,6 +675,7 @@ impl LedgerState {
         taker_pays: Amount,
     ) -> Result<(), LedgerError> {
         let offer = self
+            .shard_mut(&owner)
             .offers
             .get_mut(&(owner, offer_seq))
             .ok_or(LedgerError::NoSuchOffer { owner, offer_seq })?;
@@ -591,17 +686,23 @@ impl LedgerState {
 
     /// Looks up a live offer.
     pub fn offer(&self, owner: AccountId, offer_seq: u32) -> Option<&Offer> {
-        self.offers.get(&(owner, offer_seq))
+        self.shard(&owner).offers.get(&(owner, offer_seq))
     }
 
-    /// Iterates over all live offers.
-    pub fn offers(&self) -> impl Iterator<Item = &Offer> {
-        self.offers.values()
+    /// Iterates over all live offers in global `(owner, offer_seq)` order.
+    pub fn offers(&self) -> Offers<'_> {
+        Offers {
+            heads: self
+                .shards
+                .iter()
+                .map(|s| s.offers.values().peekable())
+                .collect(),
+        }
     }
 
     /// Number of live offers.
     pub fn offer_count(&self) -> usize {
-        self.offers.len()
+        self.shards.iter().map(|s| s.offers.len()).sum()
     }
 
     /// Removes **all** offers from the ledger — the paper's Table II
@@ -609,12 +710,16 @@ impl LedgerState {
     /// from the system and replay the extracted payments on the modified
     /// trust network".
     pub fn strip_all_offers(&mut self) -> usize {
-        let n = self.offers.len();
-        let owners: Vec<AccountId> = self.offers.values().map(|o| o.owner).collect();
-        self.offers.clear();
-        for owner in owners {
-            if let Some(root) = self.accounts.get_mut(&owner) {
-                root.owner_count = root.owner_count.saturating_sub(1);
+        let mut n = 0;
+        for shard in &mut self.shards {
+            n += shard.offers.len();
+            let owners: Vec<AccountId> = shard.offers.values().map(|o| o.owner).collect();
+            shard.offers.clear();
+            // Offers live in their owner's shard, so the root is local.
+            for owner in owners {
+                if let Some(root) = shard.accounts.get_mut(&owner) {
+                    root.owner_count = root.owner_count.saturating_sub(1);
+                }
             }
         }
         n
@@ -630,25 +735,27 @@ impl LedgerState {
     /// longer forward IOU payments.
     pub fn sever_account(&mut self, account: AccountId) {
         let removed_trust: Vec<(AccountId, AccountId, Currency)> = self
-            .trust
-            .keys()
+            .shards
+            .iter()
+            .flat_map(|s| s.trust.keys())
             .filter(|&&(truster, trustee, _)| truster == account || trustee == account)
             .copied()
             .collect();
         for key in removed_trust {
-            self.trust.remove(&key);
-            if let Some(root) = self.accounts.get_mut(&key.0) {
+            self.shards[shard_of(&key.0)].trust.remove(&key);
+            if let Some(root) = self.account_mut(&key.0) {
                 root.owner_count = root.owner_count.saturating_sub(1);
             }
         }
         let removed_balances: Vec<(AccountId, AccountId, Currency)> = self
-            .balances
-            .keys()
+            .shards
+            .iter()
+            .flat_map(|s| s.balances.keys())
             .filter(|&&(low, high, _)| low == account || high == account)
             .copied()
             .collect();
         for key in removed_balances {
-            self.balances.remove(&key);
+            self.shards[shard_of(&key.0)].balances.remove(&key);
         }
     }
 
@@ -663,8 +770,7 @@ impl LedgerState {
     /// Any [`LedgerError`] from validation; on error the state is unchanged.
     pub fn apply(&mut self, tx: &Transaction) -> Result<TxResult, LedgerError> {
         let root = self
-            .accounts
-            .get(&tx.account)
+            .account(&tx.account)
             .ok_or(LedgerError::NoSuchAccount(tx.account))?;
         if root.sequence != tx.sequence {
             return Err(LedgerError::BadSequence {
@@ -672,12 +778,20 @@ impl LedgerState {
                 got: tx.sequence,
             });
         }
+        if tx.fee < self.fees.base_fee {
+            return Err(LedgerError::FeeTooLow {
+                fee: tx.fee,
+                minimum: self.fees.base_fee,
+            });
+        }
         let reserve = self.fees.reserve_for(root.owner_count);
         let spendable = root.balance.checked_sub(reserve).unwrap_or(Drops::ZERO);
-        if tx.fee < self.fees.base_fee || tx.fee > spendable {
+        if tx.fee > spendable {
+            // The fee itself is what the account cannot cover once the
+            // reserve is locked — report that, not the base fee.
             return Err(LedgerError::InsufficientXrp {
                 account: tx.account,
-                needed: self.fees.base_fee,
+                needed: tx.fee,
                 available: spendable,
             });
         }
@@ -712,20 +826,23 @@ impl LedgerState {
                     if tx.account == *destination {
                         return Err(LedgerError::SelfPayment);
                     }
-                    let route: Vec<Vec<AccountId>> = if paths.is_empty() {
-                        vec![Vec::new()]
-                    } else {
-                        paths.clone()
-                    };
                     // Only single-path same-currency payments are executed
                     // here; richer routing lives in the payment engine crate.
-                    let hops = &route[0];
+                    // Multi-path payments are rejected outright rather than
+                    // silently dropping every path after the first.
+                    let hops: &[AccountId] = match paths.as_slice() {
+                        [] => &[],
+                        [only] => only.as_slice(),
+                        more => {
+                            return Err(LedgerError::MultiPathUnsupported { paths: more.len() })
+                        }
+                    };
                     let mut chain = Vec::with_capacity(hops.len() + 2);
                     chain.push(tx.account);
                     chain.extend_from_slice(hops);
                     chain.push(*destination);
                     for stop in &chain[1..] {
-                        if !self.accounts.contains_key(stop) {
+                        if self.account(stop).is_none() {
                             return Err(LedgerError::NoSuchAccount(*stop));
                         }
                     }
@@ -770,19 +887,32 @@ impl LedgerState {
             }
         }
 
-        let root = self.accounts.get_mut(&tx.account).expect("checked above");
+        let root = self.account_mut(&tx.account).expect("checked above");
         root.sequence += 1;
         Ok(TxResult::Applied)
     }
 
+    /// Like [`LedgerState::apply`] but records the transaction's static
+    /// access footprint ([`crate::access::tx_access`]) into `trace` before
+    /// applying — the plumbing the parallel executor uses to build
+    /// per-payment read/write sets.
+    pub fn apply_traced(
+        &mut self,
+        tx: &Transaction,
+        trace: &mut crate::access::AccessSet,
+    ) -> Result<TxResult, LedgerError> {
+        crate::access::tx_access_into(tx, trace);
+        self.apply(tx)
+    }
+
     fn charge_fee(&mut self, account: AccountId, fee: Drops) {
-        let root = self.accounts.get_mut(&account).expect("caller validated");
+        let root = self.account_mut(&account).expect("caller validated");
         root.balance = root.balance.checked_sub(fee).expect("caller validated fee");
         self.burned = self.burned.checked_add(fee).expect("burn fits u64");
     }
 
     fn refund_fee(&mut self, account: AccountId, fee: Drops) {
-        let root = self.accounts.get_mut(&account).expect("caller validated");
+        let root = self.account_mut(&account).expect("caller validated");
         root.balance = root.balance.checked_add(fee).expect("refund fits");
         self.burned = Drops::new(self.burned.as_drops() - fee.as_drops());
     }
@@ -1137,6 +1267,147 @@ mod tests {
             s.iou_balance(acct(2), sender, Currency::USD),
             "20".parse().unwrap()
         );
+    }
+
+    #[test]
+    fn apply_rejects_multi_path_payments() {
+        use crate::amount::IouAmount;
+        use crate::tx::{Transaction, TxKind};
+        use ripple_crypto::SimKeypair;
+        let keys = SimKeypair::from_seed(b"multipath");
+        let sender = AccountId::from_public_key(&keys.public_key());
+        let mut s = LedgerState::new();
+        s.create_account(sender, Drops::from_xrp(100));
+        s.create_account(acct(2), Drops::from_xrp(100));
+        s.create_account(acct(3), Drops::from_xrp(100));
+        s.create_account(acct(4), Drops::from_xrp(100));
+        // Generous trust on both candidate routes: the old code would have
+        // silently executed only the first path and reported success.
+        for (truster, trustee) in [(acct(2), sender), (acct(4), sender), (acct(3), acct(2))] {
+            s.set_trust(truster, trustee, Currency::USD, "100".parse().unwrap())
+                .unwrap();
+        }
+        s.set_trust(acct(3), acct(4), Currency::USD, "100".parse().unwrap())
+            .unwrap();
+        let tx = Transaction::build(
+            sender,
+            1,
+            Drops::new(10),
+            TxKind::Payment {
+                destination: acct(3),
+                amount: Amount::Iou(IouAmount::new("5".parse().unwrap(), Currency::USD, acct(2))),
+                send_max: None,
+                paths: vec![vec![acct(2)], vec![acct(4)]],
+            },
+        )
+        .signed(&keys);
+        let err = s.apply(&tx).unwrap_err();
+        assert_eq!(err, LedgerError::MultiPathUnsupported { paths: 2 });
+        // Rejected before any effect: no fee burned, no debt moved.
+        assert_eq!(s.total_burned(), Drops::ZERO);
+        assert_eq!(s.account(&sender).unwrap().sequence, 1);
+        assert_eq!(s.iou_balance(acct(2), sender, Currency::USD), Value::ZERO);
+        assert_eq!(s.iou_balance(acct(4), sender, Currency::USD), Value::ZERO);
+    }
+
+    #[test]
+    fn apply_fee_gate_distinguishes_too_low_from_reserve_locked() {
+        use crate::tx::{Transaction, TxKind};
+        use ripple_crypto::SimKeypair;
+        let keys = SimKeypair::from_seed(b"feegate");
+        let who = AccountId::from_public_key(&keys.public_key());
+
+        // Arm 1: fee below the base fee is FeeTooLow, whatever the balance.
+        let mut s = LedgerState::new();
+        s.create_account(who, Drops::from_xrp(100));
+        let base_fee = s.fees().base_fee;
+        let cheap = Transaction::build(
+            who,
+            1,
+            Drops::new(base_fee.as_drops() - 1),
+            TxKind::AccountSet { flags: 0 },
+        )
+        .signed(&keys);
+        assert_eq!(
+            s.apply(&cheap).unwrap_err(),
+            LedgerError::FeeTooLow {
+                fee: Drops::new(base_fee.as_drops() - 1),
+                minimum: base_fee,
+            }
+        );
+
+        // Arm 2: a valid fee the reserve-locked balance cannot cover must
+        // report the actual fee as `needed`, not the base fee.
+        let reserve = s.fees().reserve_for(0);
+        let mut poor = LedgerState::new();
+        poor.create_account(who, Drops::new(reserve.as_drops() + 5));
+        let fee = Drops::new(base_fee.as_drops().max(6));
+        let tx = Transaction::build(who, 1, fee, TxKind::AccountSet { flags: 0 }).signed(&keys);
+        assert_eq!(
+            poor.apply(&tx).unwrap_err(),
+            LedgerError::InsufficientXrp {
+                account: who,
+                needed: fee,
+                available: Drops::new(5),
+            }
+        );
+    }
+
+    #[test]
+    fn offers_iterate_in_global_owner_seq_order_across_shards() {
+        let mut s = LedgerState::new();
+        // Owners spread over distinct shards (first byte selects the shard),
+        // inserted in shuffled order.
+        let owners = [acct(0x31), acct(0x05), acct(0xF2), acct(0x18), acct(0x05)];
+        let seqs = [7u32, 9, 1, 4, 2];
+        for (owner, seq) in owners.iter().zip(seqs) {
+            if s.account(owner).is_none() {
+                s.create_account(*owner, Drops::from_xrp(100));
+            }
+            s.place_offer(
+                *owner,
+                seq,
+                Amount::Xrp(Drops::from_xrp(1)),
+                Amount::Xrp(Drops::from_xrp(1)),
+            )
+            .unwrap();
+        }
+        let order: Vec<(AccountId, u32)> = s.offers().map(|o| (o.owner, o.offer_seq)).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+        assert_eq!(order.len(), 5);
+        assert_eq!(s.offer_count(), 5);
+    }
+
+    #[test]
+    fn apply_traced_records_footprint_and_matches_apply() {
+        use crate::access::{tx_access, AccessSet};
+        use crate::tx::{Transaction, TxKind};
+        use ripple_crypto::SimKeypair;
+        let keys = SimKeypair::from_seed(b"traced");
+        let who = AccountId::from_public_key(&keys.public_key());
+        let mut s = LedgerState::new();
+        s.create_account(who, Drops::from_xrp(100));
+        s.create_account(acct(9), Drops::from_xrp(100));
+        let tx = Transaction::build(
+            who,
+            1,
+            Drops::new(10),
+            TxKind::Payment {
+                destination: acct(9),
+                amount: Amount::Xrp(Drops::from_xrp(1)),
+                send_max: None,
+                paths: Vec::new(),
+            },
+        )
+        .signed(&keys);
+        let mut trace = AccessSet::new();
+        s.apply_traced(&tx, &mut trace).unwrap();
+        let expected = tx_access(&tx);
+        assert_eq!(trace.len(), expected.len());
+        assert!(trace.intersects(&expected));
+        assert_eq!(s.account(&acct(9)).unwrap().balance, Drops::from_xrp(101));
     }
 
     #[test]

@@ -620,7 +620,17 @@ impl Generator {
         let config = &self.config;
         let (sender, sender_community) = cast.users[user_zipf.sample(rng)];
         let src_currency = cast.community_currency[sender_community];
-        let cross = forced_currency.is_none() && rng.gen_bool(config.cross_currency_prob);
+        // A cast can be degenerate (every community sharing the sender's
+        // currency, e.g. a single-community config): the cross branch below
+        // rejection-samples for a *different* home currency and would never
+        // terminate, so cross-currency is demoted after the draw (keeping
+        // the rng stream identical for multi-currency casts).
+        let cross = forced_currency.is_none()
+            && rng.gen_bool(config.cross_currency_prob)
+            && cast
+                .community_currency
+                .iter()
+                .any(|&cur| cur != src_currency);
 
         if !cross && rng.gen_bool(config.same_community_fraction) {
             // Same community: one (or two) shared-gateway paths.

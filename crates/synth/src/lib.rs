@@ -40,13 +40,14 @@ pub mod cast;
 pub mod config;
 pub mod dist;
 pub mod generate;
+mod parexec;
 pub mod pipeline;
 pub mod script;
 
 pub use cast::{Cast, Role};
 pub use config::SynthConfig;
 pub use generate::{Generator, SynthOutput};
-pub use pipeline::{HistoryTallies, PipelineConfig, PipelineRun, SynthBench};
+pub use pipeline::{HistoryTallies, PipelineConfig, PipelineError, PipelineRun, SynthBench};
 pub use script::{
     build_chunk, build_script, derive_seed, plan_history, CastIndex, ScriptChunk, ScriptedBody,
     ScriptedPayment,

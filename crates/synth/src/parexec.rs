@@ -1,0 +1,1073 @@
+//! Optimistic parallel execution of scripted payment chunks.
+//!
+//! The serial [`crate::pipeline`] executor is the pipeline's measured
+//! bottleneck: every payment mutates the one live [`LedgerState`]. This
+//! module breaks that wall without giving up the byte-identical-history
+//! guarantee, using a batch-synchronous optimistic scheme:
+//!
+//! 1. **Speculate.** A batch of script chunks (in order, `2 × exec
+//!    workers` of them) runs in parallel, each chunk against a
+//!    [`SpecView`] — a copy-on-read overlay over the frozen committed
+//!    state. Instead of mutating the ledger, the run records, per payment,
+//!    the exact sequence of semantic *checks* (the state predicates the
+//!    serial executor's control flow depends on) and *ops* (the ledger
+//!    mutations it performs), plus the produced history events and the
+//!    set of [`AccessKey`]s touched.
+//! 2. **Commit.** The main thread walks the batch strictly in
+//!    chunk-then-index order. A payment whose key set is disjoint from
+//!    everything other chunks have committed this batch replays its ops
+//!    directly. On intersection, its recorded checks are re-evaluated
+//!    against the live state (counted as a *conflict*); if they still
+//!    hold, the recorded ops and events are exactly what serial execution
+//!    would have produced, so they are replayed as-is. Only when a check
+//!    fails is the payment re-run serially against the live state (a
+//!    *retried payment*).
+//!
+//! Because the commit walk is serial and in deterministic order, and a
+//! committed payment's effects always equal the serial executor's, the
+//! merged event stream — and therefore the archive — is byte-identical
+//! for any worker count. The de-anonymization probe and the snapshot
+//! trigger are commit-side decisions (they depend on global order), so
+//! they stay deterministic too.
+//!
+//! The treasury account is deliberately excluded from conflict keys: it
+//! is delta-only (topped-up senders never read its balance), so its
+//! writes commute.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ripple_crypto::{AccountId, FxHashMap, FxHashSet};
+use ripple_ledger::{
+    AccessKey, Currency, Drops, LedgerState, PathSummary, PaymentRecord, RippleTime, Value,
+};
+use ripple_obs::{span, LazyCounter, LazyHistogram, LazyTimer};
+use ripple_store::HistoryEvent;
+
+use crate::cast::Cast;
+use crate::config::SynthConfig;
+use crate::generate::{amount_for, MaxOne};
+use crate::script::{
+    account_from_seed, derive_seed, CastIndex, ScriptChunk, ScriptedBody, ScriptedPayment,
+};
+
+static SPEC_CHUNK_NS: LazyTimer = LazyTimer::new("synth.exec.spec_chunk_ns");
+static EXEC_CONFLICTS: LazyCounter = LazyCounter::new("synth.exec.conflicts");
+static EXEC_RETRIED: LazyCounter = LazyCounter::new("synth.exec.retried_payments");
+static CONFLICT_PCT: LazyHistogram = LazyHistogram::new("synth.exec.batch_conflict_pct");
+
+/// A ledger mutation the speculative run recorded. Replaying the sequence
+/// through the public `LedgerState` API reproduces the serial executor's
+/// state changes exactly.
+#[derive(Debug, Clone)]
+enum SpecOp {
+    CreateAccount {
+        id: AccountId,
+    },
+    XrpTransfer {
+        from: AccountId,
+        to: AccountId,
+        drops: Drops,
+    },
+    SetTrust {
+        truster: AccountId,
+        trustee: AccountId,
+        currency: Currency,
+        limit: Value,
+    },
+    PairAdjust {
+        holder: AccountId,
+        counterparty: AccountId,
+        currency: Currency,
+        amount: Value,
+    },
+}
+
+/// A state predicate the speculative control flow depended on. A payment
+/// whose checks all still hold against the live state took exactly the
+/// same branches serial execution would take, so its recorded ops and
+/// events are valid verbatim.
+#[derive(Debug, Clone)]
+enum SpecCheck {
+    /// `top_up_xrp` reads the sender's balance and tops up iff it is below
+    /// twice the need; the top-up amount depends only on the need.
+    TopUp {
+        account: AccountId,
+        need: Drops,
+        taken: bool,
+    },
+    /// A hop that had sufficient capacity (no escalation). Any live state
+    /// with at least this much capacity takes the same (empty) branch.
+    CapacityAtLeast {
+        from: AccountId,
+        to: AccountId,
+        currency: Currency,
+        amount: Value,
+    },
+    /// A hop that escalated. The recorded `SetTrust` limit is a function
+    /// of the exact values seen, so value equality — not a mere branch
+    /// match — is required.
+    Escalation {
+        from: AccountId,
+        to: AccountId,
+        currency: Currency,
+        capacity: Value,
+        gateway: bool,
+        limit: Value,
+        claim: Value,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum SpecStep {
+    Check(SpecCheck),
+    Op(SpecOp),
+}
+
+/// Everything speculation produced for one payment.
+#[derive(Debug, Clone)]
+pub(crate) struct SpecPayment {
+    steps: Vec<SpecStep>,
+    events: Vec<HistoryEvent>,
+    /// Read + write footprint (conflict detection), excluding the treasury.
+    keys: FxHashSet<AccessKey>,
+    /// Speculation hit state it could not interpret (e.g. an account that
+    /// only a not-yet-committed chunk creates): repair unconditionally.
+    poisoned: bool,
+}
+
+impl SpecPayment {
+    fn new() -> SpecPayment {
+        SpecPayment {
+            steps: Vec::new(),
+            events: Vec::new(),
+            keys: FxHashSet::default(),
+            poisoned: false,
+        }
+    }
+
+    fn write_keys(&self, treasury: AccountId, out: &mut FxHashSet<AccessKey>) {
+        for step in &self.steps {
+            if let SpecStep::Op(op) = step {
+                op_write_keys(op, treasury, out);
+            }
+        }
+    }
+}
+
+fn op_write_keys(op: &SpecOp, treasury: AccountId, out: &mut FxHashSet<AccessKey>) {
+    match op {
+        SpecOp::CreateAccount { id } => {
+            out.insert(AccessKey::Account(*id));
+        }
+        SpecOp::XrpTransfer { from, to, .. } => {
+            if *from != treasury {
+                out.insert(AccessKey::Account(*from));
+            }
+            if *to != treasury {
+                out.insert(AccessKey::Account(*to));
+            }
+        }
+        SpecOp::SetTrust {
+            truster,
+            trustee,
+            currency,
+            ..
+        } => {
+            out.insert(AccessKey::Trust(*truster, *trustee, *currency));
+        }
+        SpecOp::PairAdjust {
+            holder,
+            counterparty,
+            currency,
+            ..
+        } => {
+            out.insert(AccessKey::pair(*holder, *counterparty, *currency));
+        }
+    }
+}
+
+/// Canonical pair-balance key: `(low, high)` plus whether the caller's
+/// `(holder, counterparty)` orientation is flipped relative to it.
+fn canon_pair(
+    a: AccountId,
+    b: AccountId,
+    currency: Currency,
+) -> ((AccountId, AccountId, Currency), bool) {
+    if a <= b {
+        ((a, b, currency), false)
+    } else {
+        ((b, a, currency), true)
+    }
+}
+
+/// A copy-on-read overlay over a frozen `LedgerState`: reads fall through
+/// to the base, writes land in the overlay. Used both for speculation
+/// (base = batch-start state) and for commit-time check re-evaluation
+/// (base = live state, overlay = the payment's own earlier hops).
+struct SpecView<'a> {
+    base: &'a LedgerState,
+    balances: FxHashMap<AccountId, Drops>,
+    created: FxHashSet<AccountId>,
+    trust: FxHashMap<(AccountId, AccountId, Currency), Value>,
+    pairs: FxHashMap<(AccountId, AccountId, Currency), Value>,
+}
+
+impl<'a> SpecView<'a> {
+    fn new(base: &'a LedgerState) -> SpecView<'a> {
+        SpecView {
+            base,
+            balances: FxHashMap::default(),
+            created: FxHashSet::default(),
+            trust: FxHashMap::default(),
+            pairs: FxHashMap::default(),
+        }
+    }
+
+    fn balance(&self, id: &AccountId) -> Option<Drops> {
+        if let Some(b) = self.balances.get(id) {
+            return Some(*b);
+        }
+        if self.created.contains(id) {
+            return Some(Drops::ZERO);
+        }
+        self.base.account(id).map(|r| r.balance)
+    }
+
+    fn exists(&self, id: &AccountId) -> bool {
+        self.created.contains(id)
+            || self.balances.contains_key(id)
+            || self.base.account(id).is_some()
+    }
+
+    fn trust_limit(&self, truster: AccountId, trustee: AccountId, currency: Currency) -> Value {
+        self.trust
+            .get(&(truster, trustee, currency))
+            .copied()
+            .unwrap_or_else(|| self.base.trust_limit(truster, trustee, currency))
+    }
+
+    fn iou_balance(&self, holder: AccountId, counterparty: AccountId, currency: Currency) -> Value {
+        let (key, flipped) = canon_pair(holder, counterparty, currency);
+        let raw = self
+            .pairs
+            .get(&key)
+            .copied()
+            .unwrap_or_else(|| self.base.iou_balance(key.0, key.1, currency));
+        if flipped {
+            -raw
+        } else {
+            raw
+        }
+    }
+
+    fn hop_capacity(&self, from: AccountId, to: AccountId, currency: Currency) -> Value {
+        self.trust_limit(to, from, currency) - self.iou_balance(to, from, currency)
+    }
+
+    /// Applies one op to the overlay. `Err` means the op could not be
+    /// interpreted against this view (missing account, shortfall) — the
+    /// owning payment must be repaired at commit.
+    fn apply_op(&mut self, op: &SpecOp) -> Result<(), ()> {
+        match op {
+            SpecOp::CreateAccount { id } => {
+                self.created.insert(*id);
+                self.balances.insert(*id, Drops::ZERO);
+            }
+            SpecOp::XrpTransfer { from, to, drops } => {
+                let fb = self.balance(from).ok_or(())?;
+                let tb = self.balance(to).ok_or(())?;
+                let nfb = fb.checked_sub(*drops).ok_or(())?;
+                let ntb = tb.checked_add(*drops).ok_or(())?;
+                self.balances.insert(*from, nfb);
+                self.balances.insert(*to, ntb);
+            }
+            SpecOp::SetTrust {
+                truster,
+                trustee,
+                currency,
+                limit,
+            } => {
+                self.trust.insert((*truster, *trustee, *currency), *limit);
+            }
+            SpecOp::PairAdjust {
+                holder,
+                counterparty,
+                currency,
+                amount,
+            } => {
+                let (key, flipped) = canon_pair(*holder, *counterparty, *currency);
+                let raw = self
+                    .pairs
+                    .get(&key)
+                    .copied()
+                    .unwrap_or_else(|| self.base.iou_balance(key.0, key.1, *currency));
+                let delta = if flipped { -*amount } else { *amount };
+                self.pairs.insert(key, raw + delta);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn check_holds(check: &SpecCheck, view: &SpecView<'_>) -> bool {
+    match check {
+        SpecCheck::TopUp {
+            account,
+            need,
+            taken,
+        } => {
+            let balance = view.balance(account).unwrap_or(Drops::ZERO);
+            (balance.as_drops() < need.as_drops().saturating_mul(2)) == *taken
+        }
+        SpecCheck::CapacityAtLeast {
+            from,
+            to,
+            currency,
+            amount,
+        } => view.hop_capacity(*from, *to, *currency) >= *amount,
+        SpecCheck::Escalation {
+            from,
+            to,
+            currency,
+            capacity,
+            gateway,
+            limit,
+            claim,
+        } => {
+            if view.hop_capacity(*from, *to, *currency) != *capacity {
+                return false;
+            }
+            if *gateway {
+                view.trust_limit(*from, *to, *currency) == *limit
+                    && view.iou_balance(*from, *to, *currency) == *claim
+            } else {
+                view.iou_balance(*to, *from, *currency) == *claim
+            }
+        }
+    }
+}
+
+fn replay_op(state: &mut LedgerState, op: &SpecOp) {
+    match op {
+        SpecOp::CreateAccount { id } => state.create_account(*id, Drops::ZERO),
+        SpecOp::XrpTransfer { from, to, drops } => {
+            state
+                .xrp_transfer_unchecked(*from, *to, *drops)
+                .expect("validated by speculation");
+        }
+        SpecOp::SetTrust {
+            truster,
+            trustee,
+            currency,
+            limit,
+        } => {
+            state
+                .set_trust(*truster, *trustee, *currency, *limit)
+                .expect("parties exist");
+        }
+        SpecOp::PairAdjust {
+            holder,
+            counterparty,
+            currency,
+            amount,
+        } => state.adjust_pair_balance(*holder, *counterparty, *currency, *amount),
+    }
+}
+
+/// One recording run of the executor's payment logic: mirrors
+/// `Executor::run_body` / `run_probe` step for step, but against a
+/// [`SpecView`] and producing a [`SpecPayment`] instead of mutating the
+/// ledger.
+struct SpecRunner<'a> {
+    config: &'a SynthConfig,
+    cast: &'a Cast,
+    index: &'a CastIndex,
+    treasury: AccountId,
+    view: SpecView<'a>,
+}
+
+impl<'a> SpecRunner<'a> {
+    fn new(
+        config: &'a SynthConfig,
+        cast: &'a Cast,
+        index: &'a CastIndex,
+        treasury: AccountId,
+        base: &'a LedgerState,
+    ) -> SpecRunner<'a> {
+        SpecRunner {
+            config,
+            cast,
+            index,
+            treasury,
+            view: SpecView::new(base),
+        }
+    }
+
+    fn read(&self, p: &mut SpecPayment, key: AccessKey) {
+        if !matches!(key, AccessKey::Account(a) if a == self.treasury) {
+            p.keys.insert(key);
+        }
+    }
+
+    fn op(&mut self, p: &mut SpecPayment, op: SpecOp) {
+        op_write_keys(&op, self.treasury, &mut p.keys);
+        if self.view.apply_op(&op).is_err() {
+            p.poisoned = true;
+        }
+        p.steps.push(SpecStep::Op(op));
+    }
+
+    fn check(&self, p: &mut SpecPayment, check: SpecCheck) {
+        p.steps.push(SpecStep::Check(check));
+    }
+
+    /// Mirrors `Executor::run_payment` minus the snapshot trigger and the
+    /// probe *decision* (both are commit-side; `probe` is passed in).
+    fn run_payment(&mut self, entry: &ScriptedPayment, probe: bool) -> SpecPayment {
+        let mut p = SpecPayment::new();
+        let now = entry.timestamp;
+        for offer in &entry.offers {
+            p.events.push(HistoryEvent::OfferPlaced {
+                owner: offer.owner,
+                offer_seq: offer.offer_seq,
+                base: offer.base,
+                quote: offer.quote,
+                gets: offer.gets,
+                pays: offer.pays,
+                timestamp: now,
+            });
+        }
+        let record = if probe {
+            self.run_probe(&mut p, entry)
+        } else {
+            self.run_body(&mut p, entry)
+        };
+        if let Some(record) = record {
+            p.events.push(HistoryEvent::Payment(record));
+        } else {
+            p.poisoned = true;
+        }
+        p
+    }
+
+    /// Mirrors `Executor::run_probe`: 44 fresh intermediates plus a fresh
+    /// destination, hops escalated along the way. Only ever runs on the
+    /// repair path (the probe decision needs global commit order), where
+    /// the view's base is the live state.
+    fn run_probe(&mut self, p: &mut SpecPayment, entry: &ScriptedPayment) -> Option<PaymentRecord> {
+        let now = entry.timestamp;
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.config.seed, "probe", 0));
+        let sender = self.cast.users[0].0;
+        let currency = Currency::USD;
+        let amount = amount_for(currency, &mut rng);
+        let mut hops = Vec::with_capacity(44);
+        for i in 0..44 {
+            let id = account_from_seed(&format!("probe:{i}"));
+            self.op(p, SpecOp::CreateAccount { id });
+            p.events.push(HistoryEvent::AccountCreated {
+                account: id,
+                timestamp: now,
+            });
+            hops.push(id);
+        }
+        let destination = account_from_seed("probe:dest");
+        self.op(p, SpecOp::CreateAccount { id: destination });
+        p.events.push(HistoryEvent::AccountCreated {
+            account: destination,
+            timestamp: now,
+        });
+        let mut full = Vec::with_capacity(hops.len() + 2);
+        full.push(sender);
+        full.extend_from_slice(&hops);
+        full.push(destination);
+        for pair in full.windows(2) {
+            self.hop(p, pair[0], pair[1], currency, amount, now);
+        }
+        Some(PaymentRecord {
+            tx_hash: entry.tx_hash,
+            sender,
+            destination,
+            currency,
+            issuer: hops.last().copied(),
+            amount,
+            timestamp: now,
+            ledger_seq: entry.ledger_seq,
+            paths: PathSummary::from_paths(vec![hops]),
+            cross_currency: false,
+            source_currency: None,
+        })
+    }
+
+    /// Mirrors `Executor::run_body` exactly; returns `None` (poisoning the
+    /// payment) where the serial executor would need state this view
+    /// cannot interpret.
+    fn run_body(&mut self, p: &mut SpecPayment, entry: &ScriptedPayment) -> Option<PaymentRecord> {
+        let now = entry.timestamp;
+        let base =
+            |sender, destination, currency, issuer, amount, paths, cross, src| PaymentRecord {
+                tx_hash: entry.tx_hash,
+                sender,
+                destination,
+                currency,
+                issuer,
+                amount,
+                timestamp: now,
+                ledger_seq: entry.ledger_seq,
+                paths,
+                cross_currency: cross,
+                source_currency: src,
+            };
+        match &entry.body {
+            ScriptedBody::Xrp {
+                sender,
+                destination,
+                amount,
+                fresh_destination,
+            } => {
+                if *fresh_destination {
+                    self.op(p, SpecOp::CreateAccount { id: *destination });
+                    p.events.push(HistoryEvent::AccountCreated {
+                        account: *destination,
+                        timestamp: now,
+                    });
+                }
+                let drops = Drops::new(amount.raw().max(1) as u64);
+                self.xrp_leg(p, *sender, *destination, drops)?;
+                Some(base(
+                    *sender,
+                    *destination,
+                    Currency::XRP,
+                    None,
+                    *amount,
+                    PathSummary::direct(),
+                    false,
+                    None,
+                ))
+            }
+            ScriptedBody::Spin { sender, bet } => {
+                let drops = Drops::from_xrp(*bet);
+                self.xrp_leg(p, *sender, self.cast.spin, drops)?;
+                Some(base(
+                    *sender,
+                    self.cast.spin,
+                    Currency::XRP,
+                    None,
+                    Value::from_int(*bet as i64),
+                    PathSummary::direct(),
+                    false,
+                    None,
+                ))
+            }
+            ScriptedBody::ZeroOut { dust } | ScriptedBody::ZeroBack { dust } => {
+                let outbound = matches!(entry.body, ScriptedBody::ZeroOut { .. });
+                let (sender, destination) = if outbound {
+                    (self.cast.zero_spammer, AccountId::ZERO)
+                } else {
+                    (AccountId::ZERO, self.cast.zero_spammer)
+                };
+                let drops = Drops::new(dust.raw() as u64);
+                self.xrp_leg(p, sender, destination, drops)?;
+                Some(base(
+                    sender,
+                    destination,
+                    Currency::XRP,
+                    None,
+                    *dust,
+                    PathSummary::direct(),
+                    false,
+                    None,
+                ))
+            }
+            ScriptedBody::Mtl { sink, amount } => {
+                let share = Value::from_raw(amount.raw() / 6);
+                let cast = self.cast;
+                let mut paths = Vec::with_capacity(cast.mtl_chains.len());
+                for chain in &cast.mtl_chains {
+                    let mut hops = Vec::with_capacity(chain.len() + 2);
+                    hops.push(cast.mtl_attacker);
+                    hops.extend_from_slice(chain);
+                    hops.push(*sink);
+                    for pair in hops.windows(2) {
+                        self.hop(p, pair[0], pair[1], Currency::MTL, share, now);
+                    }
+                    paths.push(chain.clone());
+                }
+                Some(base(
+                    self.cast.mtl_attacker,
+                    *sink,
+                    Currency::MTL,
+                    Some(self.cast.mtl_attacker),
+                    *amount,
+                    PathSummary::from_paths(paths),
+                    false,
+                    None,
+                ))
+            }
+            ScriptedBody::Iou {
+                sender,
+                destination,
+                currency,
+                src_currency,
+                amount,
+                share,
+                src_share,
+                issuer,
+                cross,
+                is_cck: _,
+                paths,
+            } => {
+                let mut summary = Vec::with_capacity(paths.len());
+                for path in paths {
+                    let mut full = Vec::with_capacity(path.hops.len() + 2);
+                    full.push(*sender);
+                    full.extend_from_slice(&path.hops);
+                    full.push(*destination);
+                    for (i, pair) in full.windows(2).enumerate() {
+                        let (cur, amt) = if *cross && i <= path.conv_at {
+                            (src_currency.unwrap_or(*currency), *src_share)
+                        } else {
+                            (*currency, *share)
+                        };
+                        self.hop(p, pair[0], pair[1], cur, amt, now);
+                    }
+                    summary.push(path.hops.clone());
+                }
+                Some(base(
+                    *sender,
+                    *destination,
+                    *currency,
+                    Some(*issuer),
+                    *amount,
+                    PathSummary::from_paths(summary),
+                    *cross,
+                    cross.then(|| src_currency.unwrap_or(*currency)),
+                ))
+            }
+            // Scripted probes never appear in chunks (the executor
+            // substitutes them), but execute one defensively anyway, exactly
+            // as the serial executor does.
+            ScriptedBody::Probe { .. } => self.run_probe(p, entry),
+        }
+    }
+
+    /// Mirrors `top_up_xrp` + `xrp_transfer_unchecked`. Returns `None`
+    /// (poison) when the destination is unknown to this view.
+    fn xrp_leg(
+        &mut self,
+        p: &mut SpecPayment,
+        sender: AccountId,
+        destination: AccountId,
+        need: Drops,
+    ) -> Option<()> {
+        let balance = self.view.balance(&sender).unwrap_or(Drops::ZERO);
+        self.read(p, AccessKey::Account(sender));
+        let taken = balance.as_drops() < need.as_drops().saturating_mul(2);
+        self.check(
+            p,
+            SpecCheck::TopUp {
+                account: sender,
+                need,
+                taken,
+            },
+        );
+        if taken {
+            let top_up = Drops::new(need.as_drops().saturating_mul(50).max(1_000_000));
+            self.op(
+                p,
+                SpecOp::XrpTransfer {
+                    from: self.treasury,
+                    to: sender,
+                    drops: top_up,
+                },
+            );
+        }
+        if !self.view.exists(&destination) {
+            return None;
+        }
+        self.read(p, AccessKey::Account(destination));
+        self.op(
+            p,
+            SpecOp::XrpTransfer {
+                from: sender,
+                to: destination,
+                drops: need,
+            },
+        );
+        Some(())
+    }
+
+    /// Mirrors `apply_hop` (the fused escalate-then-ripple fast path),
+    /// recording the branch-deciding values as checks.
+    fn hop(
+        &mut self,
+        p: &mut SpecPayment,
+        from: AccountId,
+        to: AccountId,
+        currency: Currency,
+        amount: Value,
+        now: RippleTime,
+    ) {
+        let capacity = self.view.hop_capacity(from, to, currency);
+        self.read(p, AccessKey::Trust(to, from, currency));
+        self.read(p, AccessKey::pair(from, to, currency));
+        if capacity < amount {
+            let shortfall = amount - capacity;
+            if self.index.gateway_set.contains(&to) {
+                let boost = Value::from_raw(shortfall.raw().saturating_mul(50)).max_one();
+                let limit = self.view.trust_limit(from, to, currency);
+                let claim = self.view.iou_balance(from, to, currency);
+                self.read(p, AccessKey::Trust(from, to, currency));
+                self.check(
+                    p,
+                    SpecCheck::Escalation {
+                        from,
+                        to,
+                        currency,
+                        capacity,
+                        gateway: true,
+                        limit,
+                        claim,
+                    },
+                );
+                if limit - claim < boost {
+                    let new_limit = (claim + boost + boost).max_one();
+                    self.op(
+                        p,
+                        SpecOp::SetTrust {
+                            truster: from,
+                            trustee: to,
+                            currency,
+                            limit: new_limit,
+                        },
+                    );
+                    p.events.push(HistoryEvent::TrustSet {
+                        truster: from,
+                        trustee: to,
+                        currency,
+                        limit: new_limit,
+                        timestamp: now,
+                    });
+                }
+                self.op(
+                    p,
+                    SpecOp::PairAdjust {
+                        holder: from,
+                        counterparty: to,
+                        currency,
+                        amount: boost,
+                    },
+                );
+            } else {
+                let claim = self.view.iou_balance(to, from, currency);
+                self.check(
+                    p,
+                    SpecCheck::Escalation {
+                        from,
+                        to,
+                        currency,
+                        capacity,
+                        gateway: false,
+                        limit: Value::ZERO,
+                        claim,
+                    },
+                );
+                let new_limit =
+                    (claim + Value::from_raw(amount.raw().saturating_mul(50))).max_one();
+                self.op(
+                    p,
+                    SpecOp::SetTrust {
+                        truster: to,
+                        trustee: from,
+                        currency,
+                        limit: new_limit,
+                    },
+                );
+                p.events.push(HistoryEvent::TrustSet {
+                    truster: to,
+                    trustee: from,
+                    currency,
+                    limit: new_limit,
+                    timestamp: now,
+                });
+            }
+        } else {
+            self.check(
+                p,
+                SpecCheck::CapacityAtLeast {
+                    from,
+                    to,
+                    currency,
+                    amount,
+                },
+            );
+        }
+        self.op(
+            p,
+            SpecOp::PairAdjust {
+                holder: to,
+                counterparty: from,
+                currency,
+                amount,
+            },
+        );
+    }
+}
+
+/// Conflict / retry tallies for one parallel run.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ParStats {
+    /// Payments whose key set intersected another chunk's commits (their
+    /// checks were re-evaluated).
+    pub conflicts: u64,
+    /// Payments whose checks failed and were re-run serially.
+    pub retried: u64,
+    /// Payments committed on the key-disjoint fast path.
+    pub fast: u64,
+    /// Conflicted payments whose checks still held.
+    pub validated: u64,
+}
+
+/// The parallel execution stage: owns the live ledger between batches,
+/// speculates batches in parallel, commits serially in deterministic
+/// order.
+pub(crate) struct ParExecutor<'a> {
+    config: &'a SynthConfig,
+    cast: &'a Cast,
+    index: &'a CastIndex,
+    state: LedgerState,
+    treasury: AccountId,
+    probe_emitted: bool,
+    pub(crate) snapshot: Option<(RippleTime, LedgerState)>,
+    /// Keys written by chunks committed earlier in the *current* batch
+    /// (cleared by [`ParExecutor::begin_batch`]; speculation saw none of
+    /// these writes).
+    dirty: FxHashSet<AccessKey>,
+    pub(crate) stats: ParStats,
+}
+
+impl<'a> ParExecutor<'a> {
+    pub(crate) fn new(
+        config: &'a SynthConfig,
+        cast: &'a Cast,
+        index: &'a CastIndex,
+        state: LedgerState,
+        treasury: AccountId,
+    ) -> ParExecutor<'a> {
+        ParExecutor {
+            config,
+            cast,
+            index,
+            state,
+            treasury,
+            probe_emitted: false,
+            snapshot: None,
+            dirty: FxHashSet::default(),
+            stats: ParStats::default(),
+        }
+    }
+
+    pub(crate) fn into_state(self) -> LedgerState {
+        self.state
+    }
+
+    /// Marks the start of a batch: the live state is the new speculation
+    /// base, so nothing is dirty relative to it yet.
+    pub(crate) fn begin_batch(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// Speculates a batch of chunks in parallel against the frozen live
+    /// state. Returns one `Vec<SpecPayment>` per chunk, in chunk order.
+    pub(crate) fn speculate(
+        &self,
+        chunks: &[ScriptChunk],
+        workers: usize,
+    ) -> Vec<Vec<SpecPayment>> {
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Vec<SpecPayment>>>> =
+            chunks.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers.min(chunks.len()).max(1) {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= chunks.len() {
+                        break;
+                    }
+                    let t = Instant::now();
+                    let spec = {
+                        let _span = span("synth", "spec_chunk");
+                        self.speculate_chunk(&chunks[i])
+                    };
+                    SPEC_CHUNK_NS.record(t.elapsed());
+                    *slots[i].lock().expect("speculation slot") = Some(spec);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("speculation slot")
+                    .expect("every chunk speculated")
+            })
+            .collect()
+    }
+
+    fn speculate_chunk(&self, chunk: &ScriptChunk) -> Vec<SpecPayment> {
+        let mut runner = SpecRunner::new(
+            self.config,
+            self.cast,
+            self.index,
+            self.treasury,
+            &self.state,
+        );
+        chunk
+            .entries
+            .iter()
+            .map(|entry| runner.run_payment(entry, false))
+            .collect()
+    }
+
+    /// Commits one chunk's speculation results in payment order. Returns
+    /// the number of conflicts observed in this chunk (for the per-batch
+    /// histogram).
+    pub(crate) fn commit_chunk(
+        &mut self,
+        chunk: &ScriptChunk,
+        specs: Vec<SpecPayment>,
+        events: &mut Vec<HistoryEvent>,
+    ) -> u64 {
+        // Keys written by *repaired* payments of this chunk: their actual
+        // effects differ from what the chunk's speculation overlay assumed,
+        // so later payments of the same chunk reading them must revalidate.
+        let mut chunk_dirty: FxHashSet<AccessKey> = FxHashSet::default();
+        // Everything this chunk actually wrote (fed into `dirty` for the
+        // batch's later chunks, which speculated from the batch base).
+        let mut chunk_written: FxHashSet<AccessKey> = FxHashSet::default();
+        let mut chunk_conflicts = 0u64;
+        for (local, (entry, spec)) in chunk.entries.iter().zip(specs).enumerate() {
+            let global_index = chunk.base_index + local;
+            if let Some(at) = self.config.snapshot_at {
+                if self.snapshot.is_none() && entry.timestamp >= at {
+                    self.snapshot = Some((at, self.state.clone()));
+                }
+            }
+            let probe = !self.probe_emitted
+                && global_index >= self.config.payments / 2
+                && matches!(entry.body, ScriptedBody::Iou { is_cck: false, .. });
+            if probe {
+                self.probe_emitted = true;
+            }
+            let needs_repair = if probe || spec.poisoned {
+                true
+            } else if spec
+                .keys
+                .iter()
+                .any(|k| self.dirty.contains(k) || chunk_dirty.contains(k))
+            {
+                chunk_conflicts += 1;
+                self.stats.conflicts += 1;
+                EXEC_CONFLICTS.add(1);
+                if self.revalidate(&spec) {
+                    self.stats.validated += 1;
+                    false
+                } else {
+                    true
+                }
+            } else {
+                self.stats.fast += 1;
+                false
+            };
+            if needs_repair {
+                // The overlay's view of this payment's speculated writes is
+                // now wrong either way — taint them for the rest of the
+                // chunk, along with whatever the repair actually writes.
+                spec.write_keys(self.treasury, &mut chunk_dirty);
+                self.repair(entry, probe, events, &mut chunk_dirty, &mut chunk_written);
+                if !probe {
+                    self.stats.retried += 1;
+                    EXEC_RETRIED.add(1);
+                }
+            } else {
+                for step in &spec.steps {
+                    if let SpecStep::Op(op) = step {
+                        replay_op(&mut self.state, op);
+                        op_write_keys(op, self.treasury, &mut chunk_written);
+                    }
+                }
+                events.extend(spec.events);
+            }
+        }
+        self.dirty.extend(chunk_written);
+        chunk_conflicts
+    }
+
+    /// Re-evaluates a payment's recorded checks against the live state,
+    /// replaying its ops into a scratch overlay so later checks of the
+    /// same payment see its earlier hops (exactly like serial intra-
+    /// payment sequencing).
+    fn revalidate(&self, spec: &SpecPayment) -> bool {
+        let mut scratch = SpecView::new(&self.state);
+        for step in &spec.steps {
+            match step {
+                SpecStep::Check(check) => {
+                    if !check_holds(check, &scratch) {
+                        return false;
+                    }
+                }
+                SpecStep::Op(op) => {
+                    if scratch.apply_op(op).is_err() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The serial-repair path: re-runs the payment's recording executor
+    /// against the live state (every check trivially holds there) and
+    /// applies the result unconditionally.
+    fn repair(
+        &mut self,
+        entry: &ScriptedPayment,
+        probe: bool,
+        events: &mut Vec<HistoryEvent>,
+        chunk_dirty: &mut FxHashSet<AccessKey>,
+        chunk_written: &mut FxHashSet<AccessKey>,
+    ) {
+        let spec = {
+            let mut runner = SpecRunner::new(
+                self.config,
+                self.cast,
+                self.index,
+                self.treasury,
+                &self.state,
+            );
+            runner.run_payment(entry, probe)
+        };
+        assert!(
+            !spec.poisoned,
+            "serial repair against the live state cannot fail"
+        );
+        for step in &spec.steps {
+            if let SpecStep::Op(op) = step {
+                replay_op(&mut self.state, op);
+            }
+        }
+        spec.write_keys(self.treasury, chunk_dirty);
+        spec.write_keys(self.treasury, chunk_written);
+        events.extend(spec.events);
+    }
+
+    /// Records the per-batch conflict rate (percent of the batch's
+    /// payments that conflicted) into the obs histogram.
+    pub(crate) fn observe_batch(&self, batch_conflicts: u64, batch_payments: u64) {
+        CONFLICT_PCT.record(batch_conflicts * 100 / batch_payments.max(1));
+    }
+}

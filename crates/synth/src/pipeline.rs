@@ -7,13 +7,19 @@
 //! 1. **Scripting** — N worker threads plan payment chunks (every random
 //!    draw) via [`crate::script`]; chunk content is independent of the
 //!    worker count, so the merged script is always identical.
-//! 2. **Execution** — the one inherently serial stage: the main thread
-//!    applies scripted payments to the live [`LedgerState`] in chunk order
-//!    (a reorder buffer absorbs out-of-order chunk arrivals). The hop
-//!    fast path ([`apply_hop`]) fuses the serial generator's
-//!    `ensure_hop` + `ripple_hop` pair into a single capacity probe plus a
-//!    direct balance adjustment, and membership checks run against the
-//!    precomputed gateway set instead of scanning the cast.
+//! 2. **Execution** — the main thread applies scripted payments to the
+//!    live [`LedgerState`] in chunk order (a reorder buffer absorbs
+//!    out-of-order chunk arrivals). The hop fast path ([`apply_hop`])
+//!    fuses the serial generator's `ensure_hop` + `ripple_hop` pair into
+//!    a single capacity probe plus a direct balance adjustment, and
+//!    membership checks run against the precomputed gateway set instead
+//!    of scanning the cast. With
+//!    [`PipelineConfig::exec_workers`]` > 1` the stage switches to the
+//!    optimistic parallel executor in [`crate::parexec`]: batches of
+//!    chunks speculate in parallel against the frozen committed state and
+//!    a serial commit walk (in deterministic chunk-then-index order)
+//!    validates or re-runs each payment, so the merged event stream stays
+//!    byte-identical for any worker count.
 //! 3. **Sink** — archive encoding ([`ripple_store::Writer`]) and
 //!    incremental analytics tallies run on their own threads, overlapping
 //!    the executor.
@@ -25,9 +31,10 @@
 //! but it is drawn from the same calibrated marginals.
 
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::sync_channel;
+use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -44,6 +51,7 @@ use crate::cast::Cast;
 use crate::generate::{
     amount_for, build_menus, place_resident_offers, top_up_xrp, Generator, MaxOne, SynthOutput,
 };
+use crate::parexec::ParExecutor;
 use crate::script::{
     account_from_seed, build_chunk, chunk_count, derive_seed, CastIndex, ScriptChunk, ScriptedBody,
     ScriptedPayment,
@@ -59,6 +67,15 @@ pub struct PipelineConfig {
     /// Whether to encode the archive on the sink stage (the encoded bytes
     /// are returned in [`PipelineRun::archive`]).
     pub archive: bool,
+    /// Execution worker threads: `1` (the default) keeps the classic serial
+    /// executor, larger values run the optimistic parallel executor with
+    /// that many speculation threads, and `0` means "one per available
+    /// core". The produced history is byte-identical either way.
+    pub exec_workers: usize,
+    /// Test hook: makes the scripting worker that picks up this chunk index
+    /// panic, to exercise the pipeline's failure propagation.
+    #[doc(hidden)]
+    pub inject_chunk_panic: Option<usize>,
 }
 
 impl Default for PipelineConfig {
@@ -67,6 +84,8 @@ impl Default for PipelineConfig {
             workers: 0,
             chunk_size: 0,
             archive: true,
+            exec_workers: 1,
+            inject_chunk_panic: None,
         }
     }
 }
@@ -89,7 +108,43 @@ impl PipelineConfig {
             8192
         }
     }
+
+    fn resolved_exec_workers(&self) -> usize {
+        if self.exec_workers > 0 {
+            self.exec_workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
 }
+
+/// A pipeline stage failed (currently: a scripting worker panicked).
+///
+/// Before this type existed the executor died on a closed channel with an
+/// unrelated `expect` message; now the failure is surfaced as a
+/// first-class error naming the stage and, when the payload allows, the
+/// panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineError {
+    /// The stage that failed (`"script"`, ...).
+    pub stage: &'static str,
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pipeline stage `{}` failed: {}",
+            self.stage, self.message
+        )
+    }
+}
+
+impl std::error::Error for PipelineError {}
 
 /// Stage timings and volume counters for one pipelined run.
 #[derive(Debug, Clone)]
@@ -112,6 +167,17 @@ pub struct SynthBench {
     pub chunk_size: usize,
     /// Scripting workers used.
     pub workers: usize,
+    /// Execution workers used (1 = serial executor).
+    pub exec_workers: usize,
+    /// Wall-clock seconds spent in parallel speculation barriers (0 for
+    /// the serial executor).
+    pub spec_secs: f64,
+    /// Payments whose access set collided with another chunk's commits and
+    /// had their recorded checks re-evaluated (0 for the serial executor).
+    pub conflicts: u64,
+    /// Conflicting payments whose checks failed and were re-run serially
+    /// (0 for the serial executor).
+    pub retried_payments: u64,
     /// Bytes the archive encoding produced. The encoder always runs, so
     /// this is non-zero whether or not the bytes were retained.
     pub encoded_bytes: usize,
@@ -250,12 +316,18 @@ impl io::Write for CountingSink {
 impl Generator {
     /// Runs the three-stage pipelined generation. See the module docs for
     /// the stage layout and the determinism contract.
-    pub fn run_pipelined(&self, pcfg: &PipelineConfig) -> PipelineRun {
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError`] when a stage worker dies (e.g. a scripting
+    /// worker panics).
+    pub fn run_pipelined(&self, pcfg: &PipelineConfig) -> Result<PipelineRun, PipelineError> {
         let wall = Instant::now();
         let config = &self.config;
         let chunk_size = pcfg.resolved_chunk_size();
         let n_chunks = chunk_count(config.payments, chunk_size);
         let workers = pcfg.resolved_workers().max(1).min(n_chunks);
+        let exec_workers = pcfg.resolved_exec_workers().max(1);
 
         // Serial setup, consuming the master RNG exactly as `run` does so
         // the cast, resident offers and menus are shared with the serial
@@ -281,7 +353,10 @@ impl Generator {
         struct ScopeOut {
             script_secs: f64,
             exec_secs: f64,
+            spec_secs: f64,
             sink_secs: f64,
+            conflicts: u64,
+            retried: u64,
             encoded_bytes: usize,
             archive: Option<Vec<u8>>,
             tallies: HistoryTallies,
@@ -292,7 +367,8 @@ impl Generator {
         }
 
         let cursor = AtomicUsize::new(0);
-        let out = std::thread::scope(|s| {
+        let inject_panic = pcfg.inject_chunk_panic;
+        let out = std::thread::scope(|s| -> Result<ScopeOut, PipelineError> {
             // --- Stage 1: scripting workers -----------------------------
             let (chunk_tx, chunk_rx) = sync_channel::<ScriptChunk>((workers * 2).max(4));
             let mut script_handles = Vec::with_capacity(workers);
@@ -307,6 +383,9 @@ impl Generator {
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
                         if c >= n_chunks {
                             break;
+                        }
+                        if inject_panic == Some(c) {
+                            panic!("injected scripting panic at chunk {c}");
                         }
                         let t = Instant::now();
                         let chunk = {
@@ -381,52 +460,96 @@ impl Generator {
                 (busy, tallies, events, arena)
             });
 
-            // --- Stage 2: the serial executor (this thread) -------------
-            let mut exec = Executor::new(config, &cast, &index, state, treasury);
+            // --- Stage 2: the executor (this thread) --------------------
             let mut exec_secs = 0.0f64;
+            let mut spec_secs = 0.0f64;
+            let mut conflicts = 0u64;
+            let mut retried = 0u64;
             let mut pending: BTreeMap<usize, ScriptChunk> = BTreeMap::new();
-            let mut next = 0usize;
             let mut batch: EventBatch = Vec::with_capacity(BATCH_EVENTS);
             // The setup events head the stream, exactly as in `run`.
             batch.append(&mut setup_events);
-            while next < n_chunks {
-                let chunk = match pending.remove(&next) {
-                    Some(c) => {
-                        EXEC_REORDER.set(pending.len() as i64);
-                        c
-                    }
-                    None => {
-                        let c = chunk_rx.recv().expect("scripting workers outlive demand");
-                        SCRIPT_QUEUE.add(-1);
-                        if c.index != next {
-                            pending.insert(c.index, c);
-                            EXEC_REORDER.set(pending.len() as i64);
-                            continue;
-                        }
-                        c
-                    }
-                };
-                let t = Instant::now();
-                {
-                    let _span = span("synth", "exec_chunk");
-                    exec.run_chunk(&chunk, &mut batch);
-                }
-                let dt = t.elapsed();
-                exec_secs += dt.as_secs_f64();
-                EXEC_CHUNKS.add(1);
-                EXEC_PAYMENTS.add(chunk.entries.len() as u64);
-                EXEC_CHUNK_NS.record(dt);
-                next += 1;
-                if batch.len() >= BATCH_EVENTS {
-                    let full = std::mem::replace(&mut batch, Vec::with_capacity(BATCH_EVENTS));
+            let flush = |batch: &mut EventBatch, force: bool| {
+                if batch.len() >= BATCH_EVENTS || (force && !batch.is_empty()) {
+                    let full = std::mem::replace(batch, Vec::with_capacity(BATCH_EVENTS));
                     sink_tx.send(full).expect("sink outlives the executor");
                     SINK_QUEUE.add(1);
                 }
-            }
-            if !batch.is_empty() {
-                sink_tx.send(batch).expect("sink outlives the executor");
-                SINK_QUEUE.add(1);
-            }
+            };
+            let (snapshot, final_state) = if exec_workers <= 1 {
+                // Serial executor: one chunk at a time against the live
+                // state.
+                let mut exec = Executor::new(config, &cast, &index, state, treasury);
+                let mut next = 0usize;
+                while next < n_chunks {
+                    let chunk = match recv_in_order(&chunk_rx, &mut pending, next) {
+                        Ok(c) => c,
+                        Err(()) => {
+                            drop(chunk_rx);
+                            return Err(script_failure(script_handles));
+                        }
+                    };
+                    let t = Instant::now();
+                    {
+                        let _span = span("synth", "exec_chunk");
+                        exec.run_chunk(&chunk, &mut batch);
+                    }
+                    let dt = t.elapsed();
+                    exec_secs += dt.as_secs_f64();
+                    EXEC_CHUNKS.add(1);
+                    EXEC_PAYMENTS.add(chunk.entries.len() as u64);
+                    EXEC_CHUNK_NS.record(dt);
+                    next += 1;
+                    flush(&mut batch, false);
+                }
+                (exec.snapshot.take(), exec.into_state())
+            } else {
+                // Parallel executor: gather a batch of chunks, speculate
+                // them concurrently against the frozen committed state,
+                // then commit serially in deterministic order.
+                let mut par = ParExecutor::new(config, &cast, &index, state, treasury);
+                let batch_target = (exec_workers * 2).max(2);
+                let mut next = 0usize;
+                while next < n_chunks {
+                    let mut gathered: Vec<ScriptChunk> = Vec::with_capacity(batch_target);
+                    while gathered.len() < batch_target && next + gathered.len() < n_chunks {
+                        match recv_in_order(&chunk_rx, &mut pending, next + gathered.len()) {
+                            Ok(c) => gathered.push(c),
+                            Err(()) => {
+                                drop(chunk_rx);
+                                return Err(script_failure(script_handles));
+                            }
+                        }
+                    }
+                    par.begin_batch();
+                    let t = Instant::now();
+                    let specs = par.speculate(&gathered, exec_workers);
+                    spec_secs += t.elapsed().as_secs_f64();
+                    let mut batch_conflicts = 0u64;
+                    let mut batch_payments = 0u64;
+                    for (chunk, spec) in gathered.iter().zip(specs) {
+                        let t = Instant::now();
+                        let chunk_conflicts = {
+                            let _span = span("synth", "exec_chunk");
+                            par.commit_chunk(chunk, spec, &mut batch)
+                        };
+                        let dt = t.elapsed();
+                        exec_secs += dt.as_secs_f64();
+                        EXEC_CHUNKS.add(1);
+                        EXEC_PAYMENTS.add(chunk.entries.len() as u64);
+                        EXEC_CHUNK_NS.record(dt);
+                        batch_conflicts += chunk_conflicts;
+                        batch_payments += chunk.entries.len() as u64;
+                        flush(&mut batch, false);
+                    }
+                    par.observe_batch(batch_conflicts, batch_payments);
+                    next += gathered.len();
+                }
+                conflicts = par.stats.conflicts;
+                retried = par.stats.retried;
+                (par.snapshot.take(), par.into_state())
+            };
+            flush(&mut batch, true);
             drop(sink_tx);
             drop(chunk_rx);
 
@@ -438,20 +561,22 @@ impl Generator {
             let (enc_busy, encoded_bytes, bytes) = encoder.join().expect("encoder panicked");
             let (tally_busy, tallies, events_out, payment_arena) =
                 tally.join().expect("tally thread panicked");
-            let snapshot = exec.snapshot.take();
-            ScopeOut {
+            Ok(ScopeOut {
                 script_secs,
                 exec_secs,
+                spec_secs,
                 sink_secs: enc_busy + tally_busy,
+                conflicts,
+                retried,
                 encoded_bytes,
                 archive: bytes,
                 tallies,
                 events_out,
                 payment_arena,
                 snapshot,
-                final_state: exec.into_state(),
-            }
-        });
+                final_state,
+            })
+        })?;
 
         let events_total = out.events_out.len();
         let output = SynthOutput {
@@ -471,16 +596,65 @@ impl Generator {
             chunks: n_chunks,
             chunk_size,
             workers,
+            exec_workers,
+            spec_secs: out.spec_secs,
+            conflicts: out.conflicts,
+            retried_payments: out.retried,
             encoded_bytes: out.encoded_bytes,
             archive_bytes: out.archive.as_ref().map_or(0, Vec::len),
         };
-        PipelineRun {
+        Ok(PipelineRun {
             output,
             arena: out.payment_arena.into(),
             tallies: out.tallies,
             archive: out.archive,
             bench,
+        })
+    }
+}
+
+/// Pulls the next in-order chunk off the scripting channel, buffering any
+/// chunks that arrive early. `Err(())` means the channel died with chunks
+/// still owed — a scripting worker failed.
+fn recv_in_order(
+    rx: &Receiver<ScriptChunk>,
+    pending: &mut BTreeMap<usize, ScriptChunk>,
+    next: usize,
+) -> Result<ScriptChunk, ()> {
+    if let Some(c) = pending.remove(&next) {
+        EXEC_REORDER.set(pending.len() as i64);
+        return Ok(c);
+    }
+    loop {
+        let c = rx.recv().map_err(|_| ())?;
+        SCRIPT_QUEUE.add(-1);
+        if c.index == next {
+            return Ok(c);
         }
+        pending.insert(c.index, c);
+        EXEC_REORDER.set(pending.len() as i64);
+    }
+}
+
+/// Joins the scripting workers after a channel death and turns the first
+/// panic payload found into a [`PipelineError`]. Joining here (instead of
+/// letting the scope do it) consumes the panic so it surfaces as an error
+/// rather than resuming the unwind in the caller.
+fn script_failure(handles: Vec<std::thread::ScopedJoinHandle<'_, f64>>) -> PipelineError {
+    let mut message = String::from("scripting channel closed before all chunks arrived");
+    for handle in handles {
+        if let Err(payload) = handle.join() {
+            let text = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            message = format!("scripting worker panicked: {text}");
+        }
+    }
+    PipelineError {
+        stage: "script",
+        message,
     }
 }
 
@@ -879,15 +1053,23 @@ mod tests {
     use ripple_crypto::sha512_half;
 
     fn run(workers: usize, payments: usize, seed: u64) -> PipelineRun {
+        run_exec(workers, 1, payments, seed)
+    }
+
+    fn run_exec(workers: usize, exec_workers: usize, payments: usize, seed: u64) -> PipelineRun {
         let config = SynthConfig {
             seed,
             ..SynthConfig::small(payments)
         };
-        Generator::new(config).run_pipelined(&PipelineConfig {
-            workers,
-            chunk_size: 512,
-            archive: true,
-        })
+        Generator::new(config)
+            .run_pipelined(&PipelineConfig {
+                workers,
+                chunk_size: 512,
+                archive: true,
+                exec_workers,
+                ..PipelineConfig::default()
+            })
+            .expect("pipeline")
     }
 
     #[test]
@@ -910,21 +1092,63 @@ mod tests {
     }
 
     #[test]
+    fn exec_worker_count_does_not_change_the_history() {
+        let serial = run_exec(2, 1, 1_200, 12);
+        let parallel = run_exec(2, 4, 1_200, 12);
+        assert_eq!(serial.output.events, parallel.output.events);
+        assert_eq!(
+            sha512_half(serial.archive.as_ref().unwrap()),
+            sha512_half(parallel.archive.as_ref().unwrap()),
+        );
+        assert_eq!(serial.bench.conflicts, 0);
+        assert_eq!(parallel.bench.exec_workers, 4);
+    }
+
+    #[test]
+    fn scripting_panic_surfaces_as_an_error() {
+        let config = SynthConfig {
+            seed: 16,
+            ..SynthConfig::small(1_200)
+        };
+        let err = Generator::new(config)
+            .run_pipelined(&PipelineConfig {
+                workers: 2,
+                chunk_size: 512,
+                archive: false,
+                inject_chunk_panic: Some(1),
+                ..PipelineConfig::default()
+            })
+            .unwrap_err();
+        assert_eq!(err.stage, "script");
+        assert!(
+            err.message.contains("injected scripting panic"),
+            "unexpected message: {}",
+            err.message
+        );
+    }
+
+    #[test]
     fn encoded_bytes_are_reported_with_and_without_archive() {
         let config = SynthConfig {
             seed: 15,
             ..SynthConfig::small(800)
         };
-        let kept = Generator::new(config.clone()).run_pipelined(&PipelineConfig {
-            workers: 2,
-            chunk_size: 512,
-            archive: true,
-        });
-        let dropped = Generator::new(config).run_pipelined(&PipelineConfig {
-            workers: 2,
-            chunk_size: 512,
-            archive: false,
-        });
+        let kept = Generator::new(config.clone())
+            .run_pipelined(&PipelineConfig {
+                workers: 2,
+                chunk_size: 512,
+                archive: true,
+                ..PipelineConfig::default()
+            })
+            .expect("pipeline");
+        let dropped = Generator::new(config)
+            .run_pipelined(&PipelineConfig {
+                workers: 2,
+                chunk_size: 512,
+                archive: false,
+                ..PipelineConfig::default()
+            })
+            .expect("pipeline");
         let archive = kept.archive.as_ref().expect("archive requested");
         assert_eq!(kept.bench.encoded_bytes, archive.len());
         assert_eq!(kept.bench.archive_bytes, archive.len());

@@ -495,7 +495,15 @@ fn script_iou(
 ) -> ScriptedBody {
     let (sender, sender_community) = cast.users[index.user_zipf.sample(rng)];
     let src_currency = cast.community_currency[sender_community];
-    let cross = forced_currency.is_none() && rng.gen_bool(config.cross_currency_prob);
+    // Degenerate casts (no community with a different home currency) would
+    // make the cross rejection-sampling loop below spin forever; demote
+    // cross *after* the draw so multi-currency rng streams are unchanged.
+    let cross = forced_currency.is_none()
+        && rng.gen_bool(config.cross_currency_prob)
+        && cast
+            .community_currency
+            .iter()
+            .any(|&cur| cur != src_currency);
     let is_cck = forced_currency == Some(Currency::CCK);
 
     if !cross && rng.gen_bool(config.same_community_fraction) {

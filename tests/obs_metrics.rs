@@ -23,11 +23,14 @@ fn generate(workers: usize) {
         seed: 20130101,
         ..SynthConfig::small(3_000)
     };
-    Generator::new(config).run_pipelined(&PipelineConfig {
-        workers,
-        chunk_size: 512,
-        archive: false,
-    });
+    Generator::new(config)
+        .run_pipelined(&PipelineConfig {
+            workers,
+            chunk_size: 512,
+            archive: false,
+            ..PipelineConfig::default()
+        })
+        .expect("pipeline");
 }
 
 #[test]

@@ -14,15 +14,23 @@ use ripple_core::synth::{plan_history, PipelineConfig, PipelineRun, ScriptedBody
 use ripple_core::{Generator, Study, SynthConfig};
 
 fn pipelined(payments: usize, seed: u64, workers: usize) -> PipelineRun {
+    pipelined_exec(payments, seed, workers, 1)
+}
+
+fn pipelined_exec(payments: usize, seed: u64, workers: usize, exec_workers: usize) -> PipelineRun {
     let config = SynthConfig {
         seed,
         ..SynthConfig::small(payments)
     };
-    Generator::new(config).run_pipelined(&PipelineConfig {
-        workers,
-        chunk_size: 512,
-        archive: true,
-    })
+    Generator::new(config)
+        .run_pipelined(&PipelineConfig {
+            workers,
+            chunk_size: 512,
+            archive: true,
+            exec_workers,
+            ..PipelineConfig::default()
+        })
+        .expect("pipeline")
 }
 
 #[test]
@@ -53,6 +61,73 @@ fn golden_history_identical_across_worker_counts_and_repeats() {
         );
         assert_eq!(run.arena.len(), golden.arena.len());
     }
+}
+
+#[test]
+fn golden_history_identical_across_exec_worker_counts() {
+    let serial = pipelined_exec(4_000, 20130101, 2, 1);
+    let golden_digest = sha512_half(serial.archive.as_ref().expect("archive on"));
+    assert_eq!(
+        serial.bench.conflicts, 0,
+        "serial path reports no conflicts"
+    );
+    for exec_workers in [2, 8] {
+        let run = pipelined_exec(4_000, 20130101, 2, exec_workers);
+        assert_eq!(
+            run.output.events, serial.output.events,
+            "event stream must not depend on exec-worker count ({exec_workers})"
+        );
+        assert_eq!(
+            sha512_half(run.archive.as_ref().expect("archive on")),
+            golden_digest,
+            "archive bytes must not depend on exec-worker count ({exec_workers})"
+        );
+        assert_eq!(run.tallies.payments, serial.tallies.payments);
+        assert_eq!(run.tallies.currency_counts, serial.tallies.currency_counts);
+        assert_eq!(run.tallies.hop_histogram, serial.tallies.hop_histogram);
+        assert_eq!(
+            run.tallies.parallel_histogram,
+            serial.tallies.parallel_histogram
+        );
+        assert_eq!(run.bench.exec_workers, exec_workers);
+    }
+}
+
+/// Adversarial conflict load: one community with a single gateway funnels
+/// every IOU payment through the same hub accounts, so almost every
+/// speculated chunk collides with its predecessors. The parallel executor
+/// must still converge (serial repair) and match the serial history.
+#[test]
+fn conflict_heavy_hub_traffic_still_matches_serial() {
+    let config = SynthConfig {
+        seed: 42,
+        communities: 1,
+        gateways_per_community: 1,
+        ..SynthConfig::small(2_000)
+    };
+    let run = |exec_workers: usize| {
+        Generator::new(config.clone())
+            .run_pipelined(&PipelineConfig {
+                workers: 2,
+                chunk_size: 256,
+                archive: true,
+                exec_workers,
+                ..PipelineConfig::default()
+            })
+            .expect("pipeline")
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(serial.output.events, parallel.output.events);
+    assert_eq!(
+        sha512_half(serial.archive.as_ref().expect("archive on")),
+        sha512_half(parallel.archive.as_ref().expect("archive on")),
+    );
+    assert!(
+        parallel.bench.conflicts > 0,
+        "hub traffic must actually collide (got {} conflicts)",
+        parallel.bench.conflicts
+    );
 }
 
 #[test]
