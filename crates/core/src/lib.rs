@@ -46,6 +46,7 @@ pub use ripple_node as node;
 pub use ripple_obs as obs;
 pub use ripple_orderbook as orderbook;
 pub use ripple_paths as paths;
+pub use ripple_query as query;
 pub use ripple_store as store;
 pub use ripple_synth as synth;
 

@@ -1,0 +1,618 @@
+//! The query engine: secondary indexes + block cache over one archive.
+//!
+//! [`QueryEngine::open`] takes the raw archive bytes, builds the postings
+//! sidecar and sparse time index, and then serves four query families:
+//!
+//! * **account history** — postings offsets resolved through the block
+//!   cache, so each block decodes once however many accounts live in it;
+//! * **`[from, to)` windows** — time-index seek, then a block walk through
+//!   the cache (repeated dashboards hit decoded blocks);
+//! * **(currency, day) flows** — answered entirely from the sidecar;
+//! * **fingerprint classes** — the paper's ⟨Am, Tsc, C, D⟩ attack ladder,
+//!   served live by memoized [`DeanonIndex`]es sharing one record arena.
+//!
+//! The visitor-style `visit_*` methods are the hot path: they hand out
+//! borrowed events from cached blocks without cloning. The owning
+//! wrappers (`account_history`, `range`) clone for callers that want
+//! vectors.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use ripple_crypto::AccountId;
+use ripple_deanon::{DeanonIndex, Observation, ResolutionSpec};
+use ripple_ledger::{Currency, PaymentRecord, RippleTime};
+use ripple_obs::{LazyCounter, LazyTimer};
+use ripple_store::postings::{
+    decode_block, decode_frame_at, FlowStat, PostingsConfig, PostingsIndex,
+};
+use ripple_store::{ArchiveIndex, HistoryEvent, ReadMode, Reader, StoreError};
+
+use crate::cache::{Block, BlockCache};
+
+static LOOKUPS: LazyCounter = LazyCounter::new("query.engine.lookups");
+static RANGE_SCANS: LazyCounter = LazyCounter::new("query.engine.range_scans");
+static CLASS_QUERIES: LazyCounter = LazyCounter::new("query.engine.class_queries");
+static CLASS_INDEX_BUILDS: LazyCounter = LazyCounter::new("query.engine.class_index_builds");
+static BUILD_TIMER: LazyTimer = LazyTimer::new("query.engine.build");
+
+/// How [`QueryEngine::open`] builds its indexes and cache.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Sparse time-index stride (records per entry).
+    pub time_stride: usize,
+    /// Threads decoding payloads during the postings build.
+    pub build_shards: usize,
+    /// Records per cache block.
+    pub block_records: usize,
+    /// Block-cache budget in bytes.
+    pub cache_bytes: usize,
+    /// Block-cache lock shards.
+    pub cache_shards: usize,
+    /// Corruption handling for the build and for linear rescans.
+    pub mode: ReadMode,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            time_stride: 512,
+            build_shards: 1,
+            block_records: 64,
+            cache_bytes: 64 * 1024 * 1024,
+            cache_shards: 16,
+            mode: ReadMode::Strict,
+        }
+    }
+}
+
+/// What [`QueryEngine::open`] measured while building.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildReport {
+    /// Wall-clock seconds spent building both indexes.
+    pub build_secs: f64,
+    /// Encoded size of the postings sidecar in bytes.
+    pub sidecar_bytes: u64,
+    /// Records indexed.
+    pub records: u64,
+    /// Distinct accounts with postings.
+    pub accounts: u64,
+    /// Distinct (currency, day) flow classes.
+    pub flow_classes: u64,
+    /// Cache blocks the archive divides into.
+    pub blocks: u64,
+    /// Bytes skipped over corruption (resync builds only).
+    pub skipped_bytes: u64,
+    /// Corrupt regions ridden over (resync builds only).
+    pub corrupt_regions: u64,
+}
+
+/// The indexed, cached read path over one in-memory archive.
+#[derive(Debug)]
+pub struct QueryEngine {
+    archive: Vec<u8>,
+    postings: PostingsIndex,
+    time_index: ArchiveIndex,
+    cache: BlockCache,
+    mode: ReadMode,
+    time_bounds: Option<(RippleTime, RippleTime)>,
+    class_indexes: Mutex<HashMap<ResolutionSpec, Arc<DeanonIndex>>>,
+    arena: OnceLock<Arc<[PaymentRecord]>>,
+}
+
+impl QueryEngine {
+    /// Builds the indexes over `archive` and wires up the cache.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from the builds (in [`ReadMode::Strict`], the
+    /// first corrupt frame is fatal; in [`ReadMode::Resync`] the engine
+    /// serves what salvages).
+    pub fn open(
+        archive: Vec<u8>,
+        config: &EngineConfig,
+    ) -> Result<(QueryEngine, BuildReport), StoreError> {
+        let started = Instant::now();
+        let postings = PostingsIndex::build(
+            &archive,
+            &PostingsConfig {
+                shards: config.build_shards,
+                mode: config.mode,
+                block_records: config.block_records,
+            },
+        )?;
+        let (time_index, _) =
+            ArchiveIndex::build_with_mode(&archive, config.time_stride, config.mode)?;
+        let build_secs = started.elapsed().as_secs_f64();
+        BUILD_TIMER.record(started.elapsed());
+        let sidecar_bytes = postings.to_bytes().len() as u64;
+        let stats = postings.stats();
+        let report = BuildReport {
+            build_secs,
+            sidecar_bytes,
+            records: postings.records(),
+            accounts: postings.accounts() as u64,
+            flow_classes: postings.flow_classes() as u64,
+            blocks: postings.blocks().len() as u64,
+            skipped_bytes: stats.skipped_bytes,
+            corrupt_regions: stats.corrupt_regions,
+        };
+        let time_bounds = Self::probe_time_bounds(&archive, &postings);
+        let engine = QueryEngine {
+            archive,
+            postings,
+            time_index,
+            cache: BlockCache::new(config.cache_bytes, config.cache_shards),
+            mode: config.mode,
+            time_bounds,
+            class_indexes: Mutex::new(HashMap::new()),
+            arena: OnceLock::new(),
+        };
+        Ok((engine, report))
+    }
+
+    /// First and last event timestamps, from the first and last blocks.
+    fn probe_time_bounds(
+        archive: &[u8],
+        postings: &PostingsIndex,
+    ) -> Option<(RippleTime, RippleTime)> {
+        let blocks = postings.blocks();
+        let first_block = decode_block(archive, *blocks.first()?, archive.len() as u64).ok()?;
+        let last_block = decode_block(archive, *blocks.last()?, archive.len() as u64).ok()?;
+        let first = first_block.first()?.1.timestamp();
+        let last = last_block.last()?.1.timestamp();
+        Some((first, last))
+    }
+
+    /// The raw archive bytes.
+    pub fn archive(&self) -> &[u8] {
+        &self.archive
+    }
+
+    /// Records indexed.
+    pub fn records(&self) -> u64 {
+        self.postings.records()
+    }
+
+    /// The postings sidecar.
+    pub fn postings(&self) -> &PostingsIndex {
+        &self.postings
+    }
+
+    /// The block cache (hit/miss counters, resident bytes).
+    pub fn cache(&self) -> &BlockCache {
+        &self.cache
+    }
+
+    /// First and last event timestamps, if the archive is non-empty.
+    pub fn time_bounds(&self) -> Option<(RippleTime, RippleTime)> {
+        self.time_bounds
+    }
+
+    /// Fetches the block containing `offset` through the cache.
+    fn block_at(&self, offset: u64) -> Result<Arc<Block>, StoreError> {
+        let (id, start, end) = self.postings.block_span(offset);
+        self.cache.get_or_insert(id, || {
+            let events = decode_block(&self.archive, start, end)?;
+            Ok(Block::new(start, (end - start) as usize, events))
+        })
+    }
+
+    /// Fetches block `id` (by table position) through the cache.
+    fn block_by_id(&self, id: usize) -> Result<Arc<Block>, StoreError> {
+        let start = self.postings.blocks()[id];
+        let end = self
+            .postings
+            .blocks()
+            .get(id + 1)
+            .copied()
+            .unwrap_or(self.postings.archive_len());
+        self.cache.get_or_insert(id, || {
+            let events = decode_block(&self.archive, start, end)?;
+            Ok(Block::new(start, (end - start) as usize, events))
+        })
+    }
+
+    /// Two-tier probe for point lookups: the cached block if resident,
+    /// a freshly decoded (and admitted) one once the block has missed
+    /// often enough to earn promotion, `None` otherwise — in which case
+    /// the caller should decode just the frames it needs. Keeps one-off
+    /// touches from paying whole-block decodes or evicting hot blocks.
+    fn block_if_hot(&self, id: usize) -> Result<Option<Arc<Block>>, StoreError> {
+        if let Some(block) = self.cache.get_if_present(id) {
+            return Ok(Some(block));
+        }
+        if self.cache.note_miss(id) {
+            let start = self.postings.blocks()[id];
+            let end = self
+                .postings
+                .blocks()
+                .get(id + 1)
+                .copied()
+                .unwrap_or(self.postings.archive_len());
+            let events = decode_block(&self.archive, start, end)?;
+            let block = Arc::new(Block::new(start, (end - start) as usize, events));
+            self.cache.insert(id, Arc::clone(&block));
+            return Ok(Some(block));
+        }
+        Ok(None)
+    }
+
+    /// The event framed at `offset` — one cached block decode plus a
+    /// binary search.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] if `offset` is not a frame boundary.
+    pub fn event_at(&self, offset: u64) -> Result<HistoryEvent, StoreError> {
+        LOOKUPS.add(1);
+        let block = self.block_at(offset)?;
+        block
+            .event_at(offset)
+            .cloned()
+            .ok_or_else(|| StoreError::corrupt(format!("no frame at offset {offset}")))
+    }
+
+    /// Visits the most recent `limit` events touching `account`, oldest
+    /// first, without cloning. Passing `usize::MAX` visits the full
+    /// history.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from block decode.
+    pub fn visit_account_history(
+        &self,
+        account: &AccountId,
+        limit: usize,
+        mut visit: impl FnMut(u64, &HistoryEvent),
+    ) -> Result<usize, StoreError> {
+        LOOKUPS.add(1);
+        let offsets = self.postings.account_offsets(account);
+        let tail = &offsets[offsets.len().saturating_sub(limit)..];
+        // Postings are sorted, so consecutive offsets usually share a
+        // block: resolve the cache once per distinct block and merge the
+        // two sorted sequences, instead of probe + binary search per event.
+        // Cold blocks are not force-decoded: until the admission policy
+        // promotes one, only the frames this account needs are decoded.
+        let mut i = 0;
+        while i < tail.len() {
+            let (id, _, end) = self.postings.block_span(tail[i]);
+            match self.block_if_hot(id)? {
+                Some(block) => {
+                    let mut ev = 0usize;
+                    while i < tail.len() && tail[i] < end {
+                        let offset = tail[i];
+                        while ev < block.events.len() && block.events[ev].0 < offset {
+                            ev += 1;
+                        }
+                        if ev >= block.events.len() || block.events[ev].0 != offset {
+                            return Err(StoreError::corrupt(format!(
+                                "no frame at offset {offset}"
+                            )));
+                        }
+                        visit(offset, &block.events[ev].1);
+                        ev += 1;
+                        i += 1;
+                    }
+                }
+                None => {
+                    while i < tail.len() && tail[i] < end {
+                        let offset = tail[i];
+                        let (event, _) = decode_frame_at(&self.archive, offset)?;
+                        visit(offset, &event);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        Ok(tail.len())
+    }
+
+    /// The most recent `limit` events touching `account`, oldest first,
+    /// as owned pairs. Total history length comes from
+    /// [`PostingsIndex::account_offsets`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from block decode.
+    pub fn account_history(
+        &self,
+        account: &AccountId,
+        limit: usize,
+    ) -> Result<Vec<(u64, HistoryEvent)>, StoreError> {
+        let mut out = Vec::new();
+        self.visit_account_history(account, limit, |offset, event| {
+            out.push((offset, event.clone()));
+        })?;
+        Ok(out)
+    }
+
+    /// Visits events with `from <= timestamp < to` in time order, through
+    /// the block cache, stopping after `limit` matches. Returns the number
+    /// visited.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from block decode.
+    pub fn visit_range(
+        &self,
+        from: RippleTime,
+        to: RippleTime,
+        limit: usize,
+        mut visit: impl FnMut(u64, &HistoryEvent),
+    ) -> Result<usize, StoreError> {
+        RANGE_SCANS.add(1);
+        let seek = self.time_index.seek_offset(from);
+        if seek >= self.postings.archive_len() || self.postings.blocks().is_empty() {
+            return Ok(0);
+        }
+        let (mut id, _, _) = self.postings.block_span(seek);
+        let mut matched = 0usize;
+        while id < self.postings.blocks().len() && matched < limit {
+            let block = self.block_by_id(id)?;
+            for (offset, event) in &block.events {
+                let t = event.timestamp();
+                if t >= to {
+                    return Ok(matched);
+                }
+                if t >= from {
+                    visit(*offset, event);
+                    matched += 1;
+                    if matched == limit {
+                        return Ok(matched);
+                    }
+                }
+            }
+            id += 1;
+        }
+        Ok(matched)
+    }
+
+    /// Events with `from <= timestamp < to`, capped at `limit`, as owned
+    /// pairs.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from block decode.
+    pub fn range(
+        &self,
+        from: RippleTime,
+        to: RippleTime,
+        limit: usize,
+    ) -> Result<Vec<(u64, HistoryEvent)>, StoreError> {
+        let mut out = Vec::new();
+        self.visit_range(from, to, limit, |offset, event| {
+            out.push((offset, event.clone()));
+        })?;
+        Ok(out)
+    }
+
+    /// The flow class for `(currency, day)` — answered from the sidecar
+    /// without touching the archive.
+    pub fn flow(&self, currency: Currency, day: RippleTime) -> Option<&FlowStat> {
+        self.postings.flow(currency, day)
+    }
+
+    /// Candidate senders for an observation under `spec` — the paper's
+    /// fingerprint-class query, served by a memoized attack index.
+    pub fn class_candidates(
+        &self,
+        spec: ResolutionSpec,
+        observation: &Observation,
+    ) -> Vec<AccountId> {
+        CLASS_QUERIES.add(1);
+        self.class_index(spec).query(observation)
+    }
+
+    /// The memoized [`DeanonIndex`] for `spec`, building it on first use.
+    /// All specs share one payment arena.
+    pub fn class_index(&self, spec: ResolutionSpec) -> Arc<DeanonIndex> {
+        let mut guard = self.class_indexes.lock().expect("class index map poisoned");
+        guard
+            .entry(spec)
+            .or_insert_with(|| {
+                CLASS_INDEX_BUILDS.add(1);
+                Arc::new(DeanonIndex::build_shared(self.payment_arena(), spec))
+            })
+            .clone()
+    }
+
+    /// The payment records in archive order, shared across class indexes.
+    /// Materialized on first fingerprint query.
+    pub fn payment_arena(&self) -> Arc<[PaymentRecord]> {
+        self.arena
+            .get_or_init(|| {
+                let mut reader =
+                    Reader::with_mode(self.archive.as_slice(), self.mode).expect("archive re-read");
+                let mut payments = Vec::new();
+                while let Ok(Some(event)) = reader.next_event() {
+                    if let HistoryEvent::Payment(p) = event {
+                        payments.push(p);
+                    }
+                }
+                payments.into()
+            })
+            .clone()
+    }
+
+    /// The linear baseline the indexes are measured against: a full
+    /// archive rescan filtering for `account`, bypassing postings and
+    /// cache entirely.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from the scan.
+    pub fn rescan_account_history(
+        &self,
+        account: &AccountId,
+    ) -> Result<Vec<(u64, HistoryEvent)>, StoreError> {
+        let mut reader = Reader::with_mode(self.archive.as_slice(), self.mode)?;
+        let mut out = Vec::new();
+        while let Some((offset, event)) = reader.next_event_at()? {
+            let touches = match &event {
+                HistoryEvent::Payment(p) => p.sender == *account || p.destination == *account,
+                HistoryEvent::OfferPlaced { owner, .. } => owner == account,
+                HistoryEvent::TrustSet {
+                    truster, trustee, ..
+                } => truster == account || trustee == account,
+                HistoryEvent::AccountCreated { account: a, .. } => a == account,
+            };
+            if touches {
+                out.push((offset, event));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_crypto::sha512_half;
+    use ripple_ledger::{PathSummary, Value};
+    use ripple_store::Writer;
+
+    fn acct(n: u8) -> AccountId {
+        AccountId::from_bytes([n; 20])
+    }
+
+    fn payment(sender: u8, dest: u8, secs: u64, amount: &str) -> HistoryEvent {
+        HistoryEvent::Payment(PaymentRecord {
+            tx_hash: sha512_half(&[sender, dest, secs as u8]),
+            sender: acct(sender),
+            destination: acct(dest),
+            currency: Currency::USD,
+            issuer: None,
+            amount: amount.parse().unwrap(),
+            timestamp: RippleTime::from_seconds(secs),
+            ledger_seq: secs as u32,
+            paths: PathSummary::direct(),
+            cross_currency: false,
+            source_currency: None,
+        })
+    }
+
+    fn engine(events: &[HistoryEvent], config: &EngineConfig) -> QueryEngine {
+        let mut buf = Vec::new();
+        let mut writer = Writer::new(&mut buf);
+        for e in events {
+            writer.write(e).unwrap();
+        }
+        writer.finish().unwrap();
+        QueryEngine::open(buf, config).unwrap().0
+    }
+
+    fn small_config() -> EngineConfig {
+        EngineConfig {
+            time_stride: 4,
+            block_records: 8,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn account_history_matches_rescan() {
+        let events: Vec<HistoryEvent> = (0..100)
+            .map(|i| payment((i % 7) as u8, ((i + 1) % 7) as u8, i * 60, "1.5"))
+            .collect();
+        let engine = engine(&events, &small_config());
+        for n in 0..7u8 {
+            let indexed = engine.account_history(&acct(n), usize::MAX).unwrap();
+            let rescan = engine.rescan_account_history(&acct(n)).unwrap();
+            assert_eq!(indexed, rescan, "account {n}");
+            assert!(!indexed.is_empty());
+        }
+        // Unknown account: empty, not an error.
+        assert!(engine.account_history(&acct(200), 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn history_limit_takes_the_tail() {
+        let events: Vec<HistoryEvent> = (0..20).map(|i| payment(1, 2, 1000 + i, "2")).collect();
+        let engine = engine(&events, &small_config());
+        let last5 = engine.account_history(&acct(1), 5).unwrap();
+        assert_eq!(last5.len(), 5);
+        let times: Vec<u64> = last5.iter().map(|(_, e)| e.timestamp().seconds()).collect();
+        assert_eq!(times, vec![1015, 1016, 1017, 1018, 1019]);
+    }
+
+    #[test]
+    fn range_matches_time_index_scan() {
+        let events: Vec<HistoryEvent> = (0..200)
+            .map(|i| payment((i % 5) as u8, 9, i * 30, "1"))
+            .collect();
+        let engine = engine(&events, &small_config());
+        let from = RippleTime::from_seconds(1000);
+        let to = RippleTime::from_seconds(3000);
+        let got = engine.range(from, to, usize::MAX).unwrap();
+        let expected: Vec<u64> = (0..200u64)
+            .map(|i| i * 30)
+            .filter(|&t| (1000..3000).contains(&t))
+            .collect();
+        assert_eq!(got.len(), expected.len());
+        for ((_, event), want) in got.iter().zip(expected) {
+            assert_eq!(event.timestamp().seconds(), want);
+        }
+        // Limit truncates from the front.
+        let capped = engine.range(from, to, 7).unwrap();
+        assert_eq!(capped.len(), 7);
+        assert_eq!(capped[0].1.timestamp().seconds(), 1020);
+    }
+
+    #[test]
+    fn point_lookups_hit_the_cache() {
+        let events: Vec<HistoryEvent> = (0..64).map(|i| payment(1, 2, 100 + i, "3")).collect();
+        let engine = engine(&events, &small_config());
+        let offsets: Vec<u64> = engine.postings.account_offsets(&acct(1)).to_vec();
+        let first = engine.event_at(offsets[0]).unwrap();
+        assert_eq!(first.timestamp().seconds(), 100);
+        let misses_after_first = engine.cache().misses();
+        // Same block again: pure hits.
+        for _ in 0..10 {
+            engine.event_at(offsets[0]).unwrap();
+        }
+        assert_eq!(engine.cache().misses(), misses_after_first);
+        assert!(engine.cache().hits() >= 10);
+    }
+
+    #[test]
+    fn flows_and_classes_answer() {
+        // 17 payments on day 0, 17 on day 1, 16 on day 2 — monotone times.
+        let events: Vec<HistoryEvent> = (0..50)
+            .map(|i| payment(3, 4, 86_400 * (i / 17) + 100 + (i % 17), "2.5"))
+            .collect();
+        let engine = engine(&events, &small_config());
+        let day0 = engine
+            .flow(Currency::USD, RippleTime::from_seconds(500))
+            .expect("day 0 exists");
+        assert_eq!(day0.payments, 17);
+        assert_eq!(
+            day0.total(),
+            Value::from_raw("2.5".parse::<Value>().unwrap().raw() * 17)
+        );
+
+        let spec = ResolutionSpec::full();
+        let observation = Observation {
+            amount: Some("2.5".parse().unwrap()),
+            time: Some(RippleTime::from_seconds(100)),
+            currency: Some(Currency::USD),
+            strength: None,
+            destination: Some(acct(4)),
+        };
+        let candidates = engine.class_candidates(spec, &observation);
+        assert_eq!(candidates, vec![acct(3)]);
+        // Second query reuses the memoized index.
+        let again = engine.class_candidates(spec, &observation);
+        assert_eq!(again, candidates);
+    }
+
+    #[test]
+    fn time_bounds_cover_the_archive() {
+        let events: Vec<HistoryEvent> = (0..30).map(|i| payment(1, 2, 500 + i * 10, "1")).collect();
+        let engine = engine(&events, &small_config());
+        let (first, last) = engine.time_bounds().unwrap();
+        assert_eq!(first.seconds(), 500);
+        assert_eq!(last.seconds(), 790);
+    }
+}

@@ -1,0 +1,728 @@
+//! Hand-rolled HTTP/1.1 serving of the query engine.
+//!
+//! Built on the `node` crate's readiness-polling loop — non-blocking
+//! accept, `peek`-probe per connection, bounded idle sleep — because the
+//! workspace forbids `unsafe` and therefore `epoll` FFI. Requests are
+//! `GET`-only, responses are `Connection: close`, and every body is
+//! byte-stable JSON from [`ripple_obs::json::JsonWriter`]: the same query
+//! against the same archive returns the same bytes, so endpoint outputs
+//! diff cleanly across runs (the same property every `BENCH_*.json`
+//! artifact relies on).
+//!
+//! # Endpoints
+//!
+//! | Route | Query parameters | Serves |
+//! |---|---|---|
+//! | `/health` | — | liveness + record count |
+//! | `/stats` | — | index + cache counters |
+//! | `/account/<hex40>` | `limit` | account history (postings + block cache) |
+//! | `/range` | `from`, `to`, `limit` | `[from, to)` window (time index) |
+//! | `/flow` | `currency`, `day` | per-(currency, day) flow aggregate |
+//! | `/class` | `amount`, `time`, `currency`, `strength`, `dest`, `spec` | fingerprint-class candidates |
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ripple_crypto::{hex, AccountId};
+use ripple_deanon::{
+    AmountResolution, CurrencyStrength, Observation, ResolutionSpec, TimeResolution,
+};
+use ripple_ledger::{Currency, RippleTime};
+use ripple_node::Poller;
+use ripple_node::{probe, try_accept, Probe};
+use ripple_obs::json::JsonWriter;
+use ripple_obs::{LazyCounter, LazyTimer};
+use ripple_store::HistoryEvent;
+
+use crate::engine::QueryEngine;
+
+static HTTP_REQUESTS: LazyCounter = LazyCounter::new("query.http.requests");
+static HTTP_ERRORS: LazyCounter = LazyCounter::new("query.http.errors");
+static HTTP_TIMER: LazyTimer = LazyTimer::new("query.http.handle");
+
+/// Most events one response will carry; `limit` above this is clamped.
+const MAX_LIMIT: usize = 10_000;
+
+/// Default `limit` when the query string omits it.
+const DEFAULT_LIMIT: usize = 100;
+
+/// Requests with headers beyond this are refused.
+const MAX_REQUEST_BYTES: usize = 16 * 1024;
+
+/// A running HTTP server; dropping it (or calling
+/// [`HttpServer::shutdown`]) stops the accept loop.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// The bound address (useful with `127.0.0.1:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0`) and serves `engine` from a
+/// background thread.
+///
+/// # Errors
+///
+/// [`io::Error`] if the bind fails.
+pub fn serve(engine: Arc<QueryEngine>, addr: &str) -> io::Result<HttpServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("query-httpd".into())
+        .spawn(move || serve_loop(&listener, &engine, &stop_flag))
+        .expect("spawn httpd thread");
+    Ok(HttpServer {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+fn serve_loop(listener: &TcpListener, engine: &QueryEngine, stop: &AtomicBool) {
+    let poller = Poller::default();
+    let mut conns: Vec<Conn> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        let mut progressed = false;
+        while let Some(stream) = try_accept(listener) {
+            conns.push(Conn {
+                stream,
+                buf: Vec::new(),
+            });
+            progressed = true;
+        }
+        let mut done: Vec<usize> = Vec::new();
+        for (i, conn) in conns.iter_mut().enumerate() {
+            match probe(&conn.stream) {
+                Probe::Idle => continue,
+                Probe::Closed => {
+                    done.push(i);
+                    continue;
+                }
+                Probe::Data => {}
+            }
+            progressed = true;
+            if !read_available(&mut conn.stream, &mut conn.buf) {
+                done.push(i);
+                continue;
+            }
+            if conn.buf.len() > MAX_REQUEST_BYTES {
+                let _ = respond(
+                    &mut conn.stream,
+                    431,
+                    &error_body("request headers too large"),
+                );
+                done.push(i);
+                continue;
+            }
+            if let Some(headers_end) = find_headers_end(&conn.buf) {
+                let head = String::from_utf8_lossy(&conn.buf[..headers_end]).into_owned();
+                let started = Instant::now();
+                let (status, body) = handle_request(engine, &head);
+                HTTP_TIMER.record(started.elapsed());
+                HTTP_REQUESTS.add(1);
+                if status >= 400 {
+                    HTTP_ERRORS.add(1);
+                }
+                let _ = respond(&mut conn.stream, status, &body);
+                done.push(i);
+            }
+        }
+        for &i in done.iter().rev() {
+            conns.swap_remove(i);
+        }
+        if !progressed {
+            poller.idle_wait();
+        }
+    }
+}
+
+/// Reads whatever is available on a non-blocking stream; `false` means
+/// the peer closed or errored.
+fn read_available(stream: &mut TcpStream, buf: &mut Vec<u8>) -> bool {
+    let mut chunk = [0u8; 8 * 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return false,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+fn find_headers_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one `Connection: close` response and shuts the stream down.
+fn respond(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    // The response can be large; switch to blocking for the write.
+    stream.set_nonblocking(false)?;
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    Ok(())
+}
+
+fn error_body(message: &str) -> String {
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field_str("error", message);
+    w.end_object();
+    w.finish()
+}
+
+/// Parsed query-string parameters (first occurrence wins).
+struct Params(Vec<(String, String)>);
+
+impl Params {
+    fn parse(query: &str) -> Params {
+        let mut out = Vec::new();
+        for pair in query.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            out.push((percent_decode(k), percent_decode(v)));
+        }
+        Params(out)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn limit(&self) -> Result<usize, String> {
+        match self.get("limit") {
+            None => Ok(DEFAULT_LIMIT),
+            Some(raw) => raw
+                .parse::<usize>()
+                .map(|n| n.min(MAX_LIMIT))
+                .map_err(|_| format!("invalid limit {raw:?}")),
+        }
+    }
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 {
+            if let (Some(hi), Some(lo)) = (
+                bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)),
+                bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)),
+            ) {
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(if bytes[i] == b'+' { b' ' } else { bytes[i] });
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Dispatches one request head to a handler: `(status, JSON body)`.
+fn handle_request(engine: &QueryEngine, head: &str) -> (u16, String) {
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return (400, error_body("malformed request line"));
+    };
+    if method != "GET" {
+        return (405, error_body("only GET is supported"));
+    }
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    let params = Params::parse(query);
+    let result = if path == "/health" {
+        Ok(health_body(engine))
+    } else if path == "/stats" {
+        Ok(stats_body(engine))
+    } else if let Some(account) = path.strip_prefix("/account/") {
+        account_body(engine, account, &params)
+    } else if path == "/range" {
+        range_body(engine, &params)
+    } else if path == "/flow" {
+        flow_body(engine, &params)
+    } else if path == "/class" {
+        class_body(engine, &params)
+    } else {
+        return (404, error_body("no such endpoint"));
+    };
+    match result {
+        Ok(body) => (200, body),
+        Err(message) => (400, error_body(&message)),
+    }
+}
+
+fn health_body(engine: &QueryEngine) -> String {
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field_str("status", "ok");
+    w.field_u64("records", engine.records());
+    w.end_object();
+    w.finish()
+}
+
+fn stats_body(engine: &QueryEngine) -> String {
+    let postings = engine.postings();
+    let cache = engine.cache();
+    let stats = postings.stats();
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field_u64("records", postings.records());
+    w.field_u64("accounts", postings.accounts() as u64);
+    w.field_u64("flow_classes", postings.flow_classes() as u64);
+    w.field_u64("blocks", postings.blocks().len() as u64);
+    w.field_u64("block_records", u64::from(postings.block_records()));
+    w.field_u64("archive_bytes", postings.archive_len());
+    w.field_u64("skipped_bytes", stats.skipped_bytes);
+    w.field_u64("corrupt_regions", stats.corrupt_regions);
+    w.key("cache");
+    w.begin_object();
+    w.field_u64("hits", cache.hits());
+    w.field_u64("misses", cache.misses());
+    w.field_f64("hit_rate", cache.hit_rate(), 4);
+    w.field_u64("resident_bytes", cache.resident_bytes() as u64);
+    w.field_u64("resident_blocks", cache.resident_blocks() as u64);
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+/// One event as an inline JSON row; field order is fixed per kind.
+fn event_row(w: &mut JsonWriter, offset: u64, event: &HistoryEvent) {
+    w.begin_inline_object();
+    match event {
+        HistoryEvent::Payment(p) => {
+            w.field_str("kind", "payment");
+            w.field_u64("offset", offset);
+            w.field_u64("time", p.timestamp.seconds());
+            w.field_str("tx", &hex::encode(p.tx_hash.as_bytes()));
+            w.field_str("sender", &hex::encode(p.sender.as_bytes()));
+            w.field_str("destination", &hex::encode(p.destination.as_bytes()));
+            w.field_str("currency", &p.currency.to_string());
+            w.field_str("amount", &p.amount.to_string());
+            w.field_u64("ledger_seq", u64::from(p.ledger_seq));
+            w.field_bool("cross_currency", p.cross_currency);
+        }
+        HistoryEvent::OfferPlaced {
+            owner,
+            offer_seq,
+            base,
+            quote,
+            gets,
+            pays,
+            timestamp,
+        } => {
+            w.field_str("kind", "offer");
+            w.field_u64("offset", offset);
+            w.field_u64("time", timestamp.seconds());
+            w.field_str("owner", &hex::encode(owner.as_bytes()));
+            w.field_u64("offer_seq", u64::from(*offer_seq));
+            w.field_str("base", &base.to_string());
+            w.field_str("quote", &quote.to_string());
+            w.field_str("gets", &gets.to_string());
+            w.field_str("pays", &pays.to_string());
+        }
+        HistoryEvent::TrustSet {
+            truster,
+            trustee,
+            currency,
+            limit,
+            timestamp,
+        } => {
+            w.field_str("kind", "trust_set");
+            w.field_u64("offset", offset);
+            w.field_u64("time", timestamp.seconds());
+            w.field_str("truster", &hex::encode(truster.as_bytes()));
+            w.field_str("trustee", &hex::encode(trustee.as_bytes()));
+            w.field_str("currency", &currency.to_string());
+            w.field_str("limit", &limit.to_string());
+        }
+        HistoryEvent::AccountCreated { account, timestamp } => {
+            w.field_str("kind", "account_created");
+            w.field_u64("offset", offset);
+            w.field_u64("time", timestamp.seconds());
+            w.field_str("account", &hex::encode(account.as_bytes()));
+        }
+    }
+    w.end_inline_object();
+}
+
+fn parse_account(s: &str) -> Result<AccountId, String> {
+    let bytes = hex::decode(s).map_err(|_| format!("invalid account hex {s:?}"))?;
+    let array: [u8; 20] = bytes
+        .try_into()
+        .map_err(|_| "account hex must be 20 bytes".to_string())?;
+    Ok(AccountId::from_bytes(array))
+}
+
+fn parse_currency(s: &str) -> Result<Currency, String> {
+    Currency::try_code(s).ok_or_else(|| format!("invalid currency code {s:?}"))
+}
+
+fn account_body(engine: &QueryEngine, raw: &str, params: &Params) -> Result<String, String> {
+    let account = parse_account(raw)?;
+    let limit = params.limit()?;
+    let total = engine.postings().account_offsets(&account).len() as u64;
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field_str("account", &hex::encode(account.as_bytes()));
+    w.field_u64("total", total);
+    w.key("events");
+    w.begin_array();
+    engine
+        .visit_account_history(&account, limit, |offset, event| {
+            event_row(&mut w, offset, event);
+        })
+        .map_err(|e| e.to_string())?;
+    w.end_array();
+    w.end_object();
+    Ok(w.finish())
+}
+
+fn range_body(engine: &QueryEngine, params: &Params) -> Result<String, String> {
+    let from: u64 = params
+        .get("from")
+        .ok_or("missing from")?
+        .parse()
+        .map_err(|_| "invalid from".to_string())?;
+    let to: u64 = params
+        .get("to")
+        .ok_or("missing to")?
+        .parse()
+        .map_err(|_| "invalid to".to_string())?;
+    let limit = params.limit()?;
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field_u64("from", from);
+    w.field_u64("to", to);
+    w.key("events");
+    w.begin_array();
+    let matched = engine
+        .visit_range(
+            RippleTime::from_seconds(from),
+            RippleTime::from_seconds(to),
+            limit,
+            |offset, event| event_row(&mut w, offset, event),
+        )
+        .map_err(|e| e.to_string())?;
+    w.end_array();
+    w.field_u64("returned", matched as u64);
+    w.end_object();
+    Ok(w.finish())
+}
+
+fn flow_body(engine: &QueryEngine, params: &Params) -> Result<String, String> {
+    let currency = parse_currency(params.get("currency").ok_or("missing currency")?)?;
+    let day: u64 = params
+        .get("day")
+        .ok_or("missing day")?
+        .parse()
+        .map_err(|_| "invalid day".to_string())?;
+    let at = RippleTime::from_seconds(day);
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field_str("currency", &currency.to_string());
+    w.field_u64("day", at.truncate_to_day().seconds());
+    match engine.flow(currency, at) {
+        Some(flow) => {
+            w.field_u64("payments", flow.payments);
+            w.field_str("total", &flow.total().to_string());
+        }
+        None => {
+            w.field_u64("payments", 0);
+            w.field_str("total", "0");
+        }
+    }
+    w.end_object();
+    Ok(w.finish())
+}
+
+fn parse_spec(raw: Option<&str>) -> Result<ResolutionSpec, String> {
+    let Some(raw) = raw else {
+        return Ok(ResolutionSpec::full());
+    };
+    let parts: Vec<&str> = raw.split(',').collect();
+    if parts.len() != 4 {
+        return Err("spec must be four comma-separated tokens, e.g. m,sc,c,d".to_string());
+    }
+    let amount = match parts[0] {
+        "m" => Some(AmountResolution::Maximum),
+        "h" => Some(AmountResolution::High),
+        "a" => Some(AmountResolution::Average),
+        "l" => Some(AmountResolution::Low),
+        "-" => None,
+        other => return Err(format!("invalid amount resolution {other:?}")),
+    };
+    let time = match parts[1] {
+        "sc" => Some(TimeResolution::Seconds),
+        "mn" => Some(TimeResolution::Minutes),
+        "hr" => Some(TimeResolution::Hours),
+        "dy" => Some(TimeResolution::Days),
+        "-" => None,
+        other => return Err(format!("invalid time resolution {other:?}")),
+    };
+    let currency = match parts[2] {
+        "c" => true,
+        "-" => false,
+        other => return Err(format!("invalid currency token {other:?}")),
+    };
+    let destination = match parts[3] {
+        "d" => true,
+        "-" => false,
+        other => return Err(format!("invalid destination token {other:?}")),
+    };
+    Ok(ResolutionSpec {
+        amount,
+        time,
+        currency,
+        destination,
+    })
+}
+
+fn spec_token(spec: ResolutionSpec) -> String {
+    let amount = match spec.amount {
+        Some(AmountResolution::Maximum) => "m",
+        Some(AmountResolution::High) => "h",
+        Some(AmountResolution::Average) => "a",
+        Some(AmountResolution::Low) => "l",
+        None => "-",
+    };
+    let time = match spec.time {
+        Some(TimeResolution::Seconds) => "sc",
+        Some(TimeResolution::Minutes) => "mn",
+        Some(TimeResolution::Hours) => "hr",
+        Some(TimeResolution::Days) => "dy",
+        None => "-",
+    };
+    format!(
+        "{amount},{time},{},{}",
+        if spec.currency { "c" } else { "-" },
+        if spec.destination { "d" } else { "-" }
+    )
+}
+
+fn class_body(engine: &QueryEngine, params: &Params) -> Result<String, String> {
+    let spec = parse_spec(params.get("spec"))?;
+    let amount = params
+        .get("amount")
+        .map(|s| s.parse().map_err(|_| format!("invalid amount {s:?}")))
+        .transpose()?;
+    let time = params
+        .get("time")
+        .map(|s| {
+            s.parse::<u64>()
+                .map(RippleTime::from_seconds)
+                .map_err(|_| format!("invalid time {s:?}"))
+        })
+        .transpose()?;
+    let currency = params.get("currency").map(parse_currency).transpose()?;
+    let strength = params
+        .get("strength")
+        .map(|s| match s {
+            "powerful" => Ok(CurrencyStrength::Powerful),
+            "medium" => Ok(CurrencyStrength::Medium),
+            "weak" => Ok(CurrencyStrength::Weak),
+            other => Err(format!("invalid strength {other:?}")),
+        })
+        .transpose()?;
+    let destination = params.get("dest").map(parse_account).transpose()?;
+    let observation = Observation {
+        amount,
+        time,
+        currency,
+        strength,
+        destination,
+    };
+    let candidates = engine.class_candidates(spec, &observation);
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field_str("spec", &spec_token(spec));
+    w.field_u64("count", candidates.len() as u64);
+    w.key("candidates");
+    w.begin_array();
+    for account in &candidates {
+        w.value_str(&hex::encode(account.as_bytes()));
+    }
+    w.end_array();
+    w.end_object();
+    Ok(w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use ripple_crypto::sha512_half;
+    use ripple_ledger::{PathSummary, PaymentRecord};
+    use ripple_store::Writer;
+
+    fn test_engine() -> Arc<QueryEngine> {
+        let mut buf = Vec::new();
+        let mut writer = Writer::new(&mut buf);
+        for i in 0..40u64 {
+            writer
+                .write(&HistoryEvent::Payment(PaymentRecord {
+                    tx_hash: sha512_half(&i.to_be_bytes()),
+                    sender: AccountId::from_bytes([(i % 4) as u8; 20]),
+                    destination: AccountId::from_bytes([9; 20]),
+                    currency: Currency::USD,
+                    issuer: None,
+                    amount: "1.5".parse().unwrap(),
+                    timestamp: RippleTime::from_seconds(1000 + i * 10),
+                    ledger_seq: i as u32,
+                    paths: PathSummary::direct(),
+                    cross_currency: false,
+                    source_currency: None,
+                }))
+                .unwrap();
+        }
+        writer.finish().unwrap();
+        let config = EngineConfig {
+            time_stride: 4,
+            block_records: 8,
+            ..EngineConfig::default()
+        };
+        Arc::new(QueryEngine::open(buf, &config).unwrap().0)
+    }
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .unwrap();
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn endpoints_answer_over_real_sockets() {
+        let server = serve(test_engine(), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let (status, body) = get(addr, "/health");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"records\": 40"), "{body}");
+
+        let account = hex::encode(&[0u8; 20]);
+        let (status, body) = get(addr, &format!("/account/{account}?limit=3"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"total\": 10"), "{body}");
+        assert_eq!(body.matches("\"kind\": \"payment\"").count(), 3);
+
+        let (status, body) = get(addr, "/range?from=1100&to=1150");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"returned\": 5"), "{body}");
+
+        let (status, body) = get(addr, "/flow?currency=USD&day=1000");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"payments\": 40"), "{body}");
+
+        let dest = hex::encode(&[9u8; 20]);
+        let (status, body) = get(
+            addr,
+            &format!("/class?amount=1.5&time=1000&currency=USD&dest={dest}&spec=m,sc,c,d"),
+        );
+        assert_eq!(status, 200);
+        assert!(body.contains("\"count\": 1"), "{body}");
+        assert!(body.contains(&hex::encode(&[0u8; 20])), "{body}");
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+        let (status, _) = get(addr, "/account/zz");
+        assert_eq!(status, 400);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn responses_are_byte_stable() {
+        let server = serve(test_engine(), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let (_, first) = get(addr, "/range?from=1000&to=1400&limit=10");
+        let (_, second) = get(addr, "/range?from=1000&to=1400&limit=10");
+        assert_eq!(first, second);
+        server.shutdown();
+    }
+
+    #[test]
+    fn spec_tokens_round_trip() {
+        for token in ["m,sc,c,d", "h,mn,-,d", "-,dy,c,-", "l,-,-,-"] {
+            let spec = parse_spec(Some(token)).unwrap();
+            assert_eq!(spec_token(spec), token);
+        }
+        assert!(parse_spec(Some("x,sc,c,d")).is_err());
+        assert!(parse_spec(Some("m,sc,c")).is_err());
+        assert_eq!(parse_spec(None).unwrap(), ResolutionSpec::full());
+    }
+}

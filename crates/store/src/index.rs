@@ -12,7 +12,7 @@
 use ripple_ledger::RippleTime;
 
 use crate::event::HistoryEvent;
-use crate::stream::{Reader, StoreError, MAGIC};
+use crate::stream::{ReadMode, Reader, RecoveryStats, StoreError, MAGIC};
 
 /// A sparse index over a time-ordered archive.
 ///
@@ -64,19 +64,46 @@ impl ArchiveIndex {
     /// * [`StoreError::Corrupt`] if timestamps regress (the archive is not
     ///   time-ordered, so range scans would be wrong).
     pub fn build(archive: &[u8], stride: usize) -> Result<ArchiveIndex, StoreError> {
+        let (index, _) = ArchiveIndex::build_with_mode(archive, stride, ReadMode::Strict)?;
+        Ok(index)
+    }
+
+    /// Builds the index over a possibly damaged archive, salvaging what the
+    /// resync reader recovers: indexed offsets are the true frame starts in
+    /// the damaged file (corrupt regions advance the cursor too), and the
+    /// returned [`RecoveryStats`] report how many bytes were skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] only — corruption is ridden over, not fatal. A
+    /// salvaged stream that regresses in time is still rejected as
+    /// [`StoreError::Corrupt`] (range scans over it would be wrong).
+    pub fn build_recovering(
+        archive: &[u8],
+        stride: usize,
+    ) -> Result<(ArchiveIndex, RecoveryStats), StoreError> {
+        ArchiveIndex::build_with_mode(archive, stride, ReadMode::Resync)
+    }
+
+    /// Builds the index with an explicit [`ReadMode`].
+    ///
+    /// # Errors
+    ///
+    /// * Any [`StoreError`] from scanning (in [`ReadMode::Strict`], the
+    ///   first corrupt frame aborts the build).
+    /// * [`StoreError::Corrupt`] if timestamps regress (the archive is not
+    ///   time-ordered, so range scans would be wrong).
+    pub fn build_with_mode(
+        archive: &[u8],
+        stride: usize,
+        mode: ReadMode,
+    ) -> Result<(ArchiveIndex, RecoveryStats), StoreError> {
         let stride = stride.max(1);
-        let mut reader = Reader::new(archive)?;
+        let mut reader = Reader::with_mode(archive, mode)?;
         let mut entries = Vec::new();
         let mut records = 0u64;
-        let mut offset = MAGIC.len() as u64;
         let mut last_time: Option<RippleTime> = None;
-        loop {
-            let record_start = offset;
-            let Some(event) = reader.next_event()? else {
-                break;
-            };
-            // Frame: tag(1) + len(4) + payload + crc(4).
-            offset += 1 + 4 + event.encode_payload().len() as u64 + 4;
+        while let Some((record_start, event)) = reader.next_event_at()? {
             let t = event.timestamp();
             if let Some(prev) = last_time {
                 if t < prev {
@@ -91,11 +118,15 @@ impl ArchiveIndex {
             }
             records += 1;
         }
-        Ok(ArchiveIndex {
-            entries,
-            stride,
-            records,
-        })
+        let stats = reader.stats();
+        Ok((
+            ArchiveIndex {
+                entries,
+                stride,
+                records,
+            },
+            stats,
+        ))
     }
 
     /// Total records indexed.
@@ -129,6 +160,24 @@ impl ArchiveIndex {
         from: RippleTime,
         to: RippleTime,
     ) -> Result<Vec<HistoryEvent>, StoreError> {
+        self.scan_range_with_mode(archive, from, to, ReadMode::Strict)
+    }
+
+    /// [`ArchiveIndex::scan_range`] with an explicit [`ReadMode`] — pass
+    /// [`ReadMode::Resync`] to serve windows out of an archive whose index
+    /// came from [`ArchiveIndex::build_recovering`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from decoding the touched range (corruption is
+    /// fatal only in [`ReadMode::Strict`]).
+    pub fn scan_range_with_mode(
+        &self,
+        archive: &[u8],
+        from: RippleTime,
+        to: RippleTime,
+        mode: ReadMode,
+    ) -> Result<Vec<HistoryEvent>, StoreError> {
         let start = self.seek_offset(from) as usize;
         if start >= archive.len() {
             return Ok(Vec::new());
@@ -137,7 +186,7 @@ impl ArchiveIndex {
         let mut framed = Vec::with_capacity(MAGIC.len() + archive.len() - start);
         framed.extend_from_slice(MAGIC);
         framed.extend_from_slice(&archive[start..]);
-        let mut reader = Reader::new(framed.as_slice())?;
+        let mut reader = Reader::with_mode(framed.as_slice(), mode)?;
         let mut out = Vec::new();
         while let Some(event) = reader.next_event()? {
             let t = event.timestamp();
@@ -249,6 +298,61 @@ mod tests {
         let buf = archive(&[10, 5]);
         let err = ArchiveIndex::build(&buf, 1).unwrap_err();
         assert!(matches!(err, StoreError::Corrupt(msg) if msg.contains("time-ordered")));
+    }
+
+    #[test]
+    fn recovering_build_indexes_what_salvages() {
+        // Regression: `build` recomputed offsets by re-encoding payloads,
+        // so a corruption-resync'd archive shifted every offset after the
+        // gap and range scans landed mid-frame. Offsets now come from the
+        // reader, which advances through skipped bytes too.
+        let times: Vec<u64> = (0..100).map(|i| i * 10).collect();
+        let buf = archive(&times);
+        // Locate record 40's frame and ruin it.
+        let mut bounds = Vec::new();
+        let mut reader = Reader::new(buf.as_slice()).unwrap();
+        while let Some((offset, _)) = reader.next_event_at().unwrap() {
+            bounds.push(offset);
+        }
+        let plan = crate::chaos::CorruptionPlan::new().flip_bit(bounds[40] + 9, 5);
+        let bad = crate::chaos::corrupt_bytes(&buf, &plan);
+
+        // Strict build fails hard at the gap...
+        assert!(matches!(
+            ArchiveIndex::build(&bad, 7),
+            Err(StoreError::Corrupt(_))
+        ));
+
+        // ...the recovering build indexes the 99 salvaged records and
+        // reports the ruined frame as skipped bytes.
+        let (index, stats) = ArchiveIndex::build_recovering(&bad, 7).unwrap();
+        assert_eq!(index.records(), 99);
+        assert_eq!(stats.records, 99);
+        assert_eq!(stats.corrupt_regions, 1);
+        assert_eq!(
+            stats.skipped_bytes,
+            bounds.get(41).unwrap() - bounds.get(40).unwrap()
+        );
+
+        // Range scans over the damaged file stay exact for windows past
+        // the gap — the proof that indexed offsets are true frame starts.
+        let got = index
+            .scan_range_with_mode(
+                &bad,
+                RippleTime::from_seconds(500),
+                RippleTime::from_seconds(700),
+                ReadMode::Resync,
+            )
+            .unwrap();
+        let expected: Vec<u64> = times
+            .iter()
+            .copied()
+            .filter(|&t| (500..700).contains(&t) && t != 400)
+            .collect();
+        assert_eq!(got.len(), expected.len());
+        for (event, want) in got.iter().zip(expected) {
+            assert_eq!(event.timestamp().seconds(), want);
+        }
     }
 
     #[test]

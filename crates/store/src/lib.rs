@@ -59,9 +59,13 @@ pub mod codec;
 pub mod crc;
 pub mod event;
 pub mod index;
+pub mod postings;
 pub mod stream;
 
 pub use chaos::{corrupt_bytes, CorruptingWriter, CorruptionOp, CorruptionPlan};
 pub use event::HistoryEvent;
 pub use index::ArchiveIndex;
+pub use postings::{
+    decode_block, decode_frame_at, FlowStat, PostingsConfig, PostingsIndex, SIDECAR_MAGIC,
+};
 pub use stream::{ReadMode, Reader, RecoveryStats, StoreError, Writer};

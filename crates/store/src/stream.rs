@@ -33,7 +33,8 @@ pub enum StoreError {
 }
 
 impl StoreError {
-    pub(crate) fn corrupt(msg: impl Into<String>) -> StoreError {
+    /// A [`StoreError::Corrupt`] with the given message.
+    pub fn corrupt(msg: impl Into<String>) -> StoreError {
         StoreError::Corrupt(msg.into())
     }
 }
@@ -195,6 +196,10 @@ pub struct Reader<R: Read> {
     skipped_bytes: u64,
     corrupt_regions: u64,
     in_corrupt_region: bool,
+    /// Absolute archive offset of the next unconsumed byte. Starts just
+    /// past the magic and advances through resync skips too, so frame
+    /// offsets stay exact even on salvaged archives.
+    consumed: u64,
 }
 
 /// Read chunk size for the internal buffer.
@@ -251,6 +256,7 @@ impl<R: Read> Reader<R> {
             skipped_bytes: 0,
             corrupt_regions: 0,
             in_corrupt_region: false,
+            consumed: MAGIC.len() as u64,
         })
     }
 
@@ -316,10 +322,17 @@ impl<R: Read> Reader<R> {
     /// prefix grows large.
     fn consume(&mut self, frame_len: usize) {
         self.pos += frame_len;
+        self.consumed += frame_len as u64;
         if self.pos >= FILL_CHUNK {
             self.buf.drain(..self.pos);
             self.pos = 0;
         }
+    }
+
+    /// Absolute archive offset of the next unconsumed byte (the magic
+    /// counts, so a fresh reader reports `MAGIC.len()`).
+    pub fn offset(&self) -> u64 {
+        self.consumed
     }
 
     /// Reads the next event, or `None` at the end of the archive.
@@ -331,17 +344,31 @@ impl<R: Read> Reader<R> {
     /// [`ReadMode::Resync`] those conditions skip forward instead (tallied
     /// in [`Reader::stats`]); only I/O errors surface.
     pub fn next_event(&mut self) -> Result<Option<HistoryEvent>, StoreError> {
+        Ok(self.next_event_at()?.map(|(_, event)| event))
+    }
+
+    /// Reads the next event along with the absolute byte offset its frame
+    /// starts at — the currency of the secondary indexes. Offsets remain
+    /// exact across [`ReadMode::Resync`] gaps (skipped bytes advance the
+    /// cursor too), which is what lets an index built over a salvaged
+    /// archive still seek to real frame boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Reader::next_event`].
+    pub fn next_event_at(&mut self) -> Result<Option<(u64, HistoryEvent)>, StoreError> {
         loop {
             let frame = self.parse_frame()?;
             match frame {
                 Frame::Eof => return Ok(None),
                 Frame::Ok(event, frame_len) => {
+                    let start = self.consumed;
                     self.consume(frame_len);
                     self.records += 1;
                     self.in_corrupt_region = false;
                     READER_FRAMES.add(1);
                     READER_BYTES.add(frame_len as u64);
-                    return Ok(Some(*event));
+                    return Ok(Some((start, *event)));
                 }
                 Frame::Truncated if self.mode == ReadMode::Strict => {
                     return Err(StoreError::corrupt("archive truncated mid-record"));
@@ -737,6 +764,48 @@ mod tests {
             Reader::recovering(buf.as_slice()).unwrap().mode(),
             ReadMode::Resync
         );
+    }
+
+    #[test]
+    fn frame_offsets_match_byte_layout() {
+        let events: Vec<HistoryEvent> = (0..10).map(payment).collect();
+        let buf = archive(&events);
+        let bounds = frame_bounds(&events);
+        let mut reader = Reader::new(buf.as_slice()).unwrap();
+        assert_eq!(reader.offset(), MAGIC.len() as u64);
+        let mut seen = Vec::new();
+        while let Some((offset, _)) = reader.next_event_at().unwrap() {
+            seen.push(offset as usize);
+        }
+        let expected: Vec<usize> = bounds.iter().map(|&(start, _)| start).collect();
+        assert_eq!(seen, expected);
+        assert_eq!(reader.offset(), buf.len() as u64);
+    }
+
+    #[test]
+    fn frame_offsets_stay_exact_across_resync_gaps() {
+        let events: Vec<HistoryEvent> = (0..10).map(payment).collect();
+        let buf = archive(&events);
+        let bounds = frame_bounds(&events);
+        // Ruin record 4; every surviving frame must still report its true
+        // byte offset in the *damaged* file.
+        let plan = crate::chaos::CorruptionPlan::new().flip_bit((bounds[4].0 + 8) as u64, 3);
+        let bad = crate::chaos::corrupt_bytes(&buf, &plan);
+        let mut reader = Reader::recovering(bad.as_slice()).unwrap();
+        let mut seen = Vec::new();
+        while let Some((offset, event)) = reader.next_event_at().unwrap() {
+            seen.push((offset as usize, event));
+        }
+        assert_eq!(seen.len(), 9);
+        for (offset, event) in seen {
+            // Decoding the frame found at the reported offset must
+            // reproduce the event.
+            let tag = bad[offset];
+            let len = u32::from_be_bytes(bad[offset + 1..offset + 5].try_into().unwrap()) as usize;
+            let payload = &bad[offset + 5..offset + 5 + len];
+            let back = HistoryEvent::decode_payload(tag, payload).unwrap();
+            assert_eq!(back, event);
+        }
     }
 
     #[test]
