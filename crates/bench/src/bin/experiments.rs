@@ -149,6 +149,7 @@ struct Args {
     validators: usize,
     round_ms: u64,
     plan: Option<String>,
+    no_admin: bool,
     clients: usize,
     mix: u32,
     lookups: u64,
@@ -177,6 +178,7 @@ fn parse_args() -> Args {
         validators: 5,
         round_ms: 500,
         plan: None,
+        no_admin: false,
         clients: 4,
         mix: 90,
         lookups: 200_000,
@@ -265,6 +267,7 @@ fn parse_args() -> Args {
             "--plan" => {
                 args.plan = Some(iter.next().expect("--plan needs a path"));
             }
+            "--no-admin" => args.no_admin = true,
             "--clients" => {
                 args.clients = iter
                     .next()
@@ -1281,6 +1284,8 @@ fn node_experiment(args: &Args) {
         plan,
         sim_round_ms: args.round_ms,
         bin: None,
+        instrument: !args.no_admin,
+        flight_dir: None,
     };
     println!(
         "{} validators, {} rounds of {}ms ({} plan events)\n",
@@ -1326,6 +1331,30 @@ fn node_experiment(args: &Args) {
     );
     if let Some(fork) = &report.fork {
         println!("FORK DETECTED: {fork}");
+    }
+    if !report.admin.is_empty() {
+        let events: u64 = report.admin.iter().map(|p| p.events as u64).sum();
+        let gaps: u64 = report.admin.iter().map(|p| p.gaps).sum();
+        let lost: u64 = report.admin.iter().map(|p| p.lost).sum();
+        println!("telemetry plane: {events} trace events, {gaps} poll gaps, {lost} lost");
+        for name in ripple_core::node::cluster_trace::ROUND_HISTOGRAMS {
+            let per_node: Vec<_> = report
+                .admin
+                .iter()
+                .filter_map(|p| p.round_metrics.get(name).copied())
+                .collect();
+            let agg = ripple_core::node::cluster_trace::aggregate_hist(&per_node);
+            if agg.count > 0 {
+                println!(
+                    "  {name}: n={} p50={} p90={} p99={} max={}",
+                    agg.count, agg.p50, agg.p90, agg.p99, agg.max
+                );
+            }
+        }
+        match report.write_cluster_trace("TRACE_cluster.json") {
+            Ok(()) => eprintln!("wrote TRACE_cluster.json"),
+            Err(err) => eprintln!("could not write TRACE_cluster.json: {err}"),
+        }
     }
     match report.write_bench_json("BENCH_node.json") {
         Ok(()) => eprintln!("wrote BENCH_node.json"),

@@ -6,7 +6,8 @@
 //! ripple-node --id 0 --listen 127.0.0.1:9100 \
 //!     --peers 1:127.0.0.1:9101,2:127.0.0.1:9102 \
 //!     --validators 3 --rounds 12 --round-ms 500 \
-//!     --epoch-ms 1754700000000 --seed 7
+//!     --epoch-ms 1754700000000 --seed 7 \
+//!     --admin 127.0.0.1:9200 --flight FLIGHT_0.json
 //! ```
 //!
 //! All validators share `--epoch-ms` (UNIX milliseconds at which round 0
@@ -14,12 +15,22 @@
 //! `kill -9`ed and restarted process rejoins mid-stream with no
 //! coordination. Exit status 0 once `--rounds` rounds are finalized or a
 //! control `Shutdown` frame arrives; 2 on bad usage.
+//!
+//! `--admin ADDR` switches the telemetry plane on: metrics recording, the
+//! crash flight recorder, round tracing, and an admin HTTP endpoint
+//! (`/health`, `/metrics`, `/timeseries`, `/trace`, `/flight`) served
+//! from the node's own poll loop. On panic or clean exit the flight ring
+//! is dumped to `--flight PATH` (default `FLIGHT_<id>.json`) — the
+//! postmortem record of the node's final rounds. Without `--admin` the
+//! node runs uninstrumented (the baseline for overhead comparisons).
 
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ripple_node::node::{unix_ms, Node, NodeConfig};
 use ripple_node::peer::BackoffPolicy;
+use ripple_obs::{flight, metrics, trace};
 
 struct Args {
     id: u32,
@@ -31,13 +42,15 @@ struct Args {
     round_ms: u64,
     epoch_ms: u64,
     seed: u64,
+    admin: Option<SocketAddr>,
+    flight: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: ripple-node --id N --listen ADDR [--peers ID:ADDR,...] \
          [--feed ADDR] --validators N [--rounds N] [--round-ms MS] \
-         [--epoch-ms UNIX_MS] [--seed N]"
+         [--epoch-ms UNIX_MS] [--seed N] [--admin ADDR] [--flight PATH]"
     );
     std::process::exit(2);
 }
@@ -67,6 +80,8 @@ fn parse_args() -> Args {
         round_ms: 500,
         epoch_ms: 0,
         seed: 7,
+        admin: None,
+        flight: None,
     };
     let mut raw = std::env::args().skip(1);
     let mut saw_validators = false;
@@ -85,6 +100,8 @@ fn parse_args() -> Args {
             "--round-ms" => args.round_ms = value().parse().unwrap_or_else(|_| usage()),
             "--epoch-ms" => args.epoch_ms = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--admin" => args.admin = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--flight" => args.flight = Some(PathBuf::from(value())),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -106,8 +123,27 @@ fn main() -> ExitCode {
     } else {
         args.epoch_ms
     };
+    let id = args.id;
+    let flight_path = args
+        .flight
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("FLIGHT_{id}.json")));
+    if args.admin.is_some() {
+        metrics::set_enabled(true);
+        flight::arm(0);
+        trace::enable(0);
+        // The flight ring must survive the panic itself: the hook snapshots
+        // it after unwinding bookkeeping is already torn.
+        let panic_path = flight_path.clone();
+        let node_name = id.to_string();
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = flight::dump(&panic_path, &node_name, "panic");
+            default_hook(info);
+        }));
+    }
     let cfg = NodeConfig {
-        id: args.id,
+        id,
         listen: args.listen,
         peers: args.peers,
         feed: args.feed,
@@ -117,8 +153,9 @@ fn main() -> ExitCode {
         epoch_ms,
         seed: args.seed,
         backoff: BackoffPolicy::default(),
+        admin: args.admin,
     };
-    let id = cfg.id;
+    let instrumented = cfg.admin.is_some();
     let node = match Node::bind(cfg) {
         Ok(node) => node,
         Err(err) => {
@@ -126,7 +163,17 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    match node.run() {
+    if let Some(admin) = node.admin_addr() {
+        eprintln!("ripple-node {id}: admin endpoint on {admin}");
+    }
+    let outcome = node.run();
+    if instrumented {
+        let reason = if outcome.is_ok() { "shutdown" } else { "fatal" };
+        if let Err(err) = flight::dump(&flight_path, &id.to_string(), reason) {
+            eprintln!("ripple-node {id}: flight dump failed: {err}");
+        }
+    }
+    match outcome {
         Ok(report) => {
             let committed = report.rounds.iter().filter(|r| r.committed).count();
             let degraded = report.rounds.iter().filter(|r| r.degraded).count();

@@ -16,6 +16,17 @@
 //! the wire and fed to the **same** [`InvariantChecker`] the simulator
 //! uses, so "zero forks" means the same thing in both backends, and
 //! rounds-to-recover comes out in real milliseconds.
+//!
+//! When [`ClusterConfig::instrument`] is on (the default), every child
+//! also gets `--admin`/`--flight`: the harness round-robins one
+//! [`NodeProbe`](crate::cluster_trace::NodeProbe) per validator over the
+//! admin HTTP plane — incremental `/trace` drains, `/health` clock
+//! anchors, `/flight` crash snapshots, `/metrics` round histograms —
+//! with hard per-request deadlines so an unreachable endpoint costs a
+//! recorded gap, never a stall. A `kill -9` victim's last `/flight`
+//! snapshot is written to `FLIGHT_<id>.json` the moment the kill lands
+//! (the process itself can no longer dump), and the merged, clock-aligned
+//! `chrome://tracing` document lands in [`ClusterReport::cluster_trace`].
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::Write as _;
@@ -31,6 +42,9 @@ use ripple_netsim::{FaultPlan, SimTime};
 use ripple_obs::json::JsonWriter;
 use ripple_obs::LazyCounter;
 
+use crate::cluster_trace::{
+    aggregate_hist, merge_cluster_trace, HistSummary, NodeProbe, ProbeSummary, ROUND_HISTOGRAMS,
+};
 use crate::frame::FrameDecoder;
 use crate::node::unix_ms;
 use crate::poll::{drain_into, try_accept, Drained};
@@ -46,6 +60,7 @@ static CLUSTER_BACKOFF_SUCCESSES: LazyCounter =
     LazyCounter::new("harness.nodes.reconnect_successes");
 static CLUSTER_STATE_RESUBS: LazyCounter = LazyCounter::new("harness.nodes.state_resubs");
 static CLUSTER_DEGRADED: LazyCounter = LazyCounter::new("harness.nodes.degraded_rounds");
+static CLUSTER_POLL_GAPS: LazyCounter = LazyCounter::new("harness.admin.poll_gaps");
 
 /// Configuration for one live cluster run.
 #[derive(Debug, Clone)]
@@ -66,6 +81,12 @@ pub struct ClusterConfig {
     /// Explicit path to the `ripple-node` binary; when `None` the harness
     /// tries `$RIPPLE_NODE_BIN`, then siblings of the current executable.
     pub bin: Option<PathBuf>,
+    /// Spawn validators with `--admin`/`--flight` and poll their
+    /// telemetry planes. Off = the uninstrumented overhead baseline.
+    pub instrument: bool,
+    /// Directory for `FLIGHT_<id>.json` dumps (`None` = the harness's
+    /// working directory, which the children inherit).
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for ClusterConfig {
@@ -78,6 +99,8 @@ impl Default for ClusterConfig {
             plan: FaultPlan::new(),
             sim_round_ms: 500,
             bin: None,
+            instrument: true,
+            flight_dir: None,
         }
     }
 }
@@ -112,6 +135,12 @@ pub struct ClusterReport {
     pub actions_log: Vec<String>,
     /// Total wall-clock duration of the run.
     pub wall_ms: u64,
+    /// Per-validator admin-plane poll summaries (empty when the run was
+    /// uninstrumented).
+    pub admin: Vec<ProbeSummary>,
+    /// The merged, clock-aligned `chrome://tracing` document, when
+    /// instrumented.
+    pub cluster_trace: Option<String>,
 }
 
 impl ClusterReport {
@@ -184,8 +213,77 @@ impl ClusterReport {
             w.end_inline_object();
         }
         w.end_object();
+        w.key("observability");
+        w.begin_object();
+        w.field_bool("instrumented", !self.admin.is_empty());
+        if !self.admin.is_empty() {
+            w.field_u64(
+                "trace_events",
+                self.admin.iter().map(|p| p.events as u64).sum(),
+            );
+            w.field_u64("poll_gaps", self.admin.iter().map(|p| p.gaps).sum());
+            w.field_u64("trace_lost", self.admin.iter().map(|p| p.lost).sum());
+            w.field_u64("trace_dropped", self.admin.iter().map(|p| p.dropped).sum());
+            w.key("nodes");
+            w.begin_object();
+            for (i, p) in self.admin.iter().enumerate() {
+                w.key(&format!("node_{i}"));
+                w.begin_inline_object();
+                w.field_u64("events", p.events as u64);
+                w.field_u64("polls_ok", p.polls_ok);
+                w.field_u64("gaps", p.gaps);
+                match p.skew_bound_ms {
+                    Some(ms) => w.field_i64("skew_bound_ms", ms),
+                    None => w.field_null("skew_bound_ms"),
+                }
+                w.end_inline_object();
+            }
+            w.end_object();
+            w.key("round_histograms");
+            w.begin_object();
+            for name in ROUND_HISTOGRAMS {
+                let per_node: Vec<(usize, HistSummary)> = self
+                    .admin
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, p)| p.round_metrics.get(name).map(|h| (i, *h)))
+                    .collect();
+                w.key(name);
+                w.begin_object();
+                let write_hist = |w: &mut JsonWriter, key: &str, h: &HistSummary| {
+                    w.key(key);
+                    w.begin_inline_object();
+                    w.field_u64("count", h.count);
+                    w.field_u64("sum", h.sum);
+                    w.field_u64("p50", h.p50);
+                    w.field_u64("p90", h.p90);
+                    w.field_u64("p99", h.p99);
+                    w.field_u64("max", h.max);
+                    w.end_inline_object();
+                };
+                let cluster = aggregate_hist(&per_node.iter().map(|&(_, h)| h).collect::<Vec<_>>());
+                write_hist(&mut w, "cluster", &cluster);
+                for (i, h) in &per_node {
+                    write_hist(&mut w, &format!("node_{i}"), h);
+                }
+                w.end_object();
+            }
+            w.end_object();
+        }
+        w.end_object();
         w.end_object();
         w.finish()
+    }
+
+    /// Writes the merged cluster trace (or an empty-but-loadable document
+    /// for uninstrumented runs) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the write.
+    pub fn write_cluster_trace(&self, path: &str) -> std::io::Result<()> {
+        let fallback = "{\"traceEvents\": []}\n";
+        std::fs::write(path, self.cluster_trace.as_deref().unwrap_or(fallback))
     }
 
     /// Writes `to_json` to `path`.
@@ -316,9 +414,14 @@ pub fn run_cluster(cfg: &ClusterConfig) -> std::io::Result<ClusterReport> {
             .collect::<Vec<_>>()
             .join(",")
     };
+    let admin_addrs: Vec<SocketAddr> = if cfg.instrument {
+        reserve_ports(n)?
+    } else {
+        Vec::new()
+    };
     let mut procs: Vec<NodeProc> = Vec::with_capacity(n);
     for (i, addr) in addrs.iter().enumerate() {
-        let args = vec![
+        let mut args = vec![
             "--id".into(),
             i.to_string(),
             "--listen".into(),
@@ -338,12 +441,30 @@ pub fn run_cluster(cfg: &ClusterConfig) -> std::io::Result<ClusterReport> {
             "--seed".into(),
             cfg.seed.to_string(),
         ];
+        if let Some(admin) = admin_addrs.get(i) {
+            args.push("--admin".into());
+            args.push(admin.to_string());
+            args.push("--flight".into());
+            args.push(flight_path(cfg, i));
+        }
         let child = spawn_node(&bin, &args)?;
         procs.push(NodeProc {
             child: Some(child),
             args,
         });
     }
+    // One admin-plane probe per validator, polled round-robin from the
+    // main loop: at most one probe per loop pass, each request under a
+    // hard deadline, so telemetry collection can never delay a fault
+    // action by more than one bounded poll cycle.
+    let poll_interval = Duration::from_millis((cfg.round_ms / 2).max(100));
+    let poll_timeout = Duration::from_millis(250);
+    let mut probes: Vec<NodeProbe> = admin_addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| NodeProbe::new(i, a, poll_interval))
+        .collect();
+    let mut probe_rr = 0usize;
 
     let started = Instant::now();
     let mut actions: Vec<(u64, LiveAction)> = live.actions.clone();
@@ -367,6 +488,21 @@ pub fn run_cluster(cfg: &ClusterConfig) -> std::io::Result<ClusterReport> {
             }
             let (at, action) = actions.pop().expect("peeked");
             execute_action(&bin, &action, at, &mut procs, &addrs, &mut actions_log);
+            if let LiveAction::Kill(node) = &action {
+                snapshot_flight(cfg, &probes, node.0, at, &mut actions_log);
+            }
+        }
+        // Poll at most one due admin probe per pass (round-robin), so a
+        // slow or unreachable endpoint delays nothing but itself.
+        if !probes.is_empty() {
+            let now = Instant::now();
+            for k in 0..probes.len() {
+                let i = (probe_rr + k) % probes.len();
+                if probes[i].poll_due(now, poll_timeout) {
+                    probe_rr = (i + 1) % probes.len();
+                    break;
+                }
+            }
         }
         // Accept and drain feed connections.
         while let Some(stream) = try_accept(&feed) {
@@ -423,6 +559,13 @@ pub fn run_cluster(cfg: &ClusterConfig) -> std::io::Result<ClusterReport> {
             break;
         }
         std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Final telemetry drain while survivors are still serving: one
+    // immediate bounded poll cycle per probe (nodes that already exited
+    // just record one more gap).
+    for probe in &mut probes {
+        let _ = probe.poll_now(poll_timeout);
     }
 
     // Orderly shutdown: ask politely, then make sure.
@@ -540,6 +683,14 @@ pub fn run_cluster(cfg: &ClusterConfig) -> std::io::Result<ClusterReport> {
     CLUSTER_BACKOFF_SUCCESSES.add(total.reconnect_successes);
     CLUSTER_STATE_RESUBS.add(total.state_resubs);
     CLUSTER_DEGRADED.add(total.degraded_rounds);
+    CLUSTER_POLL_GAPS.add(probes.iter().map(|p| p.summary.gaps).sum());
+
+    let cluster_trace = if cfg.instrument {
+        Some(merge_cluster_trace(&probes, epoch_ms))
+    } else {
+        None
+    };
+    let admin: Vec<ProbeSummary> = probes.into_iter().map(|p| p.summary).collect();
 
     Ok(ClusterReport {
         validators: n,
@@ -555,7 +706,50 @@ pub fn run_cluster(cfg: &ClusterConfig) -> std::io::Result<ClusterReport> {
         live_plan: live,
         actions_log,
         wall_ms,
+        admin,
+        cluster_trace,
     })
+}
+
+/// Where node `i`'s flight dump lives (harness and child agree on this).
+fn flight_path(cfg: &ClusterConfig, i: usize) -> String {
+    let name = format!("FLIGHT_{i}.json");
+    match &cfg.flight_dir {
+        Some(dir) => dir.join(name).to_string_lossy().into_owned(),
+        None => name,
+    }
+}
+
+/// Persists the last `/flight` snapshot of a just-killed node: SIGKILL
+/// means the process itself will never dump its ring, so the harness's
+/// most recent poll is the crash record. A later restart overwrites the
+/// file with the node's own (post-restart) shutdown dump, which again
+/// covers that incarnation's final rounds.
+fn snapshot_flight(
+    cfg: &ClusterConfig,
+    probes: &[NodeProbe],
+    node: usize,
+    at_ms: u64,
+    log: &mut Vec<String>,
+) {
+    let Some(probe) = probes.iter().find(|p| p.node == node) else {
+        return;
+    };
+    let Some(body) = &probe.flight else {
+        log.push(format!(
+            "t+{at_ms}ms no flight snapshot for killed node {node} (never polled)"
+        ));
+        return;
+    };
+    let path = flight_path(cfg, node);
+    match std::fs::write(&path, body) {
+        Ok(()) => log.push(format!(
+            "t+{at_ms}ms flight snapshot of node {node} -> {path}"
+        )),
+        Err(err) => log.push(format!(
+            "t+{at_ms}ms flight snapshot of node {node} FAILED: {err}"
+        )),
+    }
 }
 
 /// Executes one lowered action against the running processes.
@@ -682,6 +876,14 @@ mod tests {
             live_plan: LivePlan::default(),
             actions_log: vec!["t+0ms nothing".into()],
             wall_ms: 1234,
+            admin: vec![ProbeSummary {
+                events: 3,
+                polls_ok: 4,
+                gaps: 1,
+                skew_bound_ms: Some(2),
+                ..ProbeSummary::default()
+            }],
+            cluster_trace: Some("{\"traceEvents\": []}\n".into()),
         };
         let json = report.to_json();
         for key in [
@@ -693,8 +895,35 @@ mod tests {
             "\"stalls\"",
             "\"actions\"",
             "\"telemetry\"",
+            "\"observability\"",
+            "\"poll_gaps\"",
+            "\"round_histograms\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn uninstrumented_report_marks_observability_off() {
+        let report = ClusterReport {
+            validators: 3,
+            round_ms: 250,
+            rounds: Vec::new(),
+            committed_rounds: 0,
+            stalls: Vec::new(),
+            no_fork: true,
+            fork: None,
+            rounds_to_recover: None,
+            recover_wall_ms: None,
+            telemetry: BTreeMap::new(),
+            live_plan: LivePlan::default(),
+            actions_log: Vec::new(),
+            wall_ms: 0,
+            admin: Vec::new(),
+            cluster_trace: None,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"instrumented\": false"));
+        assert!(!json.contains("\"round_histograms\""));
     }
 }

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster_trace;
 pub mod frame;
 pub mod harness;
 pub mod node;
@@ -54,6 +55,7 @@ pub mod peer;
 pub mod poll;
 pub mod wire;
 
+pub use cluster_trace::{merge_cluster_trace, NodeProbe};
 pub use frame::{encode_frame, DecoderStats, Frame, FrameDecoder};
 pub use harness::{run_cluster, ClusterConfig, ClusterReport};
 pub use node::{unix_ms, LocalRound, Node, NodeConfig, NodeReport, FEED_ID};

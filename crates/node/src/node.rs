@@ -29,7 +29,10 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use ripple_consensus::{page_hash, refine_position, support_required, RPCA_THRESHOLDS};
 use ripple_crypto::Digest256;
-use ripple_obs::LazyCounter;
+use ripple_obs::http::{admin_response, timeseries_response, PollServer, Request, Response};
+use ripple_obs::json::JsonWriter;
+use ripple_obs::timeseries::TimeSeries;
+use ripple_obs::{flight, trace, LazyCounter, LazyGauge, LazyHistogram, Span};
 
 use crate::frame::{DecoderStats, FrameDecoder};
 use crate::peer::{BackoffPolicy, Supervisor};
@@ -47,6 +50,21 @@ static STATE_RESUBS: LazyCounter = LazyCounter::new("node.state.resubs");
 static ROUNDS_COMMITTED: LazyCounter = LazyCounter::new("node.rounds.committed");
 static ROUNDS_DEGRADED: LazyCounter = LazyCounter::new("node.rounds.degraded");
 static HEARTBEATS_SENT: LazyCounter = LazyCounter::new("node.heartbeats.sent");
+
+/// Spread between the first and last proposal arrival within one
+/// `(round, iteration)`, milliseconds.
+static PROPOSAL_DISPERSION_MS: LazyHistogram =
+    LazyHistogram::new("node.round.proposal_dispersion_ms");
+/// Receive-side validation latency (`local_ms - sent_ms` per validation),
+/// milliseconds; includes residual clock skew.
+static VALIDATION_LATENCY_MS: LazyHistogram =
+    LazyHistogram::new("node.round.validation_latency_ms");
+/// Time from the first validation seen for a round until quorum-many were
+/// collected, milliseconds.
+static QUORUM_COLLECT_MS: LazyHistogram = LazyHistogram::new("node.round.quorum_collect_ms");
+/// Tightest `local_ms - sent_ms` observed over heartbeats: an upper bound
+/// on clock skew + one-way delay toward this node.
+static SKEW_BOUND_MS: LazyGauge = LazyGauge::new("node.clock.skew_bound_ms");
 
 /// The supervisor link id used for the harness feed connection.
 pub const FEED_ID: u32 = u32::MAX;
@@ -78,6 +96,10 @@ pub struct NodeConfig {
     pub seed: u64,
     /// Reconnect backoff shape.
     pub backoff: BackoffPolicy,
+    /// Admin HTTP endpoint address (`/health`, `/metrics`, `/timeseries`,
+    /// `/trace`, `/flight`), served from the node's own poll loop.
+    /// `None` runs the node uninstrumented.
+    pub admin: Option<SocketAddr>,
 }
 
 impl NodeConfig {
@@ -175,6 +197,57 @@ pub fn unix_ms() -> u64 {
         .unwrap_or(0)
 }
 
+/// The node's `/timeseries` sources, windowed at one round per window so
+/// rates read as per-round figures.
+fn build_timeseries(round_ms: u64) -> TimeSeries {
+    let mut ts = TimeSeries::new(round_ms.max(1), 240);
+    ts.counter("node.frames.sent", FRAMES_SENT.force());
+    ts.counter("node.frames.received", FRAMES_RECEIVED.force());
+    ts.counter("node.rounds.committed", ROUNDS_COMMITTED.force());
+    ts.counter("node.rounds.degraded", ROUNDS_DEGRADED.force());
+    ts.gauge("node.clock.skew_bound_ms", SKEW_BOUND_MS.force());
+    ts.histogram(
+        "node.round.validation_latency_ms",
+        VALIDATION_LATENCY_MS.force(),
+    );
+    ts.histogram("node.round.quorum_collect_ms", QUORUM_COLLECT_MS.force());
+    ts
+}
+
+/// The node's `/health` body: identity, where it is in the round
+/// schedule, and the clock-alignment anchors (`epoch_ms`,
+/// `trace_epoch_unix_ms`, `skew_bound_ms`) the cluster harness needs to
+/// merge this node's trace into cluster time.
+fn health_body(
+    cfg: &NodeConfig,
+    slot: Option<(u64, u8)>,
+    rounds_done: &[LocalRound],
+    connected: u32,
+    skew_bound_ms: Option<i64>,
+) -> String {
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.field_str("status", "ok");
+    w.field_u64("node", u64::from(cfg.id));
+    w.field_u64("round", slot.map(|(r, _)| r).unwrap_or(0));
+    w.field_u64("phase", slot.map(|(_, p)| u64::from(p)).unwrap_or(0));
+    w.field_u64("rounds_done", rounds_done.len() as u64);
+    w.field_u64(
+        "committed",
+        rounds_done.iter().filter(|r| r.committed).count() as u64,
+    );
+    w.field_u64("connected", u64::from(connected));
+    w.field_u64("epoch_ms", cfg.epoch_ms);
+    w.field_u64("round_ms", cfg.round_ms);
+    w.field_u64("trace_epoch_unix_ms", trace::epoch_unix_ms());
+    match skew_bound_ms {
+        Some(ms) => w.field_i64("skew_bound_ms", ms),
+        None => w.field_null("skew_bound_ms"),
+    }
+    w.end_object();
+    w.finish()
+}
+
 /// The live validator.
 pub struct Node {
     cfg: NodeConfig,
@@ -198,6 +271,22 @@ pub struct Node {
     /// Telemetry already mirrored into the obs registry.
     mirrored: Telemetry,
     shutdown: bool,
+    /// Admin HTTP endpoint, when configured.
+    admin: Option<PollServer>,
+    /// Windowed metrics behind `/timeseries` (admin runs only).
+    series: Option<TimeSeries>,
+    /// Per-sender consensus-message sequence (trace context).
+    msg_seq: u64,
+    /// Open round spans, closed (and recorded) at finalize.
+    round_spans: HashMap<u64, Span>,
+    /// `(round, iteration) → (first, last)` proposal-arrival unix-ms.
+    prop_arrivals: HashMap<(u64, u8), (u64, u64)>,
+    /// `round →` unix-ms when the first validation was seen.
+    val_first_ms: HashMap<u64, u64>,
+    /// Rounds whose quorum-collection time was already recorded.
+    quorum_recorded: HashSet<u64>,
+    /// Tightest heartbeat `local_ms - sent_ms` seen so far.
+    skew_bound_ms: Option<i64>,
 }
 
 impl Node {
@@ -221,6 +310,11 @@ impl Node {
             heartbeat,
             Instant::now(),
         );
+        let admin = match cfg.admin {
+            None => None,
+            Some(addr) => Some(PollServer::bind(&addr.to_string())?),
+        };
+        let series = admin.as_ref().map(|_| build_timeseries(cfg.round_ms));
         Ok(Node {
             cfg,
             listener,
@@ -238,6 +332,14 @@ impl Node {
             telemetry: Telemetry::default(),
             mirrored: Telemetry::default(),
             shutdown: false,
+            admin,
+            series,
+            msg_seq: 0,
+            round_spans: HashMap::new(),
+            prop_arrivals: HashMap::new(),
+            val_first_ms: HashMap::new(),
+            quorum_recorded: HashSet::new(),
+            skew_bound_ms: None,
         })
     }
 
@@ -248,6 +350,11 @@ impl Node {
     /// I/O errors from the socket.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The bound admin endpoint address, when one was configured.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().map(PollServer::local_addr)
     }
 
     /// Runs the event loop until `cfg.rounds` rounds are finalized or a
@@ -276,6 +383,7 @@ impl Node {
             activity |= self.pump_outbound();
             self.dial_due();
             self.heartbeat();
+            activity |= self.poll_admin();
             if self.shutdown {
                 break;
             }
@@ -283,6 +391,18 @@ impl Node {
                 self.poller.idle_wait();
             }
         }
+        // Close any still-open round span so its duration is recorded.
+        self.round_spans.clear();
+        flight::note(
+            "node",
+            if self.shutdown {
+                "shutdown"
+            } else {
+                "finished"
+            },
+            self.slot.map(|(r, _)| r),
+            &[("rounds_done", self.rounds_done.len() as i64)],
+        );
         let counters = self.full_telemetry();
         self.send_feed(&WireMsg::TelemetryReport {
             from: self.cfg.id,
@@ -295,6 +415,41 @@ impl Node {
             rounds: self.rounds_done,
             telemetry,
         })
+    }
+
+    /// Serves any pending admin requests from the poll loop. The time
+    /// series is ticked here every pass, so window boundaries and gauge
+    /// high-water sampling don't depend on anyone polling `/timeseries`.
+    fn poll_admin(&mut self) -> bool {
+        let Some(mut server) = self.admin.take() else {
+            return false;
+        };
+        let now_ms = unix_ms();
+        if let Some(series) = self.series.as_mut() {
+            series.tick(now_ms.saturating_sub(self.cfg.epoch_ms));
+        }
+        let node_name = self.cfg.id.to_string();
+        let cfg = &self.cfg;
+        let slot = self.slot;
+        let rounds_done = &self.rounds_done;
+        let connected = self.connected_peers();
+        let skew = self.skew_bound_ms;
+        let series = &self.series;
+        let served = server.poll(&mut |req: &Request| {
+            if req.path == "/health" {
+                return Response::json(health_body(cfg, slot, rounds_done, connected, skew));
+            }
+            if req.path == "/timeseries" {
+                return match series {
+                    Some(series) => timeseries_response(series, &req.query),
+                    None => Response::error(404, "timeseries disabled"),
+                };
+            }
+            admin_response(&node_name, req)
+                .unwrap_or_else(|| Response::error(404, "no such endpoint"))
+        });
+        self.admin = Some(server);
+        served > 0
     }
 
     fn finished(&self) -> bool {
@@ -404,7 +559,14 @@ impl Node {
     }
 
     fn enter_slot(&mut self, (round, phase): (u64, u8)) {
+        let _phase_span = trace::span_round("node", "phase", round);
         if phase == 0 {
+            // One open span per round, closed (recording the full round
+            // duration) at finalize — the lane the merged cluster trace
+            // shows per validator.
+            self.round_spans
+                .entry(round)
+                .or_insert_with(|| trace::span_round("node", "round", round));
             if let Some(prev) = round.checked_sub(1) {
                 // Seal the previous round if we took part in it.
                 if self
@@ -427,28 +589,49 @@ impl Node {
                 .proposals
                 .remove(&(round, iteration))
                 .unwrap_or_default();
+            if let Some((first, last)) = self.prop_arrivals.remove(&(round, iteration)) {
+                PROPOSAL_DISPERSION_MS.record(last.saturating_sub(first));
+            }
             self.position = refine_position(&self.position, peers.values(), required);
         }
 
+        self.msg_seq += 1;
         if u64::from(phase) < PHASES - 1 {
             self.broadcast(&WireMsg::Proposal {
                 from: self.cfg.id,
                 round,
                 iteration: phase,
+                seq: self.msg_seq,
+                sent_ms: unix_ms(),
                 txs: self.position.clone(),
             });
         } else {
             // Validation phase: seal and announce the page.
             let page = page_hash(&self.position);
-            self.validations
-                .entry(round)
-                .or_default()
-                .insert(self.cfg.id, page);
+            self.note_validation(round, self.cfg.id, page, unix_ms());
             self.broadcast(&WireMsg::Validation {
                 from: self.cfg.id,
                 round,
+                seq: self.msg_seq,
+                sent_ms: unix_ms(),
                 page,
             });
+        }
+    }
+
+    /// Records one validation (own or a peer's) and, the moment
+    /// quorum-many have been collected for the round, the
+    /// quorum-collection time.
+    fn note_validation(&mut self, round: u64, from: u32, page: Digest256, now_ms: u64) {
+        self.val_first_ms.entry(round).or_insert(now_ms);
+        let seen = {
+            let entry = self.validations.entry(round).or_default();
+            entry.insert(from, page);
+            entry.len()
+        };
+        if seen >= self.cfg.quorum_needed() && self.quorum_recorded.insert(round) {
+            let first = self.val_first_ms.get(&round).copied().unwrap_or(now_ms);
+            QUORUM_COLLECT_MS.record(now_ms.saturating_sub(first));
         }
     }
 
@@ -489,6 +672,20 @@ impl Node {
         if committed {
             ROUNDS_COMMITTED.add(1);
         }
+        // Close the round's span (records its wall-clock duration) and
+        // leave a postmortem breadcrumb in the flight ring.
+        self.round_spans.remove(&round);
+        flight::note(
+            "node",
+            "round",
+            Some(round),
+            &[
+                ("committed", i64::from(committed)),
+                ("agreement_milli", i64::from(agreement_milli)),
+                ("degraded", i64::from(degraded)),
+                ("connected", i64::from(connected)),
+            ],
+        );
         let local = LocalRound {
             round,
             page: own_page,
@@ -516,6 +713,10 @@ impl Node {
         // Prune stale per-round state.
         self.proposals.retain(|&(r, _), _| r + 2 > round);
         self.validations.retain(|&r, _| r + 2 > round);
+        self.prop_arrivals.retain(|&(r, _), _| r + 2 > round);
+        self.val_first_ms.retain(|&r, _| r + 2 > round);
+        self.quorum_recorded.retain(|&r| r + 2 > round);
+        self.round_spans.retain(|&r, _| r + 2 > round);
     }
 
     // -- transport ----------------------------------------------------------
@@ -595,24 +796,46 @@ impl Node {
                     from,
                     round,
                     iteration,
+                    seq: _,
+                    sent_ms: _,
                     txs,
                 } => {
                     if !self.banned.contains(&from) {
+                        let now_ms = unix_ms();
+                        let window = self
+                            .prop_arrivals
+                            .entry((round, iteration))
+                            .or_insert((now_ms, now_ms));
+                        window.1 = now_ms;
                         self.proposals
                             .entry((round, iteration))
                             .or_default()
                             .insert(from, txs);
                     }
                 }
-                WireMsg::Validation { from, round, page } => {
+                WireMsg::Validation {
+                    from,
+                    round,
+                    seq: _,
+                    sent_ms,
+                    page,
+                } => {
                     if !self.banned.contains(&from) {
-                        self.validations
-                            .entry(round)
-                            .or_default()
-                            .insert(from, page);
+                        let now_ms = unix_ms();
+                        VALIDATION_LATENCY_MS.record(now_ms.saturating_sub(sent_ms));
+                        self.note_validation(round, from, page, now_ms);
                     }
                 }
-                WireMsg::Heartbeat { .. } => {}
+                WireMsg::Heartbeat { sent_ms, .. } => {
+                    // Tightest local-minus-sender delta seen bounds clock
+                    // skew + one-way delay; the harness reads it back from
+                    // `/health` as the residual-skew estimate.
+                    let delta = unix_ms() as i64 - sent_ms as i64;
+                    if self.skew_bound_ms.map(|b| delta < b).unwrap_or(true) {
+                        self.skew_bound_ms = Some(delta);
+                        SKEW_BOUND_MS.set(delta);
+                    }
+                }
                 WireMsg::StateRequest { .. } => {
                     let reply = WireMsg::StateSnapshot {
                         from: self.cfg.id,
@@ -775,6 +998,7 @@ impl Node {
         let msg = WireMsg::Heartbeat {
             from: self.cfg.id,
             round,
+            sent_ms: unix_ms(),
         };
         let bytes = msg.encode();
         let mut lost: Vec<u32> = Vec::new();

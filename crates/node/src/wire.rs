@@ -119,22 +119,36 @@ pub enum WireMsg {
         kind: LinkKind,
     },
     /// An RPCA position broadcast for one proposal iteration.
+    ///
+    /// Carries compact trace context (`from`, `round`, `seq`, `sent_ms`)
+    /// so the cluster harness can reconstruct cross-node message flow
+    /// when merging per-node traces.
     Proposal {
-        /// Sending validator.
+        /// Sending validator (trace-context origin).
         from: u32,
         /// Wall-clock round index.
         round: u64,
         /// Proposal iteration within the round (0-based).
         iteration: u8,
+        /// Per-sender consensus-message sequence number (trace context).
+        seq: u64,
+        /// Sender wall-clock at send, Unix milliseconds (trace context).
+        sent_ms: u64,
         /// The proposed transaction set.
         txs: BTreeSet<u64>,
     },
     /// A sealed page announcement after the final iteration.
+    ///
+    /// Carries the same compact trace context as [`WireMsg::Proposal`].
     Validation {
-        /// Sending validator.
+        /// Sending validator (trace-context origin).
         from: u32,
         /// Wall-clock round index.
         round: u64,
+        /// Per-sender consensus-message sequence number (trace context).
+        seq: u64,
+        /// Sender wall-clock at send, Unix milliseconds (trace context).
+        sent_ms: u64,
         /// The sealed page hash.
         page: Digest256,
     },
@@ -144,6 +158,11 @@ pub enum WireMsg {
         from: u32,
         /// The sender's current round.
         round: u64,
+        /// Sender wall-clock at send, Unix milliseconds. Receivers take
+        /// `min(local_ms - sent_ms)` over a link's heartbeats as a bound
+        /// on clock skew + one-way delay, which the harness reads back
+        /// as the residual-skew estimate for trace alignment.
+        sent_ms: u64,
     },
     /// Ask a peer for its committed tip (sent after (re)connecting).
     StateRequest {
@@ -340,21 +359,38 @@ impl WireMsg {
                 from,
                 round,
                 iteration,
+                seq,
+                sent_ms,
                 txs,
             } => {
                 payload.extend_from_slice(&from.to_be_bytes());
                 payload.extend_from_slice(&round.to_be_bytes());
                 payload.push(*iteration);
+                payload.extend_from_slice(&seq.to_be_bytes());
+                payload.extend_from_slice(&sent_ms.to_be_bytes());
                 put_u64_list(txs.iter(), &mut payload);
             }
-            WireMsg::Validation { from, round, page } => {
+            WireMsg::Validation {
+                from,
+                round,
+                seq,
+                sent_ms,
+                page,
+            } => {
                 payload.extend_from_slice(&from.to_be_bytes());
                 payload.extend_from_slice(&round.to_be_bytes());
+                payload.extend_from_slice(&seq.to_be_bytes());
+                payload.extend_from_slice(&sent_ms.to_be_bytes());
                 payload.extend_from_slice(page.as_bytes());
             }
-            WireMsg::Heartbeat { from, round } => {
+            WireMsg::Heartbeat {
+                from,
+                round,
+                sent_ms,
+            } => {
                 payload.extend_from_slice(&from.to_be_bytes());
                 payload.extend_from_slice(&round.to_be_bytes());
+                payload.extend_from_slice(&sent_ms.to_be_bytes());
             }
             WireMsg::StateRequest { from } => {
                 payload.extend_from_slice(&from.to_be_bytes());
@@ -438,16 +474,21 @@ impl WireMsg {
                 from: get_u32(buf)?,
                 round: get_u64(buf)?,
                 iteration: get_u8(buf)?,
+                seq: get_u64(buf)?,
+                sent_ms: get_u64(buf)?,
                 txs: get_u64_list(buf)?.into_iter().collect(),
             },
             tag::VALIDATION => WireMsg::Validation {
                 from: get_u32(buf)?,
                 round: get_u64(buf)?,
+                seq: get_u64(buf)?,
+                sent_ms: get_u64(buf)?,
                 page: get_digest(buf)?,
             },
             tag::HEARTBEAT => WireMsg::Heartbeat {
                 from: get_u32(buf)?,
                 round: get_u64(buf)?,
+                sent_ms: get_u64(buf)?,
             },
             tag::STATE_REQUEST => WireMsg::StateRequest {
                 from: get_u32(buf)?,
@@ -526,14 +567,22 @@ mod tests {
                 from: 1,
                 round: 42,
                 iteration: 2,
+                seq: 17,
+                sent_ms: 1_700_000_000_123,
                 txs: [7u64, 9, 4200].into_iter().collect(),
             },
             WireMsg::Validation {
                 from: 0,
                 round: 42,
+                seq: 18,
+                sent_ms: 1_700_000_000_456,
                 page: sha512_half(b"page"),
             },
-            WireMsg::Heartbeat { from: 4, round: 43 },
+            WireMsg::Heartbeat {
+                from: 4,
+                round: 43,
+                sent_ms: 1_700_000_000_789,
+            },
             WireMsg::StateRequest { from: 2 },
             WireMsg::StateSnapshot {
                 from: 2,
@@ -622,13 +671,16 @@ mod tests {
             from: 0,
             round: 1,
             iteration: 0,
+            seq: 0,
+            sent_ms: 0,
             txs: [1u64].into_iter().collect(),
         };
         let framed = msg.encode();
         let mut payload = framed[HEADER_LEN..framed.len() - TRAILER_LEN].to_vec();
-        // The count field sits after from(4) + round(8) + iteration(1).
-        payload[13] = 0xff;
-        payload[14] = 0xff;
+        // The count field sits after from(4) + round(8) + iteration(1)
+        // + seq(8) + sent_ms(8).
+        payload[29] = 0xff;
+        payload[30] = 0xff;
         let e = WireMsg::decode(framed[0], &payload).unwrap_err();
         assert!(e.to_string().contains("exceeds payload"), "{e}");
     }

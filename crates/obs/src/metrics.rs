@@ -72,7 +72,7 @@ pub struct Counter {
 }
 
 impl Counter {
-    fn new() -> Counter {
+    pub(crate) fn new() -> Counter {
         Counter::default()
     }
 
@@ -105,7 +105,7 @@ pub struct Gauge {
 }
 
 impl Gauge {
-    fn new() -> Gauge {
+    pub(crate) fn new() -> Gauge {
         Gauge {
             value: AtomicI64::new(0),
             max: AtomicI64::new(i64::MIN),
@@ -169,6 +169,27 @@ pub fn bucket_upper(b: usize) -> u64 {
     upper.min(u64::MAX as u128) as u64
 }
 
+/// The value at quantile `q` of a raw bucket-count vector (as copied by
+/// [`Histogram::bucket_counts`], or a delta of two copies): the upper bound
+/// of the first bucket whose cumulative count reaches `ceil(q · total)`.
+/// This is how `obs::timeseries` reads sliding window percentiles out of
+/// cumulative histograms without a per-window histogram allocation.
+pub fn bucket_percentile(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (b, n) in buckets.iter().enumerate() {
+        cum += n;
+        if cum >= rank {
+            return bucket_upper(b);
+        }
+    }
+    bucket_upper(buckets.len().saturating_sub(1))
+}
+
 /// A log-bucketed histogram with an exact count, sum and max.
 #[derive(Debug)]
 pub struct Histogram {
@@ -179,7 +200,7 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new() -> Histogram {
+    pub(crate) fn new() -> Histogram {
         Histogram {
             buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
@@ -210,6 +231,16 @@ impl Histogram {
     /// The exact largest observation.
     pub fn max(&self) -> u64 {
         self.max.load(Ordering::Relaxed)
+    }
+
+    /// Copies the raw per-bucket counts (index = [`bucket_of`] of the
+    /// observed value). Two copies taken at different times subtract into a
+    /// window delta whose percentiles [`bucket_percentile`] reads out.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// The value at quantile `q` in `[0, 1]`: the upper bound of the first

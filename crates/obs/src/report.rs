@@ -37,7 +37,12 @@ pub fn run_metrics_json(snapshot: &Snapshot) -> String {
 
 /// Snapshots the registry and writes `RUN_METRICS.json` to `path`.
 /// Returns the snapshot so callers can also print or inspect it.
+///
+/// Collector health (`obs.trace.dropped` / `buffered` / `accepted`) is
+/// published into the gauge section first, so backpressure on the trace
+/// ring is visible in every run artifact.
 pub fn write_run_metrics(path: &Path) -> io::Result<Snapshot> {
+    crate::trace::publish_health();
     let snapshot = metrics::snapshot();
     std::fs::write(path, run_metrics_json(&snapshot))?;
     Ok(snapshot)

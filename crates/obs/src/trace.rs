@@ -2,30 +2,43 @@
 //!
 //! A [`Span`] is an RAII guard: [`span`] stamps a monotonic start time and
 //! bumps this thread's span-stack depth, and dropping the guard emits one
-//! *complete* trace event (start, duration, thread, depth) into a bounded
-//! channel. The hot path takes no locks while tracing is disabled — just
-//! one relaxed atomic load — and when enabled does one `Instant` read at
-//! each end plus a `try_send`; if the channel is full the event is counted
-//! in [`dropped`] and discarded rather than blocking the traced code.
+//! *complete* trace event (start, duration, thread, depth, optional round
+//! id) into a bounded ring. The hot path takes no locks while tracing is
+//! disabled — just one relaxed atomic load — and when enabled does one
+//! `Instant` read at each end plus a short mutex-guarded push; if the ring
+//! is full the event is counted in [`dropped`] and discarded rather than
+//! blocking the traced code.
 //!
-//! [`drain`] stops tracing and collects every buffered event;
-//! [`to_chrome_json`] serializes them in the Trace Event Format that both
-//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load directly
-//! ([`export`] combines the two). Timestamps are microseconds with
-//! nanosecond fractions, relative to the first [`enable`] call, and thread
-//! ids are small integers assigned in thread-creation order.
+//! Two consumption modes:
+//!
+//! * [`drain`] stops tracing and collects every buffered event (the
+//!   end-of-run `--trace PATH` path, via [`export`]);
+//! * [`drain_from`] consumes buffered events *without* stopping tracing and
+//!   returns a cursor for the next call — the incremental mode behind the
+//!   live `/trace` admin endpoint, where a harness polls a running node.
+//!
+//! [`to_chrome_json`] serializes events in the Trace Event Format that both
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load directly.
+//! Timestamps are microseconds with nanosecond fractions, relative to the
+//! first [`enable`] call, and thread ids are small integers assigned in
+//! thread-creation order.
+//!
+//! When the [`crate::flight`] recorder is armed, spans are mirrored into
+//! its always-on ring even while tracing proper is disabled, so a crash
+//! postmortem has the last rounds' spans without paying for full tracing.
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::json::escape_into;
+use crate::metrics::LazyGauge;
 
-/// Default bounded-channel capacity (events buffered before drops begin).
+/// Default bounded-ring capacity (events buffered before drops begin).
 pub const DEFAULT_CAPACITY: usize = 1 << 16;
 
 /// One completed span.
@@ -33,7 +46,7 @@ pub const DEFAULT_CAPACITY: usize = 1 << 16;
 pub struct TraceEvent {
     /// Span name (e.g. `script_chunk`).
     pub name: &'static str,
-    /// Category — the emitting layer (e.g. `synth`, `deanon`).
+    /// Category — the emitting layer (e.g. `synth`, `node`).
     pub cat: &'static str,
     /// Start, in nanoseconds since the tracing epoch.
     pub ts_ns: u64,
@@ -43,26 +56,54 @@ pub struct TraceEvent {
     pub tid: u64,
     /// Depth on the emitting thread's span stack (1 = outermost).
     pub depth: u32,
+    /// Optional tag — consensus round id for node spans.
+    pub id: Option<u64>,
+}
+
+/// Bounded event storage with a monotone accept counter, so incremental
+/// consumers can detect how far the stream has advanced between polls.
+struct Ring {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    /// Sequence number of the next accepted event; `next_seq - buf.len()`
+    /// is the sequence of the oldest buffered one.
+    next_seq: u64,
 }
 
 static TRACE_ON: AtomicBool = AtomicBool::new(false);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
-static SENDER: Mutex<Option<SyncSender<TraceEvent>>> = Mutex::new(None);
-static RECEIVER: Mutex<Option<Receiver<TraceEvent>>> = Mutex::new(None);
+static RING: Mutex<Option<Ring>> = Mutex::new(None);
 
 thread_local! {
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
     static DEPTH: Cell<u32> = const { Cell::new(0) };
 }
 
-/// The instant all trace timestamps are measured from (first [`enable`]).
-fn epoch() -> Instant {
+/// The instant all trace timestamps are measured from (first [`enable`] or
+/// first flight-armed span).
+pub(crate) fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
 }
 
-/// Starts collecting spans into a bounded buffer of `capacity` events
+/// The trace epoch expressed as Unix wall-clock milliseconds (±1 ms): the
+/// anchor a cluster harness uses to translate this process's
+/// monotonic `ts_ns` values into cluster time when merging traces from
+/// many processes.
+pub fn epoch_unix_ms() -> u64 {
+    let elapsed = epoch().elapsed().as_millis();
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| {
+            d.as_millis()
+                .saturating_sub(elapsed)
+                .min(u128::from(u64::MAX)) as u64
+        })
+        .unwrap_or(0)
+}
+
+/// Starts collecting spans into a bounded ring of `capacity` events
 /// (0 selects [`DEFAULT_CAPACITY`]). Resets the dropped-event counter.
 pub fn enable(capacity: usize) {
     let capacity = if capacity == 0 {
@@ -70,11 +111,13 @@ pub fn enable(capacity: usize) {
     } else {
         capacity
     };
-    let (tx, rx) = sync_channel(capacity);
     epoch();
     DROPPED.store(0, Ordering::Relaxed);
-    *SENDER.lock().unwrap_or_else(|e| e.into_inner()) = Some(tx);
-    *RECEIVER.lock().unwrap_or_else(|e| e.into_inner()) = Some(rx);
+    *RING.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ring {
+        buf: VecDeque::with_capacity(capacity.min(1024)),
+        capacity,
+        next_seq: 0,
+    });
     TRACE_ON.store(true, Ordering::Relaxed);
 }
 
@@ -84,22 +127,12 @@ pub fn enabled() -> bool {
     TRACE_ON.load(Ordering::Relaxed)
 }
 
-/// Events discarded because the buffer was full since the last [`enable`].
+/// Events discarded because the ring was full since the last [`enable`].
 pub fn dropped() -> u64 {
     DROPPED.load(Ordering::Relaxed)
 }
 
-/// Stops tracing and returns every buffered event, ordered by start time
-/// (ties: longer spans — enclosing ones — first, then thread id).
-pub fn drain() -> Vec<TraceEvent> {
-    TRACE_ON.store(false, Ordering::Relaxed);
-    // Dropping the sender closes the channel so the receiver iterator ends.
-    *SENDER.lock().unwrap_or_else(|e| e.into_inner()) = None;
-    let rx = RECEIVER.lock().unwrap_or_else(|e| e.into_inner()).take();
-    let mut events: Vec<TraceEvent> = match rx {
-        Some(rx) => rx.into_iter().collect(),
-        None => Vec::new(),
-    };
+fn sort_events(events: &mut [TraceEvent]) {
     events.sort_by(|a, b| {
         (a.ts_ns, std::cmp::Reverse(a.dur_ns), a.tid).cmp(&(
             b.ts_ns,
@@ -107,28 +140,117 @@ pub fn drain() -> Vec<TraceEvent> {
             b.tid,
         ))
     });
+}
+
+/// Stops tracing and returns every buffered event, ordered by start time
+/// (ties: longer spans — enclosing ones — first, then thread id).
+pub fn drain() -> Vec<TraceEvent> {
+    TRACE_ON.store(false, Ordering::Relaxed);
+    let ring = RING.lock().unwrap_or_else(|e| e.into_inner()).take();
+    let mut events: Vec<TraceEvent> = match ring {
+        Some(ring) => ring.buf.into_iter().collect(),
+        None => Vec::new(),
+    };
+    sort_events(&mut events);
     events
 }
 
+/// One incremental consumption of the trace ring (see [`drain_from`]).
+#[derive(Debug, Default)]
+pub struct TraceChunk {
+    /// The consumed events, in start-time order.
+    pub events: Vec<TraceEvent>,
+    /// Cursor to pass to the next [`drain_from`] call.
+    pub cursor: u64,
+    /// Events that advanced past `cursor` before this call could observe
+    /// them (another consumer raced, or the caller's cursor was stale).
+    pub lost: u64,
+    /// Ring-full drops since [`enable`] (monotone, not a delta).
+    pub dropped: u64,
+}
+
+/// Consumes the events currently buffered *without* stopping tracing and
+/// returns them with a cursor for the next call. `cursor` should be `0` on
+/// the first call and the previous chunk's `cursor` afterwards; a gap
+/// between the two shows up as `lost`. This is the live `/trace` endpoint's
+/// read path.
+pub fn drain_from(cursor: u64) -> TraceChunk {
+    let mut guard = RING.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(ring) = guard.as_mut() else {
+        return TraceChunk {
+            cursor,
+            dropped: dropped(),
+            ..TraceChunk::default()
+        };
+    };
+    let base = ring.next_seq - ring.buf.len() as u64;
+    let mut events: Vec<TraceEvent> = ring.buf.drain(..).collect();
+    let next = ring.next_seq;
+    drop(guard);
+    sort_events(&mut events);
+    TraceChunk {
+        events,
+        cursor: next,
+        lost: base.saturating_sub(cursor),
+        dropped: dropped(),
+    }
+}
+
+/// Publishes collector health into the metrics registry (gauges
+/// `obs.trace.dropped`, `obs.trace.buffered`, `obs.trace.accepted`), so
+/// `RUN_METRICS.json` and the `/metrics` endpoint surface bounded-ring
+/// backpressure instead of it staying invisible unless a caller remembers
+/// to ask [`dropped`]. No-op while metrics recording is disabled.
+pub fn publish_health() {
+    static TRACE_DROPPED: LazyGauge = LazyGauge::new("obs.trace.dropped");
+    static TRACE_BUFFERED: LazyGauge = LazyGauge::new("obs.trace.buffered");
+    static TRACE_ACCEPTED: LazyGauge = LazyGauge::new("obs.trace.accepted");
+    let (buffered, accepted) = match &*RING.lock().unwrap_or_else(|e| e.into_inner()) {
+        Some(ring) => (ring.buf.len() as i64, ring.next_seq as i64),
+        None => (0, 0),
+    };
+    TRACE_DROPPED.set(dropped().min(i64::MAX as u64) as i64);
+    TRACE_BUFFERED.set(buffered);
+    TRACE_ACCEPTED.set(accepted);
+}
+
 /// An RAII span guard: emits one [`TraceEvent`] when dropped. Inert (one
-/// relaxed load at creation, nothing at drop) while tracing is disabled.
+/// relaxed load at creation, nothing at drop) while both tracing and the
+/// flight recorder are off.
 #[must_use = "a span measures the scope it lives in"]
 pub struct Span {
     name: &'static str,
     cat: &'static str,
+    id: Option<u64>,
     start: Option<Instant>,
 }
 
 /// Opens a span named `name` in category `cat` on this thread's stack.
 #[inline]
 pub fn span(cat: &'static str, name: &'static str) -> Span {
-    let start = if enabled() {
+    span_tagged(cat, name, None)
+}
+
+/// Opens a span tagged with a consensus round id; the tag rides into both
+/// the trace ring (as `args.round`) and the flight recorder.
+#[inline]
+pub fn span_round(cat: &'static str, name: &'static str, round: u64) -> Span {
+    span_tagged(cat, name, Some(round))
+}
+
+fn span_tagged(cat: &'static str, name: &'static str, id: Option<u64>) -> Span {
+    let start = if enabled() || crate::flight::armed() {
         DEPTH.with(|d| d.set(d.get() + 1));
         Some(Instant::now())
     } else {
         None
     };
-    Span { name, cat, start }
+    Span {
+        name,
+        cat,
+        id,
+        start,
+    }
 }
 
 impl Drop for Span {
@@ -150,12 +272,23 @@ impl Drop for Span {
             dur_ns,
             tid: TID.with(|t| *t),
             depth,
+            id: self.id,
         };
-        // A span that races a concurrent drain() (sender already gone) is
-        // counted as dropped too: the buffer was closed under it.
-        let sent = match &*SENDER.lock().unwrap_or_else(|e| e.into_inner()) {
-            Some(tx) => tx.try_send(event).is_ok(),
-            None => false,
+        if crate::flight::armed() {
+            crate::flight::record_span(&event);
+        }
+        if !enabled() {
+            return;
+        }
+        // A span that races a concurrent drain() (ring already gone) or
+        // hits a full ring is counted as dropped rather than blocking.
+        let sent = match &mut *RING.lock().unwrap_or_else(|e| e.into_inner()) {
+            Some(ring) if ring.buf.len() < ring.capacity => {
+                ring.buf.push_back(event);
+                ring.next_seq += 1;
+                true
+            }
+            _ => false,
         };
         if !sent {
             DROPPED.fetch_add(1, Ordering::Relaxed);
@@ -170,7 +303,7 @@ fn push_us(out: &mut String, ns: u64) {
 
 /// Serializes events in the Trace Event Format (JSON object form) accepted
 /// by `chrome://tracing` and Perfetto: complete (`"ph": "X"`) events with
-/// microsecond timestamps.
+/// microsecond timestamps. Round-tagged events carry `args.round`.
 pub fn to_chrome_json(events: &[TraceEvent]) -> String {
     let mut out = String::with_capacity(64 + events.len() * 128);
     out.push_str("{\"traceEvents\": [");
@@ -185,17 +318,49 @@ pub fn to_chrome_json(events: &[TraceEvent]) -> String {
         out.push_str(", \"dur\": ");
         push_us(&mut out, e.dur_ns);
         use std::fmt::Write as _;
-        let _ = write!(
-            out,
-            ", \"pid\": 1, \"tid\": {}, \"args\": {{\"depth\": {}}}}}",
-            e.tid, e.depth
-        );
+        let _ = write!(out, ", \"pid\": 1, \"tid\": {}, \"args\": {{", e.tid);
+        let _ = write!(out, "\"depth\": {}", e.depth);
+        if let Some(round) = e.id {
+            let _ = write!(out, ", \"round\": {round}");
+        }
+        out.push_str("}}");
     }
     if !events.is_empty() {
         out.push('\n');
     }
     out.push_str("]}\n");
     out
+}
+
+/// Serializes a [`TraceChunk`] as the byte-stable `/trace` endpoint body:
+/// integer-only fields (`cursor`, `lost`, `dropped`, `events[]` with
+/// `ts_ns`/`dur_ns`/`tid`/`depth`/`round`), parseable by
+/// [`crate::json::parse`].
+pub fn chunk_json(chunk: &TraceChunk) -> String {
+    let mut w = crate::json::JsonWriter::pretty();
+    w.begin_object();
+    w.field_u64("cursor", chunk.cursor);
+    w.field_u64("lost", chunk.lost);
+    w.field_u64("dropped", chunk.dropped);
+    w.key("events");
+    w.begin_array();
+    for e in &chunk.events {
+        w.begin_inline_object();
+        w.field_str("name", e.name);
+        w.field_str("cat", e.cat);
+        w.field_u64("ts_ns", e.ts_ns);
+        w.field_u64("dur_ns", e.dur_ns);
+        w.field_u64("tid", e.tid);
+        w.field_u64("depth", u64::from(e.depth));
+        match e.id {
+            Some(round) => w.field_u64("round", round),
+            None => w.field_null("round"),
+        }
+        w.end_inline_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
 }
 
 /// Drains the collector and writes a `chrome://tracing`-loadable file to
@@ -239,15 +404,17 @@ mod tests {
             {
                 let _outer = span("test", "outer");
                 std::thread::sleep(std::time::Duration::from_millis(1));
-                let _inner = span("test", "inner");
+                let _inner = span_round("test", "inner", 7);
             }
             let events = drain();
             assert_eq!(events.len(), 2);
             // Sorted: the enclosing span first.
             assert_eq!(events[0].name, "outer");
             assert_eq!(events[0].depth, 1);
+            assert_eq!(events[0].id, None);
             assert_eq!(events[1].name, "inner");
             assert_eq!(events[1].depth, 2);
+            assert_eq!(events[1].id, Some(7));
             assert_eq!(events[0].tid, events[1].tid);
             assert!(events[0].ts_ns <= events[1].ts_ns);
             assert!(events[0].dur_ns >= events[1].dur_ns);
@@ -289,6 +456,80 @@ mod tests {
     }
 
     #[test]
+    fn incremental_drain_keeps_tracing_and_advances_cursor() {
+        with_tracer(|| {
+            enable(16);
+            {
+                let _a = span("test", "first");
+            }
+            let chunk = drain_from(0);
+            assert_eq!(chunk.events.len(), 1);
+            assert_eq!(chunk.events[0].name, "first");
+            assert_eq!(chunk.cursor, 1);
+            assert_eq!(chunk.lost, 0);
+            assert!(enabled(), "incremental drain must not stop tracing");
+            {
+                let _b = span_round("test", "second", 3);
+            }
+            let chunk2 = drain_from(chunk.cursor);
+            assert_eq!(chunk2.events.len(), 1);
+            assert_eq!(chunk2.events[0].id, Some(3));
+            assert_eq!(chunk2.cursor, 2);
+            assert_eq!(chunk2.lost, 0);
+            // An empty poll is cheap and stable.
+            let chunk3 = drain_from(chunk2.cursor);
+            assert!(chunk3.events.is_empty());
+            assert_eq!(chunk3.cursor, 2);
+        });
+    }
+
+    #[test]
+    fn stale_cursor_reports_lost_events() {
+        with_tracer(|| {
+            enable(16);
+            {
+                let _a = span("test", "one");
+                let _b = span("test", "two");
+            }
+            let first = drain_from(0);
+            assert_eq!(first.events.len(), 2);
+            {
+                let _c = span("test", "three");
+            }
+            // A consumer that never saw the first chunk's cursor observes
+            // the gap it skipped.
+            let stale = drain_from(0);
+            assert_eq!(stale.events.len(), 1);
+            assert_eq!(stale.lost, 2);
+        });
+    }
+
+    #[test]
+    fn chunk_json_is_byte_stable() {
+        let chunk = TraceChunk {
+            events: vec![TraceEvent {
+                name: "round",
+                cat: "node",
+                ts_ns: 1_500,
+                dur_ns: 250,
+                tid: 2,
+                depth: 1,
+                id: Some(9),
+            }],
+            cursor: 5,
+            lost: 1,
+            dropped: 0,
+        };
+        assert_eq!(
+            chunk_json(&chunk),
+            "{\n  \"cursor\": 5,\n  \"lost\": 1,\n  \"dropped\": 0,\n  \
+             \"events\": [\n    \
+             {\"name\": \"round\", \"cat\": \"node\", \"ts_ns\": 1500, \
+             \"dur_ns\": 250, \"tid\": 2, \"depth\": 1, \"round\": 9}\n  ]\n}\n"
+        );
+    }
+
+    #[test]
     fn chrome_json_shape() {
         let events = [
             TraceEvent {
@@ -298,6 +539,7 @@ mod tests {
                 dur_ns: 1_500,
                 tid: 3,
                 depth: 1,
+                id: None,
             },
             TraceEvent {
                 name: "q\"uote",
@@ -306,6 +548,7 @@ mod tests {
                 dur_ns: 42,
                 tid: 1,
                 depth: 2,
+                id: Some(11),
             },
         ];
         let json = to_chrome_json(&events);
@@ -317,7 +560,7 @@ mod tests {
              \"args\": {\"depth\": 1}},\n  \
              {\"name\": \"q\\\"uote\", \"cat\": \"test\", \"ph\": \"X\", \
              \"ts\": 0.000, \"dur\": 0.042, \"pid\": 1, \"tid\": 1, \
-             \"args\": {\"depth\": 2}}\n]}\n"
+             \"args\": {\"depth\": 2, \"round\": 11}}\n]}\n"
         );
         assert_eq!(to_chrome_json(&[]), "{\"traceEvents\": []}\n");
     }

@@ -1,13 +1,16 @@
-//! Hand-rolled HTTP/1.1 serving of the query engine.
+//! The query engine's HTTP/1.1 front end.
 //!
-//! Built on the `node` crate's readiness-polling loop — non-blocking
-//! accept, `peek`-probe per connection, bounded idle sleep — because the
-//! workspace forbids `unsafe` and therefore `epoll` FFI. Requests are
-//! `GET`-only, responses are `Connection: close`, and every body is
+//! Transport lives in the shared [`ripple_obs::http`] server (non-blocking
+//! accept, `peek`-probe readiness, keep-alive connections, `GET`-only);
+//! this module owns only the routing and the body builders. Every body is
 //! byte-stable JSON from [`ripple_obs::json::JsonWriter`]: the same query
 //! against the same archive returns the same bytes, so endpoint outputs
 //! diff cleanly across runs (the same property every `BENCH_*.json`
 //! artifact relies on).
+//!
+//! Connections are keep-alive by default and honor `Connection: close`
+//! from the client, so a closed-loop pollster pays one TCP handshake for
+//! its whole run.
 //!
 //! # Endpoints
 //!
@@ -19,12 +22,17 @@
 //! | `/range` | `from`, `to`, `limit` | `[from, to)` window (time index) |
 //! | `/flow` | `currency`, `day` | per-(currency, day) flow aggregate |
 //! | `/class` | `amount`, `time`, `currency`, `strength`, `dest`, `spec` | fingerprint-class candidates |
+//! | `/metrics` | — | full metrics-registry snapshot |
+//! | `/timeseries` | `last` | windowed request rates and handle-latency percentiles |
+//! | `/trace` | `cursor` | incremental trace-ring drain |
+//! | `/flight` | — | live flight-recorder contents |
+//!
+//! The last four are the shared admin plane ([`ripple_obs::http::admin_response`])
+//! every instrumented process in the workspace exposes; `ripple-node`
+//! serves the same routes from its round loop.
 
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::io;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use ripple_crypto::{hex, AccountId};
@@ -32,13 +40,15 @@ use ripple_deanon::{
     AmountResolution, CurrencyStrength, Observation, ResolutionSpec, TimeResolution,
 };
 use ripple_ledger::{Currency, RippleTime};
-use ripple_node::Poller;
-use ripple_node::{probe, try_accept, Probe};
+use ripple_obs::http::{admin_response, timeseries_response, Request, Response};
 use ripple_obs::json::JsonWriter;
+use ripple_obs::timeseries::TimeSeries;
 use ripple_obs::{LazyCounter, LazyTimer};
 use ripple_store::HistoryEvent;
 
 use crate::engine::QueryEngine;
+
+pub use ripple_obs::http::HttpServer;
 
 static HTTP_REQUESTS: LazyCounter = LazyCounter::new("query.http.requests");
 static HTTP_ERRORS: LazyCounter = LazyCounter::new("query.http.errors");
@@ -50,41 +60,17 @@ const MAX_LIMIT: usize = 10_000;
 /// Default `limit` when the query string omits it.
 const DEFAULT_LIMIT: usize = 100;
 
-/// Requests with headers beyond this are refused.
-const MAX_REQUEST_BYTES: usize = 16 * 1024;
+/// `/timeseries` window width for the query server.
+const WINDOW_MS: u64 = 1_000;
 
-/// A running HTTP server; dropping it (or calling
-/// [`HttpServer::shutdown`]) stops the accept loop.
-#[derive(Debug)]
-pub struct HttpServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
-}
-
-impl HttpServer {
-    /// The bound address (useful with `127.0.0.1:0`).
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Stops the accept loop and joins the server thread.
-    pub fn shutdown(mut self) {
-        self.stop_and_join();
-    }
-
-    fn stop_and_join(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
-    }
-}
-
-impl Drop for HttpServer {
-    fn drop(&mut self) {
-        self.stop_and_join();
-    }
+/// Builds the query server's live time series: request/error rates and
+/// handle-latency window percentiles.
+fn build_timeseries() -> TimeSeries {
+    let mut ts = TimeSeries::new(WINDOW_MS, 120);
+    ts.counter("query.http.requests", HTTP_REQUESTS.force());
+    ts.counter("query.http.errors", HTTP_ERRORS.force());
+    ts.histogram("query.http.handle", HTTP_TIMER.force());
+    ts
 }
 
 /// Binds `addr` (e.g. `127.0.0.1:0`) and serves `engine` from a
@@ -94,138 +80,58 @@ impl Drop for HttpServer {
 ///
 /// [`io::Error`] if the bind fails.
 pub fn serve(engine: Arc<QueryEngine>, addr: &str) -> io::Result<HttpServer> {
-    let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
-    let local = listener.local_addr()?;
-    let stop = Arc::new(AtomicBool::new(false));
-    let stop_flag = stop.clone();
-    let handle = std::thread::Builder::new()
-        .name("query-httpd".into())
-        .spawn(move || serve_loop(&listener, &engine, &stop_flag))
-        .expect("spawn httpd thread");
-    Ok(HttpServer {
-        addr: local,
-        stop,
-        handle: Some(handle),
+    let series = Mutex::new(build_timeseries());
+    let epoch = Instant::now();
+    ripple_obs::http::serve(addr, "query-httpd", move |req: &Request| {
+        let started = Instant::now();
+        let response = dispatch(&engine, &series, epoch, req);
+        HTTP_TIMER.record(started.elapsed());
+        HTTP_REQUESTS.add(1);
+        if response.status >= 400 {
+            HTTP_ERRORS.add(1);
+        }
+        response
     })
 }
 
-struct Conn {
-    stream: TcpStream,
-    buf: Vec<u8>,
-}
-
-fn serve_loop(listener: &TcpListener, engine: &QueryEngine, stop: &AtomicBool) {
-    let poller = Poller::default();
-    let mut conns: Vec<Conn> = Vec::new();
-    while !stop.load(Ordering::SeqCst) {
-        let mut progressed = false;
-        while let Some(stream) = try_accept(listener) {
-            conns.push(Conn {
-                stream,
-                buf: Vec::new(),
-            });
-            progressed = true;
-        }
-        let mut done: Vec<usize> = Vec::new();
-        for (i, conn) in conns.iter_mut().enumerate() {
-            match probe(&conn.stream) {
-                Probe::Idle => continue,
-                Probe::Closed => {
-                    done.push(i);
-                    continue;
-                }
-                Probe::Data => {}
-            }
-            progressed = true;
-            if !read_available(&mut conn.stream, &mut conn.buf) {
-                done.push(i);
-                continue;
-            }
-            if conn.buf.len() > MAX_REQUEST_BYTES {
-                let _ = respond(
-                    &mut conn.stream,
-                    431,
-                    &error_body("request headers too large"),
-                );
-                done.push(i);
-                continue;
-            }
-            if let Some(headers_end) = find_headers_end(&conn.buf) {
-                let head = String::from_utf8_lossy(&conn.buf[..headers_end]).into_owned();
-                let started = Instant::now();
-                let (status, body) = handle_request(engine, &head);
-                HTTP_TIMER.record(started.elapsed());
-                HTTP_REQUESTS.add(1);
-                if status >= 400 {
-                    HTTP_ERRORS.add(1);
-                }
-                let _ = respond(&mut conn.stream, status, &body);
-                done.push(i);
-            }
-        }
-        for &i in done.iter().rev() {
-            conns.swap_remove(i);
-        }
-        if !progressed {
-            poller.idle_wait();
-        }
+/// Routes one request: engine endpoints first, then the shared admin
+/// plane. The time series is ticked lazily on `/timeseries` reads — the
+/// series' own stall handling emits the empty windows in between.
+fn dispatch(
+    engine: &QueryEngine,
+    series: &Mutex<TimeSeries>,
+    epoch: Instant,
+    req: &Request,
+) -> Response {
+    if req.path == "/timeseries" {
+        let mut series = series.lock().unwrap_or_else(|e| e.into_inner());
+        series.tick(epoch.elapsed().as_millis().min(u128::from(u64::MAX)) as u64);
+        return timeseries_response(&series, &req.query);
     }
-}
-
-/// Reads whatever is available on a non-blocking stream; `false` means
-/// the peer closed or errored.
-fn read_available(stream: &mut TcpStream, buf: &mut Vec<u8>) -> bool {
-    let mut chunk = [0u8; 8 * 1024];
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => return false,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => return false,
-        }
+    if let Some(response) = admin_response("query", req) {
+        return response;
     }
-}
-
-fn find_headers_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
-}
-
-fn status_text(status: u16) -> &'static str {
-    match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        431 => "Request Header Fields Too Large",
-        _ => "Internal Server Error",
+    let params = Params::parse(&req.query);
+    let path = req.path.as_str();
+    let result = if path == "/health" {
+        Ok(health_body(engine))
+    } else if path == "/stats" {
+        Ok(stats_body(engine))
+    } else if let Some(account) = path.strip_prefix("/account/") {
+        account_body(engine, account, &params)
+    } else if path == "/range" {
+        range_body(engine, &params)
+    } else if path == "/flow" {
+        flow_body(engine, &params)
+    } else if path == "/class" {
+        class_body(engine, &params)
+    } else {
+        return Response::error(404, "no such endpoint");
+    };
+    match result {
+        Ok(body) => Response::json(body),
+        Err(message) => Response::error(400, &message),
     }
-}
-
-/// Writes one `Connection: close` response and shuts the stream down.
-fn respond(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
-    // The response can be large; switch to blocking for the write.
-    stream.set_nonblocking(false)?;
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        status,
-        status_text(status),
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()?;
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    Ok(())
-}
-
-fn error_body(message: &str) -> String {
-    let mut w = JsonWriter::pretty();
-    w.begin_object();
-    w.field_str("error", message);
-    w.end_object();
-    w.finish()
 }
 
 /// Parsed query-string parameters (first occurrence wins).
@@ -278,39 +184,6 @@ fn percent_decode(s: &str) -> String {
         i += 1;
     }
     String::from_utf8_lossy(&out).into_owned()
-}
-
-/// Dispatches one request head to a handler: `(status, JSON body)`.
-fn handle_request(engine: &QueryEngine, head: &str) -> (u16, String) {
-    let line = head.lines().next().unwrap_or("");
-    let mut parts = line.split_whitespace();
-    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
-        return (400, error_body("malformed request line"));
-    };
-    if method != "GET" {
-        return (405, error_body("only GET is supported"));
-    }
-    let (path, query) = target.split_once('?').unwrap_or((target, ""));
-    let params = Params::parse(query);
-    let result = if path == "/health" {
-        Ok(health_body(engine))
-    } else if path == "/stats" {
-        Ok(stats_body(engine))
-    } else if let Some(account) = path.strip_prefix("/account/") {
-        account_body(engine, account, &params)
-    } else if path == "/range" {
-        range_body(engine, &params)
-    } else if path == "/flow" {
-        flow_body(engine, &params)
-    } else if path == "/class" {
-        class_body(engine, &params)
-    } else {
-        return (404, error_body("no such endpoint"));
-    };
-    match result {
-        Ok(body) => (200, body),
-        Err(message) => (400, error_body(&message)),
-    }
 }
 
 fn health_body(engine: &QueryEngine) -> String {
@@ -616,6 +489,8 @@ mod tests {
     use ripple_crypto::sha512_half;
     use ripple_ledger::{PathSummary, PaymentRecord};
     use ripple_store::Writer;
+    use std::io::{BufRead, Read, Write};
+    use std::net::{SocketAddr, TcpStream};
 
     fn test_engine() -> Arc<QueryEngine> {
         let mut buf = Vec::new();
@@ -648,7 +523,11 @@ mod tests {
 
     fn get(addr: SocketAddr, target: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        write!(
+            stream,
+            "GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         stream.flush().unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
@@ -663,6 +542,34 @@ mod tests {
             .map(|(_, b)| b.to_string())
             .unwrap_or_default();
         (status, body)
+    }
+
+    /// Reads one keep-alive response (headers + Content-Length body).
+    fn read_one(reader: &mut impl BufRead) -> (u16, String) {
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .unwrap();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().unwrap();
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (status, String::from_utf8(body).unwrap())
     }
 
     #[test]
@@ -700,6 +607,54 @@ mod tests {
         let (status, _) = get(addr, "/nope");
         assert_eq!(status, 404);
         let (status, _) = get(addr, "/account/zz");
+        assert_eq!(status, 400);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn one_connection_serves_the_whole_session() {
+        let server = serve(test_engine(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        // Keep-alive: health, stats and a point lookup over ONE socket.
+        let account = hex::encode(&[0u8; 20]);
+        for target in ["/health", "/stats", &format!("/account/{account}?limit=1")] {
+            write!(writer, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+            writer.flush().unwrap();
+            let (status, _) = read_one(&mut reader);
+            assert_eq!(status, 200, "{target}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn admin_plane_answers_on_the_query_server() {
+        ripple_obs::metrics::set_enabled(true);
+        let server = serve(test_engine(), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"schema_version\": 1"), "{body}");
+        assert!(body.contains("obs.trace.dropped"), "{body}");
+
+        let (status, body) = get(addr, "/timeseries?last=5");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"window_ms\": 1000"), "{body}");
+        assert!(body.contains("query.http.requests"), "{body}");
+
+        let (status, body) = get(addr, "/trace");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"cursor\""), "{body}");
+
+        let (status, body) = get(addr, "/flight");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"node\": \"query\""), "{body}");
+        assert!(body.contains("\"reason\": \"live\""), "{body}");
+
+        let (status, _) = get(addr, "/trace?cursor=oops");
         assert_eq!(status, 400);
 
         server.shutdown();

@@ -13,8 +13,9 @@
 //!   `ripple-deanon`'s resolution ladder).
 //! - [`cache::BlockCache`] — fixed-budget shard-locked LRU over decoded
 //!   frame blocks, so skewed traffic decodes each hot block once.
-//! - [`http`] — a hand-rolled HTTP/1.1 front end on the `node` crate's
-//!   readiness-polling loop; every response is byte-stable JSON.
+//! - [`http`] — routing and body builders over the shared
+//!   [`ripple_obs::http`] keep-alive server (admin plane included);
+//!   every response is byte-stable JSON.
 //! - [`load`] — a closed-loop load generator that measures what the engine
 //!   sustains, feeding `BENCH_store.json`.
 //!

@@ -48,6 +48,11 @@ fn main() {
             .heal_at(ms(8 * r));
     }
 
+    // Flight-recorder dumps (including the harness's snapshot of the
+    // SIGKILLed victim) go to a scratch directory, not the repo.
+    let flights = std::env::temp_dir().join(format!("cluster_kill9_{}", std::process::id()));
+    std::fs::create_dir_all(&flights).expect("create flight dir");
+
     let cfg = ClusterConfig {
         validators,
         rounds,
@@ -55,6 +60,7 @@ fn main() {
         sim_round_ms: round_ms,
         seed: 7,
         plan,
+        flight_dir: Some(flights.clone()),
         ..ClusterConfig::default()
     };
 
@@ -105,6 +111,16 @@ fn main() {
         total.degraded_rounds
     );
     assert!(report.no_fork, "fork detected: {:?}", report.fork);
+
+    // The telemetry plane rode along: every node's admin endpoint was
+    // polled for spans, round histograms and flight snapshots.
+    let events: usize = report.admin.iter().map(|p| p.events).sum();
+    let gaps: u64 = report.admin.iter().map(|p| p.gaps).sum();
+    println!(
+        "telemetry plane: {events} trace events collected, {gaps} poll gaps (killed node), \
+         flight dumps in {}",
+        flights.display()
+    );
 
     // Harness-side counters (kills, restarts, feed frames) land in the
     // shared obs registry alongside everything else.
