@@ -61,6 +61,14 @@
 //! `STORE_HTTP_ADDR.txt`) for `--serve-secs` seconds (see EXPERIMENTS.md
 //! §E17 for the schema and the endpoint table).
 //!
+//! `liquidity` (never part of `all`) runs the credit-network liquidity
+//! suite at `--payments`-matched account scale: redeemability and health
+//! metrics, the gateway insolvency cascade, the trust-line drain curve,
+//! and the Market-Maker exit waves, with the capacity-aware router
+//! benchmarked against the brute-force max-flow oracle on a sample of
+//! the same probe stream. Writes `BENCH_liquidity.json` (see
+//! EXPERIMENTS.md §E18 for the schema).
+//!
 //! `--metrics PATH` enables the `ripple-obs` metrics registry and writes a
 //! schema-versioned `RUN_METRICS.json`-style snapshot to `PATH` on exit;
 //! `--trace PATH` additionally records spans and writes a
@@ -82,8 +90,8 @@ use ripple_core::deanon::{
 use ripple_core::ledger::Value;
 use ripple_core::query;
 use ripple_core::{
-    CollectionPeriod, Currency, EngineConfig, Generator, PipelineConfig, ResolutionSpec, Study,
-    SynthBench, SynthConfig,
+    run_liquidity, CollectionPeriod, Currency, EngineConfig, Generator, LiquidityConfig,
+    PipelineConfig, ResolutionSpec, Study, SynthBench, SynthConfig,
 };
 
 /// The paper's own tables and figures, in presentation order.
@@ -112,6 +120,12 @@ const LIVE_STUDIES: &[&str] = &["node"];
 /// generates its own archive and drives a closed-loop lookup load
 /// (`experiments store`), writing `BENCH_store.json`.
 const STORE_STUDIES: &[&str] = &["store"];
+
+/// The credit-network liquidity suite (E18). Never part of `all`: it
+/// generates its own account-scaled history and runs the brute-force
+/// max-flow oracle alongside the router (`experiments liquidity`),
+/// writing `BENCH_liquidity.json`.
+const LIQUIDITY_STUDIES: &[&str] = &["liquidity"];
 
 /// Studies that require a generated payment history.
 const NEEDS_HISTORY: &[&str] = &[
@@ -320,14 +334,16 @@ fn parse_args() -> Args {
         && !EXTENSION_STUDIES.contains(&args.experiment.as_str())
         && !LIVE_STUDIES.contains(&args.experiment.as_str())
         && !STORE_STUDIES.contains(&args.experiment.as_str())
+        && !LIQUIDITY_STUDIES.contains(&args.experiment.as_str())
     {
         eprintln!(
-            "unknown experiment `{}`; valid: all, {}, {}, {}, {}",
+            "unknown experiment `{}`; valid: all, {}, {}, {}, {}, {}",
             args.experiment,
             PAPER_STUDIES.join(", "),
             EXTENSION_STUDIES.join(", "),
             LIVE_STUDIES.join(", "),
-            STORE_STUDIES.join(", ")
+            STORE_STUDIES.join(", "),
+            LIQUIDITY_STUDIES.join(", ")
         );
         std::process::exit(2);
     }
@@ -374,6 +390,14 @@ fn run_experiments(args: &Args) {
     // and drives a closed-loop load rather than sharing the Study arena.
     if args.experiment == "store" {
         store_experiment(args);
+        return;
+    }
+
+    // The liquidity suite runs alone too: it scales the account
+    // population to the payment count and runs the max-flow oracle,
+    // neither of which the shared Study arena wants.
+    if args.experiment == "liquidity" {
+        liquidity_experiment(args);
         return;
     }
 
@@ -593,6 +617,166 @@ fn synth_json(args: &Args, bench: &SynthBench, serial_secs: Option<f64>) -> Stri
          there. Multi-core speedups require --exec-workers > 1 on a multi-core \
          host.",
     );
+    w.end_object();
+    w.finish()
+}
+
+/// `experiments liquidity`: the E18 credit-network liquidity suite.
+/// Generates a history whose account population is scaled to the payment
+/// count, runs the scenario campaigns through the capacity-aware router,
+/// benchmarks the router against the sparse max-flow oracle on a sample
+/// of the same probe stream, and writes `BENCH_liquidity.json`.
+fn liquidity_experiment(args: &Args) {
+    println!("== Liquidity: credit-network scenario suite (E18) ==\n");
+    let config = SynthConfig {
+        payments: args.payments,
+        seed: args.seed,
+        // Scale the population with the workload: the default 100k-payment
+        // run probes the router at ~100k accounts.
+        users: args.payments.max(4_000),
+        ..SynthConfig::default()
+    };
+    let output = if args.serial {
+        eprintln!(
+            "generating history (serial): {} payments, {} users, seed {} ...",
+            args.payments, config.users, args.seed
+        );
+        Generator::new(config).run()
+    } else {
+        eprintln!(
+            "generating history (pipelined): {} payments, {} users, seed {} ...",
+            args.payments, config.users, args.seed
+        );
+        let pipeline = PipelineConfig {
+            workers: args.workers,
+            chunk_size: args.chunk,
+            exec_workers: args.exec_workers,
+            ..PipelineConfig::default()
+        };
+        match Generator::new(config).run_pipelined(&pipeline) {
+            Ok(run) => run.output,
+            Err(err) => {
+                eprintln!("pipelined generation failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let liquidity = LiquidityConfig {
+        probes: (args.payments / 8).max(256),
+        seed: args.seed,
+        ..LiquidityConfig::default()
+    };
+    eprintln!(
+        "running liquidity suite: {} probes, {} oracle samples ...",
+        liquidity.probes, liquidity.oracle_sample
+    );
+    let outcome = run_liquidity(&output, &liquidity);
+    let report = &outcome.report;
+    let perf = &outcome.perf;
+
+    println!(
+        "network: {} accounts, {} trust lines, {} currencies, {} gateways",
+        report.accounts,
+        report.trust_lines,
+        report.health.len(),
+        report.gateways.len()
+    );
+    let summary = &report.probe_summary;
+    println!(
+        "probe stream: {} probes -> {} full, {} partial, {} dry | oracle: {} checked, {} violations",
+        summary.probes,
+        summary.delivery.fully_deliverable,
+        summary.delivery.partially_deliverable,
+        summary.delivery.undeliverable,
+        summary.oracle_checked,
+        summary.oracle_violations
+    );
+    for wave in &report.insolvency_cascade {
+        println!(
+            "insolvency: {} gateways severed -> {} full, {} partial, {} dry",
+            wave.gateways_severed,
+            wave.delivery.fully_deliverable,
+            wave.delivery.partially_deliverable,
+            wave.delivery.undeliverable
+        );
+    }
+    for point in &report.trust_drain {
+        println!(
+            "drain {:>3}%: {} full, {} partial, {} dry",
+            point.drain_percent,
+            point.delivery.fully_deliverable,
+            point.delivery.partially_deliverable,
+            point.delivery.undeliverable
+        );
+    }
+    for wave in &report.mm_exit_waves {
+        println!(
+            "mm exit: {} makers severed -> cross {}/{}, single {}/{}",
+            wave.makers_severed,
+            wave.cross_delivered,
+            wave.cross_submitted,
+            wave.single_delivered,
+            wave.single_submitted
+        );
+    }
+    println!(
+        "router: {} queries in {:.3}s ({:.0}/s, {} hits, {} misses) | oracle: {} queries in \
+         {:.3}s ({:.1}/s) | speedup {:.1}x",
+        perf.router_queries,
+        perf.router_secs,
+        perf.router_queries as f64 / perf.router_secs.max(1e-9),
+        perf.router_stats.hits,
+        perf.router_stats.misses,
+        perf.oracle_queries,
+        perf.oracle_secs,
+        perf.oracle_queries as f64 / perf.oracle_secs.max(1e-9),
+        perf.speedup
+    );
+    if summary.oracle_violations > 0 {
+        eprintln!(
+            "LIQUIDITY FAILURE: router exceeded the max-flow oracle on {} probes",
+            summary.oracle_violations
+        );
+    }
+
+    let json = liquidity_json(&outcome);
+    match std::fs::write("BENCH_liquidity.json", json) {
+        Ok(()) => eprintln!("wrote BENCH_liquidity.json"),
+        Err(err) => eprintln!("could not write BENCH_liquidity.json: {err}"),
+    }
+    if summary.oracle_violations > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Serializes a liquidity run into the `BENCH_liquidity.json` schema
+/// documented in EXPERIMENTS.md §E18: the deterministic report fields
+/// first (byte-stable across repeats, hosts and worker counts), then the
+/// wall-clock `perf` section.
+fn liquidity_json(outcome: &ripple_core::LiquidityOutcome) -> String {
+    let perf = &outcome.perf;
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    outcome.report.write_json(&mut w);
+    w.key("perf");
+    w.begin_object();
+    w.field_u64("router_queries", perf.router_queries);
+    w.field_f64("router_secs", perf.router_secs, 6);
+    w.field_u64("oracle_queries", perf.oracle_queries);
+    w.field_f64("oracle_secs", perf.oracle_secs, 6);
+    w.field_f64("speedup_vs_oracle", perf.speedup, 1);
+    w.field_u64("cache_hits", perf.router_stats.hits);
+    w.field_u64("cache_misses", perf.router_stats.misses);
+    w.field_u64("cache_invalidations", perf.router_stats.invalidations);
+    w.field_str(
+        "note",
+        "speedup_vs_oracle compares per-query wall time of the cached router \
+         over the full probe stream against the sparse max-flow oracle over \
+         the oracle_queries-probe prefix of the same stream, on this host. \
+         The perf section is the only non-deterministic part of this file.",
+    );
+    w.end_object();
     w.end_object();
     w.finish()
 }

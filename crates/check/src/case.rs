@@ -14,9 +14,12 @@
 use ripple_netsim::{FaultEvent, NodeId, SimTime};
 use ripple_obs::json::JsonWriter;
 
-use crate::diff::{run_book_plan, run_engine_plan, run_ledger_plan};
+use crate::diff::{run_book_plan, run_engine_plan, run_ledger_plan, run_router_plan};
 use crate::explore::{run_consensus_plan, ConsensusPlan};
-use crate::gen::{BookOffer, BookPlan, CaseAmount, EnginePlan, LedgerCasePlan, Op, OpKind};
+use crate::gen::{
+    BookOffer, BookPlan, CaseAmount, EnginePlan, LedgerCasePlan, Op, OpKind, RouterPlan,
+    RouterQuery,
+};
 use crate::parexec::{run_parexec_plan, ParexecPlan};
 use crate::storefuzz::{run_store_plan, StoreOp, StorePlan};
 
@@ -38,6 +41,8 @@ pub enum CasePayload {
     Store(StorePlan),
     /// Parallel executor vs. the serial path.
     Parexec(ParexecPlan),
+    /// Cached router vs. cold search, oracle, and engine replay.
+    Router(RouterPlan),
 }
 
 impl CasePayload {
@@ -50,6 +55,7 @@ impl CasePayload {
             CasePayload::Consensus(_) => "consensus",
             CasePayload::Store(_) => "store",
             CasePayload::Parexec(_) => "parexec",
+            CasePayload::Router(_) => "router",
         }
     }
 }
@@ -90,6 +96,7 @@ impl CheckCase {
             CasePayload::Consensus(plan) => run_consensus_plan(plan),
             CasePayload::Store(plan) => run_store_plan(plan),
             CasePayload::Parexec(plan) => run_parexec_plan(plan),
+            CasePayload::Router(plan) => run_router_plan(plan),
         }
     }
 
@@ -109,6 +116,7 @@ impl CheckCase {
             CasePayload::Consensus(plan) => write_consensus(&mut w, plan),
             CasePayload::Store(plan) => write_store(&mut w, plan),
             CasePayload::Parexec(plan) => write_parexec(&mut w, plan),
+            CasePayload::Router(plan) => write_router(&mut w, plan),
         }
         w.end_object();
         w.finish()
@@ -129,6 +137,7 @@ impl CheckCase {
             "consensus" => CasePayload::Consensus(read_consensus(payload_json)?),
             "store" => CasePayload::Store(read_store(payload_json)?),
             "parexec" => CasePayload::Parexec(read_parexec(payload_json)?),
+            "router" => CasePayload::Router(read_router(payload_json)?),
             other => return Err(format!("unknown case kind {other:?}")),
         };
         Ok(CheckCase {
@@ -295,6 +304,53 @@ fn write_engine(w: &mut JsonWriter, plan: &EnginePlan) {
     w.field_u64("destination", plan.destination as u64);
     w.field_u64("currency", plan.currency as u64);
     write_raw(w, "amount", plan.amount);
+    w.end_object();
+}
+
+fn write_router(w: &mut JsonWriter, plan: &RouterPlan) {
+    w.begin_object();
+    w.key("genesis");
+    w.begin_array();
+    for &drops in &plan.genesis {
+        w.value_u64(drops);
+    }
+    w.end_array();
+    w.key("trust");
+    w.begin_array();
+    for &(truster, trustee, currency, limit) in &plan.trust {
+        w.begin_inline_object();
+        w.field_u64("truster", truster as u64);
+        w.field_u64("trustee", trustee as u64);
+        w.field_u64("currency", currency as u64);
+        write_raw(w, "limit", limit);
+        w.end_inline_object();
+    }
+    w.end_array();
+    w.key("hops");
+    w.begin_array();
+    for &(from, to, currency, amount) in &plan.hops {
+        w.begin_inline_object();
+        w.field_u64("from", from as u64);
+        w.field_u64("to", to as u64);
+        w.field_u64("currency", currency as u64);
+        write_raw(w, "amount", amount);
+        w.end_inline_object();
+    }
+    w.end_array();
+    w.key("queries");
+    w.begin_array();
+    for q in &plan.queries {
+        w.begin_inline_object();
+        w.field_u64("sender", q.sender as u64);
+        w.field_u64("destination", q.destination as u64);
+        write_raw(w, "amount", q.amount);
+        w.field_u64("mutate_truster", q.mutate_truster as u64);
+        w.field_u64("mutate_trustee", q.mutate_trustee as u64);
+        write_raw(w, "mutate_limit", q.mutate_limit);
+        w.end_inline_object();
+    }
+    w.end_array();
+    w.field_u64("currency", plan.currency as u64);
     w.end_object();
 }
 
@@ -798,6 +854,55 @@ fn read_engine(json: &Json) -> Result<EnginePlan, String> {
     })
 }
 
+fn read_router(json: &Json) -> Result<RouterPlan, String> {
+    let genesis = get_arr(json, "genesis")?
+        .iter()
+        .map(|v| as_u64(v, "genesis"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let trust = get_arr(json, "trust")?
+        .iter()
+        .map(|entry| {
+            Ok((
+                get_u8(entry, "truster")?,
+                get_u8(entry, "trustee")?,
+                get_u8(entry, "currency")?,
+                get_raw(entry, "limit")?,
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let hops = get_arr(json, "hops")?
+        .iter()
+        .map(|entry| {
+            Ok((
+                get_u8(entry, "from")?,
+                get_u8(entry, "to")?,
+                get_u8(entry, "currency")?,
+                get_raw(entry, "amount")?,
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let queries = get_arr(json, "queries")?
+        .iter()
+        .map(|entry| {
+            Ok(RouterQuery {
+                sender: get_u8(entry, "sender")?,
+                destination: get_u8(entry, "destination")?,
+                amount: get_raw(entry, "amount")?,
+                mutate_truster: get_u8(entry, "mutate_truster")?,
+                mutate_trustee: get_u8(entry, "mutate_trustee")?,
+                mutate_limit: get_raw(entry, "mutate_limit")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(RouterPlan {
+        genesis,
+        trust,
+        hops,
+        queries,
+        currency: get_u8(json, "currency")?,
+    })
+}
+
 fn read_book(json: &Json) -> Result<BookPlan, String> {
     let offers = get_arr(json, "offers")?
         .iter()
@@ -916,7 +1021,7 @@ fn read_parexec(json: &Json) -> Result<ParexecPlan, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gen::{gen_book_plan, gen_engine_plan, gen_ledger_plan};
+    use crate::gen::{gen_book_plan, gen_engine_plan, gen_ledger_plan, gen_router_plan};
     use crate::parexec::gen_parexec_plan;
     use crate::storefuzz::gen_store_plan;
 
@@ -952,6 +1057,11 @@ mod tests {
                 seed: 12,
                 divergence: "parexec".to_string(),
                 payload: CasePayload::Parexec(gen_parexec_plan(12)),
+            },
+            CheckCase {
+                seed: 13,
+                divergence: "router".to_string(),
+                payload: CasePayload::Router(gen_router_plan(13)),
             },
         ];
         for case in cases {

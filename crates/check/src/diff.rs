@@ -9,11 +9,13 @@
 use ripple_crypto::AccountId;
 use ripple_ledger::{Currency, Drops, LedgerState, Value};
 use ripple_orderbook::{BookSet, OrderBook, Rate};
-use ripple_paths::{PathLimits, PaymentEngine, PaymentError, PaymentRequest};
+use ripple_paths::{
+    find_payment_paths, PathLimits, PaymentEngine, PaymentError, PaymentRequest, Router,
+};
 
 use crate::gen::{
     case_currency, case_keypair, cast_account, op_to_tx, BookPlan, EnginePlan, LedgerCasePlan,
-    OpKind,
+    OpKind, RouterPlan,
 };
 use crate::model::ModelLedger;
 use crate::oracle::{max_deliverable, NaiveBook};
@@ -146,15 +148,20 @@ pub fn run_ledger_plan(plan: &LedgerCasePlan) -> Option<String> {
     None
 }
 
-/// Builds the engine plan's starting state (setup errors are skipped —
-/// the plan describes attempts, not guaranteed effects).
-fn engine_state(plan: &EnginePlan) -> (LedgerState, u8) {
-    let cast_len = plan.genesis.len().max(1) as u8;
+/// Builds a plan's starting state from genesis balances, attempted trust
+/// lines and attempted debt hops (setup errors are skipped — the plan
+/// describes attempts, not guaranteed effects).
+fn setup_state(
+    genesis: &[u64],
+    trust: &[(u8, u8, u8, i128)],
+    hops: &[(u8, u8, u8, i128)],
+) -> (LedgerState, u8) {
+    let cast_len = genesis.len().max(1) as u8;
     let mut state = LedgerState::new();
-    for (i, &drops) in plan.genesis.iter().enumerate() {
+    for (i, &drops) in genesis.iter().enumerate() {
         state.create_account(cast_account(i as u8), Drops::new(drops));
     }
-    for &(truster, trustee, cur, limit) in &plan.trust {
+    for &(truster, trustee, cur, limit) in trust {
         let _ = state.set_trust(
             cast_account(truster % cast_len),
             cast_account(trustee % cast_len),
@@ -162,7 +169,7 @@ fn engine_state(plan: &EnginePlan) -> (LedgerState, u8) {
             Value::from_raw(limit),
         );
     }
-    for &(from, to, cur, amount) in &plan.hops {
+    for &(from, to, cur, amount) in hops {
         let _ = state.ripple_hop(
             cast_account(from % cast_len),
             cast_account(to % cast_len),
@@ -171,6 +178,11 @@ fn engine_state(plan: &EnginePlan) -> (LedgerState, u8) {
         );
     }
     (state, cast_len)
+}
+
+/// Builds the engine plan's starting state.
+fn engine_state(plan: &EnginePlan) -> (LedgerState, u8) {
+    setup_state(&plan.genesis, &plan.trust, &plan.hops)
 }
 
 /// Runs one engine payment against the max-flow oracle: a successful
@@ -280,6 +292,112 @@ pub fn run_engine_plan(plan: &EnginePlan) -> Option<String> {
         Err(_) => {
             if fingerprint(&work) != before {
                 return Some("failed payment left the ledger modified".to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Runs a router plan: a persistent cache-on [`Router`] answers a stream
+/// of queries interleaved with trust mutations, and every answer must
+/// (1) equal a cold cache-off [`find_payment_paths`] search, (2) never
+/// carry more than the max-flow oracle allows, and (3) agree with a
+/// [`PaymentEngine::pay`] replay — full plans execute and deliver exactly
+/// the requested amount, partial plans fail as `NoPath` with the same
+/// carried total.
+pub fn run_router_plan(plan: &RouterPlan) -> Option<String> {
+    if plan.genesis.is_empty() {
+        return None;
+    }
+    let limits = PathLimits {
+        max_paths: 64,
+        max_hops: 8,
+    };
+    let (mut state, cast_len) = setup_state(&plan.genesis, &plan.trust, &plan.hops);
+    let currency = case_currency(plan.currency % 3);
+    let mut router = Router::new(limits);
+    let engine = PaymentEngine::with_limits(limits);
+    for (step, q) in plan.queries.iter().enumerate() {
+        if q.mutate_limit >= 0 {
+            let _ = state.set_trust(
+                cast_account(q.mutate_truster % cast_len),
+                cast_account(q.mutate_trustee % cast_len),
+                currency,
+                Value::from_raw(q.mutate_limit),
+            );
+        }
+        let sender = cast_account(q.sender % cast_len);
+        let destination = cast_account(q.destination % cast_len);
+        if sender == destination || q.amount <= 0 {
+            continue;
+        }
+        let amount = Value::from_raw(q.amount);
+        let cached = router.route(&state, sender, destination, currency, amount);
+        let cold = find_payment_paths(&state, sender, destination, currency, amount, limits);
+        if cached != cold {
+            return Some(format!(
+                "query {step}: cache-on router returned {} paths carrying {}, \
+                 cold search returned {} paths carrying {}",
+                cached.len(),
+                ripple_paths::find::carried(&cached),
+                cold.len(),
+                ripple_paths::find::carried(&cold)
+            ));
+        }
+        let carried = ripple_paths::find::carried(&cached);
+        let oracle_max = max_deliverable(&state, sender, destination, currency, q.amount);
+        if carried.raw() > oracle_max {
+            return Some(format!(
+                "query {step}: router plan carries {} raw units but the max-flow \
+                 oracle caps flow at {oracle_max}",
+                carried.raw()
+            ));
+        }
+        let request = PaymentRequest {
+            sender,
+            destination,
+            currency,
+            amount,
+            source_currency: None,
+            send_max: None,
+        };
+        let mut work = state.clone();
+        match engine.pay(&mut work, &request) {
+            Ok(executed) => {
+                if carried < amount {
+                    return Some(format!(
+                        "query {step}: router carried only {carried} of {amount} \
+                         but the engine delivered the payment"
+                    ));
+                }
+                if executed.delivered != amount {
+                    return Some(format!(
+                        "query {step}: engine delivered {} of {amount}",
+                        executed.delivered
+                    ));
+                }
+            }
+            Err(PaymentError::NoPath {
+                carried: engine_carried,
+                ..
+            }) => {
+                if carried >= amount {
+                    return Some(format!(
+                        "query {step}: router found a full plan for {amount} but \
+                         the engine reports NoPath carrying {engine_carried}"
+                    ));
+                }
+                if engine_carried != carried {
+                    return Some(format!(
+                        "query {step}: router carried {carried}, engine NoPath \
+                         carried {engine_carried}"
+                    ));
+                }
+            }
+            Err(other) => {
+                return Some(format!(
+                    "query {step}: engine failed with {other:?} on a plain IOU payment"
+                ));
             }
         }
     }

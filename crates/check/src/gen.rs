@@ -163,6 +163,43 @@ pub struct EnginePlan {
     pub amount: i128,
 }
 
+/// One router query, optionally preceded by a trust-line mutation so the
+/// differ exercises cache invalidation, not just cold routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterQuery {
+    /// Paying cast index.
+    pub sender: u8,
+    /// Receiving cast index.
+    pub destination: u8,
+    /// Raw amount requested.
+    pub amount: i128,
+    /// Mutation applied *before* the query: `truster` cast index.
+    pub mutate_truster: u8,
+    /// Mutation applied *before* the query: `trustee` cast index.
+    pub mutate_trustee: u8,
+    /// Raw trust limit for the mutation; negative = no mutation.
+    pub mutate_limit: i128,
+}
+
+/// A router differential case: a trust graph with pre-existing debt, then
+/// a stream of route queries interleaved with trust mutations. Each query
+/// is answered by a persistent (cache-on) [`ripple_paths::Router`] and
+/// checked against a cold search, the max-flow oracle, and a
+/// [`ripple_paths::PaymentEngine`] replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterPlan {
+    /// Genesis XRP balances in drops.
+    pub genesis: Vec<u64>,
+    /// Setup trust lines: `(truster, trustee, currency, raw limit)`.
+    pub trust: Vec<(u8, u8, u8, i128)>,
+    /// Setup debts established via `ripple_hop` — infeasible hops skipped.
+    pub hops: Vec<(u8, u8, u8, i128)>,
+    /// Queries executed in order against one persistent router.
+    pub queries: Vec<RouterQuery>,
+    /// Currency index (never XRP).
+    pub currency: u8,
+}
+
 /// One generated resting offer for the order-book differ.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BookOffer {
@@ -413,6 +450,63 @@ pub fn gen_engine_plan(seed: u64) -> EnginePlan {
         destination,
         currency,
         amount: rng.gen_range(1i128..30_000_000),
+    }
+}
+
+/// Generates a router case: a random trust graph over 4–7 funded accounts
+/// with pre-existing debt, then 3–10 route queries against one persistent
+/// router, roughly a third of them preceded by a trust-line mutation (so
+/// stale cache entries would be caught, not coincidentally correct).
+pub fn gen_router_plan(seed: u64) -> RouterPlan {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x707e5);
+    let n = rng.gen_range(4usize..=7) as u8;
+    let genesis: Vec<u64> = (0..n)
+        .map(|_| Drops::from_xrp(rng.gen_range(100u64..5_000)).as_drops())
+        .collect();
+    let currency = rng.gen_range(0u8..3);
+    let mut trust = Vec::new();
+    for _ in 0..rng.gen_range(5usize..=14) {
+        let truster = rng.gen_range(0..n);
+        let trustee = rng.gen_range(0..n);
+        if truster == trustee {
+            continue;
+        }
+        trust.push((truster, trustee, currency, rng.gen_range(1i128..40_000_000)));
+    }
+    let mut hops = Vec::new();
+    for _ in 0..rng.gen_range(0usize..=6) {
+        let from = rng.gen_range(0..n);
+        let to = rng.gen_range(0..n);
+        if from == to {
+            continue;
+        }
+        hops.push((from, to, currency, rng.gen_range(1i128..20_000_000)));
+    }
+    let queries = (0..rng.gen_range(3usize..=10))
+        .map(|_| {
+            let sender = rng.gen_range(0..n);
+            let destination = (sender + rng.gen_range(1..n)) % n;
+            let mutate = rng.gen_range(0u8..3) == 0;
+            RouterQuery {
+                sender,
+                destination,
+                amount: rng.gen_range(1i128..30_000_000),
+                mutate_truster: rng.gen_range(0..n),
+                mutate_trustee: rng.gen_range(0..n),
+                mutate_limit: if mutate {
+                    rng.gen_range(0i128..40_000_000)
+                } else {
+                    -1
+                },
+            }
+        })
+        .collect();
+    RouterPlan {
+        genesis,
+        trust,
+        hops,
+        queries,
+        currency,
     }
 }
 

@@ -15,7 +15,11 @@
 //! - [`storefuzz`] — corruption corpora through the archive reader's
 //!   resync path;
 //! - [`parexec`] — the sharded parallel executor differentially tested
-//!   against the serial path for byte-identical histories.
+//!   against the serial path for byte-identical histories;
+//! - [`diff::run_router_plan`] — the cached capacity-aware router
+//!   (`ripple_paths::Router`) against a cold cache-off search, the
+//!   max-flow oracle, and a full `PaymentEngine::pay` replay, across
+//!   query streams interleaved with trust mutations.
 //!
 //! Any disagreement is shrunk with [`shrink::ddmin`] and packaged as a
 //! [`CheckCase`] that serializes to `CHECK_CASE.json` and replays

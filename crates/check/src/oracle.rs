@@ -78,6 +78,115 @@ pub fn max_deliverable(
     flow
 }
 
+/// [`max_deliverable`] on a sparse residual graph: identical semantics
+/// (Edmonds–Karp, back-edge netting, capped at `cap`) but edges come from
+/// the trust-line and pair-balance tables instead of an all-pairs dense
+/// matrix, so it scales to ledgers where `accounts²` cells would not fit
+/// in memory. Still a brute-force per-query oracle — it rebuilds the
+/// residual graph every call and caches nothing — which makes it the
+/// honest baseline the cached router is benchmarked against at
+/// 100k-account scale (`experiments liquidity`).
+pub fn max_deliverable_sparse(
+    state: &LedgerState,
+    sender: AccountId,
+    destination: AccountId,
+    currency: Currency,
+    cap: i128,
+) -> i128 {
+    use std::collections::HashMap;
+
+    if cap <= 0 || sender == destination {
+        return 0;
+    }
+    if state.account(&sender).is_none() || state.account(&destination).is_none() {
+        return 0;
+    }
+    // Candidate edges of the currency's trust graph (capacity evaluated
+    // live below, like the router's adjacency): trustee -> truster per
+    // trust line, plus debt-implied edges from pair balances.
+    let mut adjacency: HashMap<AccountId, Vec<AccountId>> = HashMap::new();
+    let mut add_edge = |from: AccountId, to: AccountId| {
+        let entry = adjacency.entry(from).or_default();
+        if !entry.contains(&to) {
+            entry.push(to);
+        }
+    };
+    for line in state.trust_lines() {
+        if line.currency == currency {
+            add_edge(line.trustee, line.truster);
+        }
+    }
+    for (low, high, cur, balance) in state.pair_balances() {
+        if cur != currency {
+            continue;
+        }
+        if balance.is_positive() {
+            add_edge(low, high);
+        } else if balance.is_negative() {
+            add_edge(high, low);
+        }
+    }
+    // Make the edge set symmetric so back-edges exist for netting, then
+    // load residual capacities.
+    let mut residual: HashMap<(AccountId, AccountId), i128> = HashMap::new();
+    for (&from, tos) in &adjacency {
+        for &to in tos {
+            residual
+                .entry((from, to))
+                .or_insert_with(|| state.hop_capacity(from, to, currency).raw().max(0));
+            residual
+                .entry((to, from))
+                .or_insert_with(|| state.hop_capacity(to, from, currency).raw().max(0));
+        }
+    }
+    let neighbours: HashMap<AccountId, Vec<AccountId>> = {
+        let mut out: HashMap<AccountId, Vec<AccountId>> = HashMap::new();
+        for &(from, to) in residual.keys() {
+            out.entry(from).or_default().push(to);
+        }
+        out
+    };
+    let mut flow = 0i128;
+    while flow < cap {
+        let mut parent: HashMap<AccountId, AccountId> = HashMap::new();
+        parent.insert(sender, sender);
+        let mut queue = std::collections::VecDeque::from([sender]);
+        'bfs: while let Some(u) = queue.pop_front() {
+            let Some(nexts) = neighbours.get(&u) else {
+                continue;
+            };
+            for &v in nexts {
+                if !parent.contains_key(&v) && residual.get(&(u, v)).copied().unwrap_or(0) > 0 {
+                    parent.insert(v, u);
+                    if v == destination {
+                        break 'bfs;
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        if !parent.contains_key(&destination) {
+            break;
+        }
+        let mut bottleneck = cap - flow;
+        let mut v = destination;
+        while v != sender {
+            let u = parent[&v];
+            bottleneck = bottleneck.min(residual[&(u, v)]);
+            v = u;
+        }
+        let mut v = destination;
+        while v != sender {
+            let u = parent[&v];
+            *residual.get_mut(&(u, v)).expect("edge exists") -= bottleneck;
+            *residual.get_mut(&(v, u)).expect("edge exists") += bottleneck;
+            v = u;
+        }
+        flow += bottleneck;
+    }
+    flow
+}
+
 /// One resting entry in the naive book.
 #[derive(Debug, Clone)]
 pub struct NaiveEntry {
@@ -249,5 +358,50 @@ impl NaiveBook {
             }
         }
         outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{case_currency, cast_account, gen_engine_plan};
+    use ripple_ledger::{Drops, Value};
+
+    /// The sparse oracle must agree with the dense one on every randomized
+    /// engine-plan ledger — it exists to scale, not to answer differently.
+    #[test]
+    fn sparse_oracle_matches_dense() {
+        for seed in 0..40u64 {
+            let plan = gen_engine_plan(seed);
+            let cast_len = plan.genesis.len().max(1) as u8;
+            let mut state = LedgerState::new();
+            for (i, &drops) in plan.genesis.iter().enumerate() {
+                state.create_account(cast_account(i as u8), Drops::new(drops));
+            }
+            for &(truster, trustee, cur, limit) in &plan.trust {
+                let _ = state.set_trust(
+                    cast_account(truster % cast_len),
+                    cast_account(trustee % cast_len),
+                    case_currency(cur % 3),
+                    Value::from_raw(limit),
+                );
+            }
+            for &(from, to, cur, amount) in &plan.hops {
+                let _ = state.ripple_hop(
+                    cast_account(from % cast_len),
+                    cast_account(to % cast_len),
+                    case_currency(cur % 3),
+                    Value::from_raw(amount),
+                );
+            }
+            let sender = cast_account(plan.sender % cast_len);
+            let destination = cast_account(plan.destination % cast_len);
+            let currency = case_currency(plan.currency % 3);
+            for cap in [1i128, plan.amount, i128::MAX / 4] {
+                let dense = max_deliverable(&state, sender, destination, currency, cap);
+                let sparse = max_deliverable_sparse(&state, sender, destination, currency, cap);
+                assert_eq!(dense, sparse, "seed {seed} cap {cap}");
+            }
+        }
     }
 }

@@ -1,4 +1,4 @@
-//! The budgeted check runner: round-robins the six differential targets,
+//! The budgeted check runner: round-robins the seven differential targets,
 //! shrinks any divergence with [`ddmin`], and packages the result as a
 //! replayable [`CheckCase`].
 
@@ -7,10 +7,11 @@ use std::time::{Duration, Instant};
 use ripple_obs::LazyCounter;
 
 use crate::case::{CasePayload, CheckCase};
-use crate::diff::{run_book_plan, run_engine_plan, run_ledger_plan};
+use crate::diff::{run_book_plan, run_engine_plan, run_ledger_plan, run_router_plan};
 use crate::explore::{gen_consensus_plan, run_consensus_plan, ConsensusPlan};
 use crate::gen::{
-    gen_book_plan, gen_engine_plan, gen_ledger_plan, BookPlan, EnginePlan, LedgerCasePlan,
+    gen_book_plan, gen_engine_plan, gen_ledger_plan, gen_router_plan, BookPlan, EnginePlan,
+    LedgerCasePlan, RouterPlan,
 };
 use crate::parexec::{gen_parexec_plan, run_parexec_plan, shrink_parexec_plan};
 use crate::shrink::ddmin;
@@ -21,7 +22,15 @@ static DIVERGENCES: LazyCounter = LazyCounter::new("check.divergences");
 static SHRINK_STEPS: LazyCounter = LazyCounter::new("check.shrink.steps");
 
 /// The differential targets the runner cycles through.
-pub const TARGETS: [&str; 6] = ["ledger", "engine", "book", "store", "consensus", "parexec"];
+pub const TARGETS: [&str; 7] = [
+    "ledger",
+    "engine",
+    "book",
+    "store",
+    "consensus",
+    "parexec",
+    "router",
+];
 
 /// Configuration for one [`run_check`] campaign.
 #[derive(Debug, Clone)]
@@ -57,7 +66,7 @@ pub struct CheckReport {
     /// Total cases executed, across all targets.
     pub cases_run: u64,
     /// Cases executed per target, indexed like [`TARGETS`].
-    pub per_target: [u64; 6],
+    pub per_target: [u64; 7],
     /// Every divergence found, shrunk and replayable.
     pub divergences: Vec<CheckCase>,
     /// Total shrink-candidate evaluations spent minimizing divergences.
@@ -81,9 +90,9 @@ fn mix(seed: u64, i: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Runs one budgeted differential campaign over all six targets.
+/// Runs one budgeted differential campaign over all seven targets.
 ///
-/// Case `i` exercises target `i % 6` with seed `mix(config.seed, i)`, so a
+/// Case `i` exercises target `i % 7` with seed `mix(config.seed, i)`, so a
 /// campaign with the same seed and budget ordering is deterministic in
 /// which cases it generates (the budget only decides how many run). Every
 /// divergence is shrunk to a minimal plan before being reported.
@@ -96,7 +105,7 @@ pub fn run_check(config: &CheckConfig) -> CheckReport {
     SHRINK_STEPS.add(0);
     let mut report = CheckReport {
         cases_run: 0,
-        per_target: [0; 6],
+        per_target: [0; 7],
         divergences: Vec::new(),
         shrink_steps: 0,
         elapsed: Duration::ZERO,
@@ -106,7 +115,7 @@ pub fn run_check(config: &CheckConfig) -> CheckReport {
             break;
         }
         let case_seed = mix(config.seed, i);
-        let target = (i % 6) as usize;
+        let target = (i % 7) as usize;
         report.cases_run += 1;
         report.per_target[target] += 1;
         CASES_RUN.add(1);
@@ -116,7 +125,8 @@ pub fn run_check(config: &CheckConfig) -> CheckReport {
             2 => check_book(case_seed, &mut report),
             3 => check_store(case_seed, &mut report),
             4 => check_consensus(case_seed, &mut report),
-            _ => check_parexec(case_seed, &mut report),
+            5 => check_parexec(case_seed, &mut report),
+            _ => check_router(case_seed, &mut report),
         };
         if let Some(case) = found {
             DIVERGENCES.add(1);
@@ -276,6 +286,53 @@ fn check_parexec(seed: u64, report: &mut CheckReport) -> Option<CheckCase> {
     })
 }
 
+fn check_router(seed: u64, report: &mut CheckReport) -> Option<CheckCase> {
+    let plan = gen_router_plan(seed);
+    run_router_plan(&plan)?;
+    // Shrink the query stream first (later queries are usually innocent
+    // bystanders), then the debt hops, then the trust graph.
+    let (min_queries, query_steps) = ddmin(&plan.queries, |subset| {
+        run_router_plan(&RouterPlan {
+            queries: subset.to_vec(),
+            ..plan.clone()
+        })
+        .is_some()
+    });
+    let query_shrunk = RouterPlan {
+        queries: min_queries,
+        ..plan.clone()
+    };
+    let (min_hops, hop_steps) = ddmin(&query_shrunk.hops, |subset| {
+        run_router_plan(&RouterPlan {
+            hops: subset.to_vec(),
+            ..query_shrunk.clone()
+        })
+        .is_some()
+    });
+    let hop_shrunk = RouterPlan {
+        hops: min_hops,
+        ..query_shrunk
+    };
+    let (min_trust, trust_steps) = ddmin(&hop_shrunk.trust, |subset| {
+        run_router_plan(&RouterPlan {
+            trust: subset.to_vec(),
+            ..hop_shrunk.clone()
+        })
+        .is_some()
+    });
+    note_steps(report, query_steps + hop_steps + trust_steps);
+    let shrunk = RouterPlan {
+        trust: min_trust,
+        ..hop_shrunk
+    };
+    let divergence = run_router_plan(&shrunk).expect("shrunk case still fails");
+    Some(CheckCase {
+        seed,
+        divergence,
+        payload: CasePayload::Router(shrunk),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,12 +343,12 @@ mod tests {
             seed: 7,
             ops: 20,
             budget: Duration::ZERO,
-            min_cases: 18,
-            max_cases: 18,
+            min_cases: 21,
+            max_cases: 21,
         };
         let a = run_check(&config);
-        assert_eq!(a.cases_run, 18);
-        assert_eq!(a.per_target, [3, 3, 3, 3, 3, 3]);
+        assert_eq!(a.cases_run, 21);
+        assert_eq!(a.per_target, [3, 3, 3, 3, 3, 3, 3]);
         assert!(
             a.clean(),
             "differential smoke campaign diverged: {}",

@@ -35,6 +35,8 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, OnceLock};
 
+pub mod liquidity;
+
 pub use ripple_analytics as analytics;
 pub use ripple_check as check;
 pub use ripple_consensus as consensus;
@@ -50,6 +52,9 @@ pub use ripple_query as query;
 pub use ripple_store as store;
 pub use ripple_synth as synth;
 
+pub use liquidity::{
+    run_liquidity, LiquidityConfig, LiquidityOutcome, LiquidityPerf, LiquidityReport,
+};
 pub use ripple_analytics::{MmRemovalReport, OfferConcentration};
 pub use ripple_consensus::{CollectionPeriod, ValidatorReport};
 pub use ripple_crypto::AccountId;

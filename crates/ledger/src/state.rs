@@ -214,6 +214,11 @@ pub struct LedgerState {
     fees: FeeSchedule,
     /// Total XRP burned so far.
     burned: Drops,
+    /// Monotone counter bumped by every mutation that can change IOU
+    /// routing capacity (trust-line writes, pair-balance adjustments,
+    /// account severing). Path caches stamp their entries with this and
+    /// treat a mismatch as an invalidation.
+    credit_generation: u64,
 }
 
 impl Default for LedgerState {
@@ -222,6 +227,7 @@ impl Default for LedgerState {
             shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
             fees: FeeSchedule::default(),
             burned: Drops::ZERO,
+            credit_generation: 0,
         }
     }
 }
@@ -288,6 +294,18 @@ impl LedgerState {
     /// Total XRP burned by applied transactions.
     pub fn total_burned(&self) -> Drops {
         self.burned
+    }
+
+    /// The credit-network generation: bumped by every mutation that can
+    /// change IOU routing capacity ([`LedgerState::set_trust`],
+    /// [`LedgerState::adjust_pair_balance`] — and therefore
+    /// [`LedgerState::ripple_hop`] and IOU payments under
+    /// [`LedgerState::apply`] — and [`LedgerState::sever_account`]).
+    /// XRP transfers and offer bookkeeping leave it untouched. Routers
+    /// stamp cached paths with this value and discard entries whose stamp
+    /// no longer matches.
+    pub fn credit_generation(&self) -> u64 {
+        self.credit_generation
     }
 
     /// Number of accounts.
@@ -365,6 +383,7 @@ impl LedgerState {
                 root.owner_count += 1;
             }
         }
+        self.credit_generation += 1;
         Ok(())
     }
 
@@ -518,6 +537,7 @@ impl LedgerState {
         if entry.is_zero() {
             balances.remove(&key);
         }
+        self.credit_generation += 1;
     }
 
     /// Transfers XRP between accounts, enforcing the sender's reserve.
@@ -757,6 +777,7 @@ impl LedgerState {
         for key in removed_balances {
             self.shards[shard_of(&key.0)].balances.remove(&key);
         }
+        self.credit_generation += 1;
     }
 
     /// Validates and applies a signed transaction: signature, sequence and

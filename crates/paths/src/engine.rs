@@ -6,7 +6,9 @@ use ripple_ledger::{Amount, Currency, Drops, IouAmount, LedgerError, LedgerState
 use ripple_orderbook::{BookSet, FillPart};
 
 use crate::fees::{find_cheapest_path, TransferFees};
-use crate::find::{carried, find_payment_paths, FoundPath, PathLimits};
+use crate::find::{carried, FoundPath, PathLimits};
+use crate::router::{Router, RouterStats};
+use std::cell::RefCell;
 
 /// A payment to execute.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -214,6 +216,11 @@ impl UndoLog {
 pub struct PaymentEngine {
     limits: PathLimits,
     fees: TransferFees,
+    /// Cached capacity-aware router for the fee-less IOU hot paths. Interior
+    /// mutability keeps `pay(&self, …)` stable; the engine is a
+    /// single-threaded object (it was never `Sync`-dependent) and the cache
+    /// self-invalidates via [`LedgerState::credit_generation`].
+    router: RefCell<Router>,
 }
 
 impl PaymentEngine {
@@ -227,7 +234,13 @@ impl PaymentEngine {
         PaymentEngine {
             limits,
             fees: TransferFees::new(),
+            router: RefCell::new(Router::new(limits)),
         }
+    }
+
+    /// Cache counters from the embedded router.
+    pub fn router_stats(&self) -> RouterStats {
+        self.router.borrow().stats()
     }
 
     /// Configures per-account transfer fees. With fees set, same-currency
@@ -344,13 +357,12 @@ impl PaymentEngine {
             });
         }
 
-        let paths = find_payment_paths(
+        let paths = self.router.borrow_mut().route(
             state,
             request.sender,
             request.destination,
             request.currency,
             request.amount,
-            self.limits,
         );
         let total = carried(&paths);
         if total < request.amount {
@@ -641,7 +653,10 @@ impl PaymentEngine {
             undo.ops.push(UndoOp::Xrp(from, to, drops));
             return Ok(Vec::new());
         }
-        let paths = find_payment_paths(state, from, to, currency, amount, self.limits);
+        let paths = self
+            .router
+            .borrow_mut()
+            .route(state, from, to, currency, amount);
         let total = carried(&paths);
         if total < amount {
             return Err(PaymentError::NoPath {

@@ -37,12 +37,12 @@ pub struct FoundPath {
 /// Residual-capacity overlay so successive searches see earlier tentative
 /// reservations without mutating the ledger.
 #[derive(Debug, Default)]
-struct Residual {
+pub(crate) struct Residual {
     used: HashMap<(AccountId, AccountId), Value>,
 }
 
 impl Residual {
-    fn capacity(
+    pub(crate) fn capacity(
         &self,
         state: &LedgerState,
         from: AccountId,
@@ -54,34 +54,35 @@ impl Residual {
         live - used
     }
 
-    fn reserve(&mut self, from: AccountId, to: AccountId, amount: Value) {
-        *self.used.entry((from, to)).or_insert(Value::ZERO) =
-            self.used.get(&(from, to)).copied().unwrap_or(Value::ZERO) + amount;
+    /// Records a tentative reservation of `amount` on `from -> to`. The
+    /// same reservation is *credited* to the reverse hop: value pushed
+    /// `from -> to` nets against value a later path would push `to -> from`,
+    /// exactly as existing pair debt nets in [`LedgerState::hop_capacity`].
+    pub(crate) fn reserve(&mut self, from: AccountId, to: AccountId, amount: Value) {
+        let forward = self.used.entry((from, to)).or_insert(Value::ZERO);
+        *forward = *forward + amount;
         // A reservation on from->to frees capacity on to->from (netting).
-        *self.used.entry((to, from)).or_insert(Value::ZERO) =
-            self.used.get(&(to, from)).copied().unwrap_or(Value::ZERO) - amount;
+        let back = self.used.entry((to, from)).or_insert(Value::ZERO);
+        *back = *back - amount;
+    }
+
+    /// The net amount currently reserved on `from -> to` (negative when the
+    /// reverse direction holds the reservation).
+    #[cfg(test)]
+    pub(crate) fn reserved(&self, from: AccountId, to: AccountId) -> Value {
+        self.used.get(&(from, to)).copied().unwrap_or(Value::ZERO)
     }
 }
 
-/// Finds up to `limits.max_paths` paths able to carry `amount` of
-/// `currency` from `sender` to `destination`, shortest first, splitting
-/// across parallel paths when a single one lacks capacity.
-///
-/// Returns the (possibly partial) path set; the caller checks whether the
-/// carried total covers the amount.
-pub fn find_payment_paths(
+/// Builds the outgoing-edge adjacency of the trust graph for one currency:
+/// from X to every Y that trusts X, plus the edges implied by existing debt
+/// — if X holds Y's IOUs (e.g. a deposit at a gateway), X can push value to
+/// Y up to that claim even when Y declares no trust. Capacities are *not*
+/// recorded here; they are evaluated live against a [`Residual`] overlay.
+pub(crate) fn build_adjacency(
     state: &LedgerState,
-    sender: AccountId,
-    destination: AccountId,
     currency: Currency,
-    amount: Value,
-    limits: PathLimits,
-) -> Vec<FoundPath> {
-    // Outgoing trust edges: from X to every Y that trusts X, plus the
-    // edges implied by existing debt — if X holds Y's IOUs (e.g. a deposit
-    // at a gateway), X can push value to Y up to that claim even when Y
-    // declares no trust. Capacities are evaluated live against the
-    // residual overlay.
+) -> HashMap<AccountId, Vec<AccountId>> {
     let mut adjacency: HashMap<AccountId, Vec<AccountId>> = HashMap::new();
     let mut add_edge = |from: AccountId, to: AccountId| {
         let entry = adjacency.entry(from).or_default();
@@ -104,12 +105,32 @@ pub fn find_payment_paths(
             add_edge(high, low);
         }
     }
+    adjacency
+}
 
+/// The shared augmenting-path loop behind [`find_payment_paths`] and the
+/// cached [`crate::router::Router`]: repeated shortest-augmenting-path BFS
+/// over the residual graph, shortest paths first, until `cap` is covered
+/// (`None` = enumerate until liquidity or `limits.max_paths` is exhausted).
+///
+/// Returns `(chain, reserved)` pairs where `chain` runs sender..destination
+/// inclusive and `reserved` is the amount reserved on that chain — the full
+/// bottleneck when unbounded, `min(bottleneck, remaining)` on the final
+/// path of a capped search.
+pub(crate) fn augmenting_paths(
+    state: &LedgerState,
+    adjacency: &HashMap<AccountId, Vec<AccountId>>,
+    sender: AccountId,
+    destination: AccountId,
+    currency: Currency,
+    cap: Option<Value>,
+    limits: PathLimits,
+) -> Vec<(Vec<AccountId>, Value)> {
     let mut residual = Residual::default();
-    let mut found = Vec::new();
-    let mut remaining = amount;
+    let mut found: Vec<(Vec<AccountId>, Value)> = Vec::new();
+    let mut remaining = cap;
 
-    while remaining.is_positive() && found.len() < limits.max_paths {
+    while remaining.is_none_or(|r| r.is_positive()) && found.len() < limits.max_paths {
         // BFS for the shortest path with positive residual capacity.
         let mut parent: HashMap<AccountId, AccountId> = HashMap::new();
         let mut queue = VecDeque::new();
@@ -152,27 +173,57 @@ pub fn find_payment_paths(
         if chain.len() > limits.max_hops + 2 {
             break;
         }
-        let mut bottleneck = remaining;
+        let mut bottleneck: Option<Value> = remaining;
         for pair in chain.windows(2) {
             let cap = residual.capacity(state, pair[0], pair[1], currency);
-            if cap < bottleneck {
-                bottleneck = cap;
+            if bottleneck.is_none_or(|b| cap < b) {
+                bottleneck = Some(cap);
             }
         }
+        let Some(bottleneck) = bottleneck else { break };
         if !bottleneck.is_positive() {
             break;
         }
         for pair in chain.windows(2) {
             residual.reserve(pair[0], pair[1], bottleneck);
         }
-        remaining = remaining - bottleneck;
-        found.push(FoundPath {
-            intermediates: chain[1..chain.len() - 1].to_vec(),
-            amount: bottleneck,
-        });
+        remaining = remaining.map(|r| r - bottleneck);
+        found.push((chain, bottleneck));
     }
 
     found
+}
+
+/// Finds up to `limits.max_paths` paths able to carry `amount` of
+/// `currency` from `sender` to `destination`, shortest first, splitting
+/// across parallel paths when a single one lacks capacity.
+///
+/// Returns the (possibly partial) path set; the caller checks whether the
+/// carried total covers the amount.
+pub fn find_payment_paths(
+    state: &LedgerState,
+    sender: AccountId,
+    destination: AccountId,
+    currency: Currency,
+    amount: Value,
+    limits: PathLimits,
+) -> Vec<FoundPath> {
+    let adjacency = build_adjacency(state, currency);
+    augmenting_paths(
+        state,
+        &adjacency,
+        sender,
+        destination,
+        currency,
+        Some(amount),
+        limits,
+    )
+    .into_iter()
+    .map(|(chain, amount)| FoundPath {
+        intermediates: chain[1..chain.len() - 1].to_vec(),
+        amount,
+    })
+    .collect()
 }
 
 /// Total amount carried by a path set.
@@ -204,6 +255,37 @@ mod tests {
         s.set_trust(acct(3), acct(2), Currency::USD, v("10"))
             .unwrap();
         s
+    }
+
+    #[test]
+    fn reserve_nets_bidirectional_reservations() {
+        let mut r = Residual::default();
+        r.reserve(acct(1), acct(2), v("7"));
+        assert_eq!(r.reserved(acct(1), acct(2)), v("7"));
+        assert_eq!(
+            r.reserved(acct(2), acct(1)),
+            v("-7"),
+            "reverse hop is credited"
+        );
+        // A reverse reservation nets against the forward one instead of
+        // consuming fresh capacity.
+        r.reserve(acct(2), acct(1), v("3"));
+        assert_eq!(r.reserved(acct(1), acct(2)), v("4"));
+        assert_eq!(r.reserved(acct(2), acct(1)), v("-4"));
+    }
+
+    #[test]
+    fn reverse_reservation_frees_live_capacity() {
+        // chain_state: live capacity 1->2 is 10 (trust limit of 2 on 1).
+        let s = chain_state();
+        let mut r = Residual::default();
+        assert_eq!(r.capacity(&s, acct(1), acct(2), Currency::USD), v("10"));
+        r.reserve(acct(2), acct(1), v("4"));
+        assert_eq!(
+            r.capacity(&s, acct(1), acct(2), Currency::USD),
+            v("14"),
+            "a 2->1 reservation frees 1->2 capacity (netting)"
+        );
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! The engine implements:
 //!
 //! * shortest-path routing over the trust graph with live capacities
-//!   ([`find::find_payment_paths`]);
+//!   ([`find::find_payment_paths`]), and its cached production
+//!   counterpart — a capacity-aware router with per-`(source, currency)`
+//!   path enumeration and generation-stamped invalidation
+//!   ([`router::Router`]);
 //! * multi-path splitting when no single path carries the amount (the
 //!   paper's Figure 6(b) parallel paths) — an Edmonds–Karp-style residual
 //!   decomposition;
@@ -26,8 +29,10 @@ pub mod engine;
 pub mod fees;
 pub mod find;
 pub mod replay;
+pub mod router;
 
 pub use engine::{ExecutedPayment, PaymentEngine, PaymentError, PaymentRequest};
 pub use fees::{find_cheapest_path, CheapestPath, TransferFees};
 pub use find::{find_payment_paths, FoundPath, PathLimits};
 pub use replay::{replay, ReplayCategory, ReplayStats};
+pub use router::{Router, RouterStats};

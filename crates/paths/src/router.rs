@@ -1,0 +1,353 @@
+//! Capacity-aware cached payment router.
+//!
+//! [`find_payment_paths`](crate::find_payment_paths) rebuilds the trust
+//! graph and re-runs the augmenting-path search for every payment. The
+//! [`Router`] keeps two generation-stamped caches instead:
+//!
+//! * a per-currency adjacency graph (one O(E) build amortized over every
+//!   query in the same ledger generation), and
+//! * a per-`(source, currency)` table of *enumerated* candidate paths per
+//!   destination: the full shortest-first augmenting-path decomposition,
+//!   computed once without an amount bound and then *allocated* against
+//!   any requested amount in O(paths).
+//!
+//! Both caches are stamped with [`LedgerState::credit_generation`] — the
+//! ledger bumps it on every trust-line write, pair-balance adjustment and
+//! account severing — so a stale entry is detected and rebuilt lazily on
+//! the next query; no mutation hook-up is needed.
+//!
+//! # Exactness
+//!
+//! [`Router::route`] returns byte-for-byte the same plan a cold
+//! [`find_payment_paths`](crate::find_payment_paths) call would: the
+//! amount-capped search reserves the *full* bottleneck on every path
+//! except the last (where it reserves only the remainder and then stops
+//! searching), so its residual state — and therefore every BFS it runs —
+//! is identical to the unbounded enumeration's up to the stopping point.
+//! Greedily allocating `min(remaining, bottleneck)` over the cached
+//! enumeration reproduces the capped search exactly. The `router` target
+//! of the differential harness (`experiments check`) enforces this
+//! equivalence continuously against randomized ledgers.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ripple_crypto::AccountId;
+use ripple_ledger::{Currency, LedgerState, Value};
+
+use crate::find::{augmenting_paths, build_adjacency, FoundPath, PathLimits};
+
+/// Cache and query counters for one [`Router`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Total route queries served.
+    pub queries: u64,
+    /// Queries answered from a cached path enumeration.
+    pub hits: u64,
+    /// Queries that enumerated paths afresh.
+    pub misses: u64,
+    /// Cache entries discarded because the ledger generation moved.
+    pub invalidations: u64,
+}
+
+/// Shortest-first `(chain, bottleneck)` enumeration toward one destination.
+/// Each chain runs source..destination inclusive.
+type RouteSet = Arc<[(Vec<AccountId>, Value)]>;
+
+/// Cached candidate paths out of one `(source, currency)` pair.
+#[derive(Debug, Clone, Default)]
+struct SourceRoutes {
+    by_destination: HashMap<AccountId, RouteSet>,
+}
+
+/// Per-currency adjacency snapshot.
+#[derive(Debug, Clone)]
+struct GraphEntry {
+    generation: u64,
+    adjacency: Arc<HashMap<AccountId, Vec<AccountId>>>,
+}
+
+/// A capacity-aware router with per-`(source, currency)` path caching.
+///
+/// See the module docs for the cache design. Construct one per logical
+/// payment stream ([`crate::PaymentEngine`] embeds one) and call
+/// [`Router::route`]; invalidation is automatic via the ledger's
+/// credit generation.
+#[derive(Debug, Clone, Default)]
+pub struct Router {
+    limits: PathLimits,
+    /// `(source, currency)` -> generation-stamped candidate paths.
+    cache: HashMap<(AccountId, Currency), (u64, SourceRoutes)>,
+    /// Currency -> generation-stamped adjacency.
+    graphs: HashMap<Currency, GraphEntry>,
+    stats: RouterStats,
+}
+
+impl Router {
+    /// A router that searches under the given limits. The limits are fixed
+    /// for the router's lifetime: cached enumerations are only valid for
+    /// the limits they were computed under.
+    pub fn new(limits: PathLimits) -> Router {
+        Router {
+            limits,
+            ..Router::default()
+        }
+    }
+
+    /// The search limits this router was built with.
+    pub fn limits(&self) -> PathLimits {
+        self.limits
+    }
+
+    /// Cache counters accumulated so far.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Drops every cached graph and path enumeration (counters survive).
+    pub fn clear(&mut self) {
+        self.cache.clear();
+        self.graphs.clear();
+    }
+
+    /// Routes `amount` of `currency` from `sender` to `destination`:
+    /// returns the same (possibly partial, possibly empty) shortest-first
+    /// path set as [`find_payment_paths`](crate::find_payment_paths) under
+    /// this router's limits — the caller checks whether the carried total
+    /// covers the amount.
+    pub fn route(
+        &mut self,
+        state: &LedgerState,
+        sender: AccountId,
+        destination: AccountId,
+        currency: Currency,
+        amount: Value,
+    ) -> Vec<FoundPath> {
+        self.stats.queries += 1;
+        if sender == destination || currency.is_xrp() || !amount.is_positive() {
+            return Vec::new();
+        }
+        let generation = state.credit_generation();
+        let enumeration = self.enumeration(state, generation, sender, destination, currency);
+        allocate(&enumeration, amount, self.limits.max_paths)
+    }
+
+    /// The full deliverable amount from `sender` to `destination` under
+    /// this router's limits: the sum over the cached enumeration, without
+    /// materializing a plan. Used by liquidity probes.
+    pub fn deliverable(
+        &mut self,
+        state: &LedgerState,
+        sender: AccountId,
+        destination: AccountId,
+        currency: Currency,
+    ) -> Value {
+        self.stats.queries += 1;
+        if sender == destination || currency.is_xrp() {
+            return Value::ZERO;
+        }
+        let generation = state.credit_generation();
+        let enumeration = self.enumeration(state, generation, sender, destination, currency);
+        enumeration.iter().map(|(_, cap)| *cap).sum()
+    }
+
+    /// Returns the (cached or freshly computed) unbounded path enumeration
+    /// for `(sender, destination, currency)` at `generation`.
+    fn enumeration(
+        &mut self,
+        state: &LedgerState,
+        generation: u64,
+        sender: AccountId,
+        destination: AccountId,
+        currency: Currency,
+    ) -> Arc<[(Vec<AccountId>, Value)]> {
+        let entry = self
+            .cache
+            .entry((sender, currency))
+            .or_insert_with(|| (generation, SourceRoutes::default()));
+        if entry.0 != generation {
+            self.stats.invalidations += 1;
+            *entry = (generation, SourceRoutes::default());
+        }
+        if let Some(cached) = entry.1.by_destination.get(&destination) {
+            self.stats.hits += 1;
+            return Arc::clone(cached);
+        }
+        self.stats.misses += 1;
+        let adjacency = self.graph(state, generation, currency);
+        let enumeration: Arc<[(Vec<AccountId>, Value)]> = augmenting_paths(
+            state,
+            &adjacency,
+            sender,
+            destination,
+            currency,
+            None,
+            self.limits,
+        )
+        .into();
+        // The entry may have been touched by `graph`'s borrow dance; re-fetch.
+        let entry = self
+            .cache
+            .entry((sender, currency))
+            .or_insert_with(|| (generation, SourceRoutes::default()));
+        entry
+            .1
+            .by_destination
+            .insert(destination, Arc::clone(&enumeration));
+        enumeration
+    }
+
+    /// The (cached or freshly built) adjacency for `currency` at
+    /// `generation`.
+    fn graph(
+        &mut self,
+        state: &LedgerState,
+        generation: u64,
+        currency: Currency,
+    ) -> Arc<HashMap<AccountId, Vec<AccountId>>> {
+        match self.graphs.get(&currency) {
+            Some(entry) if entry.generation == generation => Arc::clone(&entry.adjacency),
+            stale => {
+                if stale.is_some() {
+                    self.stats.invalidations += 1;
+                }
+                let adjacency = Arc::new(build_adjacency(state, currency));
+                self.graphs.insert(
+                    currency,
+                    GraphEntry {
+                        generation,
+                        adjacency: Arc::clone(&adjacency),
+                    },
+                );
+                adjacency
+            }
+        }
+    }
+}
+
+/// Greedy shortest-first allocation of `amount` over an unbounded path
+/// enumeration; reproduces exactly what an amount-capped search returns
+/// (see the module docs).
+fn allocate(
+    enumeration: &[(Vec<AccountId>, Value)],
+    amount: Value,
+    max_paths: usize,
+) -> Vec<FoundPath> {
+    let mut out = Vec::new();
+    let mut remaining = amount;
+    for (chain, cap) in enumeration {
+        if !remaining.is_positive() || out.len() >= max_paths {
+            break;
+        }
+        let take = if *cap < remaining { *cap } else { remaining };
+        out.push(FoundPath {
+            intermediates: chain[1..chain.len() - 1].to_vec(),
+            amount: take,
+        });
+        remaining = remaining - take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find::find_payment_paths;
+    use ripple_ledger::Drops;
+
+    fn acct(n: u8) -> AccountId {
+        AccountId::from_bytes([n; 20])
+    }
+
+    fn v(s: &str) -> Value {
+        s.parse().unwrap()
+    }
+
+    /// 1 -> 2 -> 4 and 1 -> 3 -> 4, 10 USD per leg.
+    fn diamond() -> LedgerState {
+        let mut s = LedgerState::new();
+        for i in 1..=4 {
+            s.create_account(acct(i), Drops::from_xrp(100));
+        }
+        for hub in [2u8, 3] {
+            s.set_trust(acct(hub), acct(1), Currency::USD, v("10"))
+                .unwrap();
+            s.set_trust(acct(4), acct(hub), Currency::USD, v("10"))
+                .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn matches_cold_search_across_amounts() {
+        let s = diamond();
+        let mut router = Router::new(PathLimits::default());
+        for amount in ["1", "7", "10", "13", "20", "25"] {
+            let cold = find_payment_paths(
+                &s,
+                acct(1),
+                acct(4),
+                Currency::USD,
+                v(amount),
+                PathLimits::default(),
+            );
+            let cached = router.route(&s, acct(1), acct(4), Currency::USD, v(amount));
+            assert_eq!(cached, cold, "amount {amount}");
+        }
+        // First query misses, the rest hit the cached enumeration.
+        assert_eq!(router.stats().misses, 1);
+        assert_eq!(router.stats().hits, 5);
+    }
+
+    #[test]
+    fn mutation_invalidates_cache() {
+        let mut s = diamond();
+        let mut router = Router::new(PathLimits::default());
+        let before = router.route(&s, acct(1), acct(4), Currency::USD, v("20"));
+        assert_eq!(before.len(), 2);
+        // Drop one leg: the router must notice without being told.
+        s.set_trust(acct(4), acct(3), Currency::USD, Value::ZERO)
+            .unwrap();
+        let after = router.route(&s, acct(1), acct(4), Currency::USD, v("20"));
+        let cold = find_payment_paths(
+            &s,
+            acct(1),
+            acct(4),
+            Currency::USD,
+            v("20"),
+            PathLimits::default(),
+        );
+        assert_eq!(after, cold);
+        assert_eq!(after.len(), 1, "only the 1->2->4 leg remains");
+        assert!(router.stats().invalidations > 0);
+    }
+
+    #[test]
+    fn deliverable_sums_the_enumeration() {
+        let s = diamond();
+        let mut router = Router::new(PathLimits::default());
+        assert_eq!(
+            router.deliverable(&s, acct(1), acct(4), Currency::USD),
+            v("20")
+        );
+        assert_eq!(
+            router.deliverable(&s, acct(4), acct(1), Currency::USD),
+            Value::ZERO
+        );
+    }
+
+    #[test]
+    fn degenerate_queries_are_empty() {
+        let s = diamond();
+        let mut router = Router::new(PathLimits::default());
+        assert!(router
+            .route(&s, acct(1), acct(1), Currency::USD, v("1"))
+            .is_empty());
+        assert!(router
+            .route(&s, acct(1), acct(4), Currency::XRP, v("1"))
+            .is_empty());
+        assert!(router
+            .route(&s, acct(1), acct(4), Currency::USD, v("0"))
+            .is_empty());
+    }
+}

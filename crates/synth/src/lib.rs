@@ -42,12 +42,14 @@ pub mod dist;
 pub mod generate;
 mod parexec;
 pub mod pipeline;
+pub mod probes;
 pub mod script;
 
 pub use cast::{Cast, Role};
 pub use config::SynthConfig;
 pub use generate::{Generator, SynthOutput};
 pub use pipeline::{HistoryTallies, PipelineConfig, PipelineError, PipelineRun, SynthBench};
+pub use probes::{payment_probes, PaymentProbe};
 pub use script::{
     build_chunk, build_script, derive_seed, plan_history, CastIndex, ScriptChunk, ScriptedBody,
     ScriptedPayment,

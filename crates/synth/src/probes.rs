@@ -1,0 +1,108 @@
+//! Scripted liquidity-probe streams: deterministic payment queries drawn
+//! from a generated [`Cast`].
+//!
+//! The generation scripts themselves run *ahead* of execution (the
+//! pipelined script → execute → sink stages), so they cannot consult live
+//! trust-line capacities; their paths are invented from the cast. The
+//! capacity-aware router therefore rides the scripted *population*
+//! instead: this module scripts payment probes — who would pay whom, in
+//! what currency, how much — from the same cast the history was generated
+//! with, and the liquidity suite (`experiments liquidity`, E18) routes
+//! them against the executed final ledger state.
+//!
+//! Streams are pure functions of `(cast, seed, n)`: byte-identical for
+//! any pipeline worker count, which is what lets `BENCH_liquidity.json`
+//! stay byte-stable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ripple_crypto::AccountId;
+use ripple_ledger::{Currency, Value};
+
+use crate::cast::Cast;
+
+/// One scripted payment probe: a route query against a ledger state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaymentProbe {
+    /// Paying account.
+    pub sender: AccountId,
+    /// Receiving account.
+    pub destination: AccountId,
+    /// Delivered currency (never XRP — probes exercise the credit network).
+    pub currency: Currency,
+    /// Requested amount.
+    pub amount: Value,
+}
+
+/// Scripts `n` payment probes from the cast: senders are drawn from a
+/// small hot pool (payment traffic is source-skewed, and a hot pool is
+/// what a per-source path cache serves), destinations from users and
+/// merchants across communities, currencies from the communities'
+/// home currencies, and amounts from the same 1..500 unit band the
+/// organic scripts use.
+///
+/// Returns an empty stream for casts without users (degenerate configs).
+pub fn payment_probes(cast: &Cast, seed: u64, n: usize) -> Vec<PaymentProbe> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x11c1_d17f);
+    if cast.users.is_empty() || cast.community_currency.is_empty() {
+        return Vec::new();
+    }
+    // Hot sender pool: enough distinct sources to be honest about cache
+    // misses, few enough that re-use dominates — mirroring the habit
+    // model of the organic scripts.
+    let pool_size = cast.users.len().min((n / 16).max(8));
+    let pool: Vec<(AccountId, usize)> = (0..pool_size)
+        .map(|_| cast.users[rng.gen_range(0..cast.users.len())])
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let (sender, community) = pool[rng.gen_range(0..pool.len())];
+        // Mostly community-local traffic, some cross-community.
+        let (destination, dst_community) = if !cast.merchants.is_empty() && rng.gen_bool(0.3) {
+            let &(m, cm) = &cast.merchants[rng.gen_range(0..cast.merchants.len())];
+            (m, cm)
+        } else {
+            let &(u, cm) = &cast.users[rng.gen_range(0..cast.users.len())];
+            (u, cm)
+        };
+        if destination == sender {
+            continue;
+        }
+        let currency = if rng.gen_bool(0.8) {
+            cast.community_currency[community % cast.community_currency.len()]
+        } else {
+            cast.community_currency[dst_community % cast.community_currency.len()]
+        };
+        out.push(PaymentProbe {
+            sender,
+            destination,
+            currency,
+            amount: Value::from_int(rng.gen_range(1i64..=500)),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynthConfig;
+    use crate::generate::Generator;
+
+    #[test]
+    fn probe_streams_are_deterministic() {
+        let output = Generator::new(SynthConfig::small(500)).run();
+        let a = payment_probes(&output.cast, 42, 64);
+        let b = payment_probes(&output.cast, 42, 64);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        let c = payment_probes(&output.cast, 43, 64);
+        assert_ne!(a, c, "seed must matter");
+        for p in &a {
+            assert_ne!(p.sender, p.destination);
+            assert!(!p.currency.is_xrp());
+            assert!(p.amount.is_positive());
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests for the capacity-aware path machinery: the residual
+//! overlay's netting, hop-capacity safety of every returned plan, the
+//! search limits, and the router cache's invalidation discipline.
+//!
+//! The strategy generates small random credit networks (accounts, trust
+//! lines, pre-existing debt pushed through real `ripple_hop`s) plus
+//! payment queries, then checks the properties the differential `router`
+//! target also enforces — here with proptest-level case diversity and
+//! direct assertions instead of oracle comparison.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use ripple_core::crypto::AccountId;
+use ripple_core::ledger::{Currency, Drops, LedgerState, Value};
+use ripple_core::paths::{find_payment_paths, PathLimits, Router};
+
+fn acct(n: u8) -> AccountId {
+    AccountId::from_bytes([n; 20])
+}
+
+fn currency(n: u8) -> Currency {
+    [Currency::USD, Currency::EUR, Currency::BTC][(n % 3) as usize]
+}
+
+/// Builds a ledger from generated parts: every account funded, trust
+/// lines and debt applied through the real mutation paths (failed hops
+/// are simply skipped, like the differential harness does).
+fn build_state(
+    accounts: u8,
+    trust: &[(u8, u8, u8, i128)],
+    hops: &[(u8, u8, u8, i128)],
+) -> LedgerState {
+    let mut state = LedgerState::new();
+    for i in 0..accounts {
+        state.create_account(acct(i), Drops::new(1_000_000_000));
+    }
+    for &(truster, trustee, cur, limit) in trust {
+        let _ = state.set_trust(
+            acct(truster % accounts),
+            acct(trustee % accounts),
+            currency(cur),
+            Value::from_raw(limit),
+        );
+    }
+    for &(from, to, cur, amount) in hops {
+        let _ = state.ripple_hop(
+            acct(from % accounts),
+            acct(to % accounts),
+            currency(cur),
+            Value::from_raw(amount),
+        );
+    }
+    state
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every plan the search returns replays hop by hop through the real
+    /// capacity-checked `ripple_hop` — reservations across parallel paths
+    /// (including bidirectional netting) never promise capacity the
+    /// ledger does not have.
+    #[test]
+    fn plans_replay_within_capacity(
+        accounts in 3u8..=6,
+        trust in vec((0u8..6, 0u8..6, 0u8..3, 1i128..50_000_000), 4..14),
+        hops in vec((0u8..6, 0u8..6, 0u8..3, 1i128..20_000_000), 0..6),
+        sender in 0u8..6,
+        destination in 0u8..6,
+        cur in 0u8..3,
+        amount in 1i128..40_000_000,
+    ) {
+        let state = build_state(accounts, &trust, &hops);
+        let sender = acct(sender % accounts);
+        let destination = acct(destination % accounts);
+        if sender == destination {
+            continue;
+        }
+        let limits = PathLimits::default();
+        let paths = find_payment_paths(
+            &state, sender, destination, currency(cur), Value::from_raw(amount), limits,
+        );
+        let mut replayed = state.clone();
+        let mut carried = Value::ZERO;
+        for path in &paths {
+            prop_assert!(path.amount.is_positive(), "paths carry positive value");
+            prop_assert!(
+                path.intermediates.len() <= limits.max_hops,
+                "max_hops respected"
+            );
+            let mut chain = vec![sender];
+            chain.extend(path.intermediates.iter().copied());
+            chain.push(destination);
+            for pair in chain.windows(2) {
+                replayed
+                    .ripple_hop(pair[0], pair[1], currency(cur), path.amount)
+                    .expect("reserved capacity must exist on the ledger");
+            }
+            carried = carried + path.amount;
+        }
+        prop_assert!(paths.len() <= limits.max_paths, "max_paths respected");
+        prop_assert!(carried <= Value::from_raw(amount), "never over-delivers");
+    }
+
+    /// The cached router and the cache-off search agree on every query of
+    /// a multi-query stream, including after trust mutations between
+    /// queries (stamp-based invalidation must behave as a cold cache).
+    #[test]
+    fn router_matches_cold_search_across_mutations(
+        accounts in 3u8..=6,
+        trust in vec((0u8..6, 0u8..6, 0u8..3, 1i128..50_000_000), 4..14),
+        hops in vec((0u8..6, 0u8..6, 0u8..3, 1i128..20_000_000), 0..6),
+        queries in vec(
+            // (sender, destination, currency, amount, mutate?, truster, trustee, new limit)
+            (0u8..6, 0u8..6, 0u8..3, 1i128..40_000_000, 0u8..2, 0u8..6, 0u8..6, 0i128..50_000_000),
+            1..6,
+        ),
+    ) {
+        let mut state = build_state(accounts, &trust, &hops);
+        let limits = PathLimits::default();
+        let mut router = Router::new(limits);
+        for (sender, destination, cur, amount, mutate, truster, trustee, limit) in queries {
+            if mutate == 1 {
+                let _ = state.set_trust(
+                    acct(truster % accounts),
+                    acct(trustee % accounts),
+                    currency(cur),
+                    Value::from_raw(limit),
+                );
+            }
+            let sender = acct(sender % accounts);
+            let destination = acct(destination % accounts);
+            if sender == destination {
+                continue;
+            }
+            let cached = router.route(
+                &state, sender, destination, currency(cur), Value::from_raw(amount),
+            );
+            let cold = find_payment_paths(
+                &state, sender, destination, currency(cur), Value::from_raw(amount), limits,
+            );
+            prop_assert_eq!(cached, cold, "cache must be invisible");
+        }
+    }
+
+    /// `deliverable` is monotone under trust growth: raising a limit
+    /// never shrinks what the router says it can deliver (capacity is
+    /// never driven negative by cache reuse), and is never negative.
+    #[test]
+    fn deliverable_monotone_under_trust_growth(
+        accounts in 3u8..=6,
+        trust in vec((0u8..6, 0u8..6, 0u8..3, 1i128..50_000_000), 4..14),
+        hops in vec((0u8..6, 0u8..6, 0u8..3, 1i128..20_000_000), 0..6),
+        sender in 0u8..6,
+        destination in 0u8..6,
+        cur in 0u8..3,
+        bump in 1i128..50_000_000,
+    ) {
+        let mut state = build_state(accounts, &trust, &hops);
+        let sender = acct(sender % accounts);
+        let destination = acct(destination % accounts);
+        if sender == destination {
+            continue;
+        }
+        let mut router = Router::new(PathLimits::default());
+        let before = router.deliverable(&state, sender, destination, currency(cur));
+        prop_assert!(!before.is_negative(), "deliverable is never negative");
+        // Raise the first trust line in the queried currency (if any) and
+        // re-ask the same router instance.
+        let line = trust.iter().find(|&&(_, _, c, _)| currency(c) == currency(cur));
+        if let Some(&(truster, trustee, line_cur, limit)) = line {
+            let _ = state.set_trust(
+                acct(truster % accounts),
+                acct(trustee % accounts),
+                currency(line_cur),
+                Value::from_raw(limit.saturating_add(bump)),
+            );
+            let after = router.deliverable(&state, sender, destination, currency(cur));
+            prop_assert!(after >= before, "trust growth cannot reduce liquidity");
+        }
+    }
+}
